@@ -1,0 +1,188 @@
+//! Image smoothing: feedforward (1024, 1024), rate coding.
+//!
+//! A 32×32 image is rate-encoded onto 1024 Poisson inputs; each of the
+//! 1024 output neurons integrates a 3×3 neighborhood, so the output
+//! population's firing-rate image is a box-blurred version of the input —
+//! CARLsim's classic convolution demo at the scale the paper lists in
+//! Table I.
+
+use crate::App;
+use neuromap_core::CoreError;
+use neuromap_snn::coding::{rate_decode, rate_encode};
+use neuromap_snn::generator::Generator;
+use neuromap_snn::network::{ConnectPattern, Network, NetworkBuilder, WeightInit};
+use neuromap_snn::neuron::NeuronKind;
+use neuromap_snn::simulator::SpikeRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (32 → 1024 pixels).
+pub const SIDE: u32 = 32;
+
+/// The image-smoothing application.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageSmoothing {
+    /// Peak Poisson rate for white pixels (Hz).
+    pub max_rate_hz: f64,
+    /// Simulation length (ms).
+    pub steps: u32,
+    /// Per-synapse kernel weight (9 taps sum to ~9× this).
+    pub weight: f32,
+    /// Noise amplitude added to the test image.
+    pub noise: f64,
+}
+
+impl Default for ImageSmoothing {
+    fn default() -> Self {
+        Self { max_rate_hz: 100.0, steps: 1000, weight: 10.0, noise: 0.25 }
+    }
+}
+
+impl ImageSmoothing {
+    /// The test image: two bright shapes on a gradient background with
+    /// salt-and-pepper-ish noise — structure for the blur to smooth.
+    pub fn test_image(seed: u64, noise: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut img = vec![0.0f64; (SIDE * SIDE) as usize];
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let mut v = 0.15 + 0.3 * x as f64 / SIDE as f64;
+                // a bright square
+                if (6..14).contains(&x) && (6..14).contains(&y) {
+                    v = 0.95;
+                }
+                // a bright disc
+                let (dx, dy) = (x as f64 - 23.0, y as f64 - 22.0);
+                if dx * dx + dy * dy < 30.0 {
+                    v = 0.85;
+                }
+                v += noise * (rng.gen::<f64>() - 0.5);
+                img[(y * SIDE + x) as usize] = v.clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+
+    /// Reference CPU box blur (3×3, border-truncated) for quality checks.
+    pub fn box_blur(img: &[f64]) -> Vec<f64> {
+        let s = SIDE as i64;
+        let mut out = vec![0.0; img.len()];
+        for y in 0..s {
+            for x in 0..s {
+                let mut sum = 0.0;
+                let mut n = 0.0;
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let (sx, sy) = (x + dx, y + dy);
+                        if (0..s).contains(&sx) && (0..s).contains(&sy) {
+                            sum += img[(sy * s + sx) as usize];
+                            n += 1.0;
+                        }
+                    }
+                }
+                out[(y * s + x) as usize] = sum / n;
+            }
+        }
+        out
+    }
+
+    /// Decodes the smoothed image from the output population's rates.
+    pub fn decode_output(&self, record: &SpikeRecord) -> Vec<f64> {
+        let n = SIDE * SIDE;
+        (n..2 * n)
+            .map(|i| rate_decode(record.train(i), record.steps(), self.max_rate_hz))
+            .collect()
+    }
+}
+
+impl App for ImageSmoothing {
+    fn name(&self) -> String {
+        "IS".to_owned()
+    }
+
+    fn build(&self, seed: u64) -> Result<Network, CoreError> {
+        let img = Self::test_image(seed, self.noise);
+        let rates = rate_encode(&img, self.max_rate_hz);
+        let mut b = NetworkBuilder::new();
+        let input = b.add_input_group("pixels", SIDE * SIDE, Generator::rates(rates))?;
+        let out = b.add_group("smoothed", SIDE * SIDE, NeuronKind::izhikevich_rs())?;
+        b.connect(
+            input,
+            out,
+            ConnectPattern::Neighborhood2D { width: SIDE, height: SIDE, radius: 1 },
+            WeightInit::Constant(self.weight),
+            1,
+        )?;
+        Ok(b.build()?)
+    }
+
+    fn sim_steps(&self) -> u32 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_table1() {
+        let net = ImageSmoothing::default().build(1).unwrap();
+        assert_eq!(net.num_neurons(), 2048);
+        // interior pixels contribute 9 synapses each
+        assert!(net.synapses().len() > 8000);
+    }
+
+    #[test]
+    fn blur_reduces_noise_variance() {
+        let img = ImageSmoothing::test_image(3, 0.4);
+        let blurred = ImageSmoothing::box_blur(&img);
+        let var = |v: &[f64]| {
+            // high-frequency energy: mean squared difference of horizontal
+            // neighbors
+            let s = SIDE as usize;
+            let mut e = 0.0;
+            for y in 0..s {
+                for x in 0..s - 1 {
+                    e += (v[y * s + x + 1] - v[y * s + x]).powi(2);
+                }
+            }
+            e
+        };
+        assert!(var(&blurred) < var(&img) * 0.5);
+    }
+
+    #[test]
+    fn snn_output_correlates_with_reference_blur() {
+        let app = ImageSmoothing { steps: 1500, ..ImageSmoothing::default() };
+        let (_, record) = app.run(5).unwrap();
+        let out = app.decode_output(&record);
+        let reference = ImageSmoothing::box_blur(&ImageSmoothing::test_image(5, app.noise));
+        // Pearson correlation between decoded rates and the reference blur
+        let n = out.len() as f64;
+        let (mu_a, mu_b) = (
+            out.iter().sum::<f64>() / n,
+            reference.iter().sum::<f64>() / n,
+        );
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (a, b) in out.iter().zip(&reference) {
+            num += (a - mu_a) * (b - mu_b);
+            da += (a - mu_a).powi(2);
+            db += (b - mu_b).powi(2);
+        }
+        let r = num / (da.sqrt() * db.sqrt()).max(1e-12);
+        assert!(r > 0.6, "correlation with reference blur too low: {r}");
+    }
+
+    #[test]
+    fn bright_regions_fire_more() {
+        let app = ImageSmoothing::default();
+        let graph = app.spike_graph(2).unwrap();
+        // center of the bright square vs dark corner
+        let bright = graph.count(10 * SIDE + 10);
+        let dark = graph.count(31 * SIDE + 1);
+        assert!(bright > dark, "bright {bright} !> dark {dark}");
+    }
+}

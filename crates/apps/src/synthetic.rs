@@ -1,0 +1,155 @@
+//! Synthetic SNN topologies (paper §V, Fig. 5 and Fig. 7).
+//!
+//! "We considered synthetic applications with different number of neural
+//! network layers and number of neurons per layer … marked m × n, where m
+//! is the number of layers and n is the number of neurons per layer.
+//! Neurons of the first layer receive their input from 10 neurons creating
+//! spike trains whose inter-spike interval follows a Poisson process with
+//! mean firing rates between 10 Hz and 100 Hz. These synthetic SNNs
+//! implement fully connected feedforward topologies."
+
+use crate::App;
+use neuromap_core::CoreError;
+use neuromap_snn::generator::Generator;
+use neuromap_snn::network::{ConnectPattern, Network, NetworkBuilder, WeightInit};
+use neuromap_snn::neuron::NeuronKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of Poisson stimulus neurons feeding the first layer.
+pub const STIMULUS: u32 = 10;
+
+/// A synthetic fully connected feedforward SNN with `layers × width`
+/// neurons.
+#[derive(Debug, Clone, Copy)]
+pub struct Synthetic {
+    /// Number of hidden layers (the paper's `m`).
+    pub layers: u32,
+    /// Neurons per layer (the paper's `n`).
+    pub width: u32,
+    /// Simulation length (ms).
+    pub steps: u32,
+}
+
+impl Synthetic {
+    /// Creates the `m × n` topology of the paper with a 1-second stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` or `width` is zero.
+    pub fn new(layers: u32, width: u32) -> Self {
+        assert!(layers > 0 && width > 0, "topology must be non-empty");
+        Self { layers, width, steps: 1000 }
+    }
+
+    /// Total neurons including the 10 stimulus sources.
+    pub fn total_neurons(&self) -> u32 {
+        STIMULUS + self.layers * self.width
+    }
+
+    /// Synapse count of the fully connected feedforward stack.
+    pub fn total_synapses(&self) -> u64 {
+        STIMULUS as u64 * self.width as u64
+            + (self.layers as u64 - 1) * (self.width as u64 * self.width as u64)
+    }
+}
+
+impl App for Synthetic {
+    fn name(&self) -> String {
+        format!("synth_{}x{}", self.layers, self.width)
+    }
+
+    fn build(&self, seed: u64) -> Result<Network, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // 10 Poisson sources, mean rates uniform in 10–100 Hz (paper)
+        let rates: Vec<f64> = (0..STIMULUS).map(|_| rng.gen_range(10.0..100.0)).collect();
+        let mut b = NetworkBuilder::new();
+        b.seed(seed);
+        let mut prev = b.add_input_group("stim", STIMULUS, Generator::rates(rates))?;
+        // weight scaling keeps activity alive through depth: the mean drive
+        // per neuron per ms should sit near the Izhikevich RS rheobase
+        for l in 0..self.layers {
+            let group = b.add_group(&format!("layer{l}"), self.width, NeuronKind::izhikevich_rs())?;
+            let fan_in = if l == 0 { STIMULUS } else { self.width };
+            let w = 160.0 / fan_in as f32;
+            b.connect(prev, group, ConnectPattern::Full, WeightInit::Constant(w), 1)?;
+            prev = group;
+        }
+        Ok(b.build()?)
+    }
+
+    fn sim_steps(&self) -> u32 {
+        self.steps
+    }
+}
+
+/// The eight synthetic topologies evaluated in the paper's Fig. 5
+/// (four of which are plotted), in label order.
+pub fn fig5_topologies() -> Vec<Synthetic> {
+    vec![
+        Synthetic::new(1, 200),
+        Synthetic::new(1, 400),
+        Synthetic::new(1, 600),
+        Synthetic::new(1, 800),
+        Synthetic::new(2, 200),
+        Synthetic::new(2, 400),
+        Synthetic::new(3, 200),
+        Synthetic::new(4, 200),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_matches_paper_labels() {
+        assert_eq!(Synthetic::new(3, 200).name(), "synth_3x200");
+    }
+
+    #[test]
+    fn neuron_and_synapse_counts() {
+        let s = Synthetic::new(4, 200);
+        assert_eq!(s.total_neurons(), 810);
+        // paper: "topology 4x200 (with dense 122000 synapses)"
+        assert_eq!(s.total_synapses(), 10 * 200 + 3 * 200 * 200);
+        assert_eq!(s.total_synapses(), 122_000);
+
+        let s1 = Synthetic::new(1, 200);
+        // paper: "topology 1x200 (with 2000 synapses)"
+        assert_eq!(s1.total_synapses(), 2000);
+    }
+
+    #[test]
+    fn built_network_matches_counts() {
+        let s = Synthetic::new(2, 50);
+        let net = s.build(1).unwrap();
+        assert_eq!(net.num_neurons(), s.total_neurons());
+        assert_eq!(net.synapses().len() as u64, s.total_synapses());
+    }
+
+    #[test]
+    fn activity_survives_depth() {
+        let s = Synthetic { steps: 600, ..Synthetic::new(3, 40) };
+        let graph = s.spike_graph(4).unwrap();
+        let last_layer_first = STIMULUS + 2 * 40;
+        let spikes: u64 = (last_layer_first..last_layer_first + 40)
+            .map(|i| graph.count(i) as u64)
+            .sum();
+        assert!(spikes > 0, "deep layers must stay active");
+    }
+
+    #[test]
+    fn fig5_set_has_eight_entries() {
+        let t = fig5_topologies();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].name(), "synth_1x200");
+        assert_eq!(t[7].name(), "synth_4x200");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_layers_rejected() {
+        let _ = Synthetic::new(0, 10);
+    }
+}

@@ -1,0 +1,50 @@
+//! Microbenchmark: the Eq. 8 cut-spike cost kernel — the inner loop of
+//! every partitioner — across graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuromap_core::graph::SpikeGraph;
+use neuromap_core::partition::PartitionProblem;
+
+fn layered(layers: u32, width: u32) -> SpikeGraph {
+    let mut synapses = Vec::new();
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                synapses.push((l * width + a, (l + 1) * width + b));
+            }
+        }
+    }
+    let n = layers * width;
+    SpikeGraph::from_parts(n, synapses, vec![20; n as usize]).expect("valid graph")
+}
+
+fn bench_cut_spikes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_spikes");
+    for (layers, width) in [(2u32, 100u32), (3, 200), (4, 200)] {
+        let graph = layered(layers, width);
+        let crossbars = 16;
+        let cap = (graph.num_neurons() / 12).max(2);
+        let problem = PartitionProblem::new(&graph, crossbars, cap).expect("feasible");
+        let assignment: Vec<u32> = (0..graph.num_neurons())
+            .map(|i| i % crossbars as u32)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}x{width}")),
+            &assignment,
+            |b, a| b.iter(|| std::hint::black_box(problem.cut_spikes(a))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cut_packets(c: &mut Criterion) {
+    let graph = layered(3, 200);
+    let problem = PartitionProblem::new(&graph, 16, 64).expect("feasible");
+    let assignment: Vec<u32> = (0..graph.num_neurons()).map(|i| i % 16).collect();
+    c.bench_function("cut_packets/3x200", |b| {
+        b.iter(|| std::hint::black_box(problem.cut_packets(&assignment)))
+    });
+}
+
+criterion_group!(benches, bench_cut_spikes, bench_cut_packets);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmark: interconnect simulation throughput across topologies,
+//! load levels, and multicast settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuromap_hw::energy::EnergyModel;
+use neuromap_noc::config::NocConfig;
+use neuromap_noc::sim::NocSim;
+use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology};
+use neuromap_noc::traffic::SpikeFlow;
+
+fn burst_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec<SpikeFlow> {
+    let mut flows = Vec::new();
+    for step in 0..steps {
+        for k in 0..spikes_per_step {
+            let src = k % crossbars;
+            let dst = (k + 1 + step) % crossbars;
+            if src != dst {
+                flows.push(SpikeFlow::unicast(k, src, dst, step));
+            }
+        }
+    }
+    flows
+}
+
+type TopoFactory = fn() -> Box<dyn Topology>;
+
+fn bench_topologies(c: &mut Criterion) {
+    let flows = burst_traffic(16, 64, 20);
+    let mut group = c.benchmark_group("noc_topology");
+    group.sample_size(20);
+    let make: Vec<(&str, TopoFactory)> = vec![
+        ("mesh16", || Box::new(Mesh2D::for_crossbars(16))),
+        ("tree16", || Box::new(NocTree::new(16, 4))),
+        ("star16", || Box::new(Star::new(16))),
+    ];
+    for (name, mk) in make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &flows, |b, f| {
+            b.iter(|| {
+                let mut sim = NocSim::new(mk(), NocConfig::default(), EnergyModel::default());
+                sim.run(f).expect("traffic drains")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_load");
+    group.sample_size(20);
+    for spikes_per_step in [16u32, 64, 256] {
+        let flows = burst_traffic(16, spikes_per_step, 10);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spikes_per_step),
+            &flows,
+            |b, f| {
+                b.iter(|| {
+                    let mut sim = NocSim::new(
+                        Box::new(Mesh2D::for_crossbars(16)),
+                        NocConfig::default(),
+                        EnergyModel::default(),
+                    );
+                    sim.run(f).expect("traffic drains")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let flows: Vec<SpikeFlow> = (0..200u32)
+        .map(|i| SpikeFlow::multicast(i, i % 16, vec![1, 3, 5, 7, 9, 11], i / 40))
+        .collect();
+    let mut group = c.benchmark_group("noc_multicast");
+    group.sample_size(20);
+    for (name, mc) in [("multicast", true), ("unicast", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &flows, |b, f| {
+            let cfg = NocConfig { multicast: mc, ..NocConfig::default() };
+            b.iter(|| {
+                let mut sim = NocSim::new(
+                    Box::new(NocTree::new(16, 4)),
+                    cfg,
+                    EnergyModel::default(),
+                );
+                sim.run(f).expect("traffic drains")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies, bench_load, bench_multicast);
+criterion_main!(benches);

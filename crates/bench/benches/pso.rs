@@ -1,0 +1,92 @@
+//! Microbenchmark: full PSO partitioning runs vs swarm size and problem
+//! size — the cost model behind the paper's "35 minutes on Google Cloud"
+//! remark and our Fig. 7 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuromap_core::graph::SpikeGraph;
+use neuromap_core::partition::{Partitioner, PartitionProblem};
+use neuromap_core::pso::{PsoConfig, PsoPartitioner};
+
+fn chain_clusters(clusters: u32, size: u32) -> SpikeGraph {
+    // `clusters` dense blobs in a chain — a partitioning problem with a
+    // known good structure
+    let n = clusters * size;
+    let mut synapses = Vec::new();
+    for c in 0..clusters {
+        let base = c * size;
+        for a in 0..size {
+            for b in 0..size {
+                if a != b {
+                    synapses.push((base + a, base + b));
+                }
+            }
+        }
+        if c + 1 < clusters {
+            synapses.push((base, base + size)); // bridge
+        }
+    }
+    SpikeGraph::from_parts(n, synapses, vec![15; n as usize]).expect("valid graph")
+}
+
+fn bench_swarm_size(c: &mut Criterion) {
+    let graph = chain_clusters(4, 16);
+    let problem = PartitionProblem::new(&graph, 4, 20).expect("feasible");
+    let mut group = c.benchmark_group("pso_swarm");
+    group.sample_size(10);
+    for swarm in [10usize, 40, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(swarm), &swarm, |b, &n| {
+            let pso = PsoPartitioner::new(PsoConfig {
+                swarm_size: n,
+                iterations: 20,
+                ..PsoConfig::default()
+            });
+            b.iter(|| pso.partition(&problem).expect("feasible problem"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_problem_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pso_problem");
+    group.sample_size(10);
+    for (clusters, size) in [(4u32, 16u32), (8, 16), (8, 32)] {
+        let graph = chain_clusters(clusters, size);
+        let problem =
+            PartitionProblem::new(&graph, clusters as usize, size + 8).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}n", graph.num_neurons())),
+            &problem,
+            |b, p| {
+                let pso = PsoPartitioner::new(PsoConfig {
+                    swarm_size: 20,
+                    iterations: 15,
+                    ..PsoConfig::default()
+                });
+                b.iter(|| pso.partition(p).expect("feasible problem"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let graph = chain_clusters(8, 32);
+    let problem = PartitionProblem::new(&graph, 8, 40).expect("feasible");
+    let mut group = c.benchmark_group("pso_threads");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let pso = PsoPartitioner::new(PsoConfig {
+                swarm_size: 64,
+                iterations: 10,
+                threads: t,
+                ..PsoConfig::default()
+            });
+            b.iter(|| pso.partition(&problem).expect("feasible problem"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swarm_size, bench_problem_size, bench_threads);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmark: SNN simulation throughput (the CARLsim-substitute
+//! substrate) across population sizes and with/without STDP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuromap_snn::generator::Generator;
+use neuromap_snn::network::{ConnectPattern, Network, NetworkBuilder, WeightInit};
+use neuromap_snn::neuron::NeuronKind;
+use neuromap_snn::simulator::{SimConfig, Simulator};
+use neuromap_snn::stdp::StdpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn feedforward(width: u32, plastic: bool) -> Network {
+    let mut b = NetworkBuilder::new();
+    let input = b
+        .add_input_group("in", width, Generator::poisson(40.0))
+        .expect("valid group");
+    let out = b
+        .add_group("out", width, NeuronKind::izhikevich_rs())
+        .expect("valid group");
+    let w = WeightInit::Constant(160.0 / width as f32);
+    if plastic {
+        b.connect_plastic(input, out, ConnectPattern::Full, w, 1)
+            .expect("valid projection");
+    } else {
+        b.connect(input, out, ConnectPattern::Full, w, 1)
+            .expect("valid projection");
+    }
+    b.build().expect("valid network")
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snn_run_100ms");
+    group.sample_size(20);
+    for width in [64u32, 256, 512] {
+        let net = feedforward(width, false);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &net, |b, n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(n.clone());
+                let mut rng = StdRng::seed_from_u64(1);
+                sim.run(100, &mut rng).expect("simulation runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stdp_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snn_stdp");
+    group.sample_size(20);
+    for (name, plastic) in [("static", false), ("plastic", true)] {
+        let net = feedforward(256, plastic);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, n| {
+            let cfg = SimConfig {
+                dt_ms: 1.0,
+                stdp: plastic.then(StdpConfig::default),
+            };
+            b.iter(|| {
+                let mut sim = Simulator::with_config(n.clone(), cfg);
+                let mut rng = StdRng::seed_from_u64(1);
+                sim.run(100, &mut rng).expect("simulation runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_step, bench_stdp_overhead);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Reproduces Fig. 6 of Das et al. (DATE 2018): architecture exploration
+//! with the handwritten-digit-recognition application — local, global and
+//! total synapse energy plus worst-case interconnect latency as the
+//! crossbar size sweeps from 90 to 1440 neurons.
+//!
+//! Paper shapes to check:
+//! * local energy **increases** with crossbar size (more synapses served
+//!   inside crossbars, at higher per-event cost);
+//! * global energy **decreases** (fewer spikes leave the crossbars);
+//! * worst-case latency **decreases** (less interconnect congestion);
+//! * total energy has an **interior optimum** — neither extreme wins,
+//!   which is why the design space needs exploring at all.
+//!
+//! Run: `cargo run --release -p neuromap-bench --bin repro_fig6 [--paper]`
+
+use neuromap_apps::digit_recognition::DigitRecognition;
+use neuromap_apps::App;
+use neuromap_bench::{config_for, print_table, Scale, SEED};
+use neuromap_core::explore::architecture_sweep;
+use neuromap_core::pso::PsoPartitioner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    println!("# Fig. 6 — architecture exploration, digit recognition ({scale:?} scale)\n");
+
+    let app = match scale {
+        Scale::Quick => DigitRecognition {
+            presentations: 4,
+            present_ms: 100,
+            rest_ms: 25,
+            ..DigitRecognition::default()
+        },
+        Scale::Paper => DigitRecognition::default(),
+    };
+    let graph = app.spike_graph(SEED)?;
+    println!(
+        "application: {} neurons, {} synapses, {} spikes\n",
+        graph.num_neurons(),
+        graph.num_synapses(),
+        graph.total_spikes()
+    );
+
+    // the paper sweeps 90 → 1440 neurons per crossbar
+    let sizes = [90u32, 180, 360, 720, 1080, 1440];
+    let base = config_for(graph.num_neurons());
+    let pso = PsoPartitioner::new(scale.pso(0x0F16));
+    let points = architecture_sweep(&graph, &base, &sizes, &pso)?;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.neurons_per_crossbar.to_string(),
+                p.num_crossbars.to_string(),
+                format!("{:.2}", p.local_energy_uj),
+                format!("{:.2}", p.global_energy_uj),
+                format!("{:.2}", p.total_energy_uj),
+                p.worst_latency_cycles.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["neurons/crossbar", "crossbars", "local µJ", "global µJ", "total µJ", "worst latency (cyc)"],
+        &rows,
+    );
+
+    // shape checks
+    let local_up = points.windows(2).all(|w| w[1].local_energy_uj >= w[0].local_energy_uj * 0.95);
+    let global_down = points.windows(2).all(|w| w[1].global_energy_uj <= w[0].global_energy_uj * 1.05);
+    let best = points
+        .iter()
+        .min_by(|a, b| a.total_energy_uj.total_cmp(&b.total_energy_uj))
+        .expect("non-empty sweep");
+    let interior = best.neurons_per_crossbar != sizes[0];
+    println!();
+    println!("local energy rising:    {local_up} (paper: yes)");
+    println!("global energy falling:  {global_down} (paper: yes)");
+    println!(
+        "total-energy optimum at {} neurons/crossbar — interior optimum: {interior} (paper: intermediate point)",
+        best.neurons_per_crossbar
+    );
+    Ok(())
+}

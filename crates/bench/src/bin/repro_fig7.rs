@@ -1,0 +1,81 @@
+//! Reproduces Fig. 7 of Das et al. (DATE 2018): interconnect energy vs PSO
+//! swarm size (log scale) for hello_world, heartbeat estimation,
+//! synth_1x800 and synth_2x200, with iterations fixed at 100.
+//!
+//! Paper shapes to check:
+//! * energy is normalized to the per-application minimum, so every curve
+//!   ends ≥ 1.0 and decreases (weakly) with swarm size;
+//! * small apps saturate early (paper: synth_2x200 reaches its minimum
+//!   near swarm ≈ 105), larger ones keep improving toward 1000.
+//!
+//! Run: `cargo run --release -p neuromap-bench --bin repro_fig7 [--paper]`
+
+use neuromap_apps::heartbeat::HeartbeatEstimation;
+use neuromap_apps::hello_world::HelloWorld;
+use neuromap_apps::synthetic::Synthetic;
+use neuromap_apps::App;
+use neuromap_bench::{config_for, print_table, Scale, SEED};
+use neuromap_core::explore::swarm_sweep;
+use neuromap_core::pso::PsoConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    println!("# Fig. 7 — exploration with swarm size ({scale:?} scale)\n");
+
+    let (sizes, iterations): (Vec<usize>, u32) = match scale {
+        Scale::Quick => (vec![4, 10, 32, 100], 30),
+        Scale::Paper => (vec![10, 32, 100, 316, 1000], 100),
+    };
+
+    let hw = HelloWorld { steps: scale.sim_ms(), ..HelloWorld::default() };
+    let he = HeartbeatEstimation {
+        duration_ms: scale.sim_ms().max(3000),
+        ..HeartbeatEstimation::default()
+    };
+    let s18 = Synthetic { steps: scale.sim_ms(), ..Synthetic::new(1, 800) };
+    let s22 = Synthetic { steps: scale.sim_ms(), ..Synthetic::new(2, 200) };
+
+    let apps: Vec<(String, neuromap_core::SpikeGraph)> = vec![
+        (hw.name(), hw.spike_graph(SEED)?),
+        (he.name(), he.spike_graph(SEED)?),
+        (s18.name(), s18.spike_graph(SEED)?),
+        (s22.name(), s22.spike_graph(SEED)?),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, graph) in &apps {
+        let cfg = config_for(graph.num_neurons());
+        // pure PSO (no warm start, no polish): the swarm-size dependence is
+        // exactly what this figure measures
+        let base = PsoConfig {
+            iterations,
+            seed: SEED,
+            seed_baselines: false,
+            polish_passes: 0,
+            threads: 4,
+            ..PsoConfig::default()
+        };
+        let points = swarm_sweep(graph, &cfg, &sizes, base)?;
+        let min_energy = points
+            .iter()
+            .map(|p| p.global_energy_pj)
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
+        for p in &points {
+            rows.push(vec![
+                name.clone(),
+                p.swarm_size.to_string(),
+                format!("{:.3}", p.global_energy_pj / min_energy),
+                p.cut_spikes.to_string(),
+                p.converged_at.to_string(),
+            ]);
+        }
+    }
+
+    print_table(
+        &["app", "swarm size", "normalized energy", "cut spikes", "converged at iter"],
+        &rows,
+    );
+    println!("\npaper: normalized energy decreases with swarm size; no gains past 1000 particles");
+    Ok(())
+}

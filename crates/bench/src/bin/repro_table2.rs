@@ -1,0 +1,182 @@
+//! Reproduces Table II of Das et al. (DATE 2018): SNN metrics on the
+//! global synapse interconnect — ISI distortion, spike disorder count,
+//! throughput and maximum latency — for PACMAN vs the proposed PSO on the
+//! four realistic applications.
+//!
+//! Paper shapes to check:
+//! * PSO lowers ISI distortion (paper: −37% on average);
+//! * PSO lowers disorder count (paper: −63% on average);
+//! * PSO lowers max latency (paper: −22%, range 2–35%);
+//! * PACMAN's *throughput* is usually higher — it simply pushes more
+//!   spikes through the interconnect;
+//! * §V-B: for the temporally coded HE app, lower ISI distortion means
+//!   higher estimation accuracy (paper: 20% distortion ↓ ⇒ >5% accuracy ↑).
+//!
+//! Run: `cargo run --release -p neuromap-bench --bin repro_table2 [--paper]`
+
+use neuromap_apps::heartbeat::HeartbeatEstimation;
+use neuromap_bench::{config_for, print_table, realistic_graphs, Scale, SEED};
+use neuromap_core::baselines::PacmanPartitioner;
+use neuromap_core::partition::{Partitioner, PartitionProblem};
+use neuromap_core::pipeline::{evaluate_mapping_detailed, PipelineConfig, Report};
+use neuromap_core::pso::PsoPartitioner;
+use neuromap_core::SpikeGraph;
+use neuromap_noc::stats::Delivery;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_args();
+    println!("# Table II — SNN metric evaluation on the global synapse interconnect ({scale:?} scale)\n");
+
+    let graphs = realistic_graphs(scale)?;
+    let mut rows = Vec::new();
+    let mut isi_gains = Vec::new();
+    let mut disorder_gains = Vec::new();
+    let mut latency_gains = Vec::new();
+    let mut he_data: Option<[(Report, Vec<Delivery>); 2]> = None;
+
+    for (name, graph) in &graphs {
+        let cfg = config_for(graph.num_neurons());
+        let (pacman, pacman_log) = run(graph, &PacmanPartitioner::new(), &cfg)?;
+        let pso_part = PsoPartitioner::new(scale.pso(0xF165));
+        let (pso, pso_log) = run(graph, &pso_part, &cfg)?;
+
+        let gain = |a: f64, b: f64| if a > 0.0 { (1.0 - b / a) * 100.0 } else { 0.0 };
+        isi_gains.push(gain(
+            pacman.noc.avg_isi_distortion_cycles,
+            pso.noc.avg_isi_distortion_cycles,
+        ));
+        disorder_gains.push(gain(pacman.noc.disorder_fraction, pso.noc.disorder_fraction));
+        latency_gains.push(gain(
+            pacman.noc.max_latency_cycles as f64,
+            pso.noc.max_latency_cycles as f64,
+        ));
+
+        for (label, r) in [("PACMAN", &pacman), ("Proposed", &pso)] {
+            rows.push(vec![
+                name.clone(),
+                label.to_owned(),
+                format!("{:.1}", r.noc.avg_isi_distortion_cycles),
+                format!("{:.3}%", r.noc.disorder_fraction * 100.0),
+                format!("{:.2}", r.noc.throughput_aer_per_ms),
+                format!("{}", r.noc.max_latency_cycles),
+            ]);
+        }
+        if name == "HE" {
+            he_data = Some([(pacman, pacman_log), (pso, pso_log)]);
+        }
+    }
+
+    print_table(
+        &["app", "mapping", "ISI dist (cyc)", "disorder", "thrpt (AER/ms)", "max latency (cyc)"],
+        &rows,
+    );
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!("avg ISI-distortion reduction: {:.1}% | paper: 37%", avg(&isi_gains));
+    println!("avg disorder reduction:       {:.1}% | paper: 63%", avg(&disorder_gains));
+    println!("avg max-latency reduction:    {:.1}% | paper: 22% (2%..35%)", avg(&latency_gains));
+
+    // §V-B: temporal-coding sensitivity. CxQuad-class chips are always-on,
+    // ultra-low-power parts whose interconnect runs barely faster than the
+    // neural dynamics; sweep the interconnect clock down into that regime
+    // and decode the R-R interval from the spike streams *as they arrive*.
+    // Congestion jitter (which the PSO mapping reduces) then costs real
+    // estimation accuracy.
+    if let Some([(pacman, _), (pso, _)]) = he_data {
+        println!("\n## §V-B — heartbeat-estimation accuracy under ISI distortion\n");
+        let app = HeartbeatEstimation {
+            duration_ms: scale.sim_ms().max(3000),
+            ..HeartbeatEstimation::default()
+        };
+        let (ecg, _) = app.encoded_input(SEED);
+        let truth = ecg.mean_rr();
+        let graph = graphs
+            .iter()
+            .find(|(n, _)| n == "HE")
+            .map(|(_, g)| g)
+            .expect("HE graph present");
+
+        let mut vb_rows = Vec::new();
+        for cycles_per_step in [64u64, 128, 256, 1024] {
+            let mut cfg = config_for(graph.num_neurons());
+            cfg.noc.cycles_per_step = cycles_per_step;
+            let mut line = vec![format!("{cycles_per_step}")];
+            for (label, mapping) in [("PACMAN", &pacman.mapping), ("PSO", &pso.mapping)] {
+                let (r, log) = evaluate_mapping_detailed(graph, mapping.clone(), label, &cfg)?;
+                let acc = temporal_fidelity(&log, cycles_per_step);
+                line.push(format!("{:.1}", r.noc.avg_isi_distortion_cycles));
+                line.push(format!("{:.1}%", acc * 100.0));
+            }
+            vb_rows.push(line);
+        }
+        print_table(
+            &[
+                "cycles/ms",
+                "PACMAN ISI (cyc)",
+                "PACMAN fidelity",
+                "PSO ISI (cyc)",
+                "PSO fidelity",
+            ],
+            &vb_rows,
+        );
+        println!(
+            "\nfidelity = fraction of beat-scale (300–2000 ms) intervals delivered within ±3% of the sent interval"
+        );
+        println!("truth RR {truth:.0} ms | paper: 20% ISI-distortion reduction improves estimation accuracy by >5%");
+    }
+    Ok(())
+}
+
+fn run(
+    graph: &SpikeGraph,
+    part: &dyn Partitioner,
+    cfg: &PipelineConfig,
+) -> Result<(Report, Vec<Delivery>), Box<dyn std::error::Error>> {
+    let problem = PartitionProblem::new(
+        graph,
+        cfg.arch.num_crossbars(),
+        cfg.arch.neurons_per_crossbar(),
+    )?;
+    let mapping = part.partition(&problem)?;
+    Ok(evaluate_mapping_detailed(graph, mapping, part.name(), cfg)?)
+}
+
+/// Temporal-code fidelity of the interconnect: per (source neuron,
+/// destination crossbar) stream, every **sent** inter-spike interval at
+/// beat scale (300–2000 ms) is checked against the corresponding
+/// **arrival** interval; a hit means the delivered interval is within ±3%
+/// of the sent one. This isolates exactly the information channel the HE
+/// application decodes (the R-R interval rides on inter-spike timing), so
+/// fidelity loss lower-bounds the application's accuracy loss — the §V-B
+/// mechanism.
+fn temporal_fidelity(log: &[Delivery], cycles_per_ms: u64) -> f64 {
+    use std::collections::HashMap;
+    let mut streams: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+    for d in log {
+        streams
+            .entry((d.source_neuron, d.dst_crossbar))
+            .or_default()
+            .push((d.inject_cycle, d.deliver_cycle));
+    }
+    let mut total = 0u64;
+    let mut hits = 0u64;
+    for times in streams.values_mut() {
+        times.sort_unstable();
+        for w in times.windows(2) {
+            let sent = (w[1].0 - w[0].0) as f64 / cycles_per_ms as f64;
+            if !(300.0..=2000.0).contains(&sent) {
+                continue;
+            }
+            let recv = w[1].1.abs_diff(w[0].1) as f64 / cycles_per_ms as f64;
+            total += 1;
+            if (recv - sent).abs() / sent <= 0.03 {
+                hits += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
+}

@@ -1,0 +1,232 @@
+//! Genetic algorithm over the cut-spike cost.
+
+use crate::error::CoreError;
+use crate::partition::{Partitioner, PartitionProblem};
+use neuromap_hw::mapping::Mapping;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Genetic-algorithm hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: u32,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Individuals copied unchanged into the next generation.
+    pub elites: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population: 40,
+            generations: 60,
+            mutation_rate: 0.02,
+            tournament: 3,
+            elites: 2,
+            seed: 0x6A,
+        }
+    }
+}
+
+/// A genetic algorithm on neuron→crossbar chromosomes: tournament
+/// selection, uniform crossover, random-reassignment mutation, and a
+/// capacity **repair** pass that relocates neurons from over-full crossbars
+/// to the emptiest ones.
+///
+/// Implemented as the counterpart the paper compares PSO against
+/// ("computationally less expensive with faster convergence compared to …
+/// genetic algorithm (GA)"); the `baselines` bench measures both sides.
+#[derive(Debug, Clone, Copy)]
+pub struct GaPartitioner {
+    config: GaConfig,
+}
+
+impl GaPartitioner {
+    /// Creates the partitioner.
+    pub fn new(config: GaConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+}
+
+impl Partitioner for GaPartitioner {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        let cfg = &self.config;
+        if cfg.population < 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "population",
+                value: cfg.population.to_string(),
+            });
+        }
+        if cfg.tournament == 0 {
+            return Err(CoreError::InvalidParameter { name: "tournament", value: "0".into() });
+        }
+        if !(0.0..=1.0).contains(&cfg.mutation_rate) {
+            return Err(CoreError::InvalidParameter {
+                name: "mutation_rate",
+                value: cfg.mutation_rate.to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = problem.graph().num_neurons() as usize;
+        let c = problem.num_crossbars();
+        let cap = problem.capacity();
+
+        // seed population: sequential packing + random shuffles
+        let mut pop: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
+        pop.push((0..n as u32).map(|i| i / cap).collect());
+        while pop.len() < cfg.population {
+            let mut chrom: Vec<u32> = (0..n).map(|_| rng.gen_range(0..c) as u32).collect();
+            repair(&mut chrom, c, cap, &mut rng);
+            pop.push(chrom);
+        }
+
+        let mut fitness: Vec<u64> = pop.iter().map(|x| problem.cut_spikes(x)).collect();
+
+        for _ in 0..cfg.generations {
+            let mut next: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
+            // elitism
+            let mut order: Vec<usize> = (0..pop.len()).collect();
+            order.sort_by_key(|&i| fitness[i]);
+            for &i in order.iter().take(cfg.elites.min(pop.len())) {
+                next.push(pop[i].clone());
+            }
+            while next.len() < cfg.population {
+                let a = tournament(&fitness, cfg.tournament, &mut rng);
+                let b = tournament(&fitness, cfg.tournament, &mut rng);
+                let mut child: Vec<u32> = (0..n)
+                    .map(|i| if rng.gen_bool(0.5) { pop[a][i] } else { pop[b][i] })
+                    .collect();
+                for gene in child.iter_mut() {
+                    if rng.gen_bool(cfg.mutation_rate) {
+                        *gene = rng.gen_range(0..c) as u32;
+                    }
+                }
+                repair(&mut child, c, cap, &mut rng);
+                next.push(child);
+            }
+            pop = next;
+            fitness = pop.iter().map(|x| problem.cut_spikes(x)).collect();
+        }
+
+        let best = (0..pop.len())
+            .min_by_key(|&i| fitness[i])
+            .expect("population is non-empty");
+        problem.into_mapping(pop.swap_remove(best))
+    }
+}
+
+/// Tournament selection: the fittest of `k` uniformly drawn individuals.
+fn tournament(fitness: &[u64], k: usize, rng: &mut StdRng) -> usize {
+    (0..k.max(1))
+        .map(|_| rng.gen_range(0..fitness.len()))
+        .min_by_key(|&i| fitness[i])
+        .expect("k >= 1")
+}
+
+/// Moves neurons out of over-capacity crossbars into the least-loaded ones.
+fn repair(chrom: &mut [u32], c: usize, cap: u32, rng: &mut StdRng) {
+    let mut occ = vec![0u32; c];
+    for &k in chrom.iter() {
+        occ[k as usize] += 1;
+    }
+    for gene in chrom.iter_mut() {
+        let k = *gene as usize;
+        if occ[k] > cap {
+            // candidate targets with space, pick the emptiest (ties random)
+            let min = occ
+                .iter()
+                .enumerate()
+                .filter(|(kk, &o)| *kk != k && o < cap)
+                .map(|(_, &o)| o)
+                .min();
+            if let Some(min) = min {
+                let options: Vec<usize> = occ
+                    .iter()
+                    .enumerate()
+                    .filter(|(kk, &o)| *kk != k && o == min)
+                    .map(|(kk, _)| kk)
+                    .collect();
+                let to = options[rng.gen_range(0..options.len())];
+                occ[k] -= 1;
+                occ[to] += 1;
+                *gene = to as u32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    fn clusters() -> SpikeGraph {
+        let mut synapses = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    synapses.push((a, b));
+                    synapses.push((a + 3, b + 3));
+                }
+            }
+        }
+        synapses.push((1, 4));
+        SpikeGraph::from_parts(6, synapses, vec![10; 6]).unwrap()
+    }
+
+    #[test]
+    fn converges_to_natural_cut() {
+        let g = clusters();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let m = GaPartitioner::new(GaConfig::default()).partition(&p).unwrap();
+        assert_eq!(p.cut_spikes(m.assignment()), 10);
+    }
+
+    #[test]
+    fn repair_enforces_capacity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut chrom = vec![0u32; 10]; // everything on crossbar 0
+        repair(&mut chrom, 3, 4, &mut rng);
+        let mut occ = vec![0u32; 3];
+        for &k in &chrom {
+            occ[k as usize] += 1;
+        }
+        assert!(occ.iter().all(|&o| o <= 4), "{occ:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = clusters();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let cfg = GaConfig { generations: 10, ..GaConfig::default() };
+        let a = GaPartitioner::new(cfg).partition(&p).unwrap();
+        let b = GaPartitioner::new(cfg).partition(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_population_rejected() {
+        let g = clusters();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let cfg = GaConfig { population: 1, ..GaConfig::default() };
+        assert!(GaPartitioner::new(cfg).partition(&p).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! NEUTRAMS-style partition-oblivious mapping.
+
+use crate::error::CoreError;
+use crate::partition::{Partitioner, PartitionProblem};
+use neuromap_hw::mapping::Mapping;
+
+/// NEUTRAMS-style ad-hoc mapping: neurons are interleaved round-robin over
+/// the crossbars (`neuron i → crossbar i mod C`).
+///
+/// The paper uses NEUTRAMS as the technique that "uses a Network-on-Chip
+/// simulator to determine energy consumption … *without solving the local
+/// and global synapse partitioning problem*" and normalizes Fig. 5 to its
+/// energy. Round-robin interleaving is the canonical such mapping: it
+/// balances load perfectly but scatters every layer across all crossbars,
+/// making almost every synapse global — the upper anchor of the energy
+/// comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeutramsPartitioner {
+    _private: (),
+}
+
+impl NeutramsPartitioner {
+    /// Creates the partitioner.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Partitioner for NeutramsPartitioner {
+    fn name(&self) -> &'static str {
+        "neutrams"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        let c = problem.num_crossbars() as u32;
+        let assignment: Vec<u32> = (0..problem.graph().num_neurons())
+            .map(|i| i % c)
+            .collect();
+        problem.into_mapping(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    #[test]
+    fn interleaves_round_robin() {
+        let g = SpikeGraph::from_parts(7, vec![], vec![0; 7]).unwrap();
+        let p = PartitionProblem::new(&g, 3, 3).unwrap();
+        let m = NeutramsPartitioner::new().partition(&p).unwrap();
+        assert_eq!(m.assignment(), &[0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn load_is_balanced() {
+        let g = SpikeGraph::from_parts(12, vec![], vec![0; 12]).unwrap();
+        let p = PartitionProblem::new(&g, 4, 3).unwrap();
+        let m = NeutramsPartitioner::new().partition(&p).unwrap();
+        assert_eq!(m.occupancy(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn scatters_layers_maximally() {
+        // a fully connected 4→4 bilayer: under round-robin over 2 crossbars
+        // exactly half the synapses are cut; under sequential packing zero
+        // would be (both layers fit one crossbar each — but that's PACMAN)
+        let mut synapses = Vec::new();
+        for a in 0..4u32 {
+            for b in 4..8u32 {
+                synapses.push((a, b));
+            }
+        }
+        let g = SpikeGraph::from_parts(8, synapses, vec![1; 8]).unwrap();
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let m = NeutramsPartitioner::new().partition(&p).unwrap();
+        assert_eq!(p.cut_spikes(m.assignment()), 8); // 16 synapses, half cut
+    }
+}

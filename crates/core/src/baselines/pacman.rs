@@ -1,0 +1,152 @@
+//! PACMAN-style hierarchical population packing.
+
+use crate::error::CoreError;
+use crate::partition::{Partitioner, PartitionProblem};
+use neuromap_hw::mapping::Mapping;
+
+/// PACMAN (Galluppi et al. 2012), adapted to crossbars the way the paper
+/// adapts it to CxQuad.
+///
+/// SpiNNaker's configuration system performs *hierarchical model
+/// splitting*: each population is divided independently into core-sized
+/// chunks, and a core only ever hosts neurons of a single population (a
+/// SpiNNaker core runs one neuron-model kernel). We reproduce exactly
+/// that: populations are packed in declaration order, each population
+/// starting on a fresh crossbar, split into capacity-sized chunks in
+/// neuron-id order. There is no spike-traffic objective — which is the
+/// limitation the paper's PSO addresses.
+///
+/// When the chip has fewer crossbars than the population-aligned layout
+/// needs (possible because per-population rounding wastes slack), the
+/// remainder spills over into the crossbars with free capacity, preserving
+/// feasibility.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PacmanPartitioner {
+    _private: (),
+}
+
+impl PacmanPartitioner {
+    /// Creates the partitioner.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Partitioner for PacmanPartitioner {
+    fn name(&self) -> &'static str {
+        "pacman"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        let cap = problem.capacity();
+        let c = problem.num_crossbars();
+        let n = problem.graph().num_neurons() as usize;
+        let mut assignment = vec![u32::MAX; n];
+        let mut occ = vec![0u32; c];
+        let mut next_fresh = 0usize;
+        let mut spill: Vec<u32> = Vec::new();
+
+        for pop in problem.graph().populations() {
+            for (idx, neuron) in pop.enumerate() {
+                // a new chunk (population start or capacity boundary)
+                // claims a fresh crossbar
+                if (idx as u32).is_multiple_of(cap) && next_fresh < c {
+                    // advance to the next completely empty crossbar
+                    while next_fresh < c && occ[next_fresh] > 0 {
+                        next_fresh += 1;
+                    }
+                }
+                let target = if next_fresh < c && occ[next_fresh] < cap {
+                    next_fresh as u32
+                } else {
+                    u32::MAX // defer to spill pass
+                };
+                if target == u32::MAX {
+                    spill.push(neuron);
+                } else {
+                    assignment[neuron as usize] = target;
+                    occ[target as usize] += 1;
+                }
+            }
+            // the next population must not share this crossbar
+            if next_fresh < c && occ[next_fresh] > 0 {
+                next_fresh += 1;
+            }
+        }
+
+        // spill-over: fill crossbars with remaining capacity, in order
+        let mut k = 0usize;
+        for neuron in spill {
+            while k < c && occ[k] >= cap {
+                k += 1;
+            }
+            if k >= c {
+                return Err(CoreError::Infeasible {
+                    neurons: n as u32,
+                    crossbars: c,
+                    capacity: cap,
+                });
+            }
+            assignment[neuron as usize] = k as u32;
+            occ[k] += 1;
+        }
+
+        problem.into_mapping(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    fn graph_with_pops(n: u32, pops: Vec<u32>) -> SpikeGraph {
+        SpikeGraph::from_parts(n, vec![], vec![0; n as usize])
+            .unwrap()
+            .with_populations(pops)
+            .unwrap()
+    }
+
+    #[test]
+    fn packs_in_index_order_single_population() {
+        let g = graph_with_pops(7, vec![0, 7]);
+        let p = PartitionProblem::new(&g, 3, 3).unwrap();
+        let m = PacmanPartitioner::new().partition(&p).unwrap();
+        assert_eq!(m.assignment(), &[0, 0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn populations_never_share_crossbars() {
+        // two populations of 3 on crossbars of 4: each gets its own
+        let g = graph_with_pops(6, vec![0, 3, 6]);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let m = PacmanPartitioner::new().partition(&p).unwrap();
+        assert_eq!(m.assignment(), &[0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn large_population_splits_into_chunks() {
+        let g = graph_with_pops(10, vec![0, 8, 10]);
+        let p = PartitionProblem::new(&g, 3, 4).unwrap();
+        let m = PacmanPartitioner::new().partition(&p).unwrap();
+        // pop 0 (8 neurons) → crossbars 0, 1; pop 1 (2 neurons) → crossbar 2
+        assert_eq!(m.assignment(), &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn spill_over_when_crossbars_run_out() {
+        // three pops of 3 but only 2 crossbars of 5: the third pop spills
+        let g = graph_with_pops(9, vec![0, 3, 6, 9]);
+        let p = PartitionProblem::new(&g, 2, 5).unwrap();
+        let m = PacmanPartitioner::new().partition(&p).unwrap();
+        assert!(p.is_feasible(m.assignment()));
+        // first two pops own the two crossbars
+        assert_eq!(&m.assignment()[0..3], &[0, 0, 0]);
+        assert_eq!(&m.assignment()[3..6], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(PacmanPartitioner::new().name(), "pacman");
+    }
+}

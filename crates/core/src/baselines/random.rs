@@ -1,0 +1,84 @@
+//! Capacity-respecting uniform random placement.
+
+use crate::error::CoreError;
+use crate::partition::{Partitioner, PartitionProblem};
+use neuromap_hw::mapping::Mapping;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniform random placement that respects capacity: a bag with `capacity`
+/// copies of each crossbar id is shuffled and dealt to the neurons.
+///
+/// Not a paper baseline per se, but the natural null model — any
+/// partitioner worth running must beat it.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartitioner {
+    seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Creates the partitioner with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for RandomPartitioner {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = problem.graph().num_neurons() as usize;
+        let mut bag: Vec<u32> = (0..problem.num_crossbars() as u32)
+            .flat_map(|k| std::iter::repeat_n(k, problem.capacity() as usize))
+            .collect();
+        bag.shuffle(&mut rng);
+        bag.truncate(n.max(1));
+        // `bag` has C·cap ≥ n slots; deal the first n
+        let assignment: Vec<u32> = bag.into_iter().take(n).collect();
+        problem.into_mapping(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    #[test]
+    fn always_feasible() {
+        let g = SpikeGraph::from_parts(10, vec![], vec![0; 10]).unwrap();
+        let p = PartitionProblem::new(&g, 3, 4).unwrap();
+        for seed in 0..20 {
+            let m = RandomPartitioner::new(seed).partition(&p).unwrap();
+            assert!(p.is_feasible(m.assignment()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = SpikeGraph::from_parts(6, vec![], vec![0; 6]).unwrap();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let a = RandomPartitioner::new(9).partition(&p).unwrap();
+        let b = RandomPartitioner::new(9).partition(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = SpikeGraph::from_parts(20, vec![], vec![0; 20]).unwrap();
+        let p = PartitionProblem::new(&g, 4, 5).unwrap();
+        let a = RandomPartitioner::new(1).partition(&p).unwrap();
+        let b = RandomPartitioner::new(2).partition(&p).unwrap();
+        assert_ne!(a, b);
+    }
+}

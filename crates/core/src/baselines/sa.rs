@@ -1,0 +1,238 @@
+//! Simulated annealing over the cut-spike cost.
+
+use crate::error::CoreError;
+use crate::partition::{Partitioner, PartitionProblem};
+use neuromap_hw::mapping::Mapping;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Simulated-annealing hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Number of proposed moves.
+    pub moves: u32,
+    /// Initial temperature (in units of cut spikes).
+    pub t0: f64,
+    /// Geometric cooling factor per move.
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self { moves: 20_000, t0: 100.0, alpha: 0.9995, seed: 0x5A }
+    }
+}
+
+/// Simulated annealing: starts from PACMAN's sequential packing and
+/// proposes single-neuron migrations and pair swaps, accepted by the
+/// Metropolis criterion under geometric cooling.
+///
+/// The paper argues PSO converges faster than SA at comparable quality
+/// (§III); the `baselines` criterion bench quantifies that claim on this
+/// implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct SaPartitioner {
+    config: SaConfig,
+}
+
+impl SaPartitioner {
+    /// Creates the partitioner.
+    pub fn new(config: SaConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SaConfig {
+        &self.config
+    }
+}
+
+impl Partitioner for SaPartitioner {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        let cfg = &self.config;
+        if cfg.moves == 0 {
+            return Err(CoreError::InvalidParameter { name: "moves", value: "0".into() });
+        }
+        if !(0.0..1.0).contains(&cfg.alpha) && cfg.alpha != 1.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "alpha",
+                value: cfg.alpha.to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = problem.graph().num_neurons() as usize;
+        let c = problem.num_crossbars();
+        let cap = problem.capacity();
+
+        // start from sequential packing
+        let mut current: Vec<u32> = (0..n as u32).map(|i| i / cap).collect();
+        let mut occ = vec![0u32; c];
+        for &k in &current {
+            occ[k as usize] += 1;
+        }
+        let mut cur_cost = problem.cut_spikes(&current) as i64;
+        let mut best = current.clone();
+        let mut best_cost = cur_cost;
+        let mut temp = cfg.t0;
+
+        for _ in 0..cfg.moves {
+            // propose: 50% migrate one neuron, 50% swap two neurons
+            if rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..n);
+                let to = rng.gen_range(0..c) as u32;
+                let from = current[i];
+                if to == from || occ[to as usize] >= cap {
+                    temp *= cfg.alpha;
+                    continue;
+                }
+                let delta = move_delta(problem, &current, i, to);
+                if accept(delta, temp, &mut rng) {
+                    occ[from as usize] -= 1;
+                    occ[to as usize] += 1;
+                    current[i] = to;
+                    cur_cost += delta;
+                    if cur_cost < best_cost {
+                        best_cost = cur_cost;
+                        best.copy_from_slice(&current);
+                    }
+                }
+            } else {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if current[i] == current[j] {
+                    temp *= cfg.alpha;
+                    continue;
+                }
+                let (ci, cj) = (current[i], current[j]);
+                let delta = move_delta(problem, &current, i, cj) + {
+                    // evaluate j's move with i already moved
+                    let mut tmp = current.clone();
+                    tmp[i] = cj;
+                    move_delta(problem, &tmp, j, ci)
+                };
+                if accept(delta, temp, &mut rng) {
+                    current[i] = cj;
+                    current[j] = ci;
+                    cur_cost += delta;
+                    if cur_cost < best_cost {
+                        best_cost = cur_cost;
+                        best.copy_from_slice(&current);
+                    }
+                }
+            }
+            temp *= cfg.alpha;
+        }
+
+        problem.into_mapping(best)
+    }
+}
+
+/// Cost change of migrating neuron `i` to crossbar `to` — evaluated
+/// incrementally over `i`'s in/out edges instead of re-running Eq. 8.
+fn move_delta(problem: &PartitionProblem<'_>, assignment: &[u32], i: usize, to: u32) -> i64 {
+    let g = problem.graph();
+    let from = assignment[i];
+    let mut delta = 0i64;
+    // out-edges of i: cut state flips where the target's crossbar matches
+    let ci = g.count(i as u32) as i64;
+    for &j in g.targets(i as u32) {
+        let cj = assignment[j as usize];
+        let was_cut = cj != from;
+        let is_cut = cj != to;
+        delta += ci * (is_cut as i64 - was_cut as i64);
+    }
+    // in-edges via the reverse CSR
+    for &pre in g.sources(i as u32) {
+        if pre as usize == i {
+            continue; // self-loops never change cut state
+        }
+        let cp = assignment[pre as usize];
+        let was_cut = cp != from;
+        let is_cut = cp != to;
+        delta += g.count(pre) as i64 * (is_cut as i64 - was_cut as i64);
+    }
+    delta
+}
+
+fn accept(delta: i64, temp: f64, rng: &mut StdRng) -> bool {
+    delta <= 0 || (temp > 0.0 && rng.gen::<f64>() < (-(delta as f64) / temp).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    fn bipartite() -> SpikeGraph {
+        let mut synapses = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    synapses.push((a, b));
+                    synapses.push((a + 3, b + 3));
+                }
+            }
+        }
+        synapses.push((0, 3));
+        SpikeGraph::from_parts(6, synapses, vec![10; 6]).unwrap()
+    }
+
+    #[test]
+    fn finds_good_cuts() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let m = SaPartitioner::new(SaConfig::default()).partition(&p).unwrap();
+        // optimum is 10 (only the bridge)
+        assert_eq!(p.cut_spikes(m.assignment()), 10);
+    }
+
+    #[test]
+    fn move_delta_matches_full_recompute() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let a = vec![0, 0, 1, 1, 0, 1];
+        let full_before = p.cut_spikes(&a) as i64;
+        for i in 0..6usize {
+            for to in 0..2u32 {
+                let mut b = a.clone();
+                b[i] = to;
+                let full_after = p.cut_spikes(&b) as i64;
+                let delta = move_delta(&p, &a, i, to);
+                assert_eq!(delta, full_after - full_before, "i={i} to={to}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let cfg = SaConfig { moves: 2000, ..SaConfig::default() };
+        let a = SaPartitioner::new(cfg).partition(&p).unwrap();
+        let b = SaPartitioner::new(cfg).partition(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_moves_rejected() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let cfg = SaConfig { moves: 0, ..SaConfig::default() };
+        assert!(SaPartitioner::new(cfg).partition(&p).is_err());
+    }
+
+    #[test]
+    fn respects_capacity_throughout() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 3, 2).unwrap();
+        let m = SaPartitioner::new(SaConfig::default()).partition(&p).unwrap();
+        assert!(m.occupancy().iter().all(|&o| o <= 2));
+    }
+}

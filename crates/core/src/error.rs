@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for partitioning and pipeline execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The SNN does not fit: `neurons > num_crossbars × capacity`.
+    Infeasible {
+        /// Neurons to place.
+        neurons: u32,
+        /// Crossbars available.
+        crossbars: usize,
+        /// Capacity of each.
+        capacity: u32,
+    },
+    /// A graph construction argument was inconsistent.
+    InvalidGraph(String),
+    /// A partitioner configuration parameter is out of domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted.
+        value: String,
+    },
+    /// Error from the hardware model.
+    Hw(neuromap_hw::HwError),
+    /// Error from the interconnect simulator.
+    Noc(neuromap_noc::NocError),
+    /// Error from the SNN simulator.
+    Snn(neuromap_snn::SnnError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible { neurons, crossbars, capacity } => write!(
+                f,
+                "{neurons} neurons cannot fit on {crossbars} crossbars of capacity {capacity}"
+            ),
+            CoreError::InvalidGraph(msg) => write!(f, "invalid spike graph: {msg}"),
+            CoreError::InvalidParameter { name, value } => {
+                write!(f, "invalid value `{value}` for parameter `{name}`")
+            }
+            CoreError::Hw(e) => write!(f, "hardware model: {e}"),
+            CoreError::Noc(e) => write!(f, "interconnect: {e}"),
+            CoreError::Snn(e) => write!(f, "snn simulation: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Hw(e) => Some(e),
+            CoreError::Noc(e) => Some(e),
+            CoreError::Snn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neuromap_hw::HwError> for CoreError {
+    fn from(e: neuromap_hw::HwError) -> Self {
+        CoreError::Hw(e)
+    }
+}
+
+impl From<neuromap_noc::NocError> for CoreError {
+    fn from(e: neuromap_noc::NocError) -> Self {
+        CoreError::Noc(e)
+    }
+}
+
+impl From<neuromap_snn::SnnError> for CoreError {
+    fn from(e: neuromap_snn::SnnError) -> Self {
+        CoreError::Snn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_message_names_numbers() {
+        let e = CoreError::Infeasible { neurons: 100, crossbars: 2, capacity: 10 };
+        let m = e.to_string();
+        assert!(m.contains("100") && m.contains('2') && m.contains("10"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = CoreError::from(neuromap_hw::HwError::Config("x".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Design-space exploration: the architecture sweep of the paper's Fig. 6
+//! and the swarm-size sweep of Fig. 7.
+
+use crate::error::CoreError;
+use crate::graph::SpikeGraph;
+use crate::partition::{Partitioner, PartitionProblem};
+use crate::pipeline::{evaluate_mapping, run_pipeline, PipelineConfig, Report};
+use crate::pso::{PsoConfig, PsoPartitioner};
+use neuromap_hw::energy::pj_to_uj;
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 6 architecture exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchPoint {
+    /// Neurons per crossbar at this point.
+    pub neurons_per_crossbar: u32,
+    /// Crossbars needed for the application at that size.
+    pub num_crossbars: usize,
+    /// Local (in-crossbar) synapse energy, µJ.
+    pub local_energy_uj: f64,
+    /// Global (interconnect) synapse energy, µJ.
+    pub global_energy_uj: f64,
+    /// Total synapse energy, µJ.
+    pub total_energy_uj: f64,
+    /// Worst-case spike latency on the interconnect, cycles.
+    pub worst_latency_cycles: u64,
+}
+
+/// Sweeps the crossbar size for a fixed application (Fig. 6): at each size
+/// the chip is re-derived from `base` (same interconnect kind and energy
+/// model), the SNN is re-partitioned, and local/global energy plus
+/// worst-case latency are measured.
+///
+/// # Errors
+///
+/// Propagates any pipeline error for a sweep point.
+pub fn architecture_sweep(
+    graph: &SpikeGraph,
+    base: &PipelineConfig,
+    sizes: &[u32],
+    partitioner: &dyn Partitioner,
+) -> Result<Vec<ArchPoint>, CoreError> {
+    let mut points = Vec::with_capacity(sizes.len());
+    for &npc in sizes {
+        let arch = base
+            .arch
+            .with_crossbar_size(npc, graph.num_neurons())?;
+        let cfg = PipelineConfig { arch, noc: base.noc, traffic: base.traffic };
+        let report = run_pipeline(graph, partitioner, &cfg)?;
+        points.push(ArchPoint {
+            neurons_per_crossbar: npc,
+            num_crossbars: cfg.arch.num_crossbars(),
+            local_energy_uj: pj_to_uj(report.local_energy_pj),
+            global_energy_uj: pj_to_uj(report.global_energy_pj),
+            total_energy_uj: pj_to_uj(report.total_energy_pj),
+            worst_latency_cycles: report.noc.max_latency_cycles,
+        });
+    }
+    Ok(points)
+}
+
+/// One point of the Fig. 7 swarm-size exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwarmPoint {
+    /// Particles in the swarm.
+    pub swarm_size: usize,
+    /// Best cut-spike fitness found.
+    pub cut_spikes: u64,
+    /// Interconnect energy of the resulting mapping, pJ.
+    pub global_energy_pj: f64,
+    /// Iteration at which the best was first reached.
+    pub converged_at: u32,
+}
+
+/// Sweeps the PSO swarm size for a fixed application and architecture
+/// (Fig. 7): all other PSO parameters come from `base` (the paper fixes
+/// iterations at 100 and uses pure PSO — no warm start, no polish — which
+/// is what makes the swarm-size dependence visible).
+///
+/// # Errors
+///
+/// Propagates PSO and pipeline errors.
+pub fn swarm_sweep(
+    graph: &SpikeGraph,
+    config: &PipelineConfig,
+    swarm_sizes: &[usize],
+    base: PsoConfig,
+) -> Result<Vec<SwarmPoint>, CoreError> {
+    let problem = PartitionProblem::new(
+        graph,
+        config.arch.num_crossbars(),
+        config.arch.neurons_per_crossbar(),
+    )?;
+    let mut points = Vec::with_capacity(swarm_sizes.len());
+    for &n in swarm_sizes {
+        let pso = PsoPartitioner::new(PsoConfig { swarm_size: n, ..base });
+        let (mapping, trace) = pso.partition_traced(&problem)?;
+        let cut = problem.cut_spikes(mapping.assignment());
+        let report: Report = evaluate_mapping(graph, mapping, "pso", config)?;
+        points.push(SwarmPoint {
+            swarm_size: n,
+            cut_spikes: cut,
+            global_energy_pj: report.global_energy_pj,
+            converged_at: trace.converged_at,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::PacmanPartitioner;
+    use neuromap_hw::arch::{Architecture, InterconnectKind};
+    use neuromap_snn::spikes::SpikeTrain;
+
+    fn graph() -> SpikeGraph {
+        // 3 layers × 6 neurons, dense feedforward
+        let mut synapses = Vec::new();
+        for l in 0..2u32 {
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    synapses.push((l * 6 + a, (l + 1) * 6 + b));
+                }
+            }
+        }
+        let trains: Vec<SpikeTrain> = (0..18)
+            .map(|i| SpikeTrain::from_times((0..8).map(|k| k * 40 + (i % 5)).collect()))
+            .collect();
+        SpikeGraph::from_trains(18, synapses, trains).unwrap()
+    }
+
+    #[test]
+    fn sweep_shapes_match_figure6() {
+        let g = graph();
+        let base = PipelineConfig::for_arch(
+            Architecture::custom(4, 6, InterconnectKind::Mesh).unwrap(),
+        );
+        let sizes = [3u32, 6, 9, 18];
+        let pts =
+            architecture_sweep(&g, &base, &sizes, &PacmanPartitioner::new()).unwrap();
+        assert_eq!(pts.len(), 4);
+        // crossbar count shrinks as size grows
+        assert!(pts.windows(2).all(|w| w[1].num_crossbars <= w[0].num_crossbars));
+        // at the largest size everything is local
+        let last = pts.last().unwrap();
+        assert_eq!(last.global_energy_uj, 0.0);
+        assert!(last.local_energy_uj > 0.0);
+        // global energy decreases along the sweep
+        assert!(pts.windows(2).all(|w| w[1].global_energy_uj <= w[0].global_energy_uj));
+    }
+
+    #[test]
+    fn swarm_sweep_improves_with_size() {
+        let g = graph();
+        let cfg = PipelineConfig::for_arch(
+            Architecture::custom(3, 6, InterconnectKind::Star).unwrap(),
+        );
+        let base = PsoConfig {
+            iterations: 20,
+            seed: 9,
+            seed_baselines: false,
+            polish_passes: 0,
+            ..PsoConfig::default()
+        };
+        let pts = swarm_sweep(&g, &cfg, &[2, 32], base).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].cut_spikes <= pts[0].cut_spikes,
+            "32 particles must not lose to 2"
+        );
+    }
+}

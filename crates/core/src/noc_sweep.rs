@@ -1,0 +1,209 @@
+//! Interconnect-parameter exploration: the Noxim configurables the paper
+//! quotes — buffer size, packet size (flits), arbitration ("selection
+//! strategy") and clock ratio — swept for a fixed application and mapping.
+//!
+//! Complements [`crate::explore`] (which sweeps the *architecture*): here
+//! the mapping stays fixed and the interconnect's micro-parameters move,
+//! answering the designer's second-order questions (how deep do the router
+//! FIFOs need to be? does the arbitration policy matter for this traffic?).
+
+use crate::error::CoreError;
+use crate::graph::SpikeGraph;
+use crate::pipeline::{evaluate_mapping, PipelineConfig};
+use neuromap_hw::mapping::Mapping;
+use neuromap_noc::router::Arbitration;
+use neuromap_noc::stats::NocStats;
+use serde::{Deserialize, Serialize};
+
+/// One point of an interconnect-parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocSweepPoint {
+    /// Human-readable parameter setting ("buffer_depth=2", ...).
+    pub setting: String,
+    /// Full interconnect statistics at this setting.
+    pub stats: NocStats,
+}
+
+/// Sweeps the router input-buffer depth.
+///
+/// # Errors
+///
+/// Propagates pipeline errors for any point.
+pub fn buffer_depth_sweep(
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    base: &PipelineConfig,
+    depths: &[usize],
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let mut cfg = base.clone();
+            cfg.noc.buffer_depth = depth;
+            let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
+            Ok(NocSweepPoint {
+                setting: format!("buffer_depth={depth}"),
+                stats: report.noc,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the packet size in flits (AER payload over link width).
+///
+/// # Errors
+///
+/// Propagates pipeline errors for any point.
+pub fn packet_size_sweep(
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    base: &PipelineConfig,
+    flit_counts: &[u32],
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    flit_counts
+        .iter()
+        .map(|&flits| {
+            let mut cfg = base.clone();
+            cfg.noc.flits_per_packet = flits;
+            let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
+            Ok(NocSweepPoint {
+                setting: format!("flits_per_packet={flits}"),
+                stats: report.noc,
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the arbitration ("selection") policy.
+///
+/// # Errors
+///
+/// Propagates pipeline errors for any point.
+pub fn arbitration_sweep(
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    base: &PipelineConfig,
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    [
+        Arbitration::RoundRobin,
+        Arbitration::OldestFirst,
+        Arbitration::FixedPriority,
+    ]
+    .iter()
+    .map(|&arb| {
+        let mut cfg = base.clone();
+        cfg.noc.arbitration = arb;
+        let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
+        Ok(NocSweepPoint {
+            setting: format!("arbitration={arb:?}"),
+            stats: report.noc,
+        })
+    })
+    .collect()
+}
+
+/// Sweeps the interconnect clock ratio (cycles per SNN timestep) — the
+/// power/performance axis the §V-B analysis walks.
+///
+/// # Errors
+///
+/// Propagates pipeline errors for any point.
+pub fn clock_sweep(
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    base: &PipelineConfig,
+    cycles_per_step: &[u64],
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    cycles_per_step
+        .iter()
+        .map(|&cps| {
+            let mut cfg = base.clone();
+            cfg.noc.cycles_per_step = cps;
+            let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
+            Ok(NocSweepPoint {
+                setting: format!("cycles_per_step={cps}"),
+                stats: report.noc,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::PacmanPartitioner;
+    use crate::partition::{Partitioner, PartitionProblem};
+    use neuromap_hw::arch::{Architecture, InterconnectKind};
+    use neuromap_snn::spikes::SpikeTrain;
+
+    fn setup() -> (SpikeGraph, Mapping, PipelineConfig) {
+        // a bursty two-layer net
+        let mut synapses = Vec::new();
+        for a in 0..8u32 {
+            for b in 8..16u32 {
+                synapses.push((a, b));
+            }
+        }
+        let trains: Vec<SpikeTrain> = (0..16)
+            .map(|i| {
+                if i < 8 {
+                    SpikeTrain::from_times((0..20).map(|k| k * 10).collect())
+                } else {
+                    SpikeTrain::new()
+                }
+            })
+            .collect();
+        let graph = SpikeGraph::from_trains(16, synapses, trains).unwrap();
+        let arch = Architecture::custom(4, 6, InterconnectKind::Mesh).unwrap();
+        let cfg = PipelineConfig::for_arch(arch);
+        let problem = PartitionProblem::new(&graph, 4, 6).unwrap();
+        let mapping = PacmanPartitioner::new().partition(&problem).unwrap();
+        (graph, mapping, cfg)
+    }
+
+    #[test]
+    fn deeper_buffers_do_not_increase_latency() {
+        let (graph, mapping, cfg) = setup();
+        let pts = buffer_depth_sweep(&graph, &mapping, &cfg, &[1, 4, 16]).unwrap();
+        assert_eq!(pts.len(), 3);
+        // deliveries conserved across the sweep
+        let d0 = pts[0].stats.delivered;
+        assert!(pts.iter().all(|p| p.stats.delivered == d0));
+        // backpressure stalls with depth 1 must not beat depth 16
+        assert!(
+            pts[2].stats.avg_latency_cycles <= pts[0].stats.avg_latency_cycles + 1e-9,
+            "deep buffers should not be slower: {} vs {}",
+            pts[2].stats.avg_latency_cycles,
+            pts[0].stats.avg_latency_cycles
+        );
+    }
+
+    #[test]
+    fn bigger_packets_cost_more_link_energy() {
+        let (graph, mapping, cfg) = setup();
+        let pts = packet_size_sweep(&graph, &mapping, &cfg, &[1, 4]).unwrap();
+        assert!(pts[1].stats.counters.link_flits > pts[0].stats.counters.link_flits);
+        assert!(pts[1].stats.global_energy_pj > pts[0].stats.global_energy_pj);
+    }
+
+    #[test]
+    fn arbitration_conserves_traffic() {
+        let (graph, mapping, cfg) = setup();
+        let pts = arbitration_sweep(&graph, &mapping, &cfg).unwrap();
+        assert_eq!(pts.len(), 3);
+        let d0 = pts[0].stats.delivered;
+        assert!(pts.iter().all(|p| p.stats.delivered == d0));
+    }
+
+    #[test]
+    fn slower_clock_raises_distortion() {
+        let (graph, mapping, cfg) = setup();
+        let pts = clock_sweep(&graph, &mapping, &cfg, &[16, 4096]).unwrap();
+        assert!(
+            pts[0].stats.avg_isi_distortion_cycles >= pts[1].stats.avg_isi_distortion_cycles,
+            "congested clock must distort at least as much: {} vs {}",
+            pts[0].stats.avg_isi_distortion_cycles,
+            pts[1].stats.avg_isi_distortion_cycles
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The end-to-end systematic framework of the paper's Figure 4:
+//!
+//! ```text
+//! application → SNN simulation → spike graph → partitioner → mapping
+//!            → interconnect (Noxim++-class) simulation → report
+//! ```
+//!
+//! [`run_pipeline`] drives a [`Partitioner`] over a [`SpikeGraph`] for a
+//! given [`Architecture`], simulates the resulting global traffic on the
+//! architecture's interconnect, and assembles the [`Report`] with every
+//! metric the paper's evaluation uses.
+
+use crate::error::CoreError;
+use crate::graph::SpikeGraph;
+use crate::partition::{Partitioner, PartitionProblem};
+use neuromap_hw::arch::{Architecture, InterconnectKind};
+use neuromap_hw::mapping::Mapping;
+use neuromap_noc::config::NocConfig;
+use neuromap_noc::sim::NocSim;
+use neuromap_noc::stats::NocStats;
+use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology, Torus};
+use neuromap_noc::traffic::SpikeFlow;
+use serde::{Deserialize, Serialize};
+
+/// How global synaptic events become interconnect packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrafficMode {
+    /// One packet per spike **per cut synapse** — the time-multiplexing
+    /// model of the paper's Eq. 7 ("spikes(k1,k2) = Σ T_{i,j}"): every
+    /// global synapse is an independently multiplexed connection. This is
+    /// the accounting under which the paper's Fig. 5 energies and the PSO
+    /// objective agree.
+    #[default]
+    PerSynapse,
+    /// One AER packet per spike per *distinct* destination crossbar (the
+    /// destination crossbar fans the address out to its local synapses) —
+    /// the hardware-AER extension; combine with [`NocConfig::multicast`]
+    /// for single-packet multicast delivery.
+    PerCrossbar,
+}
+
+/// Pipeline parameters: the target chip and the interconnect configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Target architecture (crossbars + interconnect + energy model).
+    pub arch: Architecture,
+    /// Interconnect simulation parameters.
+    pub noc: NocConfig,
+    /// Packetization model for global synaptic events.
+    pub traffic: TrafficMode,
+}
+
+impl PipelineConfig {
+    /// CxQuad with default NoC parameters.
+    pub fn cxquad() -> Self {
+        Self::for_arch(Architecture::cxquad())
+    }
+
+    /// A custom architecture with default NoC parameters.
+    pub fn for_arch(arch: Architecture) -> Self {
+        Self {
+            arch,
+            noc: NocConfig::default(),
+            traffic: TrafficMode::default(),
+        }
+    }
+
+    /// Selects the packetization model (builder style).
+    pub fn with_traffic(mut self, traffic: TrafficMode) -> Self {
+        self.traffic = traffic;
+        self
+    }
+}
+
+/// Everything the paper measures for one (application, partitioner,
+/// architecture) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Partitioner identifier.
+    pub partitioner: String,
+    /// Neurons in the graph.
+    pub num_neurons: u32,
+    /// Synapses in the graph.
+    pub num_synapses: usize,
+    /// Eq. 8: spikes crossing crossbar boundaries (per cut synapse).
+    pub cut_spikes: u64,
+    /// Synaptic events served inside crossbars (local synapses).
+    pub local_events: u64,
+    /// Crossbar-local energy in pJ (scaled by crossbar dimension).
+    pub local_energy_pj: f64,
+    /// Interconnect energy in pJ (from the NoC simulation).
+    pub global_energy_pj: f64,
+    /// Local + global energy in pJ.
+    pub total_energy_pj: f64,
+    /// Full interconnect statistics (latency, throughput, disorder, ISI).
+    pub noc: NocStats,
+    /// The neuron → crossbar mapping that produced these numbers.
+    pub mapping: Mapping,
+}
+
+/// Builds the concrete router graph for an architecture's interconnect
+/// descriptor.
+pub fn build_topology(arch: &Architecture) -> Box<dyn Topology> {
+    let c = arch.num_crossbars();
+    match arch.interconnect() {
+        InterconnectKind::Mesh => Box::new(Mesh2D::for_crossbars(c)),
+        InterconnectKind::Tree { arity } => Box::new(NocTree::new(c, arity)),
+        InterconnectKind::Torus => Box::new(Torus::for_crossbars(c)),
+        InterconnectKind::Star => Box::new(Star::new(c)),
+        // `InterconnectKind` is non-exhaustive; route future variants to the
+        // most common neuromorphic fabric
+        _ => Box::new(Mesh2D::for_crossbars(c)),
+    }
+}
+
+/// Expands a partitioned spike graph into the interconnect's injection
+/// schedule under the chosen [`TrafficMode`]:
+///
+/// * [`TrafficMode::PerSynapse`] — one unicast flow per spike per cut
+///   synapse (paper Eq. 7);
+/// * [`TrafficMode::PerCrossbar`] — one flow per spike carrying the
+///   deduplicated destination-crossbar set (AER; multicast-capable).
+pub fn build_flows(graph: &SpikeGraph, mapping: &Mapping, mode: TrafficMode) -> Vec<SpikeFlow> {
+    let mut flows = Vec::new();
+    for i in 0..graph.num_neurons() {
+        if graph.count(i) == 0 {
+            continue;
+        }
+        let home = mapping.crossbar_of(i);
+        match mode {
+            TrafficMode::PerSynapse => {
+                let remote: Vec<u32> = graph
+                    .targets(i)
+                    .iter()
+                    .map(|&j| mapping.crossbar_of(j))
+                    .filter(|&c| c != home)
+                    .collect();
+                if remote.is_empty() {
+                    continue;
+                }
+                for &t in graph.train(i).times() {
+                    for &dst in &remote {
+                        flows.push(SpikeFlow::unicast(i, home, dst, t));
+                    }
+                }
+            }
+            TrafficMode::PerCrossbar => {
+                let mut dsts: Vec<u32> = graph
+                    .targets(i)
+                    .iter()
+                    .map(|&j| mapping.crossbar_of(j))
+                    .filter(|&c| c != home)
+                    .collect();
+                dsts.sort_unstable();
+                dsts.dedup();
+                if dsts.is_empty() {
+                    continue;
+                }
+                for &t in graph.train(i).times() {
+                    flows.push(SpikeFlow {
+                        source_neuron: i,
+                        src_crossbar: home,
+                        dst_crossbars: dsts.clone(),
+                        send_step: t,
+                    });
+                }
+            }
+        }
+    }
+    flows
+}
+
+/// Counts the synaptic events served *inside* crossbars under a mapping:
+/// `Σ_{(i,j) ∈ S, cb(i) = cb(j)} |T_i|`.
+pub fn local_events(graph: &SpikeGraph, mapping: &Mapping) -> u64 {
+    let mut total = 0u64;
+    for i in 0..graph.num_neurons() {
+        let c = graph.count(i) as u64;
+        if c == 0 {
+            continue;
+        }
+        let home = mapping.crossbar_of(i);
+        let local = graph
+            .targets(i)
+            .iter()
+            .filter(|&&j| mapping.crossbar_of(j) == home)
+            .count() as u64;
+        total += c * local;
+    }
+    total
+}
+
+/// Runs partitioning + interconnect simulation for one spike graph.
+///
+/// # Errors
+///
+/// Propagates partitioner errors, infeasibility
+/// ([`CoreError::Infeasible`]) and interconnect errors
+/// ([`CoreError::Noc`]).
+pub fn run_pipeline(
+    graph: &SpikeGraph,
+    partitioner: &dyn Partitioner,
+    config: &PipelineConfig,
+) -> Result<Report, CoreError> {
+    let problem = PartitionProblem::new(
+        graph,
+        config.arch.num_crossbars(),
+        config.arch.neurons_per_crossbar(),
+    )?;
+    let mapping = partitioner.partition(&problem)?;
+    evaluate_mapping(graph, mapping, partitioner.name(), config)
+}
+
+/// Evaluates an existing mapping (the measurement half of the pipeline) —
+/// used by the exploration sweeps to avoid re-partitioning.
+///
+/// # Errors
+///
+/// [`CoreError::Hw`] if the mapping is invalid for the architecture;
+/// [`CoreError::Noc`] for interconnect failures.
+pub fn evaluate_mapping(
+    graph: &SpikeGraph,
+    mapping: Mapping,
+    partitioner_name: &str,
+    config: &PipelineConfig,
+) -> Result<Report, CoreError> {
+    evaluate_mapping_detailed(graph, mapping, partitioner_name, config).map(|(r, _)| r)
+}
+
+/// [`evaluate_mapping`], additionally returning the raw interconnect
+/// delivery log (needed for end-to-end application-accuracy studies such
+/// as the paper's §V-B heartbeat analysis).
+///
+/// # Errors
+///
+/// Same as [`evaluate_mapping`].
+pub fn evaluate_mapping_detailed(
+    graph: &SpikeGraph,
+    mapping: Mapping,
+    partitioner_name: &str,
+    config: &PipelineConfig,
+) -> Result<(Report, Vec<neuromap_noc::stats::Delivery>), CoreError> {
+    mapping.validate(&config.arch)?;
+    let problem = PartitionProblem::new(
+        graph,
+        config.arch.num_crossbars(),
+        config.arch.neurons_per_crossbar(),
+    )?;
+    let cut_spikes = problem.cut_spikes(mapping.assignment());
+    let local = local_events(graph, &mapping);
+
+    let flows = build_flows(graph, &mapping, config.traffic);
+    let topo = build_topology(&config.arch);
+    // per-synapse flows are single-destination by construction; disable
+    // multicast handling so packet counts match Eq. 7 exactly
+    let mut noc_cfg = config.noc;
+    if config.traffic == TrafficMode::PerSynapse {
+        noc_cfg.multicast = false;
+    }
+    let mut sim = NocSim::new(topo, noc_cfg, *config.arch.energy());
+    let (noc_stats, deliveries) = sim.run_with_duration(&flows, graph.duration_steps())?;
+
+    let dim = config.arch.neurons_per_crossbar();
+    let local_energy_pj = config.arch.energy().local_pj_scaled(local, dim);
+    let global_energy_pj = noc_stats.global_energy_pj;
+
+    Ok((
+        Report {
+            partitioner: partitioner_name.to_owned(),
+            num_neurons: graph.num_neurons(),
+            num_synapses: graph.num_synapses(),
+            cut_spikes,
+            local_events: local,
+            local_energy_pj,
+            global_energy_pj,
+            total_energy_pj: local_energy_pj + global_energy_pj,
+            noc: noc_stats,
+            mapping,
+        },
+        deliveries,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{NeutramsPartitioner, PacmanPartitioner};
+    use crate::pso::{PsoConfig, PsoPartitioner};
+    use neuromap_snn::spikes::SpikeTrain;
+
+    /// Two fully connected layers of 8, ids in order; spikes every 50 steps.
+    fn layered_graph() -> SpikeGraph {
+        let mut synapses = Vec::new();
+        for a in 0..8u32 {
+            for b in 8..16u32 {
+                synapses.push((a, b));
+            }
+        }
+        let trains: Vec<SpikeTrain> = (0..16)
+            .map(|i| {
+                if i < 8 {
+                    SpikeTrain::from_times((0..10).map(|k| k * 50 + i).collect())
+                } else {
+                    SpikeTrain::from_times(vec![])
+                }
+            })
+            .collect();
+        SpikeGraph::from_trains(16, synapses, trains).unwrap()
+    }
+
+    fn small_arch() -> Architecture {
+        Architecture::custom(4, 8, InterconnectKind::Mesh).unwrap()
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_report() {
+        let g = layered_graph();
+        let cfg = PipelineConfig::for_arch(small_arch());
+        let r = run_pipeline(&g, &PacmanPartitioner::new(), &cfg).unwrap();
+        assert_eq!(r.num_neurons, 16);
+        assert_eq!(r.num_synapses, 64);
+        // every synaptic event is either local or cut
+        assert_eq!(
+            r.local_events + r.cut_spikes,
+            g.total_synaptic_events()
+        );
+        assert!((r.total_energy_pj - r.local_energy_pj - r.global_energy_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pso_energy_not_worse_than_neutrams() {
+        let g = layered_graph();
+        let cfg = PipelineConfig::for_arch(small_arch());
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 30,
+            iterations: 40,
+            ..PsoConfig::default()
+        });
+        let r_pso = run_pipeline(&g, &pso, &cfg).unwrap();
+        let r_rr = run_pipeline(&g, &NeutramsPartitioner::new(), &cfg).unwrap();
+        assert!(
+            r_pso.global_energy_pj <= r_rr.global_energy_pj,
+            "pso {} !<= neutrams {}",
+            r_pso.global_energy_pj,
+            r_rr.global_energy_pj
+        );
+        assert!(r_pso.cut_spikes <= r_rr.cut_spikes);
+    }
+
+    #[test]
+    fn flows_only_for_remote_targets() {
+        let g = layered_graph();
+        // all neurons on one crossbar → no flows
+        let m = Mapping::from_assignment(vec![0; 16], 1).unwrap();
+        assert!(build_flows(&g, &m, TrafficMode::PerCrossbar).is_empty());
+        assert!(build_flows(&g, &m, TrafficMode::PerSynapse).is_empty());
+        // split layers → every spiking neuron has one remote destination
+        let assign: Vec<u32> = (0..16).map(|i| (i / 8) as u32).collect();
+        let m = Mapping::from_assignment(assign, 2).unwrap();
+        let flows = build_flows(&g, &m, TrafficMode::PerCrossbar);
+        assert_eq!(flows.len(), 80); // 8 neurons × 10 spikes
+        assert!(flows.iter().all(|f| f.dst_crossbars == vec![1]));
+        // per-synapse: × 8 synapses per neuron
+        let flows = build_flows(&g, &m, TrafficMode::PerSynapse);
+        assert_eq!(flows.len(), 640);
+    }
+
+    #[test]
+    fn local_events_complement_cut() {
+        let g = layered_graph();
+        let assign: Vec<u32> = (0..16).map(|i| (i % 4) as u32).collect();
+        let m = Mapping::from_assignment(assign.clone(), 4).unwrap();
+        let p = PartitionProblem::new(&g, 4, 8).unwrap();
+        assert_eq!(
+            local_events(&g, &m) + p.cut_spikes(&assign),
+            g.total_synaptic_events()
+        );
+    }
+
+    #[test]
+    fn topology_builder_honors_interconnect() {
+        for (kind, expect) in [
+            (InterconnectKind::Mesh, "mesh"),
+            (InterconnectKind::Tree { arity: 4 }, "tree"),
+            (InterconnectKind::Torus, "torus"),
+            (InterconnectKind::Star, "star"),
+        ] {
+            let arch = Architecture::custom(4, 8, kind).unwrap();
+            let topo = build_topology(&arch);
+            assert!(
+                topo.name().starts_with(expect),
+                "{} for {kind:?}",
+                topo.name()
+            );
+            assert_eq!(topo.num_crossbars(), 4);
+        }
+    }
+
+    #[test]
+    fn infeasible_arch_rejected() {
+        let g = layered_graph();
+        let arch = Architecture::custom(2, 4, InterconnectKind::Mesh).unwrap(); // 8 < 16
+        let cfg = PipelineConfig::for_arch(arch);
+        assert!(matches!(
+            run_pipeline(&g, &PacmanPartitioner::new(), &cfg),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+}

@@ -1,0 +1,550 @@
+//! Binary particle swarm optimization for SNN partitioning (paper §III).
+//!
+//! The search space has `D = N · C` binary dimensions: `x_{i,k} = 1` iff
+//! neuron `i` sits on crossbar `k`. Velocities are real-valued and updated
+//! with the canonical PSO rule (Eq. 1 with the standard stochastic
+//! cognitive/social factors); positions are binarized through a sigmoid
+//! (Eq. 2–3) and then **repaired** so that every particle always satisfies
+//! the constraints: exactly one crossbar per neuron (Eq. 4) and crossbar
+//! capacity (Eq. 5). The fitness is Eq. 8 — total spikes on the global
+//! synapse interconnect — evaluated through
+//! [`PartitionProblem::cut_spikes`].
+//!
+//! ### Faithfulness notes
+//!
+//! * The paper writes the velocity update without inertia or random
+//!   factors; we use the standard constricted form (`w`, `φ₁·r₁`, `φ₂·r₂`)
+//!   that Eberhart–Kennedy PSO implementations (including the ones the
+//!   paper cites) use in practice. Setting `inertia = 1, stochastic
+//!   factors` off reproduces the literal equation.
+//! * The paper's Eq. 2 collapses the sigmoid to a hard step; the standard
+//!   binary-PSO uses `rand() < sigmoid(v)`, which is what Eq. 3 samples.
+//!   We implement the sampled form.
+//!
+//! Fitness evaluation is embarrassingly parallel across particles; set
+//! [`PsoConfig::threads`] > 1 for multithreaded evaluation (results remain
+//! deterministic: every particle owns its RNG stream).
+
+use crate::error::CoreError;
+use crate::partition::{FitnessKind, Partitioner, PartitionProblem};
+use crate::refine::refine;
+use neuromap_hw::mapping::Mapping;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// PSO hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsoConfig {
+    /// Number of particles (the paper sweeps 10–1000 and settles on 1000;
+    /// the default here is a laptop-friendly 100).
+    pub swarm_size: usize,
+    /// Number of iterations (the paper fixes 100).
+    pub iterations: u32,
+    /// Inertia weight `w`.
+    pub inertia: f32,
+    /// Cognitive acceleration φ₁ (toward the particle's own best).
+    pub phi_p: f32,
+    /// Social acceleration φ₂ (toward the swarm best).
+    pub phi_g: f32,
+    /// Velocity clamp: `v ∈ [−v_max, v_max]`.
+    pub v_max: f32,
+    /// Master seed; every particle derives an independent stream.
+    pub seed: u64,
+    /// Worker threads for fitness evaluation (1 = sequential).
+    pub threads: usize,
+    /// Objective to minimize (Eq. 8 cut spikes by default).
+    pub fitness: FitnessKind,
+    /// Seed two particles with the PACMAN and NEUTRAMS baselines so the
+    /// swarm never regresses below them (memetic warm start; disable to
+    /// measure pure random-initialized PSO as in Fig. 7).
+    pub seed_baselines: bool,
+    /// Greedy single-neuron polish passes applied to the final best
+    /// (0 disables). Closes the gap between laptop-scale swarms and the
+    /// paper's 1000×100 cloud runs.
+    pub polish_passes: u32,
+}
+
+impl Default for PsoConfig {
+    fn default() -> Self {
+        Self {
+            swarm_size: 100,
+            iterations: 100,
+            inertia: 0.72,
+            phi_p: 1.49,
+            phi_g: 1.49,
+            v_max: 4.0,
+            seed: 0xDA5,
+            threads: 1,
+            fitness: FitnessKind::CutSpikes,
+            seed_baselines: true,
+            polish_passes: 4,
+        }
+    }
+}
+
+impl PsoConfig {
+    /// The paper's experimental setting: swarm 1000, 100 iterations,
+    /// pure PSO (no warm start, no polish).
+    pub fn paper() -> Self {
+        Self {
+            swarm_size: 1000,
+            iterations: 100,
+            seed_baselines: false,
+            polish_passes: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Validates hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for zero swarm/iterations/threads or
+    /// non-positive `v_max`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.swarm_size == 0 {
+            return Err(CoreError::InvalidParameter { name: "swarm_size", value: "0".into() });
+        }
+        if self.iterations == 0 {
+            return Err(CoreError::InvalidParameter { name: "iterations", value: "0".into() });
+        }
+        if self.threads == 0 {
+            return Err(CoreError::InvalidParameter { name: "threads", value: "0".into() });
+        }
+        if self.v_max <= 0.0 || self.v_max.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                name: "v_max",
+                value: self.v_max.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Convergence trace of one PSO run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsoTrace {
+    /// Best fitness after each iteration (monotone non-increasing).
+    pub best_per_iteration: Vec<u64>,
+    /// Iteration at which the final best was first reached.
+    pub converged_at: u32,
+}
+
+/// One particle: real-valued velocities over N×C plus its current and best
+/// assignments.
+struct Particle {
+    velocity: Vec<f32>,
+    assignment: Vec<u32>,
+    best_assignment: Vec<u32>,
+    best_fitness: u64,
+    rng: StdRng,
+}
+
+/// The paper's PSO-based partitioner.
+///
+/// ```
+/// use neuromap_core::graph::SpikeGraph;
+/// use neuromap_core::partition::{Partitioner, PartitionProblem};
+/// use neuromap_core::pso::{PsoConfig, PsoPartitioner};
+///
+/// # fn main() -> Result<(), neuromap_core::CoreError> {
+/// // two dense 3-cliques joined by one weak synapse
+/// let mut synapses = Vec::new();
+/// for a in 0..3u32 { for b in 0..3u32 { if a != b { synapses.push((a, b)); } } }
+/// for a in 3..6u32 { for b in 3..6u32 { if a != b { synapses.push((a, b)); } } }
+/// synapses.push((2, 3));
+/// let graph = SpikeGraph::from_parts(6, synapses, vec![10; 6])?;
+/// let problem = PartitionProblem::new(&graph, 2, 3)?;
+///
+/// let pso = PsoPartitioner::new(PsoConfig { swarm_size: 30, iterations: 40, ..PsoConfig::default() });
+/// let mapping = pso.partition(&problem)?;
+/// // the optimum cuts only the bridge: 10 spikes
+/// assert_eq!(problem.cut_spikes(mapping.assignment()), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsoPartitioner {
+    config: PsoConfig,
+}
+
+impl PsoPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: PsoConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PsoConfig {
+        &self.config
+    }
+
+    /// Runs the optimization, returning the mapping and the convergence
+    /// trace (Fig. 7-style analyses need the trace).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for invalid configuration,
+    /// [`CoreError::Infeasible`] if the problem cannot be satisfied.
+    pub fn partition_traced(
+        &self,
+        problem: &PartitionProblem<'_>,
+    ) -> Result<(Mapping, PsoTrace), CoreError> {
+        self.config.validate()?;
+        let n = problem.graph().num_neurons() as usize;
+        let c = problem.num_crossbars();
+        let dims = n * c;
+        let cfg = &self.config;
+
+        let mut master = StdRng::seed_from_u64(cfg.seed);
+        let mut particles: Vec<Particle> = (0..cfg.swarm_size)
+            .map(|_| {
+                let mut rng = StdRng::seed_from_u64(master.gen());
+                let velocity: Vec<f32> =
+                    (0..dims).map(|_| rng.gen_range(-cfg.v_max..cfg.v_max)).collect();
+                let assignment = decode(&velocity, n, c, problem.capacity(), &mut rng);
+                Particle {
+                    velocity,
+                    assignment,
+                    best_assignment: Vec::new(),
+                    best_fitness: u64::MAX,
+                    rng,
+                }
+            })
+            .collect();
+
+        // memetic warm start: drop the deterministic baselines into the
+        // swarm so gbest starts no worse than any of them
+        if cfg.seed_baselines {
+            let cap = problem.capacity();
+            let mut seeds: Vec<Vec<u32>> = Vec::new();
+            // hierarchical population packing (the actual PACMAN layout)
+            if let Ok(m) = crate::baselines::PacmanPartitioner::new().partition(problem) {
+                seeds.push(m.assignment().to_vec());
+            }
+            // round-robin interleave (NEUTRAMS)
+            seeds.push((0..n as u32).map(|i| i % c as u32).collect());
+            // dense sequential packing
+            seeds.push((0..n as u32).map(|i| i / cap).collect());
+            let mut slot = 0;
+            for seed in seeds {
+                if slot < particles.len() && problem.is_feasible(&seed) {
+                    particles[slot].assignment = seed;
+                    slot += 1;
+                }
+            }
+        }
+
+        // initial evaluation
+        let fits = fitnesses(&particles, problem, cfg.fitness, cfg.threads);
+        for (p, &fit) in particles.iter_mut().zip(&fits) {
+            p.best_fitness = fit;
+            p.best_assignment = p.assignment.clone();
+        }
+        let (mut gbest, mut gbest_fit) = global_best(&particles);
+        let mut trace = PsoTrace {
+            best_per_iteration: vec![gbest_fit],
+            converged_at: 0,
+        };
+
+        for iter in 1..=cfg.iterations {
+            for p in &mut particles {
+                step_particle(p, &gbest, n, c, problem.capacity(), cfg);
+            }
+            let fits = fitnesses(&particles, problem, cfg.fitness, cfg.threads);
+            for (p, &fit) in particles.iter_mut().zip(&fits) {
+                if fit < p.best_fitness {
+                    p.best_fitness = fit;
+                    p.best_assignment = p.assignment.clone();
+                }
+            }
+            let (cand, cand_fit) = global_best(&particles);
+            if cand_fit < gbest_fit {
+                gbest = cand;
+                gbest_fit = cand_fit;
+                trace.converged_at = iter;
+            }
+            trace.best_per_iteration.push(gbest_fit);
+        }
+
+        // greedy polish of the final best
+        if cfg.polish_passes > 0 {
+            let polished = refine(problem, cfg.fitness, &mut gbest, cfg.polish_passes);
+            if polished < gbest_fit {
+                gbest_fit = polished;
+                trace.converged_at = cfg.iterations;
+            }
+            trace.best_per_iteration.push(gbest_fit);
+        }
+
+        let mapping = problem.into_mapping(gbest)?;
+        Ok((mapping, trace))
+    }
+}
+
+impl Partitioner for PsoPartitioner {
+    fn name(&self) -> &'static str {
+        "pso"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        self.partition_traced(problem).map(|(m, _)| m)
+    }
+}
+
+/// Velocity update + re-binarization for one particle.
+#[allow(clippy::needless_range_loop)] // `i` is the neuron id across several arrays
+fn step_particle(
+    p: &mut Particle,
+    gbest: &[u32],
+    n: usize,
+    c: usize,
+    capacity: u32,
+    cfg: &PsoConfig,
+) {
+    for i in 0..n {
+        let own = p.assignment[i];
+        let pb = p.best_assignment[i];
+        let gb = gbest[i];
+        let base = i * c;
+        for k in 0..c {
+            let x = (own == k as u32) as u8 as f32;
+            let pbx = (pb == k as u32) as u8 as f32;
+            let gbx = (gb == k as u32) as u8 as f32;
+            let r1: f32 = p.rng.gen();
+            let r2: f32 = p.rng.gen();
+            let v = cfg.inertia * p.velocity[base + k]
+                + cfg.phi_p * r1 * (pbx - x)
+                + cfg.phi_g * r2 * (gbx - x);
+            p.velocity[base + k] = v.clamp(-cfg.v_max, cfg.v_max);
+        }
+    }
+    p.assignment = decode(&p.velocity, n, c, capacity, &mut p.rng);
+}
+
+/// Sigmoid.
+#[inline]
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Binarizes velocities into a feasible assignment:
+/// per neuron, sample `x_{i,k} = 1` with probability `sigmoid(v_{i,k})`
+/// (Eq. 2–3), then repair — among sampled crossbars with free capacity pick
+/// the highest-velocity one; if none qualifies fall back to the
+/// highest-velocity crossbar with free capacity.
+#[allow(clippy::needless_range_loop)] // `i` is the neuron id across several arrays
+fn decode(velocity: &[f32], n: usize, c: usize, capacity: u32, rng: &mut StdRng) -> Vec<u32> {
+    let mut remaining = vec![capacity; c];
+    let mut assignment = vec![0u32; n];
+    for i in 0..n {
+        let base = i * c;
+        let mut chosen: Option<usize> = None;
+        let mut chosen_v = f32::NEG_INFINITY;
+        // sampled candidate set (Eq. 3)
+        for k in 0..c {
+            if remaining[k] == 0 {
+                continue;
+            }
+            let v = velocity[base + k];
+            if rng.gen::<f32>() < sigmoid(v) && v > chosen_v {
+                chosen = Some(k);
+                chosen_v = v;
+            }
+        }
+        // repair: best free crossbar by velocity
+        let k = chosen.unwrap_or_else(|| {
+            (0..c)
+                .filter(|&k| remaining[k] > 0)
+                .max_by(|&a, &b| {
+                    velocity[base + a]
+                        .partial_cmp(&velocity[base + b])
+                        .expect("velocities are finite")
+                })
+                .expect("total capacity ≥ neurons")
+        });
+        remaining[k] -= 1;
+        assignment[i] = k as u32;
+    }
+    assignment
+}
+
+fn fitness_of(problem: &PartitionProblem<'_>, kind: FitnessKind, assignment: &[u32]) -> u64 {
+    problem.cost(kind, assignment)
+}
+
+/// Evaluates all particles' current assignments, optionally across worker
+/// threads. Deterministic: output order matches particle order regardless
+/// of thread count.
+fn fitnesses(
+    particles: &[Particle],
+    problem: &PartitionProblem<'_>,
+    kind: FitnessKind,
+    threads: usize,
+) -> Vec<u64> {
+    if threads <= 1 || particles.len() < 2 {
+        return particles
+            .iter()
+            .map(|p| fitness_of(problem, kind, &p.assignment))
+            .collect();
+    }
+    let mut out = vec![0u64; particles.len()];
+    let chunk = particles.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ps, fs) in particles.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (p, f) in ps.iter().zip(fs.iter_mut()) {
+                    *f = fitness_of(problem, kind, &p.assignment);
+                }
+            });
+        }
+    });
+    out
+}
+
+fn global_best(particles: &[Particle]) -> (Vec<u32>, u64) {
+    let best = particles
+        .iter()
+        .min_by_key(|p| p.best_fitness)
+        .expect("swarm is non-empty");
+    (best.best_assignment.clone(), best.best_fitness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    fn two_clusters(bridge_spikes: u32) -> SpikeGraph {
+        let mut synapses = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    synapses.push((a, b));
+                }
+            }
+        }
+        for a in 4..8u32 {
+            for b in 4..8u32 {
+                if a != b {
+                    synapses.push((a, b));
+                }
+            }
+        }
+        synapses.push((0, 4));
+        let mut counts = vec![50u32; 8];
+        counts[0] = bridge_spikes;
+        SpikeGraph::from_parts(8, synapses, counts).unwrap()
+    }
+
+    #[test]
+    fn finds_the_natural_bipartition() {
+        let g = two_clusters(50);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 40,
+            iterations: 60,
+            ..PsoConfig::default()
+        });
+        let m = pso.partition(&p).unwrap();
+        // optimum: clusters separated, only the bridge cut → 50 spikes
+        assert_eq!(p.cut_spikes(m.assignment()), 50);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let g = two_clusters(10);
+        let p = PartitionProblem::new(&g, 4, 2).unwrap();
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 20,
+            iterations: 20,
+            ..PsoConfig::default()
+        });
+        let m = pso.partition(&p).unwrap();
+        assert!(m.occupancy().iter().all(|&o| o <= 2));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_clusters(25);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let cfg = PsoConfig { swarm_size: 15, iterations: 15, seed: 7, ..PsoConfig::default() };
+        let a = PsoPartitioner::new(cfg).partition(&p).unwrap();
+        let b = PsoPartitioner::new(cfg).partition(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = two_clusters(25);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let seq = PsoConfig { swarm_size: 16, iterations: 10, threads: 1, ..PsoConfig::default() };
+        let par = PsoConfig { threads: 4, ..seq };
+        let a = PsoPartitioner::new(seq).partition(&p).unwrap();
+        let b = PsoPartitioner::new(par).partition(&p).unwrap();
+        assert_eq!(a, b, "threading must not change results");
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let g = two_clusters(30);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 20,
+            iterations: 25,
+            ..PsoConfig::default()
+        });
+        let (_, trace) = pso.partition_traced(&p).unwrap();
+        // iterations + initial entry + one polish entry (polish on by default)
+        assert_eq!(trace.best_per_iteration.len(), 27);
+        assert!(trace
+            .best_per_iteration
+            .windows(2)
+            .all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn bigger_swarms_do_not_do_worse() {
+        // the Fig. 7 premise: more particles → equal or better energy
+        let g = two_clusters(40);
+        let p = PartitionProblem::new(&g, 4, 2).unwrap();
+        let run = |n: usize| {
+            let pso = PsoPartitioner::new(PsoConfig {
+                swarm_size: n,
+                iterations: 30,
+                seed: 11,
+                ..PsoConfig::default()
+            });
+            let m = pso.partition(&p).unwrap();
+            p.cut_spikes(m.assignment())
+        };
+        assert!(run(64) <= run(4));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let g = two_clusters(1);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let pso = PsoPartitioner::new(PsoConfig { swarm_size: 0, ..PsoConfig::default() });
+        assert!(pso.partition(&p).is_err());
+    }
+
+    #[test]
+    fn decode_always_feasible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = 13;
+            let c = 4;
+            let cap = 4; // 16 ≥ 13
+            let velocity: Vec<f32> = (0..n * c).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let a = decode(&velocity, n, c, cap, &mut rng);
+            let mut occ = vec![0u32; c];
+            for &k in &a {
+                occ[k as usize] += 1;
+            }
+            assert!(occ.iter().all(|&o| o <= cap));
+            assert_eq!(a.len(), n);
+        }
+    }
+}

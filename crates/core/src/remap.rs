@@ -1,0 +1,291 @@
+//! Run-time incremental remapping — the paper's stated future work
+//! ("Run-time SNN mapping will be addressed in future", §VI).
+//!
+//! A deployed mapping is optimized for the spike statistics observed at
+//! design time. When the workload drifts (different input statistics, new
+//! operating mode, plasticity moving traffic), re-running the full PSO is
+//! too slow for on-line use and would reshuffle the whole chip. Instead,
+//! [`remap`] performs **bounded incremental migration**: given the *new*
+//! spike graph and the *current* mapping, it repeatedly applies the single
+//! most valuable neuron migration until the budget is spent or no
+//! improving move remains. Each migration is something a runtime can
+//! actually execute (copy one neuron's synaptic rows to another crossbar),
+//! and the budget caps the reconfiguration downtime.
+
+use crate::error::CoreError;
+use crate::partition::{FitnessKind, PartitionProblem};
+use neuromap_hw::mapping::Mapping;
+use serde::{Deserialize, Serialize};
+
+/// Budget and objective for an incremental remap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemapConfig {
+    /// Maximum neuron migrations (reconfiguration budget).
+    pub max_migrations: usize,
+    /// Objective to improve.
+    pub fitness: FitnessKind,
+    /// Stop early when the best available move improves the cost by less
+    /// than this fraction of the current cost (diminishing returns).
+    pub min_relative_gain: f64,
+}
+
+impl Default for RemapConfig {
+    fn default() -> Self {
+        Self {
+            max_migrations: 16,
+            fitness: FitnessKind::CutSpikes,
+            min_relative_gain: 0.0,
+        }
+    }
+}
+
+/// One executed migration: `(neuron, from_crossbar, to_crossbar)`.
+pub type Migration = (u32, u32, u32);
+
+/// Result of an incremental remap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemapOutcome {
+    /// The improved mapping.
+    pub mapping: Mapping,
+    /// Migrations in execution order.
+    pub migrations: Vec<Migration>,
+    /// Cost of the old mapping under the new workload.
+    pub cost_before: u64,
+    /// Cost after remapping.
+    pub cost_after: u64,
+}
+
+impl RemapOutcome {
+    /// Relative improvement in `[0, 1]`.
+    pub fn relative_gain(&self) -> f64 {
+        if self.cost_before == 0 {
+            0.0
+        } else {
+            1.0 - self.cost_after as f64 / self.cost_before as f64
+        }
+    }
+}
+
+/// Incrementally adapts `current` to the (drifted) workload described by
+/// `problem`, spending at most [`RemapConfig::max_migrations`] single-neuron
+/// moves, each chosen as the globally best improving migration.
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] if `current` does not cover the problem's
+/// neurons or violates its capacity (the mapping must have been produced
+/// for a compatible architecture).
+pub fn remap(
+    problem: &PartitionProblem<'_>,
+    current: &Mapping,
+    config: &RemapConfig,
+) -> Result<RemapOutcome, CoreError> {
+    let n = problem.graph().num_neurons() as usize;
+    if current.num_neurons() != n
+        || current.num_crossbars() != problem.num_crossbars()
+        || !problem.is_feasible(current.assignment())
+    {
+        return Err(CoreError::Infeasible {
+            neurons: problem.graph().num_neurons(),
+            crossbars: problem.num_crossbars(),
+            capacity: problem.capacity(),
+        });
+    }
+
+    let c = problem.num_crossbars();
+    let cap = problem.capacity();
+    let mut assignment = current.assignment().to_vec();
+    let mut occ = vec![0u32; c];
+    for &k in &assignment {
+        occ[k as usize] += 1;
+    }
+
+    let cost_before = problem.cost(config.fitness, &assignment);
+    let mut cost = cost_before as i64;
+    let mut migrations = Vec::new();
+
+    let delta_of = |assignment: &[u32], cost: i64, i: usize, t: u32| -> i64 {
+        match config.fitness {
+            FitnessKind::CutSpikes => problem.move_delta_spikes(assignment, i, t),
+            FitnessKind::CutPackets => {
+                // exact but non-incremental: acceptable at runtime scales
+                let mut trial = assignment.to_vec();
+                trial[i] = t;
+                problem.cut_packets(&trial) as i64 - cost
+            }
+        }
+    };
+
+    while migrations.len() < config.max_migrations {
+        // globally best single migration
+        let mut best: Option<(usize, u32, i64)> = None;
+        for i in 0..n {
+            let from = assignment[i];
+            for t in 0..c as u32 {
+                if t == from || occ[t as usize] >= cap {
+                    continue;
+                }
+                let d = delta_of(&assignment, cost, i, t);
+                if d < 0 && best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, t, d));
+                }
+            }
+        }
+        if let Some((i, t, d)) = best {
+            if cost > 0 && (-d as f64) / cost as f64 <= config.min_relative_gain {
+                break;
+            }
+            let from = assignment[i];
+            occ[from as usize] -= 1;
+            occ[t as usize] += 1;
+            assignment[i] = t;
+            cost += d;
+            migrations.push((i as u32, from, t));
+            continue;
+        }
+
+        // no improving migration: try swaps between graph neighbors on
+        // different crossbars (an atomic exchange costs two migrations)
+        if migrations.len() + 2 > config.max_migrations {
+            break;
+        }
+        let mut best_swap: Option<(usize, usize, i64)> = None;
+        let g = problem.graph();
+        for i in 0..n {
+            for &j in g.targets(i as u32) {
+                let j = j as usize;
+                if j == i || assignment[i] == assignment[j] {
+                    continue;
+                }
+                let (ci, cj) = (assignment[i], assignment[j]);
+                let d1 = delta_of(&assignment, cost, i, cj);
+                let mut trial = assignment.clone();
+                trial[i] = cj;
+                let d2 = delta_of(&trial, cost + d1, j, ci);
+                let d = d1 + d2;
+                if d < 0 && best_swap.is_none_or(|(_, _, bd)| d < bd) {
+                    best_swap = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, d)) = best_swap else { break };
+        if cost > 0 && (-d as f64) / cost as f64 <= config.min_relative_gain {
+            break;
+        }
+        let (ci, cj) = (assignment[i], assignment[j]);
+        assignment[i] = cj;
+        assignment[j] = ci;
+        cost += d;
+        migrations.push((i as u32, ci, cj));
+        migrations.push((j as u32, cj, ci));
+    }
+
+    let cost_after = cost.max(0) as u64;
+    debug_assert_eq!(cost_after, problem.cost(config.fitness, &assignment));
+    let mapping = problem.into_mapping(assignment)?;
+    Ok(RemapOutcome { mapping, migrations, cost_before, cost_after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+
+    /// Two clusters; the "drift" flips which cluster is chatty.
+    fn graph_with_rates(a_rate: u32, b_rate: u32) -> SpikeGraph {
+        let mut synapses = Vec::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                if x != y {
+                    synapses.push((x, y));
+                    synapses.push((x + 4, y + 4));
+                }
+            }
+        }
+        synapses.push((0, 4));
+        synapses.push((4, 0));
+        let mut counts = vec![a_rate; 8];
+        for c in counts.iter_mut().skip(4) {
+            *c = b_rate;
+        }
+        SpikeGraph::from_parts(8, synapses, counts).unwrap()
+    }
+
+    #[test]
+    fn remap_improves_after_drift() {
+        // mapping optimized when cluster A was silent: A is scattered
+        let new_graph = graph_with_rates(50, 1);
+        let problem = PartitionProblem::new(&new_graph, 2, 5).unwrap();
+        let stale = Mapping::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let outcome = remap(&problem, &stale, &RemapConfig::default()).unwrap();
+        assert!(outcome.cost_after < outcome.cost_before);
+        assert!(!outcome.migrations.is_empty());
+        assert!(problem.is_feasible(outcome.mapping.assignment()));
+        assert_eq!(
+            outcome.cost_after,
+            problem.cut_spikes(outcome.mapping.assignment())
+        );
+    }
+
+    #[test]
+    fn budget_bounds_migrations() {
+        let g = graph_with_rates(50, 50);
+        let problem = PartitionProblem::new(&g, 2, 5).unwrap();
+        let stale = Mapping::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let cfg = RemapConfig { max_migrations: 2, ..RemapConfig::default() };
+        let outcome = remap(&problem, &stale, &cfg).unwrap();
+        assert!(outcome.migrations.len() <= 2);
+    }
+
+    #[test]
+    fn optimal_mapping_needs_no_migrations() {
+        let g = graph_with_rates(10, 10);
+        let problem = PartitionProblem::new(&g, 2, 5).unwrap();
+        let good = Mapping::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let outcome = remap(&problem, &good, &RemapConfig::default()).unwrap();
+        assert!(outcome.migrations.is_empty());
+        assert_eq!(outcome.cost_before, outcome.cost_after);
+        assert_eq!(outcome.relative_gain(), 0.0);
+    }
+
+    #[test]
+    fn incompatible_mapping_rejected() {
+        let g = graph_with_rates(1, 1);
+        let problem = PartitionProblem::new(&g, 2, 5).unwrap();
+        let wrong_size = Mapping::from_assignment(vec![0, 1], 2).unwrap();
+        assert!(remap(&problem, &wrong_size, &RemapConfig::default()).is_err());
+    }
+
+    #[test]
+    fn packet_objective_supported() {
+        let g = graph_with_rates(30, 1);
+        let problem = PartitionProblem::new(&g, 2, 5).unwrap();
+        let stale = Mapping::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let cfg = RemapConfig {
+            fitness: FitnessKind::CutPackets,
+            ..RemapConfig::default()
+        };
+        let outcome = remap(&problem, &stale, &cfg).unwrap();
+        assert!(outcome.cost_after <= outcome.cost_before);
+        assert_eq!(
+            outcome.cost_after,
+            problem.cut_packets(outcome.mapping.assignment())
+        );
+    }
+
+    #[test]
+    fn migrations_log_is_replayable() {
+        let g = graph_with_rates(40, 2);
+        let problem = PartitionProblem::new(&g, 2, 5).unwrap();
+        let stale = Mapping::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let outcome = remap(&problem, &stale, &RemapConfig::default()).unwrap();
+        // replaying the migration log over the stale mapping reproduces the
+        // new mapping — what a runtime controller would do
+        let mut replayed = stale.assignment().to_vec();
+        for (neuron, from, to) in &outcome.migrations {
+            assert_eq!(replayed[*neuron as usize], *from);
+            replayed[*neuron as usize] = *to;
+        }
+        assert_eq!(&replayed, outcome.mapping.assignment());
+    }
+}

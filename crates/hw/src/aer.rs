@@ -1,0 +1,168 @@
+//! Address-Event Representation (AER).
+//!
+//! AER is the spike-communication protocol of the paper's global synapse
+//! interconnect (Section II, Figure 2): each spike is transmitted as the
+//! *address* of its source neuron plus its *time* of firing, so a shared
+//! time-multiplexed channel can carry the traffic of many point-to-point
+//! global synapses.
+
+use serde::{Deserialize, Serialize};
+
+/// One address-event: "neuron `source` spiked at time `timestamp`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AerEvent {
+    /// Firing time in timesteps — ordered first so the derived ordering is
+    /// chronological.
+    pub timestamp: u32,
+    /// Global id of the spiking neuron.
+    pub source: u32,
+}
+
+impl AerEvent {
+    /// Creates an event.
+    pub fn new(source: u32, timestamp: u32) -> Self {
+        Self { timestamp, source }
+    }
+
+    /// Packs the event into a 64-bit word: timestamp in the high 32 bits
+    /// (so packed words sort chronologically), source in the low 32.
+    pub fn pack(&self) -> u64 {
+        (self.timestamp as u64) << 32 | self.source as u64
+    }
+
+    /// Unpacks a word produced by [`AerEvent::pack`].
+    pub fn unpack(word: u64) -> Self {
+        Self {
+            timestamp: (word >> 32) as u32,
+            source: word as u32,
+        }
+    }
+}
+
+/// Number of bits needed to address `n` distinct values (minimum 1).
+pub fn address_bits(n: u32) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+/// Payload size in bits of one AER event for a network of `num_neurons`
+/// neurons with `timestamp_bits` of timing resolution.
+pub fn event_bits(num_neurons: u32, timestamp_bits: u32) -> u32 {
+    address_bits(num_neurons) + timestamp_bits
+}
+
+/// Number of flits needed to carry `payload_bits` over `flit_bits`-wide
+/// links (at least 1).
+///
+/// # Panics
+///
+/// Panics if `flit_bits` is zero.
+pub fn flits_for(payload_bits: u32, flit_bits: u32) -> u32 {
+    assert!(flit_bits > 0, "flit width must be positive");
+    payload_bits.div_ceil(flit_bits).max(1)
+}
+
+/// Encodes the spikes of many neurons into one chronologically ordered AER
+/// stream — what the crossbar-boundary encoder of Figure 2 does.
+///
+/// `trains[i]` holds the spike times of neuron `ids[i]`.
+///
+/// # Panics
+///
+/// Panics if `ids` and `trains` have different lengths.
+pub fn encode_stream(ids: &[u32], trains: &[&[u32]]) -> Vec<AerEvent> {
+    assert_eq!(ids.len(), trains.len(), "one train per neuron id");
+    let mut events: Vec<AerEvent> = ids
+        .iter()
+        .zip(trains.iter())
+        .flat_map(|(&id, times)| times.iter().map(move |&t| AerEvent::new(id, t)))
+        .collect();
+    events.sort_unstable();
+    events
+}
+
+/// Splits an AER stream back into per-neuron spike-time lists (the decoder
+/// side of Figure 2). Returns `(id, times)` pairs ordered by id.
+pub fn decode_stream(events: &[AerEvent]) -> Vec<(u32, Vec<u32>)> {
+    let mut by_source: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for e in events {
+        by_source.entry(e.source).or_default().push(e.timestamp);
+    }
+    by_source
+        .into_iter()
+        .map(|(id, mut ts)| {
+            ts.sort_unstable();
+            (id, ts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let e = AerEvent::new(123_456, 789);
+        assert_eq!(AerEvent::unpack(e.pack()), e);
+    }
+
+    #[test]
+    fn packed_words_sort_chronologically() {
+        let early = AerEvent::new(999, 5).pack();
+        let late = AerEvent::new(0, 6).pack();
+        assert!(early < late);
+    }
+
+    #[test]
+    fn address_bit_widths() {
+        assert_eq!(address_bits(0), 1);
+        assert_eq!(address_bits(1), 1);
+        assert_eq!(address_bits(2), 1);
+        assert_eq!(address_bits(3), 2);
+        assert_eq!(address_bits(256), 8);
+        assert_eq!(address_bits(257), 9);
+        assert_eq!(address_bits(1024), 10);
+    }
+
+    #[test]
+    fn event_and_flit_sizing() {
+        // 1024 neurons, 16-bit timestamps, 32-bit flits → 26 bits → 1 flit
+        assert_eq!(event_bits(1024, 16), 26);
+        assert_eq!(flits_for(26, 32), 1);
+        assert_eq!(flits_for(33, 32), 2);
+        assert_eq!(flits_for(0, 32), 1);
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        // four neurons spiking at times 3, 0, 1, 2 — the encoder emits them
+        // in time order, each tagged with its source
+        let ids = [0, 1, 2, 3];
+        let t0: &[u32] = &[3];
+        let t1: &[u32] = &[0];
+        let t2: &[u32] = &[1];
+        let t3: &[u32] = &[2];
+        let stream = encode_stream(&ids, &[t0, t1, t2, t3]);
+        let order: Vec<u32> = stream.iter().map(|e| e.source).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ids = [10, 20];
+        let a: &[u32] = &[1, 5, 9];
+        let b: &[u32] = &[2, 5];
+        let stream = encode_stream(&ids, &[a, b]);
+        let decoded = decode_stream(&stream);
+        assert_eq!(decoded, vec![(10, vec![1, 5, 9]), (20, vec![2, 5])]);
+    }
+
+    #[test]
+    fn decode_empty_stream() {
+        assert!(decode_stream(&[]).is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Whole-chip architecture descriptions.
+//!
+//! An [`Architecture`] is what the designer supplies to the mapping flow
+//! (paper, Section III: "the specification C is usually provided by a
+//! designer"): how many crossbars, how many neurons each can hold, how the
+//! crossbars are interconnected, and what the events cost. Section V-C of
+//! the paper *explores* this space (few large crossbars vs. many small
+//! ones); [`Architecture::with_crossbar_size`] supports exactly that sweep.
+
+use crate::crossbar::CrossbarSpec;
+use crate::energy::EnergyModel;
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+
+/// The interconnect joining the crossbars.
+///
+/// The paper's Section II: "commonly used ones are NoC-tree (CxQuad) and
+/// NoC-mesh (TrueNorth, HiCANN)". The concrete routing/queueing behaviour
+/// lives in `neuromap-noc`; this descriptor selects which model is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InterconnectKind {
+    /// 2-D mesh with XY dimension-order routing (TrueNorth/HiCANN class).
+    /// Crossbars are placed row-major on a near-square grid.
+    Mesh,
+    /// Balanced tree with the given arity; crossbars are the leaves
+    /// (CxQuad class).
+    Tree {
+        /// Children per switch node (≥ 2).
+        arity: u32,
+    },
+    /// 2-D torus (mesh with wrap-around links).
+    Torus,
+    /// All crossbars share one central switch (single-hop star).
+    Star,
+}
+
+impl InterconnectKind {
+    /// A NoC-tree of arity 4, CxQuad's interconnect.
+    pub fn cxquad_tree() -> Self {
+        InterconnectKind::Tree { arity: 4 }
+    }
+}
+
+/// A complete neuromorphic chip description.
+///
+/// ```
+/// use neuromap_hw::arch::{Architecture, InterconnectKind};
+///
+/// # fn main() -> Result<(), neuromap_hw::HwError> {
+/// // 16 crossbars of 90 neurons on a mesh — one point of the paper's
+/// // Fig. 6 architecture sweep
+/// let arch = Architecture::custom(16, 90, InterconnectKind::Mesh)?;
+/// assert_eq!(arch.total_neuron_capacity(), 1440);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    num_crossbars: usize,
+    crossbar: CrossbarSpec,
+    interconnect: InterconnectKind,
+    energy: EnergyModel,
+}
+
+impl Architecture {
+    /// The CxQuad reference chip: 4 crossbars × 128 neurons (16 K local
+    /// synapses each), NoC-tree interconnect.
+    pub fn cxquad() -> Self {
+        Self {
+            num_crossbars: 4,
+            crossbar: CrossbarSpec::default(),
+            interconnect: InterconnectKind::cxquad_tree(),
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// A TrueNorth-class chip slice: `n` crossbars of 256 neurons on a mesh.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidParameter`] if `n` is zero.
+    pub fn truenorth_like(n: usize) -> Result<Self, HwError> {
+        if n == 0 {
+            return Err(HwError::InvalidParameter { name: "n", value: "0".into() });
+        }
+        Ok(Self {
+            num_crossbars: n,
+            crossbar: CrossbarSpec::square(256).expect("256 > 0"),
+            interconnect: InterconnectKind::Mesh,
+            energy: EnergyModel::default(),
+        })
+    }
+
+    /// A fully custom architecture.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidParameter`] if `num_crossbars` or
+    /// `neurons_per_crossbar` is zero, or a tree arity is < 2.
+    pub fn custom(
+        num_crossbars: usize,
+        neurons_per_crossbar: u32,
+        interconnect: InterconnectKind,
+    ) -> Result<Self, HwError> {
+        if num_crossbars == 0 {
+            return Err(HwError::InvalidParameter {
+                name: "num_crossbars",
+                value: "0".into(),
+            });
+        }
+        if let InterconnectKind::Tree { arity } = interconnect {
+            if arity < 2 {
+                return Err(HwError::InvalidParameter {
+                    name: "arity",
+                    value: arity.to_string(),
+                });
+            }
+        }
+        Ok(Self {
+            num_crossbars,
+            crossbar: CrossbarSpec::square(neurons_per_crossbar)?,
+            interconnect,
+            energy: EnergyModel::default(),
+        })
+    }
+
+    /// Derives an architecture with the same interconnect/energy but a
+    /// different crossbar size, sized to hold at least `total_neurons` —
+    /// the Fig. 6 sweep ("given an application, fewer large crossbars or
+    /// many small ones?").
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidParameter`] if either argument is zero.
+    pub fn with_crossbar_size(
+        &self,
+        neurons_per_crossbar: u32,
+        total_neurons: u32,
+    ) -> Result<Self, HwError> {
+        if neurons_per_crossbar == 0 || total_neurons == 0 {
+            return Err(HwError::InvalidParameter {
+                name: "neurons_per_crossbar/total_neurons",
+                value: format!("{neurons_per_crossbar}/{total_neurons}"),
+            });
+        }
+        let count = total_neurons.div_ceil(neurons_per_crossbar).max(1) as usize;
+        Ok(Self {
+            num_crossbars: count,
+            crossbar: CrossbarSpec::square(neurons_per_crossbar)?,
+            interconnect: self.interconnect,
+            energy: self.energy,
+        })
+    }
+
+    /// Replaces the energy model (builder style).
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Replaces the interconnect (builder style).
+    pub fn with_interconnect(mut self, interconnect: InterconnectKind) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Number of crossbars.
+    pub fn num_crossbars(&self) -> usize {
+        self.num_crossbars
+    }
+
+    /// Geometry of each crossbar (homogeneous chips).
+    pub fn crossbar(&self) -> CrossbarSpec {
+        self.crossbar
+    }
+
+    /// Neurons each crossbar can hold (the paper's `Nc`).
+    pub fn neurons_per_crossbar(&self) -> u32 {
+        self.crossbar.neuron_capacity()
+    }
+
+    /// Total neuron capacity of the chip.
+    pub fn total_neuron_capacity(&self) -> u64 {
+        self.num_crossbars as u64 * self.neurons_per_crossbar() as u64
+    }
+
+    /// The interconnect descriptor.
+    pub fn interconnect(&self) -> InterconnectKind {
+        self.interconnect
+    }
+
+    /// The energy model.
+    pub fn energy(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Whether an SNN of `n` neurons can fit on this chip at all.
+    pub fn fits(&self, n: u64) -> bool {
+        n <= self.total_neuron_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxquad_matches_paper() {
+        let a = Architecture::cxquad();
+        assert_eq!(a.num_crossbars(), 4);
+        assert_eq!(a.neurons_per_crossbar(), 128);
+        assert_eq!(a.crossbar().max_synapses(), 16_384);
+        assert_eq!(a.interconnect(), InterconnectKind::Tree { arity: 4 });
+        assert_eq!(a.total_neuron_capacity(), 512);
+    }
+
+    #[test]
+    fn truenorth_like_is_mesh() {
+        let a = Architecture::truenorth_like(16).unwrap();
+        assert_eq!(a.interconnect(), InterconnectKind::Mesh);
+        assert_eq!(a.total_neuron_capacity(), 4096);
+    }
+
+    #[test]
+    fn custom_validation() {
+        assert!(Architecture::custom(0, 10, InterconnectKind::Mesh).is_err());
+        assert!(Architecture::custom(4, 0, InterconnectKind::Mesh).is_err());
+        assert!(Architecture::custom(4, 10, InterconnectKind::Tree { arity: 1 }).is_err());
+    }
+
+    #[test]
+    fn crossbar_size_sweep_preserves_capacity() {
+        let base = Architecture::cxquad();
+        for npc in [90u32, 180, 360, 720, 1440] {
+            let a = base.with_crossbar_size(npc, 1440).unwrap();
+            assert!(a.total_neuron_capacity() >= 1440, "npc={npc}");
+            assert_eq!(a.neurons_per_crossbar(), npc);
+            assert_eq!(a.interconnect(), base.interconnect());
+        }
+    }
+
+    #[test]
+    fn sweep_crossbar_count_shrinks_as_size_grows() {
+        let base = Architecture::cxquad();
+        let small = base.with_crossbar_size(90, 1440).unwrap();
+        let large = base.with_crossbar_size(1440, 1440).unwrap();
+        assert_eq!(small.num_crossbars(), 16);
+        assert_eq!(large.num_crossbars(), 1);
+    }
+
+    #[test]
+    fn fits_checks_capacity() {
+        let a = Architecture::cxquad();
+        assert!(a.fits(512));
+        assert!(!a.fits(513));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Architecture::cxquad();
+        let j = serde_json::to_string(&a).unwrap();
+        let b: Architecture = serde_json::from_str(&j).unwrap();
+        assert_eq!(a, b);
+    }
+}

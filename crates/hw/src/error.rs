@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for hardware-model construction and mapping validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A mapping assigns more neurons to a crossbar than it can hold
+    /// (violates Eq. 5 of the paper).
+    CapacityExceeded {
+        /// Crossbar index.
+        crossbar: u32,
+        /// Neurons assigned to it.
+        assigned: usize,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// A mapping references a crossbar outside the architecture.
+    CrossbarOutOfRange {
+        /// Offending crossbar id.
+        crossbar: u32,
+        /// Number of crossbars available.
+        available: usize,
+    },
+    /// A numeric parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted.
+        value: String,
+    },
+    /// An energy/config file failed to parse.
+    Config(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::CapacityExceeded { crossbar, assigned, capacity } => write!(
+                f,
+                "crossbar {crossbar} holds {assigned} neurons, capacity is {capacity}"
+            ),
+            HwError::CrossbarOutOfRange { crossbar, available } => write!(
+                f,
+                "crossbar {crossbar} referenced, architecture has {available}"
+            ),
+            HwError::InvalidParameter { name, value } => {
+                write!(f, "invalid value `{value}` for parameter `{name}`")
+            }
+            HwError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = HwError::CapacityExceeded { crossbar: 2, assigned: 300, capacity: 128 };
+        let m = e.to_string();
+        assert!(m.contains("300") && m.contains("128"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<HwError>();
+    }
+}

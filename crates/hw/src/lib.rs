@@ -1,0 +1,44 @@
+//! # neuromap-hw — neuromorphic hardware model
+//!
+//! Models the class of hardware targeted by Das et al. (DATE 2018): multiple
+//! fixed-size memristive **crossbars** of fully connected neurons joined by a
+//! **time-multiplexed interconnect** (Figure 1 of the paper). Provides:
+//!
+//! * [`crossbar::CrossbarSpec`] — crossbar geometry and capacity rules;
+//! * [`arch::Architecture`] — a full chip description (crossbar count/size +
+//!   interconnect kind + energy model), with presets [`arch::Architecture::cxquad`]
+//!   (4 crossbars × 128 neurons, NoC-tree) and
+//!   [`arch::Architecture::truenorth_like`] (mesh);
+//! * [`energy::EnergyModel`] — pJ-level event energies, loadable from JSON
+//!   (the counterpart of Noxim's external YAML power file);
+//! * [`aer::AerEvent`] — Address-Event-Representation encoding of spikes;
+//! * [`mapping::Mapping`] — a neuron → crossbar assignment with the paper's
+//!   validity constraints (Eq. 4–5) and local/global synapse classification.
+//!
+//! ```
+//! use neuromap_hw::arch::Architecture;
+//! use neuromap_hw::mapping::Mapping;
+//!
+//! let arch = Architecture::cxquad();
+//! assert_eq!(arch.num_crossbars(), 4);
+//! // map 6 neurons round-robin over the 4 crossbars
+//! let m = Mapping::from_assignment(vec![0, 1, 2, 3, 0, 1], 4).unwrap();
+//! assert!(m.validate(&arch).is_ok());
+//! assert!(m.is_local(0, 4));  // both on crossbar 0
+//! assert!(!m.is_local(0, 1)); // crossbars 0 and 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aer;
+pub mod arch;
+pub mod crossbar;
+pub mod energy;
+mod error;
+pub mod mapping;
+
+pub use arch::Architecture;
+pub use energy::EnergyModel;
+pub use error::HwError;
+pub use mapping::Mapping;

@@ -1,0 +1,200 @@
+//! Neuron → crossbar assignments and the paper's validity constraints.
+//!
+//! A [`Mapping`] is the *output* of the partitioning problem of Section III:
+//! for every neuron, the crossbar hosting it. Synapses whose endpoints share
+//! a crossbar are **local** (implemented as crosspoints); all others are
+//! **global** (time-multiplexed over the interconnect). The two constraints
+//! of Eq. 4–5 — every neuron on exactly one crossbar, and no crossbar over
+//! capacity — are enforced by [`Mapping::from_assignment`] (structurally)
+//! and [`Mapping::validate`] (against a concrete [`Architecture`]).
+
+use crate::arch::Architecture;
+use crate::error::HwError;
+use serde::{Deserialize, Serialize};
+
+/// A list of `(pre, post)` synapse endpoint pairs.
+pub type SynapsePairs = Vec<(u32, u32)>;
+
+/// An assignment of every neuron to one crossbar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    crossbar_of: Vec<u32>,
+    num_crossbars: usize,
+}
+
+impl Mapping {
+    /// Builds a mapping from `crossbar_of[neuron] = crossbar` with
+    /// `num_crossbars` crossbars available.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::CrossbarOutOfRange`] if any entry is `>= num_crossbars`.
+    pub fn from_assignment(crossbar_of: Vec<u32>, num_crossbars: usize) -> Result<Self, HwError> {
+        if let Some(&bad) = crossbar_of.iter().find(|&&c| c as usize >= num_crossbars) {
+            return Err(HwError::CrossbarOutOfRange {
+                crossbar: bad,
+                available: num_crossbars,
+            });
+        }
+        Ok(Self { crossbar_of, num_crossbars })
+    }
+
+    /// Number of neurons covered.
+    pub fn num_neurons(&self) -> usize {
+        self.crossbar_of.len()
+    }
+
+    /// Number of crossbars the assignment targets.
+    pub fn num_crossbars(&self) -> usize {
+        self.num_crossbars
+    }
+
+    /// Crossbar hosting neuron `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn crossbar_of(&self, id: u32) -> u32 {
+        self.crossbar_of[id as usize]
+    }
+
+    /// The raw assignment slice.
+    pub fn assignment(&self) -> &[u32] {
+        &self.crossbar_of
+    }
+
+    /// Whether the synapse `pre → post` is local (both endpoints on the
+    /// same crossbar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn is_local(&self, pre: u32, post: u32) -> bool {
+        self.crossbar_of[pre as usize] == self.crossbar_of[post as usize]
+    }
+
+    /// Neurons hosted on crossbar `k`, in id order.
+    pub fn neurons_on(&self, k: u32) -> Vec<u32> {
+        self.crossbar_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == k)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Occupancy (neuron count) per crossbar.
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut occ = vec![0usize; self.num_crossbars];
+        for &c in &self.crossbar_of {
+            occ[c as usize] += 1;
+        }
+        occ
+    }
+
+    /// Validates the capacity constraint (Eq. 5) against an architecture.
+    ///
+    /// # Errors
+    ///
+    /// * [`HwError::CrossbarOutOfRange`] if the mapping targets more
+    ///   crossbars than the architecture has.
+    /// * [`HwError::CapacityExceeded`] naming the first crossbar over
+    ///   capacity.
+    pub fn validate(&self, arch: &Architecture) -> Result<(), HwError> {
+        if self.num_crossbars > arch.num_crossbars() {
+            return Err(HwError::CrossbarOutOfRange {
+                crossbar: self.num_crossbars as u32 - 1,
+                available: arch.num_crossbars(),
+            });
+        }
+        let cap = arch.neurons_per_crossbar() as usize;
+        for (k, &n) in self.occupancy().iter().enumerate() {
+            if n > cap {
+                return Err(HwError::CapacityExceeded {
+                    crossbar: k as u32,
+                    assigned: n,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits a synapse list into `(local, global)` according to this
+    /// mapping — the paper's partition of S into local and global synapses.
+    pub fn classify_synapses<'a>(
+        &self,
+        synapses: impl IntoIterator<Item = &'a (u32, u32)>,
+    ) -> (SynapsePairs, SynapsePairs) {
+        let mut local = Vec::new();
+        let mut global = Vec::new();
+        for &(pre, post) in synapses {
+            if self.is_local(pre, post) {
+                local.push((pre, post));
+            } else {
+                global.push((pre, post));
+            }
+        }
+        (local, global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::InterconnectKind;
+
+    #[test]
+    fn out_of_range_assignment_rejected() {
+        let err = Mapping::from_assignment(vec![0, 1, 4], 4).unwrap_err();
+        assert!(matches!(err, HwError::CrossbarOutOfRange { crossbar: 4, .. }));
+    }
+
+    #[test]
+    fn locality() {
+        let m = Mapping::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        assert!(m.is_local(0, 1));
+        assert!(!m.is_local(1, 2));
+        assert_eq!(m.neurons_on(1), vec![2, 3]);
+        assert_eq!(m.occupancy(), vec![2, 2]);
+    }
+
+    #[test]
+    fn capacity_validation() {
+        let arch = Architecture::custom(2, 2, InterconnectKind::Mesh).unwrap();
+        let ok = Mapping::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        assert!(ok.validate(&arch).is_ok());
+        let over = Mapping::from_assignment(vec![0, 0, 0, 1], 2).unwrap();
+        let err = over.validate(&arch).unwrap_err();
+        assert!(matches!(
+            err,
+            HwError::CapacityExceeded { crossbar: 0, assigned: 3, capacity: 2 }
+        ));
+    }
+
+    #[test]
+    fn mapping_with_more_crossbars_than_arch_rejected() {
+        let arch = Architecture::custom(2, 8, InterconnectKind::Mesh).unwrap();
+        let m = Mapping::from_assignment(vec![0, 1, 2], 3).unwrap();
+        assert!(m.validate(&arch).is_err());
+    }
+
+    #[test]
+    fn classify_splits_synapses() {
+        let m = Mapping::from_assignment(vec![0, 0, 1], 2).unwrap();
+        let syn = vec![(0u32, 1u32), (0, 2), (1, 2)];
+        let (local, global) = m.classify_synapses(&syn);
+        assert_eq!(local, vec![(0, 1)]);
+        assert_eq!(global, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn every_neuron_has_exactly_one_crossbar_by_construction() {
+        // Eq. 4 is structural: the Vec representation makes multiple
+        // assignment impossible and from_assignment covers the range check.
+        let m = Mapping::from_assignment(vec![1, 0, 1], 2).unwrap();
+        assert_eq!(m.num_neurons(), 3);
+        let total: usize = m.occupancy().iter().sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulator configuration — the knobs Noxim exposes, plus the Noxim++
+//! extensions (multicast, SNN-time scaling).
+
+use crate::error::NocError;
+use crate::router::Arbitration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the interconnect simulation.
+///
+/// The fields mirror Noxim's configurables quoted in the paper
+/// ("buffer size, network size, packet size, packet injection rate, routing
+/// algorithm, selection strategy"): network size comes from the topology,
+/// injection comes from the SNN spike traffic, the rest is here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Input-FIFO depth per ingress port, in packets.
+    pub buffer_depth: usize,
+    /// Packet size in flits (AER address + timestamp over the link width).
+    pub flits_per_packet: u32,
+    /// Router pipeline delay in cycles (arbitration + switch).
+    pub router_delay: u32,
+    /// Interconnect cycles per SNN timestep (1 ms): the clock-domain ratio
+    /// between the NoC and the neural dynamics.
+    pub cycles_per_step: u64,
+    /// Output-port arbitration policy.
+    pub arbitration: Arbitration,
+    /// Whether one spike to many crossbars travels as a single multicast
+    /// packet (Noxim++ extension) or as unicast clones.
+    pub multicast: bool,
+    /// Hard cycle budget; exceeded ⇒ [`NocError::CycleBudgetExhausted`].
+    pub max_cycles: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self {
+            buffer_depth: 4,
+            flits_per_packet: 2,
+            router_delay: 1,
+            cycles_per_step: 1024,
+            arbitration: Arbitration::RoundRobin,
+            multicast: true,
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::InvalidConfig`] naming the first invalid field
+    /// (zero buffer depth, zero flits, zero cycles per step).
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.buffer_depth == 0 {
+            return Err(NocError::InvalidConfig { name: "buffer_depth", value: "0".into() });
+        }
+        if self.flits_per_packet == 0 {
+            return Err(NocError::InvalidConfig { name: "flits_per_packet", value: "0".into() });
+        }
+        if self.cycles_per_step == 0 {
+            return Err(NocError::InvalidConfig { name: "cycles_per_step", value: "0".into() });
+        }
+        if self.max_cycles == 0 {
+            return Err(NocError::InvalidConfig { name: "max_cycles", value: "0".into() });
+        }
+        Ok(())
+    }
+
+    /// Parses a configuration from JSON (the counterpart of Noxim's
+    /// externally loaded configuration file).
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::InvalidConfig`] when the JSON is malformed or a field is
+    /// out of domain.
+    pub fn from_json(json: &str) -> Result<Self, NocError> {
+        let cfg: NocConfig = serde_json::from_str(json)
+            .map_err(|e| NocError::InvalidConfig { name: "json", value: e.to_string() })?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(NocConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let c = NocConfig { buffer_depth: 0, ..NocConfig::default() };
+        assert!(c.validate().is_err());
+        let c = NocConfig { flits_per_packet: 0, ..NocConfig::default() };
+        assert!(c.validate().is_err());
+        let c = NocConfig { cycles_per_step: 0, ..NocConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = NocConfig::default();
+        let j = c.to_json();
+        assert_eq!(NocConfig::from_json(&j).unwrap(), c);
+    }
+
+    #[test]
+    fn bad_json_reports_config_error() {
+        assert!(matches!(
+            NocConfig::from_json("{"),
+            Err(NocError::InvalidConfig { .. })
+        ));
+    }
+}

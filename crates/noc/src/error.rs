@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for NoC configuration and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A flow references a crossbar with no endpoint in the topology.
+    UnknownCrossbar {
+        /// Offending crossbar id.
+        crossbar: u32,
+        /// Crossbars the topology serves.
+        available: usize,
+    },
+    /// The simulation exceeded its cycle budget — usually a routing
+    /// deadlock or a pathological configuration.
+    CycleBudgetExhausted {
+        /// Configured budget.
+        budget: u64,
+        /// Packets still in flight when the budget ran out.
+        in_flight: usize,
+    },
+    /// A configuration parameter is outside its valid domain.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted.
+        value: String,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::UnknownCrossbar { crossbar, available } => write!(
+                f,
+                "flow references crossbar {crossbar}, topology serves {available}"
+            ),
+            NocError::CycleBudgetExhausted { budget, in_flight } => write!(
+                f,
+                "cycle budget {budget} exhausted with {in_flight} packets in flight"
+            ),
+            NocError::InvalidConfig { name, value } => {
+                write!(f, "invalid value `{value}` for config `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameters() {
+        let e = NocError::CycleBudgetExhausted { budget: 100, in_flight: 3 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<NocError>();
+    }
+}

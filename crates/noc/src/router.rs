@@ -1,0 +1,105 @@
+//! Output-port arbitration policies.
+//!
+//! When several input FIFOs hold head-of-line packets wanting the same
+//! output link, the arbiter picks one per cycle. The policy shapes which
+//! traffic is delayed under congestion — and therefore the disorder and
+//! ISI-distortion metrics. Noxim calls this the "selection strategy".
+
+use serde::{Deserialize, Serialize};
+
+/// Arbitration policy for contended output ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Arbitration {
+    /// Rotating priority across input ports (fair, the Noxim default).
+    RoundRobin,
+    /// The packet injected earliest wins (minimizes disorder, costs logic).
+    OldestFirst,
+    /// Lowest input-port index wins (cheap, can starve).
+    FixedPriority,
+}
+
+impl Arbitration {
+    /// Picks the winning candidate among `(input_port, inject_cycle)`
+    /// entries. `cursor` is the round-robin state for this output port
+    /// (index of the port *after* the previous winner).
+    ///
+    /// Returns the position in `candidates` of the winner, or `None` if
+    /// empty.
+    pub fn pick(&self, candidates: &[(usize, u64)], cursor: usize) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            Arbitration::RoundRobin => {
+                // first candidate whose port >= cursor, else wrap to smallest
+                candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(port, _))| port >= cursor)
+                    .min_by_key(|(_, &(port, _))| port)
+                    .or_else(|| candidates.iter().enumerate().min_by_key(|(_, &(p, _))| p))
+                    .map(|(i, _)| i)
+            }
+            Arbitration::OldestFirst => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(port, cyc))| (cyc, port))
+                .map(|(i, _)| i),
+            Arbitration::FixedPriority => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(port, _))| port)
+                .map(|(i, _)| i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        for a in [
+            Arbitration::RoundRobin,
+            Arbitration::OldestFirst,
+            Arbitration::FixedPriority,
+        ] {
+            assert_eq!(a.pick(&[], 0), None);
+        }
+    }
+
+    #[test]
+    fn fixed_priority_prefers_low_port() {
+        let c = vec![(3, 10), (1, 99), (2, 0)];
+        assert_eq!(Arbitration::FixedPriority.pick(&c, 0), Some(1));
+    }
+
+    #[test]
+    fn oldest_first_prefers_early_injection() {
+        let c = vec![(3, 10), (1, 99), (2, 4)];
+        assert_eq!(Arbitration::OldestFirst.pick(&c, 0), Some(2));
+    }
+
+    #[test]
+    fn oldest_first_ties_break_by_port() {
+        let c = vec![(3, 10), (1, 10)];
+        assert_eq!(Arbitration::OldestFirst.pick(&c, 0), Some(1));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let c = vec![(0, 0), (1, 0), (2, 0)];
+        // cursor 0 → port 0; cursor 1 → port 1; cursor 3 → wraps to port 0
+        assert_eq!(Arbitration::RoundRobin.pick(&c, 0), Some(0));
+        assert_eq!(Arbitration::RoundRobin.pick(&c, 1), Some(1));
+        assert_eq!(Arbitration::RoundRobin.pick(&c, 3), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_absent_ports() {
+        let c = vec![(0, 0), (4, 0)];
+        assert_eq!(Arbitration::RoundRobin.pick(&c, 2), Some(1)); // port 4
+    }
+}

@@ -1,0 +1,345 @@
+//! Interconnect statistics: the conventional metrics (latency, throughput,
+//! energy) and the two SNN metrics the paper introduces (spike disorder
+//! count, ISI distortion).
+
+use neuromap_hw::energy::EnergyModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One completed delivery: a spike that reached a destination crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Source neuron of the spike.
+    pub source_neuron: u32,
+    /// Crossbar it was sent from.
+    pub src_crossbar: u32,
+    /// Crossbar it was delivered to.
+    pub dst_crossbar: u32,
+    /// SNN timestep of the spike.
+    pub send_step: u32,
+    /// Cycle the packet entered the network.
+    pub inject_cycle: u64,
+    /// Cycle the packet reached the destination crossbar.
+    pub deliver_cycle: u64,
+}
+
+impl Delivery {
+    /// Network latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.deliver_cycle - self.inject_cycle
+    }
+}
+
+/// Raw event counters accumulated during simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Packets injected (AER encode events).
+    pub packets_injected: u64,
+    /// Spike deliveries (AER decode events).
+    pub deliveries: u64,
+    /// Packets traversing a router switch.
+    pub router_traversals: u64,
+    /// Flits traversing inter-router links.
+    pub link_flits: u64,
+    /// Flits written into input buffers.
+    pub buffer_flits: u64,
+}
+
+/// Full statistics of one interconnect simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Number of spike deliveries.
+    pub delivered: u64,
+    /// Total simulated cycles (time of last delivery).
+    pub total_cycles: u64,
+    /// Average delivery latency in cycles.
+    pub avg_latency_cycles: f64,
+    /// Median (p50) delivery latency in cycles.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile delivery latency in cycles — the congestion tail.
+    pub p99_latency_cycles: u64,
+    /// Maximum delivery latency in cycles (the paper's Table II latency).
+    pub max_latency_cycles: u64,
+    /// Delivered AER packets per millisecond of SNN time.
+    pub throughput_aer_per_ms: f64,
+    /// Fraction of spikes arriving out of order at their destination
+    /// crossbar, in `[0, 1]`.
+    pub disorder_fraction: f64,
+    /// Average over (source neuron, destination crossbar) streams of the
+    /// maximum |ISI(sent) − ISI(received)| in cycles.
+    pub avg_isi_distortion_cycles: f64,
+    /// Maximum ISI distortion across all streams, in cycles.
+    pub max_isi_distortion_cycles: u64,
+    /// Interconnect (global-synapse) energy in picojoules.
+    pub global_energy_pj: f64,
+    /// Raw event counters.
+    pub counters: Counters,
+}
+
+impl NocStats {
+    /// Computes all statistics from the delivery log.
+    ///
+    /// `duration_steps` is the SNN duration in timesteps; with
+    /// `cycles_per_step` it fixes the wall-clock the throughput is
+    /// normalized by (1 step = 1 ms).
+    pub fn from_deliveries(
+        deliveries: &[Delivery],
+        counters: Counters,
+        energy: &EnergyModel,
+        flits_per_packet: u32,
+        duration_steps: u32,
+        cycles_per_step: u64,
+    ) -> Self {
+        let delivered = deliveries.len() as u64;
+        let total_cycles = deliveries
+            .iter()
+            .map(|d| d.deliver_cycle)
+            .max()
+            .unwrap_or(0);
+        let avg_latency = if delivered == 0 {
+            0.0
+        } else {
+            deliveries.iter().map(|d| d.latency()).sum::<u64>() as f64 / delivered as f64
+        };
+        let max_latency = deliveries.iter().map(|d| d.latency()).max().unwrap_or(0);
+        let (p50, p99) = latency_percentiles(deliveries);
+
+        let duration_ms = duration_steps.max(1) as f64;
+        let throughput = delivered as f64 / duration_ms;
+
+        let disorder = disorder_fraction(deliveries);
+        let (avg_isi, max_isi) = isi_distortion(deliveries);
+
+        let global_energy_pj = energy.packet_energy_total(&counters, flits_per_packet);
+
+        Self {
+            delivered,
+            total_cycles: total_cycles.max(duration_steps as u64 * cycles_per_step),
+            avg_latency_cycles: avg_latency,
+            p50_latency_cycles: p50,
+            p99_latency_cycles: p99,
+            max_latency_cycles: max_latency,
+            throughput_aer_per_ms: throughput,
+            disorder_fraction: disorder,
+            avg_isi_distortion_cycles: avg_isi,
+            max_isi_distortion_cycles: max_isi,
+            global_energy_pj,
+            counters,
+        }
+    }
+}
+
+/// Energy helpers on top of the raw counters.
+trait EnergyExt {
+    fn packet_energy_total(&self, counters: &Counters, flits_per_packet: u32) -> f64;
+}
+
+impl EnergyExt for EnergyModel {
+    fn packet_energy_total(&self, c: &Counters, _flits_per_packet: u32) -> f64 {
+        c.packets_injected as f64 * self.encode_pj
+            + c.deliveries as f64 * self.decode_pj
+            + c.router_traversals as f64 * self.router_hop_pj
+            + c.link_flits as f64 * self.link_flit_pj
+            + c.buffer_flits as f64 * self.buffer_flit_pj
+    }
+}
+
+/// Latency percentiles `(p50, p99)` of a delivery log (nearest-rank).
+pub fn latency_percentiles(deliveries: &[Delivery]) -> (u64, u64) {
+    if deliveries.is_empty() {
+        return (0, 0);
+    }
+    let mut lat: Vec<u64> = deliveries.iter().map(|d| d.latency()).collect();
+    lat.sort_unstable();
+    let rank = |p: f64| -> u64 {
+        let idx = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
+        lat[idx]
+    };
+    (rank(0.50), rank(0.99))
+}
+
+/// Fraction of deliveries arriving out of order at their destination.
+///
+/// Spike order is defined at the SNN level: a spike fired at timestep
+/// `t + 1` carries later information than one fired at `t` (spikes within
+/// the same timestep are simultaneous — their relative AER serialization
+/// order carries no information). Per destination crossbar, deliveries are
+/// ordered by send step (ties by inject cycle); each adjacent cross-step
+/// pair delivered in inverted order counts once. The fraction is
+/// inversions / deliveries — the paper's "fraction of total spikes arriving
+/// out of order at the neurons", caused by congestion delaying older
+/// spikes past newer ones (the paper's crossbar-arbitration example).
+pub fn disorder_fraction(deliveries: &[Delivery]) -> f64 {
+    if deliveries.is_empty() {
+        return 0.0;
+    }
+    let mut by_dst: HashMap<u32, Vec<&Delivery>> = HashMap::new();
+    for d in deliveries {
+        by_dst.entry(d.dst_crossbar).or_default().push(d);
+    }
+    let mut inversions = 0u64;
+    for stream in by_dst.values_mut() {
+        stream.sort_by_key(|d| (d.send_step, d.inject_cycle, d.source_neuron));
+        inversions += stream
+            .windows(2)
+            .filter(|w| {
+                let (a, b) = (w[0], w[1]);
+                a.send_step < b.send_step && a.deliver_cycle > b.deliver_cycle
+            })
+            .count() as u64;
+    }
+    inversions as f64 / deliveries.len() as f64
+}
+
+/// ISI distortion per (source neuron, destination crossbar) stream:
+/// max |ISI(inject) − ISI(deliver)| in cycles; returns `(mean, max)` over
+/// streams with at least two spikes.
+pub fn isi_distortion(deliveries: &[Delivery]) -> (f64, u64) {
+    let mut by_stream: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+    for d in deliveries {
+        by_stream
+            .entry((d.source_neuron, d.dst_crossbar))
+            .or_default()
+            .push((d.inject_cycle, d.deliver_cycle));
+    }
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    let mut global_max = 0u64;
+    for times in by_stream.values_mut() {
+        if times.len() < 2 {
+            continue;
+        }
+        times.sort_unstable();
+        let mut stream_max = 0u64;
+        for w in times.windows(2) {
+            let sent_isi = w[1].0 - w[0].0;
+            let recv_isi = w[1].1.abs_diff(w[0].1);
+            stream_max = stream_max.max(sent_isi.abs_diff(recv_isi));
+        }
+        sum += stream_max;
+        count += 1;
+        global_max = global_max.max(stream_max);
+    }
+    let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+    (mean, global_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(src: u32, dst: u32, inj: u64, del: u64) -> Delivery {
+        Delivery {
+            source_neuron: src,
+            src_crossbar: 0,
+            dst_crossbar: dst,
+            send_step: (inj / 100) as u32,
+            inject_cycle: inj,
+            deliver_cycle: del,
+        }
+    }
+
+    #[test]
+    fn latency_accessor() {
+        assert_eq!(d(0, 1, 10, 25).latency(), 15);
+    }
+
+    #[test]
+    fn ordered_deliveries_have_zero_disorder() {
+        let ds = vec![d(0, 1, 0, 5), d(1, 1, 1, 6), d(2, 1, 2, 7)];
+        assert_eq!(disorder_fraction(&ds), 0.0);
+    }
+
+    #[test]
+    fn inverted_pair_detected() {
+        // sent in steps 0 and 1 (fixture derives step = inject/100), the
+        // later spike arrives first
+        let ds = vec![d(0, 1, 0, 209), d(1, 1, 100, 105)];
+        assert!((disorder_fraction(&ds) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_step_reordering_is_not_disorder() {
+        // both sent in step 0: sub-step serialization order is free
+        let ds = vec![d(0, 1, 0, 9), d(1, 1, 1, 5)];
+        assert_eq!(disorder_fraction(&ds), 0.0);
+    }
+
+    #[test]
+    fn disorder_is_per_destination() {
+        // inversion across different destinations doesn't count
+        let ds = vec![d(0, 1, 0, 209), d(1, 2, 100, 105)];
+        assert_eq!(disorder_fraction(&ds), 0.0);
+    }
+
+    #[test]
+    fn isi_distortion_of_uniform_delay_is_zero() {
+        let ds = vec![d(7, 1, 0, 4), d(7, 1, 100, 104), d(7, 1, 200, 204)];
+        let (mean, max) = isi_distortion(&ds);
+        assert_eq!(mean, 0.0);
+        assert_eq!(max, 0);
+    }
+
+    #[test]
+    fn isi_distortion_detects_jitter() {
+        // second spike delayed 6 extra cycles: recv ISIs 106, 94
+        let ds = vec![d(7, 1, 0, 4), d(7, 1, 100, 110), d(7, 1, 200, 204)];
+        let (mean, max) = isi_distortion(&ds);
+        assert_eq!(max, 6);
+        assert!((mean - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_spike_streams_ignored() {
+        let ds = vec![d(1, 1, 0, 5), d(2, 1, 10, 12)];
+        let (mean, max) = isi_distortion(&ds);
+        assert_eq!((mean, max), (0.0, 0));
+    }
+
+    #[test]
+    fn stats_assembly() {
+        let ds = vec![d(0, 1, 0, 10), d(0, 1, 100, 110)];
+        let counters = Counters {
+            packets_injected: 2,
+            deliveries: 2,
+            router_traversals: 4,
+            link_flits: 4,
+            buffer_flits: 4,
+        };
+        let em = EnergyModel::default();
+        let s = NocStats::from_deliveries(&ds, counters, &em, 2, 1, 1024);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.max_latency_cycles, 10);
+        assert!(s.global_energy_pj > 0.0);
+        assert!(s.throughput_aer_per_ms > 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ds: Vec<Delivery> = (1..=100u64).map(|k| d(0, 1, 0, k)).collect();
+        let (p50, p99) = latency_percentiles(&ds);
+        assert_eq!(p50, 50);
+        assert_eq!(p99, 99);
+        assert_eq!(latency_percentiles(&[]), (0, 0));
+        let single = vec![d(0, 1, 5, 12)];
+        assert_eq!(latency_percentiles(&single), (7, 7));
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let ds = vec![d(0, 1, 0, 3), d(1, 1, 0, 30), d(2, 1, 0, 300)];
+        let (p50, p99) = latency_percentiles(&ds);
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn energy_scales_with_counters() {
+        let em = EnergyModel::default();
+        let ds: Vec<Delivery> = Vec::new();
+        let small = Counters { packets_injected: 1, deliveries: 1, router_traversals: 1, link_flits: 1, buffer_flits: 1 };
+        let large = Counters { packets_injected: 10, deliveries: 10, router_traversals: 10, link_flits: 10, buffer_flits: 10 };
+        let s1 = NocStats::from_deliveries(&ds, small, &em, 1, 1, 1);
+        let s2 = NocStats::from_deliveries(&ds, large, &em, 1, 1, 1);
+        assert!((s2.global_energy_pj - 10.0 * s1.global_energy_pj).abs() < 1e-9);
+    }
+}

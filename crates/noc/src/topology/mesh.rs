@@ -1,0 +1,283 @@
+//! 2-D mesh and torus with dimension-order routing.
+
+use super::Topology;
+
+/// A `cols × rows` mesh of routers, one crossbar per router (row-major),
+/// XY dimension-order routing (x first, then y) — deadlock-free and
+/// deterministic, the NoC-mesh of TrueNorth-class chips.
+#[derive(Debug, Clone)]
+pub struct Mesh2D {
+    cols: usize,
+    rows: usize,
+    num_crossbars: usize,
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Mesh2D {
+    /// Builds a near-square mesh large enough for `crossbars` crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbars` is zero.
+    pub fn for_crossbars(crossbars: usize) -> Self {
+        assert!(crossbars > 0, "at least one crossbar required");
+        let cols = (crossbars as f64).sqrt().ceil() as usize;
+        let rows = crossbars.div_ceil(cols);
+        Self::grid(cols, rows, crossbars)
+    }
+
+    /// Builds an explicit `cols × rows` mesh hosting `crossbars` crossbars
+    /// at router ids `0..crossbars` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot host the crossbars or any dimension is 0.
+    pub fn grid(cols: usize, rows: usize, crossbars: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
+        assert!(crossbars <= cols * rows, "grid too small for crossbars");
+        let n = cols * rows;
+        let mut neighbors = vec![Vec::new(); n];
+        for y in 0..rows {
+            for x in 0..cols {
+                let id = y * cols + x;
+                if x + 1 < cols {
+                    neighbors[id].push(id + 1);
+                }
+                if x > 0 {
+                    neighbors[id].push(id - 1);
+                }
+                if y + 1 < rows {
+                    neighbors[id].push(id + cols);
+                }
+                if y > 0 {
+                    neighbors[id].push(id - cols);
+                }
+            }
+        }
+        Self { cols, rows, num_crossbars: crossbars, neighbors }
+    }
+
+    fn coords(&self, r: usize) -> (usize, usize) {
+        (r % self.cols, r / self.cols)
+    }
+
+    /// Grid width in routers.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height in routers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl Topology for Mesh2D {
+    fn num_routers(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    fn num_crossbars(&self) -> usize {
+        self.num_crossbars
+    }
+
+    fn endpoint(&self, k: u32) -> usize {
+        assert!((k as usize) < self.num_crossbars, "crossbar out of range");
+        k as usize
+    }
+
+    fn neighbors(&self, r: usize) -> &[usize] {
+        &self.neighbors[r]
+    }
+
+    fn route_next(&self, r: usize, dst: usize) -> usize {
+        if r == dst {
+            return r;
+        }
+        let (x, y) = self.coords(r);
+        let (dx, dy) = self.coords(dst);
+        // X first, then Y
+        if x < dx {
+            r + 1
+        } else if x > dx {
+            r - 1
+        } else if y < dy {
+            r + self.cols
+        } else {
+            r - self.cols
+        }
+    }
+
+    fn hops(&self, from: usize, to: usize) -> u32 {
+        let (x0, y0) = self.coords(from);
+        let (x1, y1) = self.coords(to);
+        (x0.abs_diff(x1) + y0.abs_diff(y1)) as u32
+    }
+
+    fn name(&self) -> String {
+        format!("mesh {}x{}", self.cols, self.rows)
+    }
+}
+
+/// A `cols × rows` torus (mesh with wraparound links), shortest-direction
+/// dimension-order routing.
+#[derive(Debug, Clone)]
+pub struct Torus {
+    cols: usize,
+    rows: usize,
+    num_crossbars: usize,
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Torus {
+    /// Builds a near-square torus for `crossbars` crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbars` is zero.
+    pub fn for_crossbars(crossbars: usize) -> Self {
+        assert!(crossbars > 0, "at least one crossbar required");
+        let cols = (crossbars as f64).sqrt().ceil() as usize;
+        let rows = crossbars.div_ceil(cols);
+        let n = cols * rows;
+        let mut neighbors = vec![Vec::new(); n];
+        for y in 0..rows {
+            for x in 0..cols {
+                let id = y * cols + x;
+                let mut push_unique = |n_id: usize| {
+                    if n_id != id && !neighbors[id].contains(&n_id) {
+                        neighbors[id].push(n_id);
+                    }
+                };
+                push_unique(y * cols + (x + 1) % cols);
+                push_unique(y * cols + (x + cols - 1) % cols);
+                push_unique(((y + 1) % rows) * cols + x);
+                push_unique(((y + rows - 1) % rows) * cols + x);
+            }
+        }
+        Self { cols, rows, num_crossbars: crossbars, neighbors }
+    }
+
+    fn coords(&self, r: usize) -> (usize, usize) {
+        (r % self.cols, r / self.cols)
+    }
+
+    /// Signed step (-1, 0, +1) along one ring of length `len` from `a`
+    /// toward `b`, shortest way round (ties go up).
+    fn ring_step(a: usize, b: usize, len: usize) -> isize {
+        if a == b {
+            return 0;
+        }
+        let fwd = (b + len - a) % len;
+        let bwd = (a + len - b) % len;
+        if fwd <= bwd {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Topology for Torus {
+    fn num_routers(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    fn num_crossbars(&self) -> usize {
+        self.num_crossbars
+    }
+
+    fn endpoint(&self, k: u32) -> usize {
+        assert!((k as usize) < self.num_crossbars, "crossbar out of range");
+        k as usize
+    }
+
+    fn neighbors(&self, r: usize) -> &[usize] {
+        &self.neighbors[r]
+    }
+
+    fn route_next(&self, r: usize, dst: usize) -> usize {
+        if r == dst {
+            return r;
+        }
+        let (x, y) = self.coords(r);
+        let (dx, dy) = self.coords(dst);
+        let sx = Self::ring_step(x, dx, self.cols);
+        if sx != 0 {
+            let nx = (x as isize + sx).rem_euclid(self.cols as isize) as usize;
+            return y * self.cols + nx;
+        }
+        let sy = Self::ring_step(y, dy, self.rows);
+        let ny = (y as isize + sy).rem_euclid(self.rows as isize) as usize;
+        ny * self.cols + x
+    }
+
+    fn name(&self) -> String {
+        format!("torus {}x{}", self.cols, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_geometry() {
+        let m = Mesh2D::for_crossbars(7); // 3x3 grid
+        assert_eq!(m.num_routers(), 9);
+        assert_eq!(m.num_crossbars(), 7);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn mesh_corner_and_center_degree() {
+        let m = Mesh2D::grid(3, 3, 9);
+        assert_eq!(m.neighbors(0).len(), 2); // corner
+        assert_eq!(m.neighbors(4).len(), 4); // center
+        assert_eq!(m.neighbors(1).len(), 3); // edge
+    }
+
+    #[test]
+    fn mesh_xy_route_is_manhattan() {
+        let m = Mesh2D::grid(4, 4, 16);
+        assert_eq!(m.hops(0, 15), 6);
+        // XY: from 0 (0,0) to 15 (3,3): first along x
+        assert_eq!(m.route_next(0, 15), 1);
+        assert_eq!(m.route_next(3, 15), 7); // x aligned, move y
+    }
+
+    #[test]
+    fn mesh_route_terminates_at_destination() {
+        let m = Mesh2D::grid(4, 2, 8);
+        assert_eq!(m.route_next(5, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn mesh_overfull_grid_rejected() {
+        let _ = Mesh2D::grid(2, 2, 5);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = Torus::for_crossbars(9); // 3x3
+        // 0 (0,0) to 2 (2,0): wrap left is 1 hop
+        assert_eq!(t.hops(0, 2), 1);
+        assert_eq!(t.route_next(0, 2), 2);
+    }
+
+    #[test]
+    fn torus_shorter_than_mesh_on_opposite_corners() {
+        let m = Mesh2D::grid(4, 4, 16);
+        let t = Torus::for_crossbars(16);
+        assert!(t.hops(0, 15) < m.hops(0, 15));
+    }
+
+    #[test]
+    fn torus_degree_is_four_for_3x3() {
+        let t = Torus::for_crossbars(9);
+        for r in 0..9 {
+            assert_eq!(t.neighbors(r).len(), 4, "router {r}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Interconnect topologies.
+//!
+//! A [`Topology`] describes the router graph, where each crossbar attaches,
+//! and the deterministic route between any two routers. Implementations:
+//!
+//! | Model | Hardware family | Routing |
+//! |---|---|---|
+//! | [`Mesh2D`] | TrueNorth, HiCANN | XY dimension-order |
+//! | [`NocTree`] | CxQuad | up-down (to lowest common ancestor) |
+//! | [`Torus`] | research meshes with wraparound | shortest-direction dimension-order |
+//! | [`Star`] | small shared-bus chips | via the hub |
+//! | [`PointToPoint`] | idealized upper bound | direct |
+
+mod mesh;
+mod star;
+mod tree;
+
+pub use mesh::{Mesh2D, Torus};
+pub use star::{PointToPoint, Star};
+pub use tree::NocTree;
+
+/// A router graph with deterministic routing and crossbar endpoints.
+///
+/// Router ids are `0..num_routers()`. Every crossbar `0..num_crossbars()`
+/// attaches to exactly one router ([`Topology::endpoint`]); several
+/// crossbars may share a router only in degenerate single-router cases.
+pub trait Topology: Send + Sync {
+    /// Number of routers in the graph.
+    fn num_routers(&self) -> usize;
+
+    /// Number of crossbars served.
+    fn num_crossbars(&self) -> usize;
+
+    /// Router to which crossbar `k` attaches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_crossbars()`.
+    fn endpoint(&self, k: u32) -> usize;
+
+    /// Direct neighbors of router `r` (egress ports, in fixed order).
+    fn neighbors(&self, r: usize) -> &[usize];
+
+    /// Next router on the deterministic route from `r` toward `dst`
+    /// (a router id). Returns `r` itself when `r == dst`.
+    fn route_next(&self, r: usize, dst: usize) -> usize;
+
+    /// Hop count of the deterministic route between two routers.
+    ///
+    /// Default implementation walks [`Topology::route_next`]; override for
+    /// analytic forms.
+    fn hops(&self, from: usize, to: usize) -> u32 {
+        let mut cur = from;
+        let mut n = 0;
+        while cur != to {
+            let next = self.route_next(cur, to);
+            assert_ne!(next, cur, "route stalled at router {cur} toward {to}");
+            cur = next;
+            n += 1;
+            assert!(
+                (n as usize) <= self.num_routers(),
+                "route from {from} to {to} exceeds router count"
+            );
+        }
+        n
+    }
+
+    /// A short human-readable name ("mesh 4x4", "tree arity 4", ...).
+    fn name(&self) -> String;
+}
+
+/// Exhaustively checks that deterministic routes between all router pairs
+/// terminate and only use neighbor links. Intended for tests and as a
+/// self-check after constructing custom topologies.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_routes(topo: &dyn Topology) -> Result<(), String> {
+    let n = topo.num_routers();
+    for from in 0..n {
+        for to in 0..n {
+            let mut cur = from;
+            let mut steps = 0;
+            while cur != to {
+                let next = topo.route_next(cur, to);
+                if next == cur {
+                    return Err(format!("route {from}->{to} stalled at {cur}"));
+                }
+                if !topo.neighbors(cur).contains(&next) {
+                    return Err(format!(
+                        "route {from}->{to} jumps {cur}->{next}, not a link"
+                    ));
+                }
+                cur = next;
+                steps += 1;
+                if steps > n {
+                    return Err(format!("route {from}->{to} does not terminate"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_topologies_have_consistent_routes() {
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Mesh2D::for_crossbars(7)),
+            Box::new(Mesh2D::for_crossbars(16)),
+            Box::new(Torus::for_crossbars(9)),
+            Box::new(NocTree::new(4, 4)),
+            Box::new(NocTree::new(13, 2)),
+            Box::new(Star::new(6)),
+            Box::new(PointToPoint::new(5)),
+        ];
+        for t in &topos {
+            check_routes(t.as_ref()).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+        }
+    }
+
+    #[test]
+    fn endpoints_are_valid_routers() {
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Mesh2D::for_crossbars(5)),
+            Box::new(NocTree::new(9, 3)),
+            Box::new(Star::new(4)),
+            Box::new(Torus::for_crossbars(6)),
+            Box::new(PointToPoint::new(3)),
+        ];
+        for t in &topos {
+            for k in 0..t.num_crossbars() as u32 {
+                assert!(t.endpoint(k) < t.num_routers(), "{}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hops_are_symmetric_for_symmetric_topologies() {
+        // mesh XY routing: |dx|+|dy| both ways
+        let m = Mesh2D::for_crossbars(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(m.hops(a, b), m.hops(b, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Spike traffic: the injection schedule derived from a partitioned SNN.
+//!
+//! A [`SpikeFlow`] is one spike of one neuron that must leave its crossbar:
+//! the source crossbar, the set of destination crossbars holding its global
+//! postsynaptic neurons, and the SNN timestep of the spike. The simulator
+//! turns flows into AER packets, serializing simultaneous spikes of one
+//! crossbar through its encoder (one packet per cycle), which fixes the
+//! *intended* delivery order that the disorder metric is measured against.
+
+use serde::{Deserialize, Serialize};
+
+/// One spike event bound for one or more remote crossbars.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeFlow {
+    /// Global id of the spiking neuron.
+    pub source_neuron: u32,
+    /// Crossbar hosting the neuron.
+    pub src_crossbar: u32,
+    /// Destination crossbars (deduplicated, excluding the source crossbar).
+    pub dst_crossbars: Vec<u32>,
+    /// SNN timestep at which the neuron fired.
+    pub send_step: u32,
+}
+
+impl SpikeFlow {
+    /// A flow to a single destination.
+    pub fn unicast(source_neuron: u32, src: u32, dst: u32, send_step: u32) -> Self {
+        Self {
+            source_neuron,
+            src_crossbar: src,
+            dst_crossbars: vec![dst],
+            send_step,
+        }
+    }
+
+    /// A flow to several destinations (candidates for multicast).
+    ///
+    /// Destinations are deduplicated and the source crossbar is removed.
+    pub fn multicast(source_neuron: u32, src: u32, mut dsts: Vec<u32>, send_step: u32) -> Self {
+        dsts.sort_unstable();
+        dsts.dedup();
+        dsts.retain(|&d| d != src);
+        Self {
+            source_neuron,
+            src_crossbar: src,
+            dst_crossbars: dsts,
+            send_step,
+        }
+    }
+
+    /// Number of unicast packets this flow costs without multicast support.
+    pub fn unicast_cost(&self) -> usize {
+        self.dst_crossbars.len()
+    }
+}
+
+/// Sorts flows into canonical injection order: by step, then source
+/// crossbar, then source neuron — the order the AER encoders see them.
+pub fn sort_canonical(flows: &mut [SpikeFlow]) {
+    flows.sort_by_key(|f| (f.send_step, f.src_crossbar, f.source_neuron));
+}
+
+/// Total packet count of a flow schedule under the given multicast setting.
+pub fn packet_count(flows: &[SpikeFlow], multicast: bool) -> u64 {
+    flows
+        .iter()
+        .map(|f| {
+            if f.dst_crossbars.is_empty() {
+                0
+            } else if multicast {
+                1
+            } else {
+                f.unicast_cost() as u64
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_dedups_and_drops_source() {
+        let f = SpikeFlow::multicast(1, 2, vec![3, 2, 3, 0], 5);
+        assert_eq!(f.dst_crossbars, vec![0, 3]);
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_step_then_source() {
+        let mut flows = vec![
+            SpikeFlow::unicast(9, 1, 0, 2),
+            SpikeFlow::unicast(1, 0, 1, 2),
+            SpikeFlow::unicast(5, 0, 1, 1),
+        ];
+        sort_canonical(&mut flows);
+        assert_eq!(flows[0].send_step, 1);
+        assert_eq!(flows[1].src_crossbar, 0);
+        assert_eq!(flows[2].src_crossbar, 1);
+    }
+
+    #[test]
+    fn packet_count_respects_multicast() {
+        let flows = vec![
+            SpikeFlow::multicast(0, 0, vec![1, 2, 3], 0),
+            SpikeFlow::unicast(1, 1, 0, 0),
+        ];
+        assert_eq!(packet_count(&flows, true), 2);
+        assert_eq!(packet_count(&flows, false), 4);
+    }
+
+    #[test]
+    fn empty_destination_flow_costs_nothing() {
+        let f = SpikeFlow::multicast(0, 1, vec![1], 0); // only dst == src
+        assert_eq!(packet_count(&[f], false), 0);
+    }
+}

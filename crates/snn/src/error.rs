@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for SNN construction and simulation.
+///
+/// Returned by the fallible APIs of [`crate::network::NetworkBuilder`] and
+/// [`crate::simulator::Simulator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnnError {
+    /// A group name was registered twice.
+    DuplicateGroup(String),
+    /// A referenced group id does not exist in the builder.
+    UnknownGroup(usize),
+    /// A group was created with zero neurons.
+    EmptyGroup(String),
+    /// A connection pattern does not fit the group geometry
+    /// (for example a one-to-one pattern between unequally sized groups).
+    PatternMismatch {
+        /// Human-readable description of the pattern.
+        pattern: String,
+        /// Size of the presynaptic group.
+        pre: usize,
+        /// Size of the postsynaptic group.
+        post: usize,
+    },
+    /// A numeric parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted.
+        value: String,
+    },
+    /// An explicit spike source was given trains for the wrong neuron count.
+    GeneratorSizeMismatch {
+        /// Neurons in the group.
+        expected: usize,
+        /// Trains provided.
+        got: usize,
+    },
+    /// A connection references an input group as postsynaptic target.
+    InputAsTarget(String),
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::DuplicateGroup(name) => write!(f, "duplicate group name `{name}`"),
+            SnnError::UnknownGroup(id) => write!(f, "unknown group id {id}"),
+            SnnError::EmptyGroup(name) => write!(f, "group `{name}` has zero neurons"),
+            SnnError::PatternMismatch { pattern, pre, post } => write!(
+                f,
+                "pattern `{pattern}` incompatible with group sizes pre={pre}, post={post}"
+            ),
+            SnnError::InvalidParameter { name, value } => {
+                write!(f, "invalid value `{value}` for parameter `{name}`")
+            }
+            SnnError::GeneratorSizeMismatch { expected, got } => write!(
+                f,
+                "explicit spike source provides {got} trains for a group of {expected} neurons"
+            ),
+            SnnError::InputAsTarget(name) => {
+                write!(f, "input group `{name}` cannot be a postsynaptic target")
+            }
+        }
+    }
+}
+
+impl Error for SnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SnnError::DuplicateGroup("exc".into());
+        let msg = e.to_string();
+        assert!(msg.starts_with("duplicate"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnnError>();
+    }
+
+    #[test]
+    fn pattern_mismatch_mentions_sizes() {
+        let e = SnnError::PatternMismatch {
+            pattern: "one-to-one".into(),
+            pre: 3,
+            post: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pre=3"));
+        assert!(msg.contains("post=5"));
+    }
+}

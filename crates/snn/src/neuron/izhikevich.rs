@@ -1,0 +1,152 @@
+//! The Izhikevich (2003) point-neuron model.
+
+use super::NeuronModel;
+
+/// Izhikevich neuron:
+///
+/// ```text
+/// v' = 0.04 v² + 5 v + 140 − u + I
+/// u' = a (b v − u)
+/// if v ≥ 30 mV:  v ← c,  u ← u + d
+/// ```
+///
+/// The model reproduces a wide catalog of cortical firing patterns with four
+/// parameters and is the neuron CARLsim simulates natively, which is why the
+/// rate-coded workloads of the paper use it.
+///
+/// Integration uses two half-steps of `dt/2` for `v` (the scheme CARLsim and
+/// Izhikevich's reference implementation use for 1 ms timesteps) and a full
+/// step for `u`.
+///
+/// ```
+/// use neuromap_snn::neuron::{Izhikevich, NeuronModel};
+/// let mut n = Izhikevich::regular_spiking();
+/// let spikes: usize = (0..1000).filter(|_| n.step(10.0, 1.0)).count();
+/// assert!(spikes > 5 && spikes < 200, "RS cell tonic-fires moderately: {spikes}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Izhikevich {
+    a: f32,
+    b: f32,
+    c: f32,
+    d: f32,
+    v: f32,
+    u: f32,
+}
+
+impl Izhikevich {
+    /// Spike cutoff potential (mV).
+    pub const V_PEAK: f32 = 30.0;
+
+    /// Creates a model with explicit `(a, b, c, d)` parameters, starting at
+    /// the canonical rest state `v = −65`, `u = b·v`.
+    pub fn new(a: f32, b: f32, c: f32, d: f32) -> Self {
+        let v = -65.0;
+        Self { a, b, c, d, v, u: b * v }
+    }
+
+    /// Regular-spiking (RS) excitatory cell.
+    pub fn regular_spiking() -> Self {
+        Self::new(0.02, 0.2, -65.0, 8.0)
+    }
+
+    /// Fast-spiking (FS) inhibitory cell.
+    pub fn fast_spiking() -> Self {
+        Self::new(0.1, 0.2, -65.0, 2.0)
+    }
+
+    /// Recovery variable `u` (for tests and introspection).
+    pub fn recovery(&self) -> f32 {
+        self.u
+    }
+}
+
+impl NeuronModel for Izhikevich {
+    fn step(&mut self, i_syn: f32, dt: f32) -> bool {
+        // Two half-steps for v improve stability at dt = 1 ms.
+        let half = 0.5 * dt;
+        for _ in 0..2 {
+            self.v += half * (0.04 * self.v * self.v + 5.0 * self.v + 140.0 - self.u + i_syn);
+            if self.v >= Self::V_PEAK {
+                break;
+            }
+        }
+        self.u += dt * self.a * (self.b * self.v - self.u);
+        if self.v >= Self::V_PEAK {
+            self.v = self.c;
+            self.u += self.d;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reset(&mut self) {
+        self.v = -65.0;
+        self.u = self.b * self.v;
+    }
+
+    fn potential(&self) -> f32 {
+        self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_spikes(n: &mut Izhikevich, i: f32, steps: usize) -> usize {
+        (0..steps).filter(|_| n.step(i, 1.0)).count()
+    }
+
+    #[test]
+    fn rest_is_stable_without_input() {
+        // the RS fixed point with u = b·v is v = −70 (0.04v² + 4.8v + 140 = 0)
+        let mut n = Izhikevich::regular_spiking();
+        for _ in 0..500 {
+            assert!(!n.step(0.0, 1.0));
+        }
+        assert!((n.potential() + 70.0).abs() < 2.0, "v = {}", n.potential());
+    }
+
+    #[test]
+    fn firing_rate_increases_with_current() {
+        let mut lo = Izhikevich::regular_spiking();
+        let mut hi = Izhikevich::regular_spiking();
+        let r_lo = count_spikes(&mut lo, 6.0, 1000);
+        let r_hi = count_spikes(&mut hi, 14.0, 1000);
+        assert!(r_hi > r_lo, "f-I curve must be increasing: {r_lo} !< {r_hi}");
+    }
+
+    #[test]
+    fn fs_fires_faster_than_rs() {
+        let mut rs = Izhikevich::regular_spiking();
+        let mut fs = Izhikevich::fast_spiking();
+        let n_rs = count_spikes(&mut rs, 10.0, 1000);
+        let n_fs = count_spikes(&mut fs, 10.0, 1000);
+        assert!(n_fs > n_rs, "FS ({n_fs}) should out-fire RS ({n_rs})");
+    }
+
+    #[test]
+    fn spike_resets_to_c() {
+        let mut n = Izhikevich::regular_spiking();
+        let mut fired = false;
+        for _ in 0..300 {
+            if n.step(20.0, 1.0) {
+                fired = true;
+                assert!((n.potential() + 65.0).abs() < 1e-5);
+                break;
+            }
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn potential_never_exceeds_peak_after_step() {
+        let mut n = Izhikevich::fast_spiking();
+        for _ in 0..2000 {
+            n.step(25.0, 1.0);
+            assert!(n.potential() < Izhikevich::V_PEAK + 1.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Text rendering of spike activity — quick-look diagnostics for examples,
+//! logs, and debugging sessions (the kind of raster plot CARLsim's
+//! OAT/MATLAB tooling produces, reduced to a terminal).
+
+use crate::simulator::SpikeRecord;
+
+/// Renders a spike raster as text: one row per neuron in `ids`, one column
+/// per time bin of `bin_ms` steps; `#` marks bins with ≥1 spike, `·` marks
+/// silent bins.
+///
+/// # Panics
+///
+/// Panics if `bin_ms` is zero or an id is out of range.
+pub fn raster(record: &SpikeRecord, ids: &[u32], bin_ms: u32) -> String {
+    assert!(bin_ms > 0, "bin width must be positive");
+    let bins = record.steps().div_ceil(bin_ms).max(1);
+    let mut out = String::new();
+    for &id in ids {
+        let train = record.train(id);
+        let mut row = String::with_capacity(bins as usize + 12);
+        row.push_str(&format!("{id:>6} "));
+        for b in 0..bins {
+            let lo = b * bin_ms;
+            let hi = (lo + bin_ms).min(record.steps());
+            row.push(if train.count_in(lo, hi) > 0 { '#' } else { '·' });
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Population firing rate over time: spikes per neuron per second in each
+/// `bin_ms`-wide bin over the id range.
+///
+/// # Panics
+///
+/// Panics if `bin_ms` is zero, the range is empty, or out of bounds.
+pub fn population_rate(record: &SpikeRecord, ids: std::ops::Range<u32>, bin_ms: u32) -> Vec<f64> {
+    assert!(bin_ms > 0, "bin width must be positive");
+    assert!(!ids.is_empty(), "id range must be non-empty");
+    let n = ids.len() as f64;
+    let bins = record.steps().div_ceil(bin_ms).max(1);
+    (0..bins)
+        .map(|b| {
+            let lo = b * bin_ms;
+            let hi = (lo + bin_ms).min(record.steps());
+            let spikes: usize = ids.clone().map(|i| record.train(i).count_in(lo, hi)).sum();
+            spikes as f64 * 1000.0 / (n * (hi - lo).max(1) as f64)
+        })
+        .collect()
+}
+
+/// Renders a rate curve as a one-line sparkline (8 levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return LEVELS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> SpikeRecord {
+        let mut r = SpikeRecord::new(3, 30);
+        for t in [0u32, 5, 12] {
+            r.record(0, t);
+        }
+        r.record(2, 25);
+        r
+    }
+
+    #[test]
+    fn raster_marks_active_bins() {
+        let r = record();
+        let text = raster(&r, &[0, 1, 2], 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with("##·"), "{}", lines[0]);
+        assert!(lines[1].ends_with("···"), "{}", lines[1]);
+        assert!(lines[2].ends_with("··#"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn population_rate_counts_spikes() {
+        let r = record();
+        let rates = population_rate(&r, 0..3, 10);
+        assert_eq!(rates.len(), 3);
+        // bin 0: 2 spikes over 3 neurons over 10 ms → 66.7 Hz
+        assert!((rates[0] - 2.0 * 1000.0 / 30.0).abs() < 1e-9);
+        // bin 2: 1 spike
+        assert!((rates[2] - 1000.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_of_silence_is_flat() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_rejected() {
+        let r = record();
+        let _ = raster(&r, &[0], 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Spike trains and inter-spike-interval (ISI) analysis.
+//!
+//! The paper's hardware metrics (ISI distortion, spike disorder) are defined
+//! over the spike trains emitted by individual neurons; this module provides
+//! the common representation and the ISI arithmetic shared by the simulator,
+//! the spike graph, and the NoC statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Spike times of a single neuron, in simulation timesteps (1 ms default).
+///
+/// Invariant: times are strictly increasing (a neuron spikes at most once per
+/// timestep). Constructors enforce this; [`SpikeTrain::push`] panics on
+/// violation in debug builds and silently drops duplicates in release builds.
+///
+/// ```
+/// use neuromap_snn::spikes::SpikeTrain;
+/// let t = SpikeTrain::from_times(vec![2, 5, 9]);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.isis(), vec![3, 4]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeTrain {
+    times: Vec<u32>,
+}
+
+impl SpikeTrain {
+    /// Creates an empty spike train.
+    pub fn new() -> Self {
+        Self { times: Vec::new() }
+    }
+
+    /// Creates a spike train from a vector of spike times.
+    ///
+    /// The input is sorted and deduplicated so the strictly-increasing
+    /// invariant always holds.
+    pub fn from_times(mut times: Vec<u32>) -> Self {
+        times.sort_unstable();
+        times.dedup();
+        Self { times }
+    }
+
+    /// Appends a spike at time `t`.
+    ///
+    /// Spikes arriving at or before the last recorded time are ignored,
+    /// preserving the strictly-increasing invariant.
+    pub fn push(&mut self, t: u32) {
+        if let Some(&last) = self.times.last() {
+            if t <= last {
+                debug_assert!(t > last, "spike times must be strictly increasing");
+                return;
+            }
+        }
+        self.times.push(t);
+    }
+
+    /// Number of spikes in the train.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the train contains no spikes.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The spike times as a slice.
+    pub fn times(&self) -> &[u32] {
+        &self.times
+    }
+
+    /// Consumes the train, returning the raw time vector.
+    pub fn into_times(self) -> Vec<u32> {
+        self.times
+    }
+
+    /// Iterates over spike times.
+    pub fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.times.iter()
+    }
+
+    /// Inter-spike intervals: differences of consecutive spike times.
+    ///
+    /// Empty for trains with fewer than two spikes.
+    pub fn isis(&self) -> Vec<u32> {
+        self.times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Mean inter-spike interval, or `None` for fewer than two spikes.
+    pub fn mean_isi(&self) -> Option<f64> {
+        if self.times.len() < 2 {
+            return None;
+        }
+        let span = (self.times[self.times.len() - 1] - self.times[0]) as f64;
+        Some(span / (self.times.len() - 1) as f64)
+    }
+
+    /// Mean firing rate in Hz over a window of `duration_ms` milliseconds
+    /// (assuming 1 ms timesteps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_ms` is zero.
+    pub fn rate_hz(&self, duration_ms: u32) -> f64 {
+        assert!(duration_ms > 0, "duration must be positive");
+        self.times.len() as f64 * 1000.0 / duration_ms as f64
+    }
+
+    /// Number of spikes in the half-open window `[start, end)`.
+    pub fn count_in(&self, start: u32, end: u32) -> usize {
+        let lo = self.times.partition_point(|&t| t < start);
+        let hi = self.times.partition_point(|&t| t < end);
+        hi - lo
+    }
+
+    /// First spike time, if any — the quantity used by latency (temporal)
+    /// decoding.
+    pub fn first(&self) -> Option<u32> {
+        self.times.first().copied()
+    }
+
+    /// Last spike time, if any.
+    pub fn last(&self) -> Option<u32> {
+        self.times.last().copied()
+    }
+}
+
+impl FromIterator<u32> for SpikeTrain {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Self::from_times(iter.into_iter().collect())
+    }
+}
+
+impl Extend<u32> for SpikeTrain {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SpikeTrain {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.times.iter()
+    }
+}
+
+/// Maximum absolute difference between the ISI sequences of two trains,
+/// truncated to the shorter train.
+///
+/// This is the paper's *inter-spike-interval distortion* when applied to the
+/// send-side and receive-side images of the same neuron's spike stream
+/// (Section II, "Introduced metric"). Returns 0 when either train has fewer
+/// than two spikes.
+///
+/// ```
+/// use neuromap_snn::spikes::{isi_distortion, SpikeTrain};
+/// let sent = SpikeTrain::from_times(vec![0, 10, 20]);
+/// let recv = SpikeTrain::from_times(vec![3, 14, 23]); // ISIs 11, 9 vs 10, 10
+/// assert_eq!(isi_distortion(&sent, &recv), 1);
+/// ```
+pub fn isi_distortion(sent: &SpikeTrain, received: &SpikeTrain) -> u32 {
+    let a = sent.isis();
+    let b = received.isis();
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x.abs_diff(y))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mean absolute ISI difference between two trains (see [`isi_distortion`]
+/// for the max-based variant). Returns 0.0 when either has fewer than two
+/// spikes.
+pub fn mean_isi_distortion(sent: &SpikeTrain, received: &SpikeTrain) -> f64 {
+    let a = sent.isis();
+    let b = received.isis();
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: u64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x.abs_diff(y) as u64)
+        .sum();
+    sum as f64 / n as f64
+}
+
+/// Counts pairs `(i, j)` that arrive in a different relative order than they
+/// were sent, given per-event `(send_time, receive_time)` tuples.
+///
+/// This is the primitive behind the paper's *spike disorder count*: spikes
+/// sent in one order but delivered in another carry corrupted information to
+/// the postsynaptic neuron. The count is over adjacent events after sorting
+/// by send time, i.e. the number of *inversions detectable by the receiver*
+/// between consecutive sends.
+pub fn disorder_count(events: &[(u64, u64)]) -> usize {
+    let mut sorted: Vec<(u64, u64)> = events.to_vec();
+    sorted.sort_by_key(|&(send, _)| send);
+    sorted
+        .windows(2)
+        .filter(|w| {
+            let (s0, r0) = w[0];
+            let (s1, r1) = w[1];
+            // strictly-later send delivered strictly earlier = inversion
+            s0 < s1 && r0 > r1
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_times_sorts_and_dedups() {
+        let t = SpikeTrain::from_times(vec![5, 1, 5, 3]);
+        assert_eq!(t.times(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn push_keeps_monotone_in_release() {
+        let mut t = SpikeTrain::new();
+        t.push(4);
+        t.push(9);
+        assert_eq!(t.times(), &[4, 9]);
+    }
+
+    #[test]
+    fn isis_of_short_trains_are_empty() {
+        assert!(SpikeTrain::new().isis().is_empty());
+        assert!(SpikeTrain::from_times(vec![7]).isis().is_empty());
+    }
+
+    #[test]
+    fn mean_isi_matches_span() {
+        let t = SpikeTrain::from_times(vec![0, 10, 30]);
+        assert_eq!(t.mean_isi(), Some(15.0));
+        assert_eq!(SpikeTrain::from_times(vec![3]).mean_isi(), None);
+    }
+
+    #[test]
+    fn rate_counts_spikes_per_second() {
+        let t = SpikeTrain::from_times(vec![0, 100, 200, 300]);
+        assert!((t.rate_hz(1000) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_in_window_is_half_open() {
+        let t = SpikeTrain::from_times(vec![0, 5, 10, 15]);
+        assert_eq!(t.count_in(5, 15), 2);
+        assert_eq!(t.count_in(0, 1), 1);
+        assert_eq!(t.count_in(16, 100), 0);
+    }
+
+    #[test]
+    fn isi_distortion_zero_for_pure_shift() {
+        let sent = SpikeTrain::from_times(vec![0, 10, 20, 30]);
+        let recv = SpikeTrain::from_times(vec![7, 17, 27, 37]);
+        assert_eq!(isi_distortion(&sent, &recv), 0);
+    }
+
+    #[test]
+    fn isi_distortion_detects_congestion_delay() {
+        let sent = SpikeTrain::from_times(vec![0, 10, 20]);
+        // second spike delayed by 6 extra cycles: ISIs become 16, 4
+        let recv = SpikeTrain::from_times(vec![2, 18, 22]);
+        assert_eq!(isi_distortion(&sent, &recv), 6);
+    }
+
+    #[test]
+    fn mean_isi_distortion_averages() {
+        let sent = SpikeTrain::from_times(vec![0, 10, 20]);
+        let recv = SpikeTrain::from_times(vec![0, 12, 20]); // ISIs 12, 8 vs 10, 10
+        assert!((mean_isi_distortion(&sent, &recv) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disorder_counts_inversions() {
+        // sent at 1,2,3; the spike sent at 2 arrives after the one sent at 3
+        let events = vec![(1, 10), (2, 30), (3, 20)];
+        assert_eq!(disorder_count(&events), 1);
+        // fully ordered
+        let events = vec![(1, 10), (2, 11), (3, 12)];
+        assert_eq!(disorder_count(&events), 0);
+    }
+
+    #[test]
+    fn disorder_ignores_simultaneous_sends() {
+        let events = vec![(5, 30), (5, 20)];
+        assert_eq!(disorder_count(&events), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: SpikeTrain = [9u32, 1, 4].into_iter().collect();
+        assert_eq!(t.times(), &[1, 4, 9]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The handwritten-digit workload end to end: train a Diehl & Cook-style
+//! network with STDP on procedural digit glyphs, extract its spike graph,
+//! and explore the crossbar-size design space (the paper's Fig. 6
+//! question: few large crossbars or many small ones?).
+//!
+//! Run: `cargo run --release --example digit_recognition`
+
+use neuromap::apps::digit_recognition::{glyph, DigitRecognition};
+use neuromap::apps::App;
+use neuromap::core::explore::architecture_sweep;
+use neuromap::core::pso::{PsoConfig, PsoPartitioner};
+use neuromap::core::PipelineConfig;
+use neuromap::hw::arch::{Architecture, InterconnectKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // render one glyph as ASCII so the input is visible
+    println!("input glyph for digit 3 (28×28, 7-segment raster):");
+    let img = glyph(3);
+    for y in (0..28).step_by(2) {
+        let row: String = (0..28)
+            .map(|x| if img[y * 28 + x] > 0.5 { '#' } else { '.' })
+            .collect();
+        println!("  {row}");
+    }
+
+    // a short unsupervised training run (STDP + adaptive thresholds)
+    let app = DigitRecognition {
+        presentations: 4,
+        present_ms: 100,
+        rest_ms: 25,
+        ..DigitRecognition::default()
+    };
+    println!("\nsimulating {} ({} ms with STDP)…", app.name(), app.sim_steps());
+    let graph = app.spike_graph(42)?;
+    println!(
+        "spike graph: {} neurons, {} synapses, {} spikes",
+        graph.num_neurons(),
+        graph.num_synapses(),
+        graph.total_spikes()
+    );
+
+    // the Fig. 6 sweep: how big should the crossbars be?
+    let mut base = PipelineConfig::for_arch(Architecture::custom(
+        12,
+        128,
+        InterconnectKind::Tree { arity: 4 },
+    )?);
+    // dense per-synapse traffic needs a faster interconnect clock to drain
+    base.noc.cycles_per_step = 8192;
+    let pso = PsoPartitioner::new(PsoConfig {
+        swarm_size: 20,
+        iterations: 20,
+        threads: 4,
+        ..PsoConfig::default()
+    });
+    let sizes = [180u32, 360, 720, 1440];
+    println!("\n{:>8} {:>10} {:>12} {:>12} {:>12} {:>10}", "size", "crossbars", "local µJ", "global µJ", "total µJ", "latency");
+    for pt in architecture_sweep(&graph, &base, &sizes, &pso)? {
+        println!(
+            "{:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>10}",
+            pt.neurons_per_crossbar,
+            pt.num_crossbars,
+            pt.local_energy_uj,
+            pt.global_energy_uj,
+            pt.total_energy_uj,
+            pt.worst_latency_cycles,
+        );
+    }
+    println!("\nthe total-energy optimum sits between the extremes (paper Fig. 6)");
+    Ok(())
+}

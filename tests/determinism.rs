@@ -1,0 +1,52 @@
+//! Reproducibility across the whole stack: with a fixed seed, every stage
+//! — SNN simulation, graph extraction, partitioning, interconnect
+//! simulation — must produce bit-identical results run to run.
+
+use neuromap::apps::{heartbeat::HeartbeatEstimation, synthetic::Synthetic, App};
+use neuromap::core::pso::{PsoConfig, PsoPartitioner};
+use neuromap::core::{run_pipeline, PipelineConfig, Report};
+use neuromap::hw::arch::{Architecture, InterconnectKind};
+
+fn full_run(seed: u64, threads: usize) -> Report {
+    let app = Synthetic { steps: 250, ..Synthetic::new(2, 20) };
+    let graph = app.spike_graph(seed).expect("app simulates");
+    let arch = Architecture::custom(4, 14, InterconnectKind::Tree { arity: 2 }).unwrap();
+    let cfg = PipelineConfig::for_arch(arch);
+    let pso = PsoPartitioner::new(PsoConfig {
+        swarm_size: 16,
+        iterations: 12,
+        seed: seed ^ 0xBEEF,
+        threads,
+        ..PsoConfig::default()
+    });
+    run_pipeline(&graph, &pso, &cfg).expect("pipeline runs")
+}
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let a = full_run(42, 1);
+    let b = full_run(42, 1);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let a = full_run(42, 1);
+    let b = full_run(42, 4);
+    assert_eq!(a, b, "fitness threading must be bit-deterministic");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = full_run(1, 1);
+    let b = full_run(2, 1);
+    assert_ne!(a.noc, b.noc, "different stimuli should differ somewhere");
+}
+
+#[test]
+fn application_graphs_are_reproducible() {
+    let app = HeartbeatEstimation { duration_ms: 1500, ..HeartbeatEstimation::default() };
+    let a = app.spike_graph(7).expect("runs");
+    let b = app.spike_graph(7).expect("runs");
+    assert_eq!(a, b);
+}

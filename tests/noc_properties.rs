@@ -1,0 +1,141 @@
+//! Property-based tests over the interconnect simulator: conservation
+//! (every flow delivered exactly once per destination), latency sanity,
+//! and robustness across topologies, buffer depths, and arbitration
+//! policies.
+
+use neuromap::hw::energy::EnergyModel;
+use neuromap::noc::config::NocConfig;
+use neuromap::noc::router::Arbitration;
+use neuromap::noc::sim::NocSim;
+use neuromap::noc::topology::{Mesh2D, NocTree, PointToPoint, Star, Topology, Torus};
+use neuromap::noc::traffic::SpikeFlow;
+use proptest::prelude::*;
+
+const CROSSBARS: u32 = 8;
+
+fn arb_flows(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
+    proptest::collection::vec(
+        (
+            0u32..1000,        // source neuron
+            0u32..CROSSBARS,   // src crossbar
+            proptest::collection::vec(0u32..CROSSBARS, 1..4),
+            0u32..6,           // send step
+        ),
+        0..max_flows,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(neuron, src, dsts, step)| SpikeFlow::multicast(neuron, src, dsts, step))
+            .collect()
+    })
+}
+
+fn topologies() -> Vec<Box<dyn Topology>> {
+    vec![
+        Box::new(Mesh2D::for_crossbars(CROSSBARS as usize)),
+        Box::new(Torus::for_crossbars(CROSSBARS as usize)),
+        Box::new(NocTree::new(CROSSBARS as usize, 4)),
+        Box::new(NocTree::new(CROSSBARS as usize, 2)),
+        Box::new(Star::new(CROSSBARS as usize)),
+        Box::new(PointToPoint::new(CROSSBARS as usize)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_flow_is_delivered_exactly_once_per_destination(
+        flows in arb_flows(60),
+        multicast in any::<bool>(),
+    ) {
+        let expected: u64 = flows
+            .iter()
+            .map(|f| f.dst_crossbars.iter().filter(|&&d| d != f.src_crossbar).count() as u64
+                + f.dst_crossbars.iter().filter(|&&d| d == f.src_crossbar).count() as u64)
+            .sum();
+        for topo in topologies() {
+            let name = topo.name();
+            let cfg = NocConfig { multicast, ..NocConfig::default() };
+            let mut sim = NocSim::new(topo, cfg, EnergyModel::default());
+            let stats = sim.run(&flows).unwrap_or_else(|e| panic!("{name}: {e}"));
+            prop_assert_eq!(stats.delivered, expected, "{} multicast={}", name, multicast);
+        }
+    }
+
+    #[test]
+    fn latency_at_least_hop_count(
+        src in 0u32..CROSSBARS,
+        dst in 0u32..CROSSBARS,
+    ) {
+        prop_assume!(src != dst);
+        for topo in topologies() {
+            let min_hops = topo.hops(topo.endpoint(src), topo.endpoint(dst)) as u64;
+            let name = topo.name();
+            let mut sim = NocSim::new(topo, NocConfig::default(), EnergyModel::default());
+            let stats = sim
+                .run(&[SpikeFlow::unicast(1, src, dst, 0)])
+                .expect("single flow");
+            prop_assert!(
+                stats.max_latency_cycles >= min_hops,
+                "{}: latency {} < hops {}",
+                name,
+                stats.max_latency_cycles,
+                min_hops
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_buffers_never_lose_packets(
+        flows in arb_flows(40),
+        depth in 1usize..3,
+    ) {
+        let cfg = NocConfig { buffer_depth: depth, ..NocConfig::default() };
+        let mut sim = NocSim::new(
+            Box::new(Mesh2D::for_crossbars(CROSSBARS as usize)),
+            cfg,
+            EnergyModel::default(),
+        );
+        let expected: u64 = flows.iter().map(|f| f.dst_crossbars.len() as u64).sum();
+        let stats = sim.run(&flows).expect("drains");
+        prop_assert_eq!(stats.delivered, expected);
+    }
+
+    #[test]
+    fn arbitration_policies_conserve_traffic(flows in arb_flows(50)) {
+        let expected: u64 = flows.iter().map(|f| f.dst_crossbars.len() as u64).sum();
+        for arb in [Arbitration::RoundRobin, Arbitration::OldestFirst, Arbitration::FixedPriority] {
+            let cfg = NocConfig { arbitration: arb, ..NocConfig::default() };
+            let mut sim = NocSim::new(
+                Box::new(NocTree::new(CROSSBARS as usize, 2)),
+                cfg,
+                EnergyModel::default(),
+            );
+            let stats = sim.run(&flows).expect("drains");
+            prop_assert_eq!(stats.delivered, expected, "{:?}", arb);
+        }
+    }
+
+    #[test]
+    fn energy_counters_are_consistent(flows in arb_flows(40)) {
+        let mut sim = NocSim::new(
+            Box::new(Mesh2D::for_crossbars(CROSSBARS as usize)),
+            NocConfig::default(),
+            EnergyModel::default(),
+        );
+        let stats = sim.run(&flows).expect("drains");
+        let c = &stats.counters;
+        prop_assert_eq!(c.deliveries, stats.delivered);
+        // a packet traverses at least one router (its source) per delivery path
+        if stats.delivered > 0 {
+            prop_assert!(c.router_traversals >= stats.delivered);
+        }
+        // energy is non-negative and zero iff no traffic
+        if c.packets_injected == 0 {
+            prop_assert_eq!(stats.global_energy_pj, 0.0);
+        } else {
+            prop_assert!(stats.global_energy_pj > 0.0);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Run-time remapping end to end (the paper's future work, implemented as
+//! an extension): a mapping optimized for one stimulus is carried over to
+//! a drifted stimulus, and bounded incremental migration recovers most of
+//! the lost efficiency without a full re-partition.
+
+use neuromap::apps::hello_world::HelloWorld;
+use neuromap::apps::{synthetic::Synthetic, App};
+use neuromap::core::partition::{Partitioner, PartitionProblem};
+use neuromap::core::pso::{PsoConfig, PsoPartitioner};
+use neuromap::core::remap::{remap, RemapConfig};
+
+#[test]
+fn remap_recovers_after_stimulus_drift() {
+    // design-time workload (seed 1) and a drifted field workload (seed 99:
+    // different Poisson rates on the stimulus sources)
+    let design = Synthetic { steps: 400, ..Synthetic::new(2, 30) }
+        .spike_graph(1)
+        .expect("simulates");
+    let field = Synthetic { steps: 400, ..Synthetic::new(2, 30) }
+        .spike_graph(99)
+        .expect("simulates");
+
+    let c = 4usize;
+    let cap = (design.num_neurons() / 4) + 4;
+    let p_design = PartitionProblem::new(&design, c, cap).unwrap();
+    let p_field = PartitionProblem::new(&field, c, cap).unwrap();
+
+    let pso = PsoPartitioner::new(PsoConfig {
+        swarm_size: 24,
+        iterations: 24,
+        ..PsoConfig::default()
+    });
+    let deployed = pso.partition(&p_design).unwrap();
+
+    let stale_cost = p_field.cut_spikes(deployed.assignment());
+    let outcome = remap(&p_field, &deployed, &RemapConfig {
+        max_migrations: 24,
+        ..RemapConfig::default()
+    })
+    .unwrap();
+
+    assert_eq!(outcome.cost_before, stale_cost);
+    assert!(outcome.cost_after <= outcome.cost_before);
+    // the remap must stay cheap: bounded migrations, not a reshuffle
+    assert!(outcome.migrations.len() <= 24);
+    // and the refreshed mapping is feasible for the field workload
+    assert!(p_field.is_feasible(outcome.mapping.assignment()));
+}
+
+#[test]
+fn remap_recovers_controlled_rate_drift() {
+    // Controlled drift with known ground truth: the same topology, but the
+    // traffic hot-spot moves from the first half of a layer to the second.
+    // (Sampling-noise "drift" on identical stimuli mostly measures
+    // overfitting of the design-time optimum, not adaptability.)
+    use neuromap::core::SpikeGraph;
+
+    let width = 24u32;
+    let mut synapses = Vec::new();
+    for a in 0..width {
+        for b in width..2 * width {
+            if (a + b) % 3 == 0 {
+                synapses.push((a, b));
+            }
+        }
+    }
+    let hot = |first_half_hot: bool| -> SpikeGraph {
+        let counts: Vec<u32> = (0..2 * width)
+            .map(|i| {
+                let in_first = i < width / 2 || (width..width + width / 2).contains(&i);
+                if in_first == first_half_hot {
+                    40
+                } else {
+                    2
+                }
+            })
+            .collect();
+        SpikeGraph::from_parts(2 * width, synapses.clone(), counts).unwrap()
+    };
+    let design = hot(true);
+    let field = hot(false);
+
+    let c = 4usize;
+    let cap = design.num_neurons() / 4 + 4;
+    let p_design = PartitionProblem::new(&design, c, cap).unwrap();
+    let p_field = PartitionProblem::new(&field, c, cap).unwrap();
+
+    let pso = PsoPartitioner::new(PsoConfig {
+        swarm_size: 24,
+        iterations: 24,
+        ..PsoConfig::default()
+    });
+    let deployed = pso.partition(&p_design).unwrap();
+    let fresh = pso.partition(&p_field).unwrap();
+    let fresh_cost = p_field.cut_spikes(fresh.assignment());
+
+    let outcome = remap(&p_field, &deployed, &RemapConfig {
+        max_migrations: 64,
+        ..RemapConfig::default()
+    })
+    .unwrap();
+
+    // bounded repair must never regress and must recover a meaningful
+    // share of the drift-induced degradation
+    assert!(outcome.cost_after <= outcome.cost_before);
+    let stale_gap = outcome.cost_before.saturating_sub(fresh_cost) as f64;
+    let recovered = (outcome.cost_before - outcome.cost_after) as f64;
+    if stale_gap > 0.0 {
+        assert!(
+            recovered >= 0.3 * stale_gap,
+            "remap recovered only {recovered} of a {stale_gap} gap \
+             (stale {}, remapped {}, fresh {fresh_cost})",
+            outcome.cost_before,
+            outcome.cost_after
+        );
+    }
+}
+
+#[test]
+fn remap_never_regresses_even_when_structure_is_locked() {
+    // The pooling structure of hello-world resists local repair: a fresh
+    // global optimization can regroup whole stripes, bounded migration
+    // cannot. The contract is monotonicity, not optimality.
+    let app = HelloWorld { steps: 400, ..HelloWorld::default() };
+    let design = app.spike_graph(1).expect("simulates");
+    let field = app.spike_graph(77).expect("simulates");
+
+    let c = 4usize;
+    let cap = design.num_neurons() / 4 + 8;
+    let p_design = PartitionProblem::new(&design, c, cap).unwrap();
+    let p_field = PartitionProblem::new(&field, c, cap).unwrap();
+
+    let pso = PsoPartitioner::new(PsoConfig {
+        swarm_size: 24,
+        iterations: 24,
+        ..PsoConfig::default()
+    });
+    let deployed = pso.partition(&p_design).unwrap();
+    let outcome = remap(&p_field, &deployed, &RemapConfig {
+        max_migrations: 64,
+        ..RemapConfig::default()
+    })
+    .unwrap();
+    assert!(outcome.cost_after <= outcome.cost_before);
+    assert!(p_field.is_feasible(outcome.mapping.assignment()));
+}
