@@ -178,7 +178,13 @@ impl App for DigitRecognition {
         )?;
         // each excitatory neuron fires its inhibitory partner reliably
         // (LIF pulse kick is w/τm, so single-spike relay needs w ≳ 260)
-        b.connect(exc, inh, ConnectPattern::OneToOne, WeightInit::Constant(350.0), 1)?;
+        b.connect(
+            exc,
+            inh,
+            ConnectPattern::OneToOne,
+            WeightInit::Constant(350.0),
+            1,
+        )?;
         // each inhibitory neuron suppresses all excitatory except its partner
         let pairs: Vec<(u32, u32)> = (0..INH)
             .flat_map(|i| (0..EXC).filter(move |&e| e != i).map(move |e| (i, e)))
@@ -222,7 +228,10 @@ mod tests {
 
     #[test]
     fn topology_matches_table1() {
-        let app = DigitRecognition { presentations: 1, ..DigitRecognition::default() };
+        let app = DigitRecognition {
+            presentations: 1,
+            ..DigitRecognition::default()
+        };
         let net = app.build(1).unwrap();
         assert_eq!(net.num_neurons(), 784 + 250 + 250);
         // input→exc full = 196000, exc→inh 250, inh→exc 250×249
@@ -236,11 +245,7 @@ mod tests {
         assert!(eight.iter().sum::<f64>() > 2.0 * one.iter().sum::<f64>());
         // 0 and 8 differ exactly in the middle bar
         let zero = glyph(0);
-        let diff: f64 = zero
-            .iter()
-            .zip(&eight)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = zero.iter().zip(&eight).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 10.0);
     }
 

@@ -85,9 +85,8 @@ fn rr_at(k: u32, rng: &mut StdRng) -> f64 {
 
 /// Adds one P-QRS-T complex centered at `center` (R peak).
 fn add_beat(signal: &mut [f64], center: usize) {
-    let gauss = |x: f64, mu: f64, sigma: f64, a: f64| {
-        a * (-(x - mu).powi(2) / (2.0 * sigma * sigma)).exp()
-    };
+    let gauss =
+        |x: f64, mu: f64, sigma: f64, a: f64| a * (-(x - mu).powi(2) / (2.0 * sigma * sigma)).exp();
     let lo = center.saturating_sub(120);
     let hi = (center + 200).min(signal.len());
     for (i, sample) in signal.iter_mut().enumerate().take(hi).skip(lo) {
@@ -113,7 +112,11 @@ pub struct HeartbeatEstimation {
 
 impl Default for HeartbeatEstimation {
     fn default() -> Self {
-        Self { duration_ms: 5000, delta: 0.22, liquid_p: 0.15 }
+        Self {
+            duration_ms: 5000,
+            delta: 0.22,
+            liquid_p: 0.15,
+        }
     }
 }
 
@@ -176,14 +179,26 @@ impl App for HeartbeatEstimation {
         // strong fan-in from the two LC channels into the whole liquid.
         // LIF pulse kicks are w/τm (τm = 20 ms), so single-event relay
         // needs w ≳ 13·20 = 260
-        b.connect(input, liquid, ConnectPattern::Full, WeightInit::Uniform { lo: 180.0, hi: 400.0 }, 1)?;
+        b.connect(
+            input,
+            liquid,
+            ConnectPattern::Full,
+            WeightInit::Uniform {
+                lo: 180.0,
+                hi: 400.0,
+            },
+            1,
+        )?;
         // sparse recurrent reservoir with mixed-sign weights, kept weak
         // enough that the liquid relays beat bursts instead of reverberating
         b.connect(
             liquid,
             liquid,
             ConnectPattern::RecurrentRandom { p: self.liquid_p },
-            WeightInit::Uniform { lo: -60.0, hi: 70.0 },
+            WeightInit::Uniform {
+                lo: -60.0,
+                hi: 70.0,
+            },
             2,
         )?;
         // full readout of the liquid: a beat burst (tens of liquid spikes
@@ -212,7 +227,11 @@ mod tests {
     fn ecg_has_plausible_beats() {
         let ecg = EcgTrace::generate(10_000, 1);
         // 60–90 BPM over 10 s → 10–15 beats
-        assert!((9..=16).contains(&ecg.r_peaks.len()), "{}", ecg.r_peaks.len());
+        assert!(
+            (9..=16).contains(&ecg.r_peaks.len()),
+            "{}",
+            ecg.r_peaks.len()
+        );
         let rr = ecg.mean_rr();
         assert!((600.0..1000.0).contains(&rr), "mean RR {rr}");
     }
@@ -257,7 +276,10 @@ mod tests {
         let record = sim.run(app.sim_steps(), &mut rng).unwrap();
         let (ecg, _) = app.encoded_input(5);
         let acc = app.estimate_accuracy(&record, ecg.mean_rr());
-        assert!(acc > 0.7, "accuracy {acc} too low — reservoir not tracking beats");
+        assert!(
+            acc > 0.7,
+            "accuracy {acc} too low — reservoir not tracking beats"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct HelloWorld {
 
 impl Default for HelloWorld {
     fn default() -> Self {
-        Self { max_rate_hz: 60.0, steps: 1000, weight: 2.4 }
+        Self {
+            max_rate_hz: 60.0,
+            steps: 1000,
+            weight: 2.4,
+        }
     }
 }
 
@@ -116,11 +120,8 @@ mod tests {
         let app = HelloWorld::default();
         let graph = app.spike_graph(7).unwrap();
         // inputs under the bar (columns 5..=7) fire much more than edges
-        let col_rate = |c: u32| -> u64 {
-            (0..HEIGHT)
-                .map(|y| graph.count(y * WIDTH + c) as u64)
-                .sum()
-        };
+        let col_rate =
+            |c: u32| -> u64 { (0..HEIGHT).map(|y| graph.count(y * WIDTH + c) as u64).sum() };
         assert!(col_rate(6) > 3 * col_rate(0).max(1));
     }
 

@@ -34,7 +34,12 @@ pub struct ImageSmoothing {
 
 impl Default for ImageSmoothing {
     fn default() -> Self {
-        Self { max_rate_hz: 100.0, steps: 1000, weight: 10.0, noise: 0.25 }
+        Self {
+            max_rate_hz: 100.0,
+            steps: 1000,
+            weight: 10.0,
+            noise: 0.25,
+        }
     }
 }
 
@@ -109,7 +114,11 @@ impl App for ImageSmoothing {
         b.connect(
             input,
             out,
-            ConnectPattern::Neighborhood2D { width: SIDE, height: SIDE, radius: 1 },
+            ConnectPattern::Neighborhood2D {
+                width: SIDE,
+                height: SIDE,
+                radius: 1,
+            },
             WeightInit::Constant(self.weight),
             1,
         )?;
@@ -154,7 +163,10 @@ mod tests {
 
     #[test]
     fn snn_output_correlates_with_reference_blur() {
-        let app = ImageSmoothing { steps: 1500, ..ImageSmoothing::default() };
+        let app = ImageSmoothing {
+            steps: 1500,
+            ..ImageSmoothing::default()
+        };
         let (_, record) = app.run(5).unwrap();
         let out = app.decode_output(&record);
         let reference = ImageSmoothing::box_blur(&ImageSmoothing::test_image(5, app.noise));

@@ -37,8 +37,8 @@
 #![warn(missing_docs)]
 
 pub mod digit_recognition;
-pub mod hello_world;
 pub mod heartbeat;
+pub mod hello_world;
 pub mod image_smoothing;
 pub mod synthetic;
 
@@ -120,21 +120,30 @@ mod tests {
     fn population_boundaries_reach_the_spike_graph() {
         // hierarchical mappers (PACMAN) depend on population structure
         // surviving the app → graph extraction
-        let hw = hello_world::HelloWorld { steps: 50, ..Default::default() };
+        let hw = hello_world::HelloWorld {
+            steps: 50,
+            ..Default::default()
+        };
         let g = hw.spike_graph(0).expect("simulates");
         let pops = g.populations();
         assert_eq!(pops.len(), 2, "field + pool");
         assert_eq!(pops[0], 0..117);
         assert_eq!(pops[1], 117..126);
 
-        let he = heartbeat::HeartbeatEstimation { duration_ms: 200, ..Default::default() };
+        let he = heartbeat::HeartbeatEstimation {
+            duration_ms: 200,
+            ..Default::default()
+        };
         let g = he.spike_graph(0).expect("simulates");
         assert_eq!(g.populations().len(), 3, "lc + liquid + readout");
     }
 
     #[test]
     fn synthetic_populations_are_per_layer() {
-        let s = synthetic::Synthetic { steps: 50, ..synthetic::Synthetic::new(3, 10) };
+        let s = synthetic::Synthetic {
+            steps: 50,
+            ..synthetic::Synthetic::new(3, 10)
+        };
         let g = s.spike_graph(0).expect("simulates");
         // stimulus + 3 layers
         assert_eq!(g.populations().len(), 4);

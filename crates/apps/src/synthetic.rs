@@ -39,7 +39,11 @@ impl Synthetic {
     /// Panics if `layers` or `width` is zero.
     pub fn new(layers: u32, width: u32) -> Self {
         assert!(layers > 0 && width > 0, "topology must be non-empty");
-        Self { layers, width, steps: 1000 }
+        Self {
+            layers,
+            width,
+            steps: 1000,
+        }
     }
 
     /// Total neurons including the 10 stimulus sources.
@@ -69,10 +73,20 @@ impl App for Synthetic {
         // weight scaling keeps activity alive through depth: the mean drive
         // per neuron per ms should sit near the Izhikevich RS rheobase
         for l in 0..self.layers {
-            let group = b.add_group(&format!("layer{l}"), self.width, NeuronKind::izhikevich_rs())?;
+            let group = b.add_group(
+                &format!("layer{l}"),
+                self.width,
+                NeuronKind::izhikevich_rs(),
+            )?;
             let fan_in = if l == 0 { STIMULUS } else { self.width };
             let w = 160.0 / fan_in as f32;
-            b.connect(prev, group, ConnectPattern::Full, WeightInit::Constant(w), 1)?;
+            b.connect(
+                prev,
+                group,
+                ConnectPattern::Full,
+                WeightInit::Constant(w),
+                1,
+            )?;
             prev = group;
         }
         Ok(b.build()?)
@@ -130,7 +144,10 @@ mod tests {
 
     #[test]
     fn activity_survives_depth() {
-        let s = Synthetic { steps: 600, ..Synthetic::new(3, 40) };
+        let s = Synthetic {
+            steps: 600,
+            ..Synthetic::new(3, 40)
+        };
         let graph = s.spike_graph(4).unwrap();
         let last_layer_first = STIMULUS + 2 * 40;
         let spikes: u64 = (last_layer_first..last_layer_first + 40)

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use neuromap_core::baselines::{GaConfig, GaPartitioner, SaConfig, SaPartitioner};
 use neuromap_core::graph::SpikeGraph;
-use neuromap_core::partition::{Partitioner, PartitionProblem};
+use neuromap_core::partition::{PartitionProblem, Partitioner};
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 
 /// Four dense clusters bridged in a chain — optimum = 3 bridge cuts.
@@ -42,7 +42,10 @@ fn bench_optimizers(c: &mut Criterion) {
         iterations: 30,
         ..PsoConfig::default()
     });
-    let sa = SaPartitioner::new(SaConfig { moves: 30_000, ..SaConfig::default() });
+    let sa = SaPartitioner::new(SaConfig {
+        moves: 30_000,
+        ..SaConfig::default()
+    });
     let ga = GaPartitioner::new(GaConfig {
         population: 40,
         generations: 60,

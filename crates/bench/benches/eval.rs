@@ -1,0 +1,199 @@
+//! Evaluation-engine benchmarks: full recompute vs the incremental
+//! per-candidate path vs the batched swarm path, at paper scale, plus an
+//! end-to-end PSO timing. Writes a `BENCH_eval.json` summary so the perf
+//! trajectory is tracked across PRs.
+//!
+//! Knobs:
+//! * `NEUROMAP_BENCH_FAST=1` — 1-sample smoke run (CI gate);
+//! * `NEUROMAP_BENCH_PAPER=1` — also time `PsoConfig::paper()`
+//!   (swarm 1000 × 100 iterations) end to end on the synthetic workload.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use neuromap_apps::digit_recognition::DigitRecognition;
+use neuromap_apps::synthetic::Synthetic;
+use neuromap_apps::App;
+use neuromap_bench::{arch_for, SEED};
+use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmScratch};
+use neuromap_core::partition::{FitnessKind, PartitionProblem};
+use neuromap_core::pso::{PsoConfig, PsoPartitioner};
+use neuromap_core::SpikeGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn workloads() -> Vec<(String, SpikeGraph)> {
+    let synth = Synthetic::new(2, 400);
+    let digit = DigitRecognition {
+        presentations: 4,
+        present_ms: 100,
+        rest_ms: 25,
+        ..DigitRecognition::default()
+    };
+    vec![
+        (
+            synth.name(),
+            synth.spike_graph(SEED).expect("synthetic simulates"),
+        ),
+        (
+            digit.name(),
+            digit.spike_graph(SEED).expect("digit app simulates"),
+        ),
+    ]
+}
+
+/// Random positions for a swarm (capacity is irrelevant to evaluation
+/// cost).
+fn random_swarm(n: usize, c: usize, lanes: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..lanes * n).map(|_| rng.gen_range(0..c as u32)).collect()
+}
+
+fn bench_full_vs_incremental(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
+    let arch = arch_for(graph.num_neurons());
+    let problem = PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
+        .expect("feasible");
+    let n = graph.num_neurons() as usize;
+    let nc = arch.num_crossbars();
+    let mut group = c.benchmark_group(format!("move/{name}"));
+    group.sample_size(10);
+    for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
+        let tag = format!("{kind:?}");
+        // full recompute per move (what the seed optimizers paid)
+        group.bench_with_input(BenchmarkId::new("full", &tag), &kind, |b, &kind| {
+            let a: Vec<u32> = (0..n).map(|i| (i % nc) as u32).collect();
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                let mut m = a.clone();
+                m[i] = (m[i] + 1) % nc as u32;
+                black_box(problem.cost(kind, &m))
+            });
+        });
+        // O(deg) incremental move through the engine
+        group.bench_with_input(BenchmarkId::new("incremental", &tag), &kind, |b, &kind| {
+            let engine = EvalEngine::new(problem, kind);
+            let mut a: Vec<u32> = (0..n).map(|i| (i % nc) as u32).collect();
+            let mut state = engine.init(&a);
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                let to = (a[i] + 1) % nc as u32;
+                black_box(engine.apply_move(&mut state, &mut a, i, to))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_swarm_eval(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
+    let arch = arch_for(graph.num_neurons());
+    let problem = PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
+        .expect("feasible");
+    let n = graph.num_neurons() as usize;
+    let lanes = 100usize;
+    let positions = random_swarm(n, arch.num_crossbars(), lanes, 7);
+    let mut group = c.benchmark_group(format!("swarm_eval/{name}"));
+    group.sample_size(10);
+    for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
+        let tag = format!("{kind:?}");
+        // per-candidate scalar loop (the seed's evaluation strategy)
+        group.bench_with_input(BenchmarkId::new("scalar", &tag), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for lane in 0..lanes {
+                    acc ^= problem.cost(kind, &positions[lane * n..(lane + 1) * n]);
+                }
+                black_box(acc)
+            });
+        });
+        // batched neuron-major tiles
+        group.bench_with_input(BenchmarkId::new("batched", &tag), &kind, |b, &kind| {
+            let evaluator = SwarmEval::new(problem, kind);
+            let mut scratch = SwarmScratch::default();
+            let mut out = vec![0u64; lanes];
+            b.iter(|| {
+                evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pso_step(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
+    let arch = arch_for(graph.num_neurons());
+    let problem = PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
+        .expect("feasible");
+    let mut group = c.benchmark_group(format!("pso_step/{name}"));
+    group.sample_size(10);
+    // swarm 100 × 10 iterations ≈ 1/100th of a paper-scale run
+    group.bench_function("swarm100_iters10", |b| {
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 100,
+            iterations: 10,
+            seed_baselines: false,
+            polish_passes: 0,
+            ..PsoConfig::default()
+        });
+        b.iter(|| pso.partition_traced(&problem).expect("feasible"));
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let apps = workloads();
+    for (name, graph) in &apps {
+        bench_full_vs_incremental(&mut c, name, graph);
+        bench_swarm_eval(&mut c, name, graph);
+        bench_pso_step(&mut c, name, graph);
+    }
+
+    // end-to-end paper-scale run (slow; opt-in)
+    let mut paper_seconds: Option<f64> = None;
+    if std::env::var("NEUROMAP_BENCH_PAPER")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        let (name, graph) = &apps[0];
+        let arch = arch_for(graph.num_neurons());
+        let problem =
+            PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
+                .expect("feasible");
+        let start = Instant::now();
+        let pso = PsoPartitioner::new(PsoConfig::paper());
+        let (m, _) = pso.partition_traced(&problem).expect("feasible");
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "paper-scale PSO ({name}, swarm 1000 x 100 iters): {secs:.2} s, cut spikes {}",
+            problem.cut_spikes(m.assignment())
+        );
+        paper_seconds = Some(secs);
+    }
+
+    // machine-readable summary for cross-PR tracking
+    let mut entries: Vec<String> = c
+        .summaries()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}",
+                s.id, s.median_ns, s.mean_ns, s.samples
+            )
+        })
+        .collect();
+    if let Some(secs) = paper_seconds {
+        entries.push(format!(
+            "    {{\"id\": \"pso_paper_end_to_end\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": 1}}",
+            secs * 1e9,
+            secs * 1e9
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_eval.json");
+    println!("wrote BENCH_eval.json ({} entries)", c.summaries().len());
+}

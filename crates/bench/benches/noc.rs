@@ -75,13 +75,13 @@ fn bench_multicast(c: &mut Criterion) {
     group.sample_size(20);
     for (name, mc) in [("multicast", true), ("unicast", false)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &flows, |b, f| {
-            let cfg = NocConfig { multicast: mc, ..NocConfig::default() };
+            let cfg = NocConfig {
+                multicast: mc,
+                ..NocConfig::default()
+            };
             b.iter(|| {
-                let mut sim = NocSim::new(
-                    Box::new(NocTree::new(16, 4)),
-                    cfg,
-                    EnergyModel::default(),
-                );
+                let mut sim =
+                    NocSim::new(Box::new(NocTree::new(16, 4)), cfg, EnergyModel::default());
                 sim.run(f).expect("traffic drains")
             });
         });

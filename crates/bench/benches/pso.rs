@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use neuromap_core::graph::SpikeGraph;
-use neuromap_core::partition::{Partitioner, PartitionProblem};
+use neuromap_core::partition::{PartitionProblem, Partitioner};
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 
 fn chain_clusters(clusters: u32, size: u32) -> SpikeGraph {
@@ -51,8 +51,7 @@ fn bench_problem_size(c: &mut Criterion) {
     group.sample_size(10);
     for (clusters, size) in [(4u32, 16u32), (8, 16), (8, 32)] {
         let graph = chain_clusters(clusters, size);
-        let problem =
-            PartitionProblem::new(&graph, clusters as usize, size + 8).expect("feasible");
+        let problem = PartitionProblem::new(&graph, clusters as usize, size + 8).expect("feasible");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}n", graph.num_neurons())),
             &problem,

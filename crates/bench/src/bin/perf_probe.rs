@@ -1,0 +1,49 @@
+//! Quick wall-clock probe of the PSO hot path at paper scale — used to
+//! track the perf trajectory across PRs (complements the criterion
+//! benches, which measure the evaluation kernels in isolation).
+//!
+//! Usage: `cargo run --release -p neuromap-bench --bin perf_probe [swarm] [iters]`
+
+use neuromap_apps::synthetic::Synthetic;
+use neuromap_apps::App;
+use neuromap_bench::{arch_for, SEED};
+use neuromap_core::partition::PartitionProblem;
+use neuromap_core::pso::{PsoConfig, PsoPartitioner};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let swarm: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let iters: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let app = Synthetic::new(2, 400);
+    let graph = app.spike_graph(SEED).expect("synthetic app simulates");
+    let arch = arch_for(graph.num_neurons());
+    let problem = PartitionProblem::new(&graph, arch.num_crossbars(), arch.neurons_per_crossbar())
+        .expect("feasible");
+    println!(
+        "graph: {} neurons, {} synapses; arch: {} crossbars x {}",
+        graph.num_neurons(),
+        graph.num_synapses(),
+        arch.num_crossbars(),
+        arch.neurons_per_crossbar()
+    );
+
+    let cfg = PsoConfig {
+        swarm_size: swarm,
+        iterations: iters,
+        ..PsoConfig::paper()
+    };
+    let start = Instant::now();
+    let (mapping, trace) = PsoPartitioner::new(cfg)
+        .partition_traced(&problem)
+        .expect("pso runs");
+    let elapsed = start.elapsed();
+    println!(
+        "pso swarm={swarm} iters={iters} threads={}: {:.3} s, best cut-spikes {}",
+        cfg.threads,
+        elapsed.as_secs_f64(),
+        problem.cut_spikes(mapping.assignment())
+    );
+    println!("converged at iteration {}", trace.converged_at);
+}

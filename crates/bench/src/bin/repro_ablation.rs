@@ -13,7 +13,7 @@ use neuromap_apps::hello_world::HelloWorld;
 use neuromap_apps::synthetic::Synthetic;
 use neuromap_apps::App;
 use neuromap_bench::{config_for, print_table, Scale, SEED};
-use neuromap_core::partition::{FitnessKind, Partitioner, PartitionProblem};
+use neuromap_core::partition::{FitnessKind, PartitionProblem, Partitioner};
 use neuromap_core::pipeline::{evaluate_mapping, TrafficMode};
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_core::SpikeGraph;
@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
     println!("# Ablation — PSO design choices ({scale:?} scale)\n");
 
-    let hw = HelloWorld { steps: scale.sim_ms(), ..HelloWorld::default() };
-    let s22 = Synthetic { steps: scale.sim_ms(), ..Synthetic::new(2, 200) };
+    let hw = HelloWorld {
+        steps: scale.sim_ms(),
+        ..HelloWorld::default()
+    };
+    let s22 = Synthetic {
+        steps: scale.sim_ms(),
+        ..Synthetic::new(2, 200)
+    };
     let apps: Vec<(String, SpikeGraph)> = vec![
         (hw.name(), hw.spike_graph(SEED)?),
         (s22.name(), s22.spike_graph(SEED)?),
@@ -32,10 +38,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("## 1. warm start and polish (objective: Eq. 8 cut spikes)\n");
     let base = scale.pso(0xAB1A);
     let variants: [(&str, PsoConfig); 4] = [
-        ("pure PSO", PsoConfig { seed_baselines: false, polish_passes: 0, ..base }),
-        ("+ warm start", PsoConfig { seed_baselines: true, polish_passes: 0, ..base }),
-        ("+ polish", PsoConfig { seed_baselines: false, polish_passes: 8, ..base }),
-        ("+ both (default)", PsoConfig { seed_baselines: true, polish_passes: 8, ..base }),
+        (
+            "pure PSO",
+            PsoConfig {
+                seed_baselines: false,
+                polish_passes: 0,
+                ..base
+            },
+        ),
+        (
+            "+ warm start",
+            PsoConfig {
+                seed_baselines: true,
+                polish_passes: 0,
+                ..base
+            },
+        ),
+        (
+            "+ polish",
+            PsoConfig {
+                seed_baselines: false,
+                polish_passes: 8,
+                ..base
+            },
+        ),
+        (
+            "+ both (default)",
+            PsoConfig {
+                seed_baselines: true,
+                polish_passes: 8,
+                ..base
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, graph) in &apps {
@@ -57,7 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(row);
     }
     print_table(
-        &["app", "pure PSO", "+ warm start", "+ polish", "+ both (default)"],
+        &[
+            "app",
+            "pure PSO",
+            "+ warm start",
+            "+ polish",
+            "+ both (default)",
+        ],
         &rows,
     );
 
@@ -74,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let mut row = vec![name.clone(), format!("{traffic:?}")];
             for fitness in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
-                let pso = PsoPartitioner::new(PsoConfig { fitness, ..scale.pso(0xAB1A) });
+                let pso = PsoPartitioner::new(PsoConfig {
+                    fitness,
+                    ..scale.pso(0xAB1A)
+                });
                 let m = pso.partition(&problem)?;
                 let report = evaluate_mapping(graph, m, "pso", &cfg)?;
                 row.push(format!("{:.0}", report.global_energy_pj));
@@ -83,7 +126,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     print_table(
-        &["app", "traffic accounting", "optimize CutSpikes", "optimize CutPackets"],
+        &[
+            "app",
+            "traffic accounting",
+            "optimize CutSpikes",
+            "optimize CutPackets",
+        ],
         &rows,
     );
     println!("\nmatching the objective to the traffic accounting should win its own column");

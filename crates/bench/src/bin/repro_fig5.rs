@@ -11,7 +11,9 @@
 //!
 //! Run: `cargo run --release -p neuromap-bench --bin repro_fig5 [--paper]`
 
-use neuromap_bench::{config_for, fig5_partitioners, print_table, realistic_graphs, synthetic_graphs, Scale};
+use neuromap_bench::{
+    config_for, fig5_partitioners, print_table, realistic_graphs, synthetic_graphs, Scale,
+};
 use neuromap_core::pipeline::run_pipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let norm: Vec<f64> = energies.iter().map(|e| e / base).collect();
         let is_realistic = !name.starts_with("synth");
         let gain_n = 1.0 - norm[2];
-        let gain_p = if energies[1] > 0.0 { 1.0 - energies[2] / energies[1] } else { 0.0 };
+        let gain_p = if energies[1] > 0.0 {
+            1.0 - energies[2] / energies[1]
+        } else {
+            0.0
+        };
         improvements_vs_neutrams.push(gain_n);
         improvements_vs_pacman.push(gain_p);
         if is_realistic {
@@ -56,7 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     print_table(
-        &["workload", "NEUTRAMS", "PACMAN", "PSO", "PSO vs NEUTRAMS", "PSO vs PACMAN"],
+        &[
+            "workload",
+            "NEUTRAMS",
+            "PACMAN",
+            "PSO",
+            "PSO vs NEUTRAMS",
+            "PSO vs PACMAN",
+        ],
         &rows,
     );
 

@@ -60,13 +60,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     print_table(
-        &["neurons/crossbar", "crossbars", "local µJ", "global µJ", "total µJ", "worst latency (cyc)"],
+        &[
+            "neurons/crossbar",
+            "crossbars",
+            "local µJ",
+            "global µJ",
+            "total µJ",
+            "worst latency (cyc)",
+        ],
         &rows,
     );
 
     // shape checks
-    let local_up = points.windows(2).all(|w| w[1].local_energy_uj >= w[0].local_energy_uj * 0.95);
-    let global_down = points.windows(2).all(|w| w[1].global_energy_uj <= w[0].global_energy_uj * 1.05);
+    let local_up = points
+        .windows(2)
+        .all(|w| w[1].local_energy_uj >= w[0].local_energy_uj * 0.95);
+    let global_down = points
+        .windows(2)
+        .all(|w| w[1].global_energy_uj <= w[0].global_energy_uj * 1.05);
     let best = points
         .iter()
         .min_by(|a, b| a.total_energy_uj.total_cmp(&b.total_energy_uj))

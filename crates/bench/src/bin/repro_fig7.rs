@@ -27,13 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scale::Paper => (vec![10, 32, 100, 316, 1000], 100),
     };
 
-    let hw = HelloWorld { steps: scale.sim_ms(), ..HelloWorld::default() };
+    let hw = HelloWorld {
+        steps: scale.sim_ms(),
+        ..HelloWorld::default()
+    };
     let he = HeartbeatEstimation {
         duration_ms: scale.sim_ms().max(3000),
         ..HeartbeatEstimation::default()
     };
-    let s18 = Synthetic { steps: scale.sim_ms(), ..Synthetic::new(1, 800) };
-    let s22 = Synthetic { steps: scale.sim_ms(), ..Synthetic::new(2, 200) };
+    let s18 = Synthetic {
+        steps: scale.sim_ms(),
+        ..Synthetic::new(1, 800)
+    };
+    let s22 = Synthetic {
+        steps: scale.sim_ms(),
+        ..Synthetic::new(2, 200)
+    };
 
     let apps: Vec<(String, neuromap_core::SpikeGraph)> = vec![
         (hw.name(), hw.spike_graph(SEED)?),
@@ -73,7 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     print_table(
-        &["app", "swarm size", "normalized energy", "cut spikes", "converged at iter"],
+        &[
+            "app",
+            "swarm size",
+            "normalized energy",
+            "cut spikes",
+            "converged at iter",
+        ],
         &rows,
     );
     println!("\npaper: normalized energy decreases with swarm size; no gains past 1000 particles");

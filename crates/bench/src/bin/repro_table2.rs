@@ -17,7 +17,7 @@
 use neuromap_apps::heartbeat::HeartbeatEstimation;
 use neuromap_bench::{config_for, print_table, realistic_graphs, Scale, SEED};
 use neuromap_core::baselines::PacmanPartitioner;
-use neuromap_core::partition::{Partitioner, PartitionProblem};
+use neuromap_core::partition::{PartitionProblem, Partitioner};
 use neuromap_core::pipeline::{evaluate_mapping_detailed, PipelineConfig, Report};
 use neuromap_core::pso::PsoPartitioner;
 use neuromap_core::SpikeGraph;
@@ -25,7 +25,9 @@ use neuromap_noc::stats::Delivery;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = Scale::from_args();
-    println!("# Table II — SNN metric evaluation on the global synapse interconnect ({scale:?} scale)\n");
+    println!(
+        "# Table II — SNN metric evaluation on the global synapse interconnect ({scale:?} scale)\n"
+    );
 
     let graphs = realistic_graphs(scale)?;
     let mut rows = Vec::new();
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pacman.noc.avg_isi_distortion_cycles,
             pso.noc.avg_isi_distortion_cycles,
         ));
-        disorder_gains.push(gain(pacman.noc.disorder_fraction, pso.noc.disorder_fraction));
+        disorder_gains.push(gain(
+            pacman.noc.disorder_fraction,
+            pso.noc.disorder_fraction,
+        ));
         latency_gains.push(gain(
             pacman.noc.max_latency_cycles as f64,
             pso.noc.max_latency_cycles as f64,
@@ -67,15 +72,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     print_table(
-        &["app", "mapping", "ISI dist (cyc)", "disorder", "thrpt (AER/ms)", "max latency (cyc)"],
+        &[
+            "app",
+            "mapping",
+            "ISI dist (cyc)",
+            "disorder",
+            "thrpt (AER/ms)",
+            "max latency (cyc)",
+        ],
         &rows,
     );
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!();
-    println!("avg ISI-distortion reduction: {:.1}% | paper: 37%", avg(&isi_gains));
-    println!("avg disorder reduction:       {:.1}% | paper: 63%", avg(&disorder_gains));
-    println!("avg max-latency reduction:    {:.1}% | paper: 22% (2%..35%)", avg(&latency_gains));
+    println!(
+        "avg ISI-distortion reduction: {:.1}% | paper: 37%",
+        avg(&isi_gains)
+    );
+    println!(
+        "avg disorder reduction:       {:.1}% | paper: 63%",
+        avg(&disorder_gains)
+    );
+    println!(
+        "avg max-latency reduction:    {:.1}% | paper: 22% (2%..35%)",
+        avg(&latency_gains)
+    );
 
     // §V-B: temporal-coding sensitivity. CxQuad-class chips are always-on,
     // ultra-low-power parts whose interconnect runs barely faster than the

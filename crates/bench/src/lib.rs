@@ -18,9 +18,9 @@
 use neuromap_apps::synthetic::Synthetic;
 use neuromap_apps::App;
 use neuromap_core::baselines::{NeutramsPartitioner, PacmanPartitioner};
+use neuromap_core::partition::FitnessKind;
 use neuromap_core::partition::Partitioner;
 use neuromap_core::pipeline::PipelineConfig;
-use neuromap_core::partition::FitnessKind;
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_core::{CoreError, SpikeGraph};
 use neuromap_hw::arch::{Architecture, InterconnectKind};
@@ -102,8 +102,12 @@ pub fn arch_for(num_neurons: u32) -> Architecture {
     } else {
         CROSSBAR_NEURONS
     };
-    Architecture::custom(crossbars, capacity.max(2), InterconnectKind::Tree { arity: 4 })
-        .expect("non-zero dimensions")
+    Architecture::custom(
+        crossbars,
+        capacity.max(2),
+        InterconnectKind::Tree { arity: 4 },
+    )
+    .expect("non-zero dimensions")
 }
 
 /// Pipeline configuration for an application of `num_neurons` neurons:
@@ -138,8 +142,14 @@ pub fn realistic_graphs(scale: Scale) -> Result<Vec<(String, SpikeGraph)>, CoreE
     use neuromap_apps::hello_world::HelloWorld;
     use neuromap_apps::image_smoothing::ImageSmoothing;
 
-    let hw = HelloWorld { steps: scale.sim_ms(), ..HelloWorld::default() };
-    let is = ImageSmoothing { steps: scale.sim_ms(), ..ImageSmoothing::default() };
+    let hw = HelloWorld {
+        steps: scale.sim_ms(),
+        ..HelloWorld::default()
+    };
+    let is = ImageSmoothing {
+        steps: scale.sim_ms(),
+        ..ImageSmoothing::default()
+    };
     let hd = match scale {
         Scale::Quick => DigitRecognition {
             presentations: 4,
@@ -171,7 +181,10 @@ pub fn synthetic_graphs(scale: Scale) -> Result<Vec<(String, SpikeGraph)>, CoreE
     neuromap_apps::synthetic::fig5_topologies()
         .into_iter()
         .map(|t| {
-            let t = Synthetic { steps: scale.sim_ms(), ..t };
+            let t = Synthetic {
+                steps: scale.sim_ms(),
+                ..t
+            };
             Ok((t.name(), t.spike_graph(SEED)?))
         })
         .collect()

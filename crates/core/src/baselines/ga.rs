@@ -1,7 +1,9 @@
-//! Genetic algorithm over the cut-spike cost.
+//! Genetic algorithm over the partitioning objectives.
 
 use crate::error::CoreError;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::eval::{SwarmEval, SwarmScratch};
+use crate::partition::{FitnessKind, PartitionProblem, Partitioner};
+use crate::pso::default_threads;
 use neuromap_hw::mapping::Mapping;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,6 +24,12 @@ pub struct GaConfig {
     pub elites: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for population evaluation (defaults to
+    /// [`std::thread::available_parallelism`]). Purely an execution knob:
+    /// results are identical for every value.
+    pub threads: usize,
+    /// Objective to minimize (Eq. 8 cut spikes by default).
+    pub fitness: FitnessKind,
 }
 
 impl Default for GaConfig {
@@ -33,6 +41,8 @@ impl Default for GaConfig {
             tournament: 3,
             elites: 2,
             seed: 0x6A,
+            threads: default_threads(),
+            fitness: FitnessKind::CutSpikes,
         }
     }
 }
@@ -41,6 +51,14 @@ impl Default for GaConfig {
 /// selection, uniform crossover, random-reassignment mutation, and a
 /// capacity **repair** pass that relocates neurons from over-full crossbars
 /// to the emptiest ones.
+///
+/// The population lives in one flat buffer (`population × N`) and every
+/// generation is scored through the batched swarm evaluator
+/// ([`SwarmEval`]) — the same vectorized cost kernels as the PSO —
+/// optionally chunked across `threads` workers (chunking never changes
+/// results). Uniform crossover rewrites ≈ half the genes, so per-child
+/// incremental deltas cannot beat a batched scan; elites skip
+/// re-evaluation entirely.
 ///
 /// Implemented as the counterpart the paper compares PSO against
 /// ("computationally less expensive with faster convergence compared to …
@@ -60,14 +78,14 @@ impl GaPartitioner {
     pub fn config(&self) -> &GaConfig {
         &self.config
     }
-}
 
-impl Partitioner for GaPartitioner {
-    fn name(&self) -> &'static str {
-        "ga"
-    }
-
-    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a population below 2, zero
+    /// tournament/threads, or a mutation rate outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), CoreError> {
         let cfg = &self.config;
         if cfg.population < 2 {
             return Err(CoreError::InvalidParameter {
@@ -76,7 +94,10 @@ impl Partitioner for GaPartitioner {
             });
         }
         if cfg.tournament == 0 {
-            return Err(CoreError::InvalidParameter { name: "tournament", value: "0".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "tournament",
+                value: "0".into(),
+            });
         }
         if !(0.0..=1.0).contains(&cfg.mutation_rate) {
             return Err(CoreError::InvalidParameter {
@@ -84,53 +105,122 @@ impl Partitioner for GaPartitioner {
                 value: cfg.mutation_rate.to_string(),
             });
         }
+        if cfg.threads == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "threads",
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Partitioner for GaPartitioner {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        self.validate()?;
+        let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = problem.graph().num_neurons() as usize;
         let c = problem.num_crossbars();
         let cap = problem.capacity();
+        let pop_size = cfg.population;
+        let evaluator = SwarmEval::new(*problem, cfg.fitness);
 
-        // seed population: sequential packing + random shuffles
-        let mut pop: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
-        pop.push((0..n as u32).map(|i| i / cap).collect());
-        while pop.len() < cfg.population {
-            let mut chrom: Vec<u32> = (0..n).map(|_| rng.gen_range(0..c) as u32).collect();
-            repair(&mut chrom, c, cap, &mut rng);
-            pop.push(chrom);
+        // seed population (flat buffer): sequential packing + random
+        // shuffles, capacity-repaired
+        let mut pop = vec![0u32; pop_size * n];
+        for (i, gene) in pop[..n].iter_mut().enumerate() {
+            *gene = i as u32 / cap;
+        }
+        for m in 1..pop_size {
+            let chrom = &mut pop[m * n..(m + 1) * n];
+            for gene in chrom.iter_mut() {
+                *gene = rng.gen_range(0..c) as u32;
+            }
+            repair(chrom, c, cap, &mut rng);
         }
 
-        let mut fitness: Vec<u64> = pop.iter().map(|x| problem.cut_spikes(x)).collect();
+        let mut fitness = vec![0u64; pop_size];
+        let mut next = vec![0u32; pop_size * n];
+        let mut order: Vec<usize> = (0..pop_size).collect();
+        let mut elite_fitness: Vec<u64> = Vec::new();
+        evaluate(&evaluator, &pop, pop_size, n, cfg.threads, &mut fitness);
 
         for _ in 0..cfg.generations {
-            let mut next: Vec<Vec<u32>> = Vec::with_capacity(cfg.population);
-            // elitism
-            let mut order: Vec<usize> = (0..pop.len()).collect();
+            // elitism: fittest individuals survive unchanged (stable order
+            // keeps ties deterministic) and carry their known fitness —
+            // only the freshly bred slots are re-evaluated below
+            order.clear();
+            order.extend(0..pop_size);
             order.sort_by_key(|&i| fitness[i]);
-            for &i in order.iter().take(cfg.elites.min(pop.len())) {
-                next.push(pop[i].clone());
+            let elites = cfg.elites.min(pop_size);
+            elite_fitness.clear();
+            for (slot, &i) in order.iter().take(elites).enumerate() {
+                next[slot * n..(slot + 1) * n].copy_from_slice(&pop[i * n..(i + 1) * n]);
+                elite_fitness.push(fitness[i]);
             }
-            while next.len() < cfg.population {
+            for slot in elites..pop_size {
                 let a = tournament(&fitness, cfg.tournament, &mut rng);
                 let b = tournament(&fitness, cfg.tournament, &mut rng);
-                let mut child: Vec<u32> = (0..n)
-                    .map(|i| if rng.gen_bool(0.5) { pop[a][i] } else { pop[b][i] })
-                    .collect();
-                for gene in child.iter_mut() {
+                let (pa, pb) = (&pop[a * n..(a + 1) * n], &pop[b * n..(b + 1) * n]);
+                let child = &mut next[slot * n..(slot + 1) * n];
+                for i in 0..n {
+                    child[i] = if rng.gen_bool(0.5) { pa[i] } else { pb[i] };
                     if rng.gen_bool(cfg.mutation_rate) {
-                        *gene = rng.gen_range(0..c) as u32;
+                        child[i] = rng.gen_range(0..c) as u32;
                     }
                 }
-                repair(&mut child, c, cap, &mut rng);
-                next.push(child);
+                repair(child, c, cap, &mut rng);
             }
-            pop = next;
-            fitness = pop.iter().map(|x| problem.cut_spikes(x)).collect();
+            std::mem::swap(&mut pop, &mut next);
+            fitness[..elites].copy_from_slice(&elite_fitness);
+            evaluate(
+                &evaluator,
+                &pop[elites * n..],
+                pop_size - elites,
+                n,
+                cfg.threads,
+                &mut fitness[elites..],
+            );
         }
 
-        let best = (0..pop.len())
+        let best = (0..pop_size)
             .min_by_key(|&i| fitness[i])
             .expect("population is non-empty");
-        problem.into_mapping(pop.swap_remove(best))
+        problem.into_mapping(pop[best * n..(best + 1) * n].to_vec())
     }
+}
+
+/// Scores the whole population through the batched evaluator, chunked
+/// across up to `threads` workers. Chunk boundaries never affect results
+/// (each lane is evaluated independently and written to its own slot).
+fn evaluate(
+    evaluator: &SwarmEval<'_>,
+    pop: &[u32],
+    pop_size: usize,
+    n: usize,
+    threads: usize,
+    fitness: &mut [u64],
+) {
+    let workers = threads.min(pop_size);
+    if workers <= 1 {
+        let mut scratch = SwarmScratch::default();
+        evaluator.eval_swarm(pop, pop_size, &mut scratch, fitness);
+        return;
+    }
+    let chunk = pop_size.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (lanes, out) in pop.chunks(chunk * n).zip(fitness.chunks_mut(chunk)) {
+            s.spawn(move || {
+                let mut scratch = SwarmScratch::default();
+                evaluator.eval_swarm(lanes, out.len(), &mut scratch, out);
+            });
+        }
+    });
 }
 
 /// Tournament selection: the fittest of `k` uniformly drawn individuals.
@@ -196,8 +286,22 @@ mod tests {
     fn converges_to_natural_cut() {
         let g = clusters();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let m = GaPartitioner::new(GaConfig::default()).partition(&p).unwrap();
+        let m = GaPartitioner::new(GaConfig::default())
+            .partition(&p)
+            .unwrap();
         assert_eq!(p.cut_spikes(m.assignment()), 10);
+    }
+
+    #[test]
+    fn optimizes_packets_too() {
+        let g = clusters();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let cfg = GaConfig {
+            fitness: FitnessKind::CutPackets,
+            ..GaConfig::default()
+        };
+        let m = GaPartitioner::new(cfg).partition(&p).unwrap();
+        assert_eq!(p.cut_packets(m.assignment()), 10);
     }
 
     #[test]
@@ -216,17 +320,57 @@ mod tests {
     fn deterministic() {
         let g = clusters();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let cfg = GaConfig { generations: 10, ..GaConfig::default() };
+        let cfg = GaConfig {
+            generations: 10,
+            ..GaConfig::default()
+        };
         let a = GaPartitioner::new(cfg).partition(&p).unwrap();
         let b = GaPartitioner::new(cfg).partition(&p).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    fn tiny_population_rejected() {
+    fn threads_do_not_change_results() {
         let g = clusters();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let cfg = GaConfig { population: 1, ..GaConfig::default() };
-        assert!(GaPartitioner::new(cfg).partition(&p).is_err());
+        let base = GaConfig {
+            generations: 8,
+            ..GaConfig::default()
+        };
+        let seq = GaPartitioner::new(GaConfig { threads: 1, ..base })
+            .partition(&p)
+            .unwrap();
+        for threads in [2, 5, 16] {
+            let par = GaPartitioner::new(GaConfig { threads, ..base })
+                .partition(&p)
+                .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let g = clusters();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        for cfg in [
+            GaConfig {
+                population: 1,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                tournament: 0,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                threads: 0,
+                ..GaConfig::default()
+            },
+            GaConfig {
+                mutation_rate: 1.5,
+                ..GaConfig::default()
+            },
+        ] {
+            assert!(GaPartitioner::new(cfg).partition(&p).is_err(), "{cfg:?}");
+        }
     }
 }

@@ -31,7 +31,7 @@ pub use sa::{SaConfig, SaPartitioner};
 mod tests {
     use super::*;
     use crate::graph::SpikeGraph;
-    use crate::partition::{Partitioner, PartitionProblem};
+    use crate::partition::{PartitionProblem, Partitioner};
 
     /// A layered net whose natural partition is by layer.
     fn layered() -> SpikeGraph {
@@ -59,7 +59,9 @@ mod tests {
             Box::new(GaPartitioner::new(GaConfig::default())),
         ];
         for part in parts {
-            let m = part.partition(&p).unwrap_or_else(|e| panic!("{}: {e}", part.name()));
+            let m = part
+                .partition(&p)
+                .unwrap_or_else(|e| panic!("{}: {e}", part.name()));
             assert!(p.is_feasible(m.assignment()), "{}", part.name());
         }
     }
@@ -101,7 +103,9 @@ mod tests {
         let p = PartitionProblem::new(&g, 3, 4).unwrap();
 
         let pacman = PacmanPartitioner::new().partition(&p).unwrap();
-        let sa = SaPartitioner::new(SaConfig::default()).partition(&p).unwrap();
+        let sa = SaPartitioner::new(SaConfig::default())
+            .partition(&p)
+            .unwrap();
         assert!(
             p.cut_spikes(sa.assignment()) <= p.cut_spikes(pacman.assignment()),
             "an optimizer must not lose to index packing on shuffled ids"

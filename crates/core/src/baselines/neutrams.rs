@@ -1,7 +1,7 @@
 //! NEUTRAMS-style partition-oblivious mapping.
 
 use crate::error::CoreError;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::partition::{PartitionProblem, Partitioner};
 use neuromap_hw::mapping::Mapping;
 
 /// NEUTRAMS-style ad-hoc mapping: neurons are interleaved round-robin over
@@ -33,9 +33,7 @@ impl Partitioner for NeutramsPartitioner {
 
     fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
         let c = problem.num_crossbars() as u32;
-        let assignment: Vec<u32> = (0..problem.graph().num_neurons())
-            .map(|i| i % c)
-            .collect();
+        let assignment: Vec<u32> = (0..problem.graph().num_neurons()).map(|i| i % c).collect();
         problem.into_mapping(assignment)
     }
 }

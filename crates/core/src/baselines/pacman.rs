@@ -1,7 +1,7 @@
 //! PACMAN-style hierarchical population packing.
 
 use crate::error::CoreError;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::partition::{PartitionProblem, Partitioner};
 use neuromap_hw::mapping::Mapping;
 
 /// PACMAN (Galluppi et al. 2012), adapted to crossbars the way the paper

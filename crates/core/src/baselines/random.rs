@@ -1,7 +1,7 @@
 //! Capacity-respecting uniform random placement.
 
 use crate::error::CoreError;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::partition::{PartitionProblem, Partitioner};
 use neuromap_hw::mapping::Mapping;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

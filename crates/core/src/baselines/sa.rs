@@ -1,7 +1,9 @@
-//! Simulated annealing over the cut-spike cost.
+//! Simulated annealing over the partitioning objectives.
 
 use crate::error::CoreError;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::eval::EvalEngine;
+use crate::partition::{FitnessKind, PartitionProblem, Partitioner};
+use crate::pso::default_threads;
 use neuromap_hw::mapping::Mapping;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -10,25 +12,46 @@ use serde::{Deserialize, Serialize};
 /// Simulated-annealing hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SaConfig {
-    /// Number of proposed moves.
+    /// Number of proposed moves per chain.
     pub moves: u32,
-    /// Initial temperature (in units of cut spikes).
+    /// Initial temperature (in units of the objective).
     pub t0: f64,
     /// Geometric cooling factor per move.
     pub alpha: f64,
-    /// RNG seed.
+    /// RNG seed (chain `k` derives its stream from `seed` and `k`).
     pub seed: u64,
+    /// Independent annealing chains; the best result wins (ties go to the
+    /// lowest chain index). More chains = more exploration, deterministic
+    /// for a fixed value.
+    pub restarts: u32,
+    /// Worker threads the chains are spread across (defaults to
+    /// [`std::thread::available_parallelism`]). Purely an execution knob:
+    /// results depend on `restarts`, never on `threads`.
+    pub threads: usize,
+    /// Objective to minimize (Eq. 8 cut spikes by default).
+    pub fitness: FitnessKind,
 }
 
 impl Default for SaConfig {
     fn default() -> Self {
-        Self { moves: 20_000, t0: 100.0, alpha: 0.9995, seed: 0x5A }
+        Self {
+            moves: 20_000,
+            t0: 100.0,
+            alpha: 0.9995,
+            seed: 0x5A,
+            restarts: 1,
+            threads: default_threads(),
+            fitness: FitnessKind::CutSpikes,
+        }
     }
 }
 
 /// Simulated annealing: starts from PACMAN's sequential packing and
 /// proposes single-neuron migrations and pair swaps, accepted by the
-/// Metropolis criterion under geometric cooling.
+/// Metropolis criterion under geometric cooling. Move costs come from the
+/// shared incremental engine ([`EvalEngine`], O(deg) per proposal — no
+/// full Eq. 8 evaluation anywhere in the chain, and no per-proposal
+/// allocation).
 ///
 /// The paper argues PSO converges faster than SA at comparable quality
 /// (§III); the `baselines` criterion bench quantifies that claim on this
@@ -48,6 +71,113 @@ impl SaPartitioner {
     pub fn config(&self) -> &SaConfig {
         &self.config
     }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for zero moves/restarts/threads or
+    /// a cooling factor outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let cfg = &self.config;
+        if cfg.moves == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "moves",
+                value: "0".into(),
+            });
+        }
+        if !(cfg.alpha > 0.0 && cfg.alpha <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "alpha",
+                value: cfg.alpha.to_string(),
+            });
+        }
+        if cfg.restarts == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "restarts",
+                value: "0".into(),
+            });
+        }
+        if cfg.threads == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "threads",
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One annealing chain; deterministic for a fixed `(problem, cfg, seed)`.
+fn run_chain(problem: &PartitionProblem<'_>, cfg: &SaConfig, seed: u64) -> (Vec<u32>, i64) {
+    let engine = EvalEngine::new(*problem, cfg.fitness);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = problem.graph().num_neurons() as usize;
+    let c = problem.num_crossbars();
+    let cap = problem.capacity();
+
+    // start from sequential packing
+    let mut current: Vec<u32> = (0..n as u32).map(|i| i / cap).collect();
+    let mut occ = vec![0u32; c];
+    for &k in &current {
+        occ[k as usize] += 1;
+    }
+    let mut state = engine.init(&current);
+    let mut cur_cost = state.cost() as i64;
+    let mut best = current.clone();
+    let mut best_cost = cur_cost;
+    let mut temp = cfg.t0;
+
+    for _ in 0..cfg.moves {
+        // propose: 50% migrate one neuron, 50% swap two neurons
+        if rng.gen_bool(0.5) {
+            let i = rng.gen_range(0..n);
+            let to = rng.gen_range(0..c) as u32;
+            let from = current[i];
+            if to == from || occ[to as usize] >= cap {
+                temp *= cfg.alpha;
+                continue;
+            }
+            let delta = engine.move_delta(&state, &current, i, to);
+            if accept(delta, temp, &mut rng) {
+                occ[from as usize] -= 1;
+                occ[to as usize] += 1;
+                engine.apply_priced_move(&mut state, &mut current, i, to, delta);
+                cur_cost += delta;
+                if cur_cost < best_cost {
+                    best_cost = cur_cost;
+                    best.copy_from_slice(&current);
+                }
+            }
+        } else {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if current[i] == current[j] {
+                temp *= cfg.alpha;
+                continue;
+            }
+            let (ci, cj) = (current[i], current[j]);
+            // price the swap by applying i's half, pricing j's half on the
+            // intermediate state, then keeping or reverting — O(deg),
+            // allocation-free, exact for any objective
+            let d1 = engine.apply_move(&mut state, &mut current, i, cj);
+            let d2 = engine.move_delta(&state, &current, j, ci);
+            if accept(d1 + d2, temp, &mut rng) {
+                engine.apply_priced_move(&mut state, &mut current, j, ci, d2);
+                cur_cost += d1 + d2;
+                if cur_cost < best_cost {
+                    best_cost = cur_cost;
+                    best.copy_from_slice(&current);
+                }
+            } else {
+                // revert i's half: the inverse move is priced at exactly -d1
+                engine.apply_priced_move(&mut state, &mut current, i, ci, -d1);
+            }
+        }
+        temp *= cfg.alpha;
+    }
+
+    (best, best_cost)
 }
 
 impl Partitioner for SaPartitioner {
@@ -56,109 +186,50 @@ impl Partitioner for SaPartitioner {
     }
 
     fn partition(&self, problem: &PartitionProblem<'_>) -> Result<Mapping, CoreError> {
+        self.validate()?;
         let cfg = &self.config;
-        if cfg.moves == 0 {
-            return Err(CoreError::InvalidParameter { name: "moves", value: "0".into() });
-        }
-        if !(0.0..1.0).contains(&cfg.alpha) && cfg.alpha != 1.0 {
-            return Err(CoreError::InvalidParameter {
-                name: "alpha",
-                value: cfg.alpha.to_string(),
+
+        // chain k's stream: the base seed for chain 0 (compatibility),
+        // golden-ratio offsets for the rest
+        let chain_seed = |k: u32| {
+            cfg.seed
+                .wrapping_add(u64::from(k).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+
+        let results: Vec<(Vec<u32>, i64)> = if cfg.restarts == 1 || cfg.threads == 1 {
+            (0..cfg.restarts)
+                .map(|k| run_chain(problem, cfg, chain_seed(k)))
+                .collect()
+        } else {
+            // spread chains over workers; results are collected in chain
+            // order so the outcome never depends on thread count
+            let workers = cfg.threads.min(cfg.restarts as usize);
+            let mut results: Vec<Option<(Vec<u32>, i64)>> = Vec::new();
+            results.resize_with(cfg.restarts as usize, || None);
+            std::thread::scope(|s| {
+                let chunks = results.chunks_mut((cfg.restarts as usize).div_ceil(workers));
+                let mut first = 0u32;
+                for chunk in chunks {
+                    let len = chunk.len() as u32;
+                    s.spawn(move || {
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            let k = first + off as u32;
+                            *slot = Some(run_chain(problem, cfg, chain_seed(k)));
+                        }
+                    });
+                    first += len;
+                }
             });
-        }
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let n = problem.graph().num_neurons() as usize;
-        let c = problem.num_crossbars();
-        let cap = problem.capacity();
+            results.into_iter().map(|r| r.expect("chain ran")).collect()
+        };
 
-        // start from sequential packing
-        let mut current: Vec<u32> = (0..n as u32).map(|i| i / cap).collect();
-        let mut occ = vec![0u32; c];
-        for &k in &current {
-            occ[k as usize] += 1;
-        }
-        let mut cur_cost = problem.cut_spikes(&current) as i64;
-        let mut best = current.clone();
-        let mut best_cost = cur_cost;
-        let mut temp = cfg.t0;
-
-        for _ in 0..cfg.moves {
-            // propose: 50% migrate one neuron, 50% swap two neurons
-            if rng.gen_bool(0.5) {
-                let i = rng.gen_range(0..n);
-                let to = rng.gen_range(0..c) as u32;
-                let from = current[i];
-                if to == from || occ[to as usize] >= cap {
-                    temp *= cfg.alpha;
-                    continue;
-                }
-                let delta = move_delta(problem, &current, i, to);
-                if accept(delta, temp, &mut rng) {
-                    occ[from as usize] -= 1;
-                    occ[to as usize] += 1;
-                    current[i] = to;
-                    cur_cost += delta;
-                    if cur_cost < best_cost {
-                        best_cost = cur_cost;
-                        best.copy_from_slice(&current);
-                    }
-                }
-            } else {
-                let i = rng.gen_range(0..n);
-                let j = rng.gen_range(0..n);
-                if current[i] == current[j] {
-                    temp *= cfg.alpha;
-                    continue;
-                }
-                let (ci, cj) = (current[i], current[j]);
-                let delta = move_delta(problem, &current, i, cj) + {
-                    // evaluate j's move with i already moved
-                    let mut tmp = current.clone();
-                    tmp[i] = cj;
-                    move_delta(problem, &tmp, j, ci)
-                };
-                if accept(delta, temp, &mut rng) {
-                    current[i] = cj;
-                    current[j] = ci;
-                    cur_cost += delta;
-                    if cur_cost < best_cost {
-                        best_cost = cur_cost;
-                        best.copy_from_slice(&current);
-                    }
-                }
-            }
-            temp *= cfg.alpha;
-        }
-
+        let best = results
+            .into_iter()
+            .min_by_key(|(_, cost)| *cost) // stable: first chain wins ties
+            .expect("restarts >= 1")
+            .0;
         problem.into_mapping(best)
     }
-}
-
-/// Cost change of migrating neuron `i` to crossbar `to` — evaluated
-/// incrementally over `i`'s in/out edges instead of re-running Eq. 8.
-fn move_delta(problem: &PartitionProblem<'_>, assignment: &[u32], i: usize, to: u32) -> i64 {
-    let g = problem.graph();
-    let from = assignment[i];
-    let mut delta = 0i64;
-    // out-edges of i: cut state flips where the target's crossbar matches
-    let ci = g.count(i as u32) as i64;
-    for &j in g.targets(i as u32) {
-        let cj = assignment[j as usize];
-        let was_cut = cj != from;
-        let is_cut = cj != to;
-        delta += ci * (is_cut as i64 - was_cut as i64);
-    }
-    // in-edges via the reverse CSR
-    for &pre in g.sources(i as u32) {
-        if pre as usize == i {
-            continue; // self-loops never change cut state
-        }
-        let cp = assignment[pre as usize];
-        let was_cut = cp != from;
-        let is_cut = cp != to;
-        delta += g.count(pre) as i64 * (is_cut as i64 - was_cut as i64);
-    }
-    delta
 }
 
 fn accept(delta: i64, temp: f64, rng: &mut StdRng) -> bool {
@@ -188,51 +259,116 @@ mod tests {
     fn finds_good_cuts() {
         let g = bipartite();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let m = SaPartitioner::new(SaConfig::default()).partition(&p).unwrap();
+        let m = SaPartitioner::new(SaConfig::default())
+            .partition(&p)
+            .unwrap();
         // optimum is 10 (only the bridge)
         assert_eq!(p.cut_spikes(m.assignment()), 10);
     }
 
     #[test]
-    fn move_delta_matches_full_recompute() {
+    fn optimizes_packets_too() {
         let g = bipartite();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let a = vec![0, 0, 1, 1, 0, 1];
-        let full_before = p.cut_spikes(&a) as i64;
-        for i in 0..6usize {
-            for to in 0..2u32 {
-                let mut b = a.clone();
-                b[i] = to;
-                let full_after = p.cut_spikes(&b) as i64;
-                let delta = move_delta(&p, &a, i, to);
-                assert_eq!(delta, full_after - full_before, "i={i} to={to}");
-            }
-        }
+        let cfg = SaConfig {
+            fitness: FitnessKind::CutPackets,
+            ..SaConfig::default()
+        };
+        let m = SaPartitioner::new(cfg).partition(&p).unwrap();
+        // the bridge is one multicast packet stream: optimum 10
+        assert_eq!(p.cut_packets(m.assignment()), 10);
     }
 
     #[test]
     fn deterministic() {
         let g = bipartite();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let cfg = SaConfig { moves: 2000, ..SaConfig::default() };
+        let cfg = SaConfig {
+            moves: 2000,
+            ..SaConfig::default()
+        };
         let a = SaPartitioner::new(cfg).partition(&p).unwrap();
         let b = SaPartitioner::new(cfg).partition(&p).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    fn zero_moves_rejected() {
+    fn threads_do_not_change_results() {
         let g = bipartite();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();
-        let cfg = SaConfig { moves: 0, ..SaConfig::default() };
-        assert!(SaPartitioner::new(cfg).partition(&p).is_err());
+        let base = SaConfig {
+            moves: 1500,
+            restarts: 3,
+            ..SaConfig::default()
+        };
+        let seq = SaPartitioner::new(SaConfig { threads: 1, ..base })
+            .partition(&p)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let par = SaPartitioner::new(SaConfig { threads, ..base })
+                .partition(&p)
+                .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_restarts_never_worse() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        let cost = |restarts| {
+            let cfg = SaConfig {
+                moves: 400,
+                restarts,
+                ..SaConfig::default()
+            };
+            let m = SaPartitioner::new(cfg).partition(&p).unwrap();
+            p.cut_spikes(m.assignment())
+        };
+        assert!(cost(4) <= cost(1));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let g = bipartite();
+        let p = PartitionProblem::new(&g, 2, 3).unwrap();
+        for cfg in [
+            SaConfig {
+                moves: 0,
+                ..SaConfig::default()
+            },
+            SaConfig {
+                restarts: 0,
+                ..SaConfig::default()
+            },
+            SaConfig {
+                threads: 0,
+                ..SaConfig::default()
+            },
+            SaConfig {
+                alpha: 1.5,
+                ..SaConfig::default()
+            },
+            SaConfig {
+                alpha: 0.0,
+                ..SaConfig::default()
+            },
+            SaConfig {
+                alpha: -0.1,
+                ..SaConfig::default()
+            },
+        ] {
+            assert!(SaPartitioner::new(cfg).partition(&p).is_err(), "{cfg:?}");
+        }
     }
 
     #[test]
     fn respects_capacity_throughout() {
         let g = bipartite();
         let p = PartitionProblem::new(&g, 3, 2).unwrap();
-        let m = SaPartitioner::new(SaConfig::default()).partition(&p).unwrap();
+        let m = SaPartitioner::new(SaConfig::default())
+            .partition(&p)
+            .unwrap();
         assert!(m.occupancy().iter().all(|&o| o <= 2));
     }
 }

@@ -34,7 +34,11 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::Infeasible { neurons, crossbars, capacity } => write!(
+            CoreError::Infeasible {
+                neurons,
+                crossbars,
+                capacity,
+            } => write!(
                 f,
                 "{neurons} neurons cannot fit on {crossbars} crossbars of capacity {capacity}"
             ),
@@ -84,7 +88,11 @@ mod tests {
 
     #[test]
     fn infeasible_message_names_numbers() {
-        let e = CoreError::Infeasible { neurons: 100, crossbars: 2, capacity: 10 };
+        let e = CoreError::Infeasible {
+            neurons: 100,
+            crossbars: 2,
+            capacity: 10,
+        };
         let m = e.to_string();
         assert!(m.contains("100") && m.contains('2') && m.contains("10"));
     }

@@ -1,0 +1,812 @@
+//! Incremental fitness engine shared by every partitioning optimizer.
+//!
+//! The paper's experiments run PSO with a swarm of 1000 for 100
+//! iterations (§III, Fig. 5–7); evaluating Eq. 8 from scratch for every
+//! particle at every iteration costs O(E) per evaluation and dominates
+//! paper-scale runs. This module maintains **per-candidate cached state**
+//! and updates it in O(deg) per changed neuron, falling back to a full
+//! recompute when churn makes the incremental path more expensive than a
+//! fresh scan.
+//!
+//! ## Cached state per candidate
+//!
+//! * `CutSpikes` (Eq. 8): the running cut-spike total. A single-neuron
+//!   migration is re-costed from the neuron's in/out CSR rows alone.
+//! * `CutPackets` (multicast-aware): the running packet total plus a
+//!   per-source tally `cnt[p][k]` = number of `p`'s targets on crossbar
+//!   `k` — the same bookkeeping the greedy refiner used internally, now
+//!   shared by every optimizer.
+//!
+//! ## Invariants
+//!
+//! * After any sequence of [`EvalEngine::apply_move`] /
+//!   [`EvalEngine::sync`] calls, `state.cost()` equals the full
+//!   recomputation on the current assignment (property-tested in
+//!   `tests/eval_properties.rs` across random move sequences, churn
+//!   fractions, and both fitness kinds).
+//! * [`EvalEngine::move_delta`] is pure: it never mutates state and is
+//!   exact for the *current* assignment (deltas of stacked hypothetical
+//!   moves must be applied one at a time).
+//! * The fallback threshold ([`EvalEngine::with_churn_threshold`]) is a
+//!   pure performance knob: both paths produce identical costs, so
+//!   results never depend on it.
+//!
+//! ## Determinism contract
+//!
+//! The engine is RNG-free and allocation-stable: identical call sequences
+//! produce identical states bit for bit, on any machine and any thread
+//! count. Optimizers keep their determinism guarantees when they move
+//! per-candidate state into worker threads, as long as each candidate is
+//! stepped by exactly one worker per round (see `neuromap_core::pool`).
+
+use crate::partition::{FitnessKind, PartitionProblem};
+
+/// Default churn fraction above which [`EvalEngine::sync`] abandons the
+/// per-move path and recomputes from scratch. Move application touches
+/// the changed neuron's full in+out neighborhood (≈ `2·E/N` edges on
+/// average), so the break-even sits near 50% churn; 35% leaves margin
+/// for the scattered memory access of the incremental path.
+pub const DEFAULT_CHURN_THRESHOLD: f32 = 0.35;
+
+/// Per-candidate cached fitness state. Create with [`EvalEngine::init`],
+/// keep it alongside the candidate's assignment, and let the engine
+/// update both together.
+/// The `Default` value is an *empty placeholder* (cost 0, no tallies) —
+/// cheap to allocate in bulk, but meaningless until overwritten by
+/// [`EvalEngine::init`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostState {
+    cost: u64,
+    /// `CutPackets` only: `cnt[p * c + k]` = targets of `p` on crossbar
+    /// `k`. Empty for `CutSpikes`.
+    target_cnt: Vec<u32>,
+}
+
+impl CostState {
+    /// The cached cost of the candidate's current assignment.
+    #[inline]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+/// The shared incremental evaluator: immutable problem context plus the
+/// pre-grouped edge structure the delta formulas need.
+#[derive(Debug, Clone)]
+pub struct EvalEngine<'g> {
+    problem: PartitionProblem<'g>,
+    kind: FitnessKind,
+    churn_threshold: f32,
+    /// `CutPackets` only — CSR of distinct presynaptic sources with edge
+    /// multiplicities: neuron `i`'s sources are
+    /// `grouped_sources[grouped_offsets[i]..grouped_offsets[i + 1]]`.
+    grouped_sources: Vec<(u32, u32)>,
+    grouped_offsets: Vec<u32>,
+    /// `CutPackets` only — number of self-loop synapses per neuron.
+    self_mult: Vec<u32>,
+}
+
+impl<'g> EvalEngine<'g> {
+    /// Builds an engine for `problem` under `kind`.
+    ///
+    /// `CutSpikes` construction is O(1); `CutPackets` pre-groups the
+    /// reverse CSR once (O(E log deg)) so every later delta is
+    /// allocation-free.
+    pub fn new(problem: PartitionProblem<'g>, kind: FitnessKind) -> Self {
+        let (grouped_sources, grouped_offsets, self_mult) = match kind {
+            FitnessKind::CutSpikes => (Vec::new(), Vec::new(), Vec::new()),
+            FitnessKind::CutPackets => group_sources(&problem),
+        };
+        Self {
+            problem,
+            kind,
+            churn_threshold: DEFAULT_CHURN_THRESHOLD,
+            grouped_sources,
+            grouped_offsets,
+            self_mult,
+        }
+    }
+
+    /// Overrides the churn fraction above which [`EvalEngine::sync`]
+    /// recomputes from scratch (performance knob only; results are
+    /// identical either way).
+    #[must_use]
+    pub fn with_churn_threshold(mut self, threshold: f32) -> Self {
+        self.churn_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The problem this engine evaluates against.
+    pub fn problem(&self) -> &PartitionProblem<'g> {
+        &self.problem
+    }
+
+    /// The objective this engine maintains.
+    pub fn kind(&self) -> FitnessKind {
+        self.kind
+    }
+
+    /// Full evaluation of `assignment`, bypassing all caches (the
+    /// reference the incremental path is verified against).
+    pub fn full_cost(&self, assignment: &[u32]) -> u64 {
+        self.problem.cost(self.kind, assignment)
+    }
+
+    /// Builds cached state for `assignment` by full evaluation.
+    pub fn init(&self, assignment: &[u32]) -> CostState {
+        let mut state = CostState {
+            cost: 0,
+            target_cnt: Vec::new(),
+        };
+        self.rebuild(&mut state, assignment);
+        state
+    }
+
+    /// Recomputes `state` from scratch for `assignment`.
+    fn rebuild(&self, state: &mut CostState, assignment: &[u32]) {
+        state.cost = self.full_cost(assignment);
+        if self.kind == FitnessKind::CutPackets {
+            let g = self.problem.graph();
+            let n = g.num_neurons() as usize;
+            let c = self.problem.num_crossbars();
+            state.target_cnt.clear();
+            state.target_cnt.resize(n * c, 0);
+            for p in 0..n as u32 {
+                for &j in g.targets(p) {
+                    state.target_cnt[p as usize * c + assignment[j as usize] as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Exact cost change of migrating neuron `i` to crossbar `to`, in
+    /// O(deg(i)), without mutating anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `to` is out of range for the problem, or (debug
+    /// builds) if `state` was built for a different-size problem.
+    pub fn move_delta(&self, state: &CostState, assignment: &[u32], i: usize, to: u32) -> i64 {
+        match self.kind {
+            FitnessKind::CutSpikes => self.problem.move_delta_spikes(assignment, i, to),
+            FitnessKind::CutPackets => self.packet_delta(state, assignment, i, to),
+        }
+    }
+
+    /// Applies the migration of neuron `i` to crossbar `to`, updating
+    /// `state` and `assignment[i]`; returns the (exact) cost change.
+    ///
+    /// Capacity is the *caller's* invariant: the engine prices moves, the
+    /// optimizer decides which are feasible.
+    pub fn apply_move(
+        &self,
+        state: &mut CostState,
+        assignment: &mut [u32],
+        i: usize,
+        to: u32,
+    ) -> i64 {
+        let from = assignment[i];
+        if from == to {
+            return 0;
+        }
+        let delta = self.move_delta(state, assignment, i, to);
+        self.commit_move(state, assignment, i, to, delta);
+        delta
+    }
+
+    /// Like [`EvalEngine::apply_move`], but reuses a `delta` the caller
+    /// already obtained from [`EvalEngine::move_delta`] on the *current*
+    /// state — optimizers that price a move before accepting it skip the
+    /// second O(deg) pricing pass. Debug builds verify the delta.
+    ///
+    /// A stale or foreign `delta` silently corrupts the cached cost in
+    /// release builds; when in doubt use [`EvalEngine::apply_move`].
+    pub fn apply_priced_move(
+        &self,
+        state: &mut CostState,
+        assignment: &mut [u32],
+        i: usize,
+        to: u32,
+        delta: i64,
+    ) {
+        if assignment[i] == to {
+            debug_assert_eq!(delta, 0, "no-op move must be priced at 0");
+            return;
+        }
+        debug_assert_eq!(
+            delta,
+            self.move_delta(state, assignment, i, to),
+            "caller-supplied delta must match the current state"
+        );
+        self.commit_move(state, assignment, i, to, delta);
+    }
+
+    /// Updates tallies, assignment, and cached cost for an accepted move
+    /// whose `delta` is already known. `assignment[i] != to` required.
+    fn commit_move(
+        &self,
+        state: &mut CostState,
+        assignment: &mut [u32],
+        i: usize,
+        to: u32,
+        delta: i64,
+    ) {
+        let from = assignment[i];
+        if self.kind == FitnessKind::CutPackets {
+            let c = self.problem.num_crossbars();
+            let lo = self.grouped_offsets[i] as usize;
+            let hi = self.grouped_offsets[i + 1] as usize;
+            for &(p, m) in &self.grouped_sources[lo..hi] {
+                let base = p as usize * c;
+                state.target_cnt[base + from as usize] -= m;
+                state.target_cnt[base + to as usize] += m;
+            }
+        }
+        assignment[i] = to;
+        state.cost = state
+            .cost
+            .checked_add_signed(delta)
+            .expect("cost stays non-negative");
+    }
+
+    /// Brings (`state`, `current`) to the new position `target`: applies
+    /// per-neuron moves when few neurons changed, or recomputes from
+    /// scratch when churn exceeds the threshold. Returns the new cost.
+    ///
+    /// `current` is rewritten to equal `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current.len() != target.len()`.
+    pub fn sync(&self, state: &mut CostState, current: &mut [u32], target: &[u32]) -> u64 {
+        assert_eq!(current.len(), target.len(), "assignment lengths must match");
+        let n = current.len();
+        let changed = current.iter().zip(target).filter(|(a, b)| a != b).count();
+        if changed == 0 {
+            return state.cost;
+        }
+        #[cfg(feature = "eval-stats")]
+        {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            pub static SYNCS: AtomicU64 = AtomicU64::new(0);
+            pub static CHANGED: AtomicU64 = AtomicU64::new(0);
+            SYNCS.fetch_add(1, Ordering::Relaxed);
+            CHANGED.fetch_add(changed as u64, Ordering::Relaxed);
+            let syncs = SYNCS.load(Ordering::Relaxed);
+            if syncs % 500 == 0 {
+                eprintln!(
+                    "eval-stats: {} syncs, avg churn {:.1}%",
+                    syncs,
+                    100.0 * CHANGED.load(Ordering::Relaxed) as f64 / (syncs * n as u64) as f64
+                );
+            }
+        }
+        if (changed as f32) > self.churn_threshold * n as f32 {
+            current.copy_from_slice(target);
+            self.rebuild(state, current);
+            return state.cost;
+        }
+        for i in 0..n {
+            if current[i] != target[i] {
+                self.apply_move(state, current, i, target[i]);
+            }
+        }
+        state.cost
+    }
+
+    /// `CutPackets` delta: how the multicast packet total changes when
+    /// neuron `i` migrates from its current crossbar to `to`.
+    fn packet_delta(&self, state: &CostState, assignment: &[u32], i: usize, to: u32) -> i64 {
+        let g = self.problem.graph();
+        let c = self.problem.num_crossbars();
+        let from = assignment[i];
+        if from == to {
+            return 0;
+        }
+        let mut d = 0i64;
+
+        // i's own outgoing packets: the home crossbar stops masking
+        // targets at `from` and starts masking targets at `to`
+        let ci = g.count(i as u32) as i64;
+        if ci > 0 {
+            let row = &state.target_cnt[i * c..(i + 1) * c];
+            let self_m = self.self_mult[i];
+            if self_m > 0 {
+                // self-loop targets move with the neuron: compare the
+                // remote-crossbar count before and after, with the row
+                // adjusted for the migrated self-loops
+                let before = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, &v)| v > 0 && k as u32 != from)
+                    .count() as i64;
+                let after = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, &v)| {
+                        let v = if k as u32 == from {
+                            v - self_m
+                        } else if k as u32 == to {
+                            v + self_m
+                        } else {
+                            v
+                        };
+                        v > 0 && k as u32 != to
+                    })
+                    .count() as i64;
+                d += ci * (after - before);
+            } else {
+                let before = (row[from as usize] > 0) as i64;
+                let after = (row[to as usize] > 0) as i64;
+                d += ci * (before - after);
+            }
+        }
+
+        // incoming: each distinct source p sees target i move from→to
+        let lo = self.grouped_offsets[i] as usize;
+        let hi = self.grouped_offsets[i + 1] as usize;
+        for &(p, m) in &self.grouped_sources[lo..hi] {
+            let p = p as usize;
+            if p == i {
+                continue; // self-loops handled with the outgoing side
+            }
+            let cp = g.count(p as u32) as i64;
+            if cp == 0 {
+                continue;
+            }
+            let home_p = assignment[p];
+            let row = &state.target_cnt[p * c..(p + 1) * c];
+            // `from` drops out of p's remote set if i carried its last edges
+            if row[from as usize] == m && from != home_p {
+                d -= cp;
+            }
+            // `to` joins p's remote set if previously untargeted
+            if row[to as usize] == 0 && to != home_p {
+                d += cp;
+            }
+        }
+        d
+    }
+}
+
+/// Number of candidates evaluated together per tile by [`SwarmEval`]:
+/// small enough that a tile (`N × LANES` bytes) stays cache-resident,
+/// wide enough to fill SIMD lanes.
+const LANES: usize = 64;
+
+/// Batched whole-swarm evaluation: the complement of the per-candidate
+/// incremental path for optimizers whose candidates churn too much to
+/// diff (binary PSO re-samples every neuron's crossbar each iteration —
+/// measured churn is 70%+, far beyond the incremental break-even).
+///
+/// Instead of evaluating candidates one by one (a random `assignment[j]`
+/// gather per edge), the swarm is transposed into **neuron-major tiles**
+/// of [`LANES`] candidates (`tile[i * LANES + lane]` = crossbar of neuron
+/// `i` in candidate `lane`, one byte each): one pass over the CSR then
+/// compares contiguous 64-byte rows, which the compiler vectorizes, and
+/// every row is reused `deg(i)` times from cache. Costs are exact — the
+/// same integer arithmetic as [`PartitionProblem::cut_spikes`] /
+/// [`PartitionProblem::cut_packets`] — just evaluated lane-parallel
+/// (verified per batch by a debug assertion and by unit tests).
+///
+/// Requirements: `num_crossbars ≤ 256` (one byte per assignment), and
+/// `≤ 64` for `CutPackets` (remote-crossbar sets live in one `u64`
+/// bitmask per lane). Outside that envelope [`SwarmEval::eval_swarm`]
+/// transparently evaluates per candidate instead.
+#[derive(Debug, Clone)]
+pub struct SwarmEval<'g> {
+    problem: PartitionProblem<'g>,
+    kind: FitnessKind,
+}
+
+/// Reusable buffers for [`SwarmEval::eval_swarm`].
+#[derive(Debug, Clone, Default)]
+pub struct SwarmScratch {
+    /// Neuron-major tile: `n × LANES` bytes.
+    tile: Vec<u8>,
+    /// Per-lane remote-edge counters for the current neuron.
+    remote: Vec<u32>,
+    /// Per-lane byte-wide partial counters (flushed every ≤255 edges so
+    /// the inner loop stays pure byte SIMD).
+    remote8: Vec<u8>,
+    /// Per-lane remote-crossbar bitmasks (`CutPackets`).
+    masks: Vec<u64>,
+}
+
+impl<'g> SwarmEval<'g> {
+    /// Creates a batched evaluator.
+    pub fn new(problem: PartitionProblem<'g>, kind: FitnessKind) -> Self {
+        Self { problem, kind }
+    }
+
+    /// Whether the vectorizable tile path applies to this problem.
+    pub fn batched(&self) -> bool {
+        let c = self.problem.num_crossbars();
+        match self.kind {
+            FitnessKind::CutSpikes => c <= 256,
+            FitnessKind::CutPackets => c <= 64,
+        }
+    }
+
+    /// Evaluates `lanes` candidates stored back to back in candidate-major
+    /// order (`positions[lane * n ..][..n]`), writing each cost to
+    /// `out[lane]`. Exact for every problem; tiled and vectorized when
+    /// [`SwarmEval::batched`] holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != lanes * n` or `out.len() != lanes`.
+    pub fn eval_swarm(
+        &self,
+        positions: &[u32],
+        lanes: usize,
+        scratch: &mut SwarmScratch,
+        out: &mut [u64],
+    ) {
+        let n = self.problem.graph().num_neurons() as usize;
+        assert_eq!(positions.len(), lanes * n, "candidate buffer size");
+        assert_eq!(out.len(), lanes, "output size");
+        if !self.batched() {
+            for lane in 0..lanes {
+                out[lane] = self
+                    .problem
+                    .cost(self.kind, &positions[lane * n..(lane + 1) * n]);
+            }
+            return;
+        }
+        scratch.tile.resize(n * LANES, 0);
+        scratch.remote.resize(LANES, 0);
+        scratch.remote8.resize(LANES, 0);
+        scratch.masks.resize(LANES, 0);
+        let mut lane0 = 0;
+        while lane0 < lanes {
+            let width = LANES.min(lanes - lane0);
+            // transpose this candidate block into the neuron-major tile,
+            // in 64-neuron blocks so writes stay inside an L1-resident
+            // 64×64 window instead of striding through the whole tile
+            for iblock in (0..n).step_by(LANES) {
+                let iend = (iblock + LANES).min(n);
+                for lane in 0..width {
+                    let row = &positions[(lane0 + lane) * n..(lane0 + lane + 1) * n];
+                    for (i, &k) in row[iblock..iend].iter().enumerate() {
+                        scratch.tile[(iblock + i) * LANES + lane] = k as u8;
+                    }
+                }
+            }
+            match self.kind {
+                FitnessKind::CutSpikes => {
+                    self.tile_cut_spikes(width, scratch, &mut out[lane0..lane0 + width]);
+                }
+                FitnessKind::CutPackets => {
+                    self.tile_cut_packets(width, scratch, &mut out[lane0..lane0 + width]);
+                }
+            }
+            debug_assert_eq!(
+                out[lane0],
+                self.problem
+                    .cost(self.kind, &positions[lane0 * n..(lane0 + 1) * n]),
+                "batched cost must equal the scalar evaluation"
+            );
+            lane0 += width;
+        }
+    }
+
+    /// Eq. 8 over one tile: per neuron, count cut out-edges per lane and
+    /// weight by the neuron's spike count.
+    fn tile_cut_spikes(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let tile = &scratch.tile;
+        let remote = &mut scratch.remote;
+        let remote8 = &mut scratch.remote8;
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            remote[..width].fill(0);
+            let home: &[u8; LANES] = tile[i * LANES..i * LANES + LANES]
+                .try_into()
+                .expect("tile row is LANES wide");
+            // accumulate in byte counters, flushed every ≤255 edges (so a
+            // counter cannot overflow): the inner loop is a pure byte
+            // compare + add over the full fixed LANES width — lanes past
+            // `width` hold stale bytes but are never read back
+            for tchunk in targets.chunks(255) {
+                remote8.fill(0);
+                let racc: &mut [u8; LANES] = (&mut remote8[..LANES])
+                    .try_into()
+                    .expect("scratch is LANES wide");
+                for &j in tchunk {
+                    let tgt: &[u8; LANES] = tile[j as usize * LANES..j as usize * LANES + LANES]
+                        .try_into()
+                        .expect("tile row is LANES wide");
+                    for lane in 0..LANES {
+                        racc[lane] += u8::from(home[lane] != tgt[lane]);
+                    }
+                }
+                for lane in 0..width {
+                    remote[lane] += u32::from(racc[lane]);
+                }
+            }
+            for lane in 0..width {
+                out[lane] += ci * u64::from(remote[lane]);
+            }
+        }
+    }
+
+    /// Multicast packets over one tile: per neuron and lane, the set of
+    /// remote target crossbars as a bitmask, then `count × popcount`.
+    fn tile_cut_packets(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let tile = &scratch.tile;
+        let masks = &mut scratch.masks;
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            masks[..width].fill(0);
+            let home = &tile[i * LANES..i * LANES + LANES];
+            for &j in targets {
+                let tgt = &tile[j as usize * LANES..j as usize * LANES + LANES];
+                for lane in 0..width {
+                    masks[lane] |= 1u64 << tgt[lane];
+                }
+            }
+            for lane in 0..width {
+                let distinct = (masks[lane] & !(1u64 << home[lane])).count_ones();
+                out[lane] += ci * u64::from(distinct);
+            }
+        }
+    }
+}
+
+/// Groups the reverse CSR into (distinct source, multiplicity) runs and
+/// counts self-loops, for the packet bookkeeping.
+#[allow(clippy::type_complexity)]
+fn group_sources(problem: &PartitionProblem<'_>) -> (Vec<(u32, u32)>, Vec<u32>, Vec<u32>) {
+    let g = problem.graph();
+    let n = g.num_neurons() as usize;
+    let mut grouped = Vec::new();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut self_mult = vec![0u32; n];
+    let mut scratch: Vec<u32> = Vec::new();
+    offsets.push(0u32);
+    for i in 0..n as u32 {
+        scratch.clear();
+        scratch.extend_from_slice(g.sources(i));
+        scratch.sort_unstable();
+        let mut run = 0;
+        for idx in 0..scratch.len() {
+            run += 1;
+            let last_of_run = idx + 1 == scratch.len() || scratch[idx + 1] != scratch[idx];
+            if last_of_run {
+                grouped.push((scratch[idx], run));
+                if scratch[idx] == i {
+                    self_mult[i as usize] = run;
+                }
+                run = 0;
+            }
+        }
+        offsets.push(grouped.len() as u32);
+    }
+    (grouped, offsets, self_mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SpikeGraph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(n: u32, edges: usize, seed: u64) -> SpikeGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let synapses: Vec<(u32, u32)> = (0..edges)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..15)).collect();
+        SpikeGraph::from_parts(n, synapses, counts).expect("valid graph")
+    }
+
+    fn kinds() -> [FitnessKind; 2] {
+        [FitnessKind::CutSpikes, FitnessKind::CutPackets]
+    }
+
+    #[test]
+    fn init_matches_full_cost() {
+        let g = random_graph(20, 70, 1);
+        let p = PartitionProblem::new(&g, 4, 6).unwrap();
+        let a: Vec<u32> = (0..20).map(|i| i % 4).collect();
+        for kind in kinds() {
+            let engine = EvalEngine::new(p, kind);
+            assert_eq!(engine.init(&a).cost(), engine.full_cost(&a), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn move_delta_is_exact_for_both_kinds() {
+        let g = random_graph(14, 60, 2);
+        let p = PartitionProblem::new(&g, 3, 14).unwrap();
+        let a: Vec<u32> = (0..14).map(|i| i % 3).collect();
+        for kind in kinds() {
+            let engine = EvalEngine::new(p, kind);
+            let state = engine.init(&a);
+            for i in 0..14usize {
+                for to in 0..3u32 {
+                    let mut b = a.clone();
+                    b[i] = to;
+                    let expected = engine.full_cost(&b) as i64 - engine.full_cost(&a) as i64;
+                    assert_eq!(
+                        engine.move_delta(&state, &a, i, to),
+                        expected,
+                        "{kind:?} i={i} to={to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_move_keeps_state_consistent() {
+        let g = random_graph(18, 90, 3);
+        let p = PartitionProblem::new(&g, 4, 18).unwrap();
+        for kind in kinds() {
+            let engine = EvalEngine::new(p, kind);
+            let mut a: Vec<u32> = (0..18).map(|i| i % 4).collect();
+            let mut state = engine.init(&a);
+            let mut rng = StdRng::seed_from_u64(9);
+            for step in 0..200 {
+                let i = rng.gen_range(0..18usize);
+                let to = rng.gen_range(0..4u32);
+                engine.apply_move(&mut state, &mut a, i, to);
+                assert_eq!(
+                    state.cost(),
+                    engine.full_cost(&a),
+                    "{kind:?} drifted at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_incremental_and_fallback_agree() {
+        let g = random_graph(30, 150, 4);
+        let p = PartitionProblem::new(&g, 5, 30).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for kind in kinds() {
+            for churn_percent in [0usize, 3, 10, 20, 30] {
+                let low = EvalEngine::new(p, kind).with_churn_threshold(1.0);
+                let high = EvalEngine::new(p, kind).with_churn_threshold(0.0);
+                let start: Vec<u32> = (0..30).map(|i| i % 5).collect();
+                let mut cur_a = start.clone();
+                let mut cur_b = start.clone();
+                let mut st_a = low.init(&start);
+                let mut st_b = high.init(&start);
+                for _ in 0..20 {
+                    let mut target = cur_a.clone();
+                    for _ in 0..churn_percent {
+                        let i = rng.gen_range(0..30usize);
+                        target[i] = rng.gen_range(0..5u32);
+                    }
+                    let ca = low.sync(&mut st_a, &mut cur_a, &target);
+                    let cb = high.sync(&mut st_b, &mut cur_b, &target);
+                    assert_eq!(ca, cb, "{kind:?} churn {churn_percent}");
+                    assert_eq!(ca, low.full_cost(&target), "{kind:?}");
+                    assert_eq!(cur_a, target);
+                    assert_eq!(cur_b, target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_priced_exactly() {
+        // two self-loops on 0, duplicate edges 0→1, plus a back edge
+        let g = SpikeGraph::from_parts(
+            3,
+            vec![(0, 0), (0, 0), (0, 1), (0, 1), (1, 0), (1, 2)],
+            vec![7, 3, 0],
+        )
+        .unwrap();
+        let p = PartitionProblem::new(&g, 3, 3).unwrap();
+        for kind in kinds() {
+            let engine = EvalEngine::new(p, kind);
+            let mut a = vec![0u32, 1, 2];
+            let mut state = engine.init(&a);
+            for (i, to) in [(0usize, 1u32), (1, 1), (0, 2), (2, 0), (0, 0)] {
+                engine.apply_move(&mut state, &mut a, i, to);
+                assert_eq!(
+                    state.cost(),
+                    engine.full_cost(&a),
+                    "{kind:?} move {i}->{to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swarm_eval_matches_scalar_costs() {
+        // more candidates than one tile, both kinds, random positions
+        let g = random_graph(40, 300, 21);
+        let p = PartitionProblem::new(&g, 6, 40).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let lanes = 150; // 2 full tiles + remainder
+        let n = 40usize;
+        let positions: Vec<u32> = (0..lanes * n).map(|_| rng.gen_range(0..6u32)).collect();
+        for kind in kinds() {
+            let evaluator = SwarmEval::new(p, kind);
+            assert!(evaluator.batched());
+            let mut out = vec![0u64; lanes];
+            let mut scratch = SwarmScratch::default();
+            evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+            for lane in 0..lanes {
+                assert_eq!(
+                    out[lane],
+                    p.cost(kind, &positions[lane * n..(lane + 1) * n]),
+                    "{kind:?} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swarm_eval_self_loops_and_silent_neurons() {
+        let g = SpikeGraph::from_parts(
+            4,
+            vec![(0, 0), (0, 1), (1, 2), (3, 3), (2, 1)],
+            vec![5, 0, 2, 9],
+        )
+        .unwrap();
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        let positions: Vec<u32> = vec![0, 1, 0, 1, /* lane 2 */ 1, 1, 0, 0];
+        for kind in kinds() {
+            let evaluator = SwarmEval::new(p, kind);
+            let mut out = vec![0u64; 2];
+            let mut scratch = SwarmScratch::default();
+            evaluator.eval_swarm(&positions, 2, &mut scratch, &mut out);
+            assert_eq!(out[0], p.cost(kind, &positions[0..4]), "{kind:?}");
+            assert_eq!(out[1], p.cost(kind, &positions[4..8]), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn swarm_eval_falls_back_beyond_tile_envelope() {
+        // 70 crossbars: packets cannot use the bitmask tile; results must
+        // still be exact through the per-candidate fallback
+        let g = random_graph(80, 200, 8);
+        let p = PartitionProblem::new(&g, 70, 4).unwrap();
+        let evaluator = SwarmEval::new(p, FitnessKind::CutPackets);
+        assert!(!evaluator.batched());
+        let mut rng = StdRng::seed_from_u64(6);
+        let positions: Vec<u32> = (0..2 * 80).map(|_| rng.gen_range(0..70u32)).collect();
+        let mut out = vec![0u64; 2];
+        evaluator.eval_swarm(&positions, 2, &mut SwarmScratch::default(), &mut out);
+        assert_eq!(out[0], p.cut_packets(&positions[0..80]));
+        assert_eq!(out[1], p.cut_packets(&positions[80..160]));
+    }
+
+    #[test]
+    fn sync_handles_no_change() {
+        let g = random_graph(10, 30, 6);
+        let p = PartitionProblem::new(&g, 2, 10).unwrap();
+        let engine = EvalEngine::new(p, FitnessKind::CutSpikes);
+        let mut a: Vec<u32> = (0..10).map(|i| i % 2).collect();
+        let target = a.clone();
+        let mut state = engine.init(&a);
+        let before = state.cost();
+        assert_eq!(engine.sync(&mut state, &mut a, &target), before);
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::partition::{PartitionProblem, Partitioner};
 use crate::pipeline::{evaluate_mapping, run_pipeline, PipelineConfig, Report};
 use crate::pso::{PsoConfig, PsoPartitioner};
 use neuromap_hw::energy::pj_to_uj;
@@ -42,10 +42,12 @@ pub fn architecture_sweep(
 ) -> Result<Vec<ArchPoint>, CoreError> {
     let mut points = Vec::with_capacity(sizes.len());
     for &npc in sizes {
-        let arch = base
-            .arch
-            .with_crossbar_size(npc, graph.num_neurons())?;
-        let cfg = PipelineConfig { arch, noc: base.noc, traffic: base.traffic };
+        let arch = base.arch.with_crossbar_size(npc, graph.num_neurons())?;
+        let cfg = PipelineConfig {
+            arch,
+            noc: base.noc,
+            traffic: base.traffic,
+        };
         let report = run_pipeline(graph, partitioner, &cfg)?;
         points.push(ArchPoint {
             neurons_per_crossbar: npc,
@@ -93,7 +95,10 @@ pub fn swarm_sweep(
     )?;
     let mut points = Vec::with_capacity(swarm_sizes.len());
     for &n in swarm_sizes {
-        let pso = PsoPartitioner::new(PsoConfig { swarm_size: n, ..base });
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: n,
+            ..base
+        });
         let (mapping, trace) = pso.partition_traced(&problem)?;
         let cut = problem.cut_spikes(mapping.assignment());
         let report: Report = evaluate_mapping(graph, mapping, "pso", config)?;
@@ -133,29 +138,30 @@ mod tests {
     #[test]
     fn sweep_shapes_match_figure6() {
         let g = graph();
-        let base = PipelineConfig::for_arch(
-            Architecture::custom(4, 6, InterconnectKind::Mesh).unwrap(),
-        );
+        let base =
+            PipelineConfig::for_arch(Architecture::custom(4, 6, InterconnectKind::Mesh).unwrap());
         let sizes = [3u32, 6, 9, 18];
-        let pts =
-            architecture_sweep(&g, &base, &sizes, &PacmanPartitioner::new()).unwrap();
+        let pts = architecture_sweep(&g, &base, &sizes, &PacmanPartitioner::new()).unwrap();
         assert_eq!(pts.len(), 4);
         // crossbar count shrinks as size grows
-        assert!(pts.windows(2).all(|w| w[1].num_crossbars <= w[0].num_crossbars));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].num_crossbars <= w[0].num_crossbars));
         // at the largest size everything is local
         let last = pts.last().unwrap();
         assert_eq!(last.global_energy_uj, 0.0);
         assert!(last.local_energy_uj > 0.0);
         // global energy decreases along the sweep
-        assert!(pts.windows(2).all(|w| w[1].global_energy_uj <= w[0].global_energy_uj));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[1].global_energy_uj <= w[0].global_energy_uj));
     }
 
     #[test]
     fn swarm_sweep_improves_with_size() {
         let g = graph();
-        let cfg = PipelineConfig::for_arch(
-            Architecture::custom(3, 6, InterconnectKind::Star).unwrap(),
-        );
+        let cfg =
+            PipelineConfig::for_arch(Architecture::custom(3, 6, InterconnectKind::Star).unwrap());
         let base = PsoConfig {
             iterations: 20,
             seed: 9,

@@ -101,7 +101,8 @@ impl SpikeGraph {
         let synapses: Vec<(u32, u32)> = net.synapses().iter().map(|s| (s.pre, s.post)).collect();
         let trains: Vec<SpikeTrain> = record.trains().to_vec();
         let counts: Vec<u32> = trains.iter().map(|t| t.len() as u32).collect();
-        let graph = Self::build(num, synapses, counts, trains).expect("network output is consistent");
+        let graph =
+            Self::build(num, synapses, counts, trains).expect("network output is consistent");
         let mut offsets: Vec<u32> = net.groups().iter().map(|g| g.first).collect();
         offsets.push(num);
         graph
@@ -185,10 +186,7 @@ impl SpikeGraph {
 
     /// Population id ranges, in order.
     pub fn populations(&self) -> Vec<std::ops::Range<u32>> {
-        self.pop_offsets
-            .windows(2)
-            .map(|w| w[0]..w[1])
-            .collect()
+        self.pop_offsets.windows(2).map(|w| w[0]..w[1]).collect()
     }
 
     /// Number of declared populations.
@@ -305,12 +303,8 @@ mod tests {
 
     #[test]
     fn sources_mirror_targets() {
-        let g = SpikeGraph::from_parts(
-            4,
-            vec![(0, 2), (1, 2), (3, 2), (2, 3)],
-            vec![1, 1, 1, 1],
-        )
-        .unwrap();
+        let g = SpikeGraph::from_parts(4, vec![(0, 2), (1, 2), (3, 2), (2, 3)], vec![1, 1, 1, 1])
+            .unwrap();
         assert_eq!(g.sources(2), &[0, 1, 3]);
         assert_eq!(g.sources(3), &[2]);
         assert_eq!(g.sources(0), &[0u32; 0]);
@@ -334,10 +328,7 @@ mod tests {
         let g = SpikeGraph::from_trains(
             2,
             vec![(0, 1)],
-            vec![
-                SpikeTrain::from_times(vec![1, 5, 7]),
-                SpikeTrain::new(),
-            ],
+            vec![SpikeTrain::from_times(vec![1, 5, 7]), SpikeTrain::new()],
         )
         .unwrap();
         assert_eq!(g.count(0), 3);
@@ -353,7 +344,9 @@ mod tests {
         use rand::SeedableRng;
 
         let mut b = NetworkBuilder::new();
-        let i = b.add_input_group("in", 3, Generator::poisson(50.0)).unwrap();
+        let i = b
+            .add_input_group("in", 3, Generator::poisson(50.0))
+            .unwrap();
         let o = b.add_group("out", 2, NeuronKind::izhikevich_rs()).unwrap();
         b.connect(i, o, ConnectPattern::Full, WeightInit::Constant(6.0), 1)
             .unwrap();

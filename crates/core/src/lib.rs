@@ -58,16 +58,18 @@
 
 pub mod baselines;
 mod error;
+pub mod eval;
 pub mod explore;
 pub mod graph;
 pub mod noc_sweep;
 pub mod partition;
 pub mod pipeline;
+pub mod pool;
 pub mod pso;
 pub mod refine;
 pub mod remap;
 
 pub use error::CoreError;
 pub use graph::SpikeGraph;
-pub use partition::{Partitioner, PartitionProblem};
+pub use partition::{PartitionProblem, Partitioner};
 pub use pipeline::{run_pipeline, PipelineConfig, Report};

@@ -132,7 +132,7 @@ pub fn clock_sweep(
 mod tests {
     use super::*;
     use crate::baselines::PacmanPartitioner;
-    use crate::partition::{Partitioner, PartitionProblem};
+    use crate::partition::{PartitionProblem, Partitioner};
     use neuromap_hw::arch::{Architecture, InterconnectKind};
     use neuromap_snn::spikes::SpikeTrain;
 

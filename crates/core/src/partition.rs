@@ -31,10 +31,16 @@ impl<'g> PartitionProblem<'g> {
         capacity: u32,
     ) -> Result<Self, CoreError> {
         if num_crossbars == 0 {
-            return Err(CoreError::InvalidParameter { name: "num_crossbars", value: "0".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "num_crossbars",
+                value: "0".into(),
+            });
         }
         if capacity == 0 {
-            return Err(CoreError::InvalidParameter { name: "capacity", value: "0".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "capacity",
+                value: "0".into(),
+            });
         }
         if graph.num_neurons() as u64 > num_crossbars as u64 * capacity as u64 {
             return Err(CoreError::Infeasible {
@@ -43,7 +49,11 @@ impl<'g> PartitionProblem<'g> {
                 capacity,
             });
         }
-        Ok(Self { graph, num_crossbars, capacity })
+        Ok(Self {
+            graph,
+            num_crossbars,
+            capacity,
+        })
     }
 
     /// The underlying spike graph.
@@ -159,7 +169,9 @@ impl<'g> PartitionProblem<'g> {
 }
 
 /// Which traffic objective a partitioner minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum FitnessKind {
     /// Eq. 8 of the paper: spikes crossing crossbar boundaries, counted per
     /// cut synapse (AER without multicast deduplication).

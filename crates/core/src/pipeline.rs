@@ -12,7 +12,7 @@
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
-use crate::partition::{Partitioner, PartitionProblem};
+use crate::partition::{PartitionProblem, Partitioner};
 use neuromap_hw::arch::{Architecture, InterconnectKind};
 use neuromap_hw::mapping::Mapping;
 use neuromap_noc::config::NocConfig;
@@ -320,10 +320,7 @@ mod tests {
         assert_eq!(r.num_neurons, 16);
         assert_eq!(r.num_synapses, 64);
         // every synaptic event is either local or cut
-        assert_eq!(
-            r.local_events + r.cut_spikes,
-            g.total_synaptic_events()
-        );
+        assert_eq!(r.local_events + r.cut_spikes, g.total_synaptic_events());
         assert!((r.total_energy_pj - r.local_energy_pj - r.global_energy_pj).abs() < 1e-9);
     }
 

@@ -7,8 +7,40 @@
 //! (Eq. 2–3) and then **repaired** so that every particle always satisfies
 //! the constraints: exactly one crossbar per neuron (Eq. 4) and crossbar
 //! capacity (Eq. 5). The fitness is Eq. 8 — total spikes on the global
-//! synapse interconnect — evaluated through
-//! [`PartitionProblem::cut_spikes`].
+//! synapse interconnect — maintained incrementally through the shared
+//! [`EvalEngine`](crate::eval::EvalEngine).
+//!
+//! ### Implementation notes (hot path)
+//!
+//! The swarm is stored **structure-of-arrays**: one contiguous velocity
+//! buffer (`swarm × N × C` floats) and one contiguous assignment buffer
+//! (`swarm × N`). Binary-PSO re-samples every neuron's crossbar each
+//! iteration (measured churn 70%+), so per-particle O(deg) move deltas
+//! cannot beat a full scan here; instead the whole shard is evaluated in
+//! one pass over the CSR through [`SwarmEval`] — neuron-major byte tiles
+//! whose per-edge lane compares vectorize and reuse every row `deg`
+//! times from cache. The per-candidate incremental engine
+//! ([`crate::eval::EvalEngine`]) drives the low-churn optimizers
+//! (refinement, SA, GA) instead.
+//!
+//! The velocity rule touches at most four dimensions per neuron with a
+//! non-zero stochastic term (`k ∈ {own, pbest, gbest}`); all other
+//! dimensions only decay by the inertia factor. The update exploits that
+//! instead of drawing two random factors for every one of the `N · C`
+//! dimensions.
+//!
+//! The whole particle step (velocity update + decode + evaluation +
+//! personal-best tracking) runs on a persistent worker pool created once
+//! per [`PsoPartitioner::partition_traced`] call (`core::pool`), not on
+//! per-iteration spawned threads.
+//!
+//! ### Determinism contract
+//!
+//! Every particle owns its RNG stream (derived from the master seed in
+//! particle order), workers own disjoint particle ranges, and the global
+//! best is reduced in particle order on the caller's thread — so traces
+//! are **byte-identical for any `threads` value**, including the
+//! [`available_parallelism`](std::thread::available_parallelism) default.
 //!
 //! ### Faithfulness notes
 //!
@@ -19,19 +51,21 @@
 //!   factors` off reproduces the literal equation.
 //! * The paper's Eq. 2 collapses the sigmoid to a hard step; the standard
 //!   binary-PSO uses `rand() < sigmoid(v)`, which is what Eq. 3 samples.
-//!   We implement the sampled form.
-//!
-//! Fitness evaluation is embarrassingly parallel across particles; set
-//! [`PsoConfig::threads`] > 1 for multithreaded evaluation (results remain
-//! deterministic: every particle owns its RNG stream).
+//!   We implement the sampled form, testing candidate crossbars in
+//!   descending-velocity order (the first accepted candidate *is* the
+//!   highest-velocity accepted candidate, so this draws from the same
+//!   distribution as testing every candidate independently).
 
 use crate::error::CoreError;
-use crate::partition::{FitnessKind, Partitioner, PartitionProblem};
+use crate::eval::{SwarmEval, SwarmScratch};
+use crate::partition::{FitnessKind, PartitionProblem, Partitioner};
+use crate::pool;
 use crate::refine::refine;
 use neuromap_hw::mapping::Mapping;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// PSO hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,7 +85,9 @@ pub struct PsoConfig {
     pub v_max: f32,
     /// Master seed; every particle derives an independent stream.
     pub seed: u64,
-    /// Worker threads for fitness evaluation (1 = sequential).
+    /// Worker threads for the particle step (defaults to
+    /// [`std::thread::available_parallelism`]). Results are byte-identical
+    /// for every value — this is purely an execution knob.
     pub threads: usize,
     /// Objective to minimize (Eq. 8 cut spikes by default).
     pub fitness: FitnessKind,
@@ -65,6 +101,12 @@ pub struct PsoConfig {
     pub polish_passes: u32,
 }
 
+/// Number of logical CPUs, used as the default `threads` for every
+/// optimizer configuration.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 impl Default for PsoConfig {
     fn default() -> Self {
         Self {
@@ -75,7 +117,7 @@ impl Default for PsoConfig {
             phi_g: 1.49,
             v_max: 4.0,
             seed: 0xDA5,
-            threads: 1,
+            threads: default_threads(),
             fitness: FitnessKind::CutSpikes,
             seed_baselines: true,
             polish_passes: 4,
@@ -104,13 +146,22 @@ impl PsoConfig {
     /// non-positive `v_max`.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.swarm_size == 0 {
-            return Err(CoreError::InvalidParameter { name: "swarm_size", value: "0".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "swarm_size",
+                value: "0".into(),
+            });
         }
         if self.iterations == 0 {
-            return Err(CoreError::InvalidParameter { name: "iterations", value: "0".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "iterations",
+                value: "0".into(),
+            });
         }
         if self.threads == 0 {
-            return Err(CoreError::InvalidParameter { name: "threads", value: "0".into() });
+            return Err(CoreError::InvalidParameter {
+                name: "threads",
+                value: "0".into(),
+            });
         }
         if self.v_max <= 0.0 || self.v_max.is_nan() {
             return Err(CoreError::InvalidParameter {
@@ -131,14 +182,170 @@ pub struct PsoTrace {
     pub converged_at: u32,
 }
 
-/// One particle: real-valued velocities over N×C plus its current and best
-/// assignments.
-struct Particle {
-    velocity: Vec<f32>,
-    assignment: Vec<u32>,
-    best_assignment: Vec<u32>,
-    best_fitness: u64,
-    rng: StdRng,
+/// The global best broadcast to workers each round.
+struct GlobalBest {
+    fitness: u64,
+    position: Vec<u32>,
+}
+
+/// What a worker reports after stepping its particle range.
+struct ShardReport {
+    /// Best personal-best fitness in the shard.
+    fitness: u64,
+    /// Clone of the corresponding personal-best position — only made when
+    /// it improves on the global best the shard saw this round.
+    position: Option<Vec<u32>>,
+}
+
+/// One worker's particle range, as disjoint views into the swarm's
+/// structure-of-arrays buffers.
+struct Shard<'a, 'g> {
+    evaluator: &'a SwarmEval<'g>,
+    decoder: &'a Decoder,
+    cfg: PsoConfig,
+    n: usize,
+    c: usize,
+    /// Per-particle RNG seeds (drawn from the master stream in particle
+    /// order on the caller's thread).
+    seeds: &'a [u64],
+    /// Warm-start assignments to inject after the initial decode, as
+    /// (shard-local particle index, assignment).
+    injections: Vec<(usize, Vec<u32>)>,
+    velocity: &'a mut [f32],
+    position: &'a mut [u32],
+    best_position: &'a mut [u32],
+    best_fitness: &'a mut [u64],
+    rngs: Vec<StdRng>,
+    // reusable scratch
+    costs: Vec<u64>,
+    scratch: SwarmScratch,
+    decode_scratch: DecodeScratch,
+}
+
+impl Shard<'_, '_> {
+    fn particles(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Round 0: create RNG streams, random velocities, initial decode,
+    /// warm-start injection, and the initial full evaluation.
+    fn init_round(&mut self) {
+        let (n, c) = (self.n, self.c);
+        let dims = n * c;
+        self.rngs = self
+            .seeds
+            .iter()
+            .map(|&s| StdRng::seed_from_u64(s))
+            .collect();
+        for p in 0..self.particles() {
+            let rng = &mut self.rngs[p];
+            let vel = &mut self.velocity[p * dims..(p + 1) * dims];
+            for v in vel.iter_mut() {
+                *v = rng.gen_range(-self.cfg.v_max..self.cfg.v_max);
+            }
+            self.decoder.decode(
+                vel,
+                rng,
+                &mut self.position[p * n..(p + 1) * n],
+                &mut self.decode_scratch,
+            );
+        }
+        for (p, seed_assignment) in std::mem::take(&mut self.injections) {
+            self.position[p * n..(p + 1) * n].copy_from_slice(&seed_assignment);
+        }
+        self.evaluate_and_track_best(true);
+    }
+
+    /// Batched evaluation of every particle's current position, then
+    /// personal-best bookkeeping ([`SwarmEval`] tiles the shard and
+    /// vectorizes the cost kernels).
+    fn evaluate_and_track_best(&mut self, initial: bool) {
+        let n = self.n;
+        let count = self.particles();
+        self.costs.resize(count, 0);
+        self.evaluator
+            .eval_swarm(self.position, count, &mut self.scratch, &mut self.costs);
+        for p in 0..count {
+            let cost = self.costs[p];
+            if initial || cost < self.best_fitness[p] {
+                self.best_fitness[p] = cost;
+                self.best_position[p * n..(p + 1) * n]
+                    .copy_from_slice(&self.position[p * n..(p + 1) * n]);
+            }
+        }
+    }
+
+    /// One PSO step for every particle in the shard.
+    fn step_round(&mut self, gbest: &[u32]) {
+        let (n, c) = (self.n, self.c);
+        let dims = n * c;
+        let cfg = &self.cfg;
+        for p in 0..self.particles() {
+            let rng = &mut self.rngs[p];
+            let vel = &mut self.velocity[p * dims..(p + 1) * dims];
+            let pos = &mut self.position[p * n..(p + 1) * n];
+            let pbest = &self.best_position[p * n..(p + 1) * n];
+
+            // --- velocity update (Eq. 1) ---
+            // inertia decay applies to every dimension; stochastic
+            // cognitive/social pulls are non-zero only where the indicator
+            // positions differ (k ∈ {own, pbest, gbest})
+            for v in vel.iter_mut() {
+                *v *= cfg.inertia;
+            }
+            if cfg.inertia > 1.0 {
+                for v in vel.iter_mut() {
+                    *v = v.clamp(-cfg.v_max, cfg.v_max);
+                }
+            }
+            for i in 0..n {
+                let own = pos[i] as usize;
+                let pb = pbest[i] as usize;
+                let gb = gbest[i] as usize;
+                let base = i * c;
+                if pb != own {
+                    let r1: f32 = rng.gen();
+                    let r2: f32 = rng.gen();
+                    vel[base + pb] = (vel[base + pb] + cfg.phi_p * r1).clamp(-cfg.v_max, cfg.v_max);
+                    vel[base + own] =
+                        (vel[base + own] - cfg.phi_p * r2).clamp(-cfg.v_max, cfg.v_max);
+                }
+                if gb != own {
+                    let r1: f32 = rng.gen();
+                    let r2: f32 = rng.gen();
+                    vel[base + gb] = (vel[base + gb] + cfg.phi_g * r1).clamp(-cfg.v_max, cfg.v_max);
+                    vel[base + own] =
+                        (vel[base + own] - cfg.phi_g * r2).clamp(-cfg.v_max, cfg.v_max);
+                }
+            }
+
+            // --- re-binarization (Eq. 2–3 + repair) ---
+            self.decoder.decode(vel, rng, pos, &mut self.decode_scratch);
+        }
+
+        // --- batched evaluation + personal best ---
+        self.evaluate_and_track_best(false);
+    }
+
+    /// Shard-local best (first index wins ties) and, when it beats the
+    /// global best this shard saw, a clone of its position.
+    fn report(&self, seen_gbest: u64) -> ShardReport {
+        let n = self.n;
+        let mut best = u64::MAX;
+        let mut best_p = 0;
+        for (p, &f) in self.best_fitness.iter().enumerate() {
+            if f < best {
+                best = f;
+                best_p = p;
+            }
+        }
+        let position =
+            (best < seen_gbest).then(|| self.best_position[best_p * n..(best_p + 1) * n].to_vec());
+        ShardReport {
+            fitness: best,
+            position,
+        }
+    }
 }
 
 /// The paper's PSO-based partitioner.
@@ -195,82 +402,153 @@ impl PsoPartitioner {
         let n = problem.graph().num_neurons() as usize;
         let c = problem.num_crossbars();
         let dims = n * c;
-        let cfg = &self.config;
+        let cfg = self.config;
+        let swarm = cfg.swarm_size;
+        let evaluator = SwarmEval::new(*problem, cfg.fitness);
+        let decoder = Decoder::new(n, c, problem.capacity(), cfg.v_max);
 
+        // per-particle RNG seeds, drawn in particle order from the master
+        // stream (thread-count independent)
         let mut master = StdRng::seed_from_u64(cfg.seed);
-        let mut particles: Vec<Particle> = (0..cfg.swarm_size)
-            .map(|_| {
-                let mut rng = StdRng::seed_from_u64(master.gen());
-                let velocity: Vec<f32> =
-                    (0..dims).map(|_| rng.gen_range(-cfg.v_max..cfg.v_max)).collect();
-                let assignment = decode(&velocity, n, c, problem.capacity(), &mut rng);
-                Particle {
-                    velocity,
-                    assignment,
-                    best_assignment: Vec::new(),
-                    best_fitness: u64::MAX,
-                    rng,
-                }
-            })
-            .collect();
+        let seeds: Vec<u64> = (0..swarm).map(|_| master.gen()).collect();
 
         // memetic warm start: drop the deterministic baselines into the
         // swarm so gbest starts no worse than any of them
+        let mut injections: Vec<(usize, Vec<u32>)> = Vec::new();
         if cfg.seed_baselines {
             let cap = problem.capacity();
-            let mut seeds: Vec<Vec<u32>> = Vec::new();
+            let mut candidates: Vec<Vec<u32>> = Vec::new();
             // hierarchical population packing (the actual PACMAN layout)
             if let Ok(m) = crate::baselines::PacmanPartitioner::new().partition(problem) {
-                seeds.push(m.assignment().to_vec());
+                candidates.push(m.assignment().to_vec());
             }
             // round-robin interleave (NEUTRAMS)
-            seeds.push((0..n as u32).map(|i| i % c as u32).collect());
+            candidates.push((0..n as u32).map(|i| i % c as u32).collect());
             // dense sequential packing
-            seeds.push((0..n as u32).map(|i| i / cap).collect());
+            candidates.push((0..n as u32).map(|i| i / cap).collect());
             let mut slot = 0;
-            for seed in seeds {
-                if slot < particles.len() && problem.is_feasible(&seed) {
-                    particles[slot].assignment = seed;
+            for cand in candidates {
+                if slot < swarm && problem.is_feasible(&cand) {
+                    injections.push((slot, cand));
                     slot += 1;
                 }
             }
         }
 
-        // initial evaluation
-        let fits = fitnesses(&particles, problem, cfg.fitness, cfg.threads);
-        for (p, &fit) in particles.iter_mut().zip(&fits) {
-            p.best_fitness = fit;
-            p.best_assignment = p.assignment.clone();
+        // structure-of-arrays swarm storage
+        let mut velocity = vec![0f32; swarm * dims];
+        let mut position = vec![0u32; swarm * n];
+        let mut best_position = vec![0u32; swarm * n];
+        let mut best_fitness = vec![u64::MAX; swarm];
+
+        // carve the buffers into per-worker shards (deterministic layout;
+        // the per-particle math is identical for every partitioning)
+        let workers = cfg.threads.min(swarm).max(1);
+        let mut shards: Vec<Shard<'_, '_>> = Vec::with_capacity(workers);
+        {
+            let mut seeds_rest = &seeds[..];
+            let (mut vel_rest, mut pos_rest, mut bpos_rest, mut bfit_rest) = (
+                &mut velocity[..],
+                &mut position[..],
+                &mut best_position[..],
+                &mut best_fitness[..],
+            );
+            let base = swarm / workers;
+            let extra = swarm % workers;
+            let mut first = 0usize;
+            for w in 0..workers {
+                let count = base + usize::from(w < extra);
+                let (s, rest) = seeds_rest.split_at(count);
+                seeds_rest = rest;
+                let (v, rest) = vel_rest.split_at_mut(count * dims);
+                vel_rest = rest;
+                let (p, rest) = pos_rest.split_at_mut(count * n);
+                pos_rest = rest;
+                let (bp, rest) = bpos_rest.split_at_mut(count * n);
+                bpos_rest = rest;
+                let (bf, rest) = bfit_rest.split_at_mut(count);
+                bfit_rest = rest;
+                let local_inj = injections
+                    .iter()
+                    .filter(|(g, _)| (first..first + count).contains(g))
+                    .map(|(g, a)| (g - first, a.clone()))
+                    .collect();
+                shards.push(Shard {
+                    evaluator: &evaluator,
+                    decoder: &decoder,
+                    cfg,
+                    n,
+                    c,
+                    seeds: s,
+                    injections: local_inj,
+                    velocity: v,
+                    position: p,
+                    best_position: bp,
+                    best_fitness: bf,
+                    rngs: Vec::new(),
+                    costs: Vec::new(),
+                    scratch: SwarmScratch::default(),
+                    decode_scratch: DecodeScratch::default(),
+                });
+                first += count;
+            }
         }
-        let (mut gbest, mut gbest_fit) = global_best(&particles);
+
+        // round 0 = initial evaluation; rounds 1..=iterations = PSO steps
+        let mut gbest = GlobalBest {
+            fitness: u64::MAX,
+            position: Vec::new(),
+        };
+        let mut gbest_shared: Arc<Vec<u32>> = Arc::new(Vec::new());
         let mut trace = PsoTrace {
-            best_per_iteration: vec![gbest_fit],
+            best_per_iteration: Vec::new(),
             converged_at: 0,
         };
-
-        for iter in 1..=cfg.iterations {
-            for p in &mut particles {
-                step_particle(p, &gbest, n, c, problem.capacity(), cfg);
-            }
-            let fits = fitnesses(&particles, problem, cfg.fitness, cfg.threads);
-            for (p, &fit) in particles.iter_mut().zip(&fits) {
-                if fit < p.best_fitness {
-                    p.best_fitness = fit;
-                    p.best_assignment = p.assignment.clone();
+        pool::run_phased(
+            shards,
+            cfg.iterations + 1,
+            (u64::MAX, Arc::clone(&gbest_shared)),
+            |round, (seen_fit, seen_pos), shard| {
+                if round == 0 {
+                    shard.init_round();
+                } else {
+                    shard.step_round(seen_pos.as_slice());
                 }
-            }
-            let (cand, cand_fit) = global_best(&particles);
-            if cand_fit < gbest_fit {
-                gbest = cand;
-                gbest_fit = cand_fit;
-                trace.converged_at = iter;
-            }
-            trace.best_per_iteration.push(gbest_fit);
-        }
+                shard.report(*seen_fit)
+            },
+            |round, reports| {
+                // worker-index order == particle order; strict `<` keeps
+                // the first (lowest-index) particle on ties, matching a
+                // sequential scan of the whole swarm
+                let mut improved = false;
+                for report in reports {
+                    if report.fitness < gbest.fitness {
+                        gbest.fitness = report.fitness;
+                        gbest.position = report
+                            .position
+                            .expect("improving shard attaches its position");
+                        improved = true;
+                    }
+                }
+                if improved {
+                    gbest_shared = Arc::new(gbest.position.clone());
+                    if round > 0 {
+                        trace.converged_at = round;
+                    }
+                }
+                trace.best_per_iteration.push(gbest.fitness);
+                Some((gbest.fitness, Arc::clone(&gbest_shared)))
+            },
+        );
+
+        let GlobalBest {
+            fitness: mut gbest_fit,
+            position: mut gbest_pos,
+        } = gbest;
 
         // greedy polish of the final best
         if cfg.polish_passes > 0 {
-            let polished = refine(problem, cfg.fitness, &mut gbest, cfg.polish_passes);
+            let polished = refine(problem, cfg.fitness, &mut gbest_pos, cfg.polish_passes);
             if polished < gbest_fit {
                 gbest_fit = polished;
                 trace.converged_at = cfg.iterations;
@@ -278,7 +556,7 @@ impl PsoPartitioner {
             trace.best_per_iteration.push(gbest_fit);
         }
 
-        let mapping = problem.into_mapping(gbest)?;
+        let mapping = problem.into_mapping(gbest_pos)?;
         Ok((mapping, trace))
     }
 }
@@ -293,122 +571,148 @@ impl Partitioner for PsoPartitioner {
     }
 }
 
-/// Velocity update + re-binarization for one particle.
-#[allow(clippy::needless_range_loop)] // `i` is the neuron id across several arrays
-fn step_particle(
-    p: &mut Particle,
-    gbest: &[u32],
-    n: usize,
-    c: usize,
-    capacity: u32,
-    cfg: &PsoConfig,
-) {
-    for i in 0..n {
-        let own = p.assignment[i];
-        let pb = p.best_assignment[i];
-        let gb = gbest[i];
-        let base = i * c;
-        for k in 0..c {
-            let x = (own == k as u32) as u8 as f32;
-            let pbx = (pb == k as u32) as u8 as f32;
-            let gbx = (gb == k as u32) as u8 as f32;
-            let r1: f32 = p.rng.gen();
-            let r2: f32 = p.rng.gen();
-            let v = cfg.inertia * p.velocity[base + k]
-                + cfg.phi_p * r1 * (pbx - x)
-                + cfg.phi_g * r2 * (gbx - x);
-            p.velocity[base + k] = v.clamp(-cfg.v_max, cfg.v_max);
-        }
-    }
-    p.assignment = decode(&p.velocity, n, c, capacity, &mut p.rng);
-}
-
 /// Sigmoid.
 #[inline]
 fn sigmoid(v: f32) -> f32 {
     1.0 / (1.0 + (-v).exp())
 }
 
-/// Binarizes velocities into a feasible assignment:
-/// per neuron, sample `x_{i,k} = 1` with probability `sigmoid(v_{i,k})`
-/// (Eq. 2–3), then repair — among sampled crossbars with free capacity pick
-/// the highest-velocity one; if none qualifies fall back to the
-/// highest-velocity crossbar with free capacity.
-#[allow(clippy::needless_range_loop)] // `i` is the neuron id across several arrays
-fn decode(velocity: &[f32], n: usize, c: usize, capacity: u32, rng: &mut StdRng) -> Vec<u32> {
-    let mut remaining = vec![capacity; c];
-    let mut assignment = vec![0u32; n];
-    for i in 0..n {
-        let base = i * c;
-        let mut chosen: Option<usize> = None;
-        let mut chosen_v = f32::NEG_INFINITY;
-        // sampled candidate set (Eq. 3)
-        for k in 0..c {
-            if remaining[k] == 0 {
-                continue;
-            }
-            let v = velocity[base + k];
-            if rng.gen::<f32>() < sigmoid(v) && v > chosen_v {
-                chosen = Some(k);
-                chosen_v = v;
-            }
-        }
-        // repair: best free crossbar by velocity
-        let k = chosen.unwrap_or_else(|| {
-            (0..c)
-                .filter(|&k| remaining[k] > 0)
-                .max_by(|&a, &b| {
-                    velocity[base + a]
-                        .partial_cmp(&velocity[base + b])
-                        .expect("velocities are finite")
-                })
-                .expect("total capacity ≥ neurons")
-        });
-        remaining[k] -= 1;
-        assignment[i] = k as u32;
-    }
-    assignment
+/// Piecewise-linear sigmoid over the clamped velocity domain
+/// `[-v_max, v_max]`: 4096 segments give an interpolation error below
+/// `5e-8` (σ″ ≤ 0.1), far under the `f32` noise floor of the sampling
+/// itself, while replacing a libm `exp` per acceptance test with two
+/// loads and a fused multiply-add. Deterministic pure-`f32` arithmetic.
+#[derive(Debug, Clone)]
+struct SigmoidLut {
+    lo: f32,
+    inv_step: f32,
+    table: Vec<f32>,
 }
 
-fn fitness_of(problem: &PartitionProblem<'_>, kind: FitnessKind, assignment: &[u32]) -> u64 {
-    problem.cost(kind, assignment)
-}
+impl SigmoidLut {
+    const SEGMENTS: usize = 4096;
 
-/// Evaluates all particles' current assignments, optionally across worker
-/// threads. Deterministic: output order matches particle order regardless
-/// of thread count.
-fn fitnesses(
-    particles: &[Particle],
-    problem: &PartitionProblem<'_>,
-    kind: FitnessKind,
-    threads: usize,
-) -> Vec<u64> {
-    if threads <= 1 || particles.len() < 2 {
-        return particles
-            .iter()
-            .map(|p| fitness_of(problem, kind, &p.assignment))
+    fn new(v_max: f32) -> Self {
+        let lo = -v_max;
+        let step = (2.0 * v_max) / Self::SEGMENTS as f32;
+        let table: Vec<f32> = (0..=Self::SEGMENTS)
+            .map(|k| sigmoid(lo + step * k as f32))
             .collect();
-    }
-    let mut out = vec![0u64; particles.len()];
-    let chunk = particles.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for (ps, fs) in particles.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (p, f) in ps.iter().zip(fs.iter_mut()) {
-                    *f = fitness_of(problem, kind, &p.assignment);
-                }
-            });
+        Self {
+            lo,
+            inv_step: 1.0 / step,
+            table,
         }
-    });
-    out
+    }
+
+    /// σ(v) for `v ∈ [-v_max, v_max]` (clamped outside).
+    #[inline]
+    fn eval(&self, v: f32) -> f32 {
+        let x = ((v - self.lo) * self.inv_step).clamp(0.0, (Self::SEGMENTS as f32) - 1e-3);
+        let k = x as usize;
+        let frac = x - k as f32;
+        let a = self.table[k];
+        let b = self.table[k + 1];
+        a + (b - a) * frac
+    }
 }
 
-fn global_best(particles: &[Particle]) -> (Vec<u32>, u64) {
-    let best = particles
-        .iter()
-        .min_by_key(|p| p.best_fitness)
-        .expect("swarm is non-empty");
-    (best.best_assignment.clone(), best.best_fitness)
+/// The re-binarization kernel (Eq. 2–3 + repair), shared by all shards.
+#[derive(Debug, Clone)]
+struct Decoder {
+    n: usize,
+    c: usize,
+    capacity: u32,
+    lut: SigmoidLut,
+}
+
+/// Reusable per-shard buffers for [`Decoder::decode`].
+#[derive(Debug, Clone, Default)]
+struct DecodeScratch {
+    remaining: Vec<u32>,
+    tried: Vec<bool>,
+}
+
+impl Decoder {
+    fn new(n: usize, c: usize, capacity: u32, v_max: f32) -> Self {
+        Self {
+            n,
+            c,
+            capacity,
+            lut: SigmoidLut::new(v_max),
+        }
+    }
+
+    /// Binarizes velocities into a feasible assignment: per neuron,
+    /// candidate crossbars are tested in descending-velocity order and
+    /// accepted with probability `sigmoid(v)` (Eq. 2–3) — the first
+    /// acceptance is exactly the highest-velocity member of the sampled
+    /// candidate set. If no free crossbar is accepted, the
+    /// highest-velocity free crossbar is assigned (repair, Eq. 4–5).
+    fn decode(&self, velocity: &[f32], rng: &mut StdRng, out: &mut [u32], s: &mut DecodeScratch) {
+        let (n, c) = (self.n, self.c);
+        s.remaining.clear();
+        s.remaining.resize(c, self.capacity);
+        s.tried.resize(c, false);
+        let remaining = &mut s.remaining[..c];
+        let tried = &mut s.tried[..c];
+        for i in 0..n {
+            let row = &velocity[i * c..(i + 1) * c];
+            // fast path: the highest-velocity free crossbar usually
+            // passes its acceptance test on the first draw — no `tried`
+            // bookkeeping unless it fails
+            let mut arg = usize::MAX;
+            let mut arg_v = f32::NEG_INFINITY;
+            for (k, (&v, &rem)) in row.iter().zip(remaining.iter()).enumerate() {
+                if rem != 0 && v > arg_v {
+                    arg_v = v;
+                    arg = k;
+                }
+            }
+            debug_assert!(arg != usize::MAX, "total capacity ≥ neurons");
+            let k = if rng.gen::<f32>() < self.lut.eval(arg_v) {
+                arg
+            } else {
+                self.decode_slow(row, rng, remaining, tried, arg)
+            };
+            remaining[k] -= 1;
+            out[i] = k as u32;
+        }
+    }
+
+    /// Continues the acceptance walk after the top candidate failed:
+    /// tests the remaining free crossbars in descending-velocity order;
+    /// falls back to the overall-best free crossbar (`fallback`) when
+    /// every test fails.
+    #[cold]
+    fn decode_slow(
+        &self,
+        row: &[f32],
+        rng: &mut StdRng,
+        remaining: &[u32],
+        tried: &mut [bool],
+        fallback: usize,
+    ) -> usize {
+        tried.fill(false);
+        tried[fallback] = true;
+        loop {
+            let mut arg = usize::MAX;
+            let mut arg_v = f32::NEG_INFINITY;
+            for (k, &v) in row.iter().enumerate() {
+                if remaining[k] != 0 && !tried[k] && v > arg_v {
+                    arg_v = v;
+                    arg = k;
+                }
+            }
+            if arg == usize::MAX {
+                return fallback;
+            }
+            if rng.gen::<f32>() < self.lut.eval(arg_v) {
+                return arg;
+            }
+            tried[arg] = true;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -469,7 +773,12 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let g = two_clusters(25);
         let p = PartitionProblem::new(&g, 2, 4).unwrap();
-        let cfg = PsoConfig { swarm_size: 15, iterations: 15, seed: 7, ..PsoConfig::default() };
+        let cfg = PsoConfig {
+            swarm_size: 15,
+            iterations: 15,
+            seed: 7,
+            ..PsoConfig::default()
+        };
         let a = PsoPartitioner::new(cfg).partition(&p).unwrap();
         let b = PsoPartitioner::new(cfg).partition(&p).unwrap();
         assert_eq!(a, b);
@@ -479,11 +788,48 @@ mod tests {
     fn parallel_matches_sequential() {
         let g = two_clusters(25);
         let p = PartitionProblem::new(&g, 2, 4).unwrap();
-        let seq = PsoConfig { swarm_size: 16, iterations: 10, threads: 1, ..PsoConfig::default() };
-        let par = PsoConfig { threads: 4, ..seq };
-        let a = PsoPartitioner::new(seq).partition(&p).unwrap();
-        let b = PsoPartitioner::new(par).partition(&p).unwrap();
-        assert_eq!(a, b, "threading must not change results");
+        let seq = PsoConfig {
+            swarm_size: 16,
+            iterations: 10,
+            threads: 1,
+            ..PsoConfig::default()
+        };
+        for threads in [2, 3, 4, 16] {
+            let par = PsoConfig { threads, ..seq };
+            let (a, ta) = PsoPartitioner::new(seq).partition_traced(&p).unwrap();
+            let (b, tb) = PsoPartitioner::new(par).partition_traced(&p).unwrap();
+            assert_eq!(
+                a, b,
+                "threading must not change results ({threads} threads)"
+            );
+            assert_eq!(
+                ta, tb,
+                "threading must not change traces ({threads} threads)"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_path() {
+        // forcing every sync through the full-recompute fallback must not
+        // change anything (the engine contract, end to end through PSO)
+        let g = two_clusters(30);
+        let p = PartitionProblem::new(&g, 2, 4).unwrap();
+        for fitness in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
+            let cfg = PsoConfig {
+                swarm_size: 12,
+                iterations: 12,
+                fitness,
+                ..PsoConfig::default()
+            };
+            let (m, t) = PsoPartitioner::new(cfg).partition_traced(&p).unwrap();
+            let full = p.cost(fitness, m.assignment());
+            assert_eq!(
+                *t.best_per_iteration.last().unwrap(),
+                full,
+                "{fitness:?}: trace must match a full recompute of the result"
+            );
+        }
     }
 
     #[test]
@@ -498,10 +844,7 @@ mod tests {
         let (_, trace) = pso.partition_traced(&p).unwrap();
         // iterations + initial entry + one polish entry (polish on by default)
         assert_eq!(trace.best_per_iteration.len(), 27);
-        assert!(trace
-            .best_per_iteration
-            .windows(2)
-            .all(|w| w[1] <= w[0]));
+        assert!(trace.best_per_iteration.windows(2).all(|w| w[1] <= w[0]));
     }
 
     #[test]
@@ -526,19 +869,36 @@ mod tests {
     fn invalid_config_rejected() {
         let g = two_clusters(1);
         let p = PartitionProblem::new(&g, 2, 4).unwrap();
-        let pso = PsoPartitioner::new(PsoConfig { swarm_size: 0, ..PsoConfig::default() });
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 0,
+            ..PsoConfig::default()
+        });
         assert!(pso.partition(&p).is_err());
+        let pso = PsoPartitioner::new(PsoConfig {
+            threads: 0,
+            ..PsoConfig::default()
+        });
+        assert!(pso.partition(&p).is_err());
+    }
+
+    #[test]
+    fn threads_default_to_available_parallelism() {
+        assert_eq!(PsoConfig::default().threads, default_threads());
+        assert!(PsoConfig::default().threads >= 1);
     }
 
     #[test]
     fn decode_always_feasible() {
         let mut rng = StdRng::seed_from_u64(1);
+        let n = 13;
+        let c = 4;
+        let cap = 4; // 16 ≥ 13
+        let decoder = Decoder::new(n, c, cap, 4.0);
+        let mut scratch = DecodeScratch::default();
         for _ in 0..50 {
-            let n = 13;
-            let c = 4;
-            let cap = 4; // 16 ≥ 13
             let velocity: Vec<f32> = (0..n * c).map(|_| rng.gen_range(-4.0..4.0)).collect();
-            let a = decode(&velocity, n, c, cap, &mut rng);
+            let mut a = vec![0u32; n];
+            decoder.decode(&velocity, &mut rng, &mut a, &mut scratch);
             let mut occ = vec![0u32; c];
             for &k in &a {
                 occ[k as usize] += 1;
@@ -546,5 +906,38 @@ mod tests {
             assert!(occ.iter().all(|&o| o <= cap));
             assert_eq!(a.len(), n);
         }
+    }
+
+    #[test]
+    fn decode_prefers_high_velocity() {
+        // saturated velocities: every neuron should land on its argmax
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 6;
+        let c = 3;
+        let mut velocity = vec![-8.0f32; n * c];
+        for i in 0..n {
+            velocity[i * c + i % c] = 8.0;
+        }
+        let mut a = vec![0u32; n];
+        let decoder = Decoder::new(n, c, 2, 8.0);
+        let mut scratch = DecodeScratch::default();
+        decoder.decode(&velocity, &mut rng, &mut a, &mut scratch);
+        for (i, &k) in a.iter().enumerate() {
+            assert_eq!(k as usize, i % c, "neuron {i}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_lut_tracks_exact_sigmoid() {
+        let lut = SigmoidLut::new(4.0);
+        let mut worst = 0f32;
+        for k in 0..=8000 {
+            let v = -4.0 + k as f32 * 0.001;
+            worst = worst.max((lut.eval(v) - sigmoid(v)).abs());
+        }
+        assert!(worst < 1e-5, "lut error {worst}");
+        // clamped outside the domain
+        assert!((lut.eval(100.0) - sigmoid(4.0)).abs() < 1e-5);
+        assert!((lut.eval(-100.0) - sigmoid(-4.0)).abs() < 1e-5);
     }
 }

@@ -7,7 +7,13 @@
 //! it closes the gap between a small laptop swarm and the paper's
 //! 1000-particle × 100-iteration cloud runs — and as a standalone local
 //! optimizer.
+//!
+//! Candidate moves are priced by the shared incremental engine
+//! ([`crate::eval::EvalEngine`]) in O(deg) each, for both the per-synapse
+//! (Eq. 8) and the multicast-aware packet objective — no full Eq. 8
+//! re-evaluation anywhere in the loop.
 
+use crate::eval::EvalEngine;
 use crate::partition::{FitnessKind, PartitionProblem};
 
 /// Refines `assignment` in place; returns the final cost.
@@ -28,13 +34,8 @@ pub fn refine(
         problem.is_feasible(assignment),
         "refine requires a feasible starting assignment"
     );
-    match kind {
-        FitnessKind::CutSpikes => refine_spikes(problem, assignment, max_passes),
-        FitnessKind::CutPackets => refine_packets(problem, assignment, max_passes),
-    }
-}
-
-fn refine_spikes(problem: &PartitionProblem<'_>, assignment: &mut [u32], max_passes: u32) -> u64 {
+    let engine = EvalEngine::new(*problem, kind);
+    let mut state = engine.init(assignment);
     let n = assignment.len();
     let c = problem.num_crossbars();
     let cap = problem.capacity();
@@ -42,7 +43,7 @@ fn refine_spikes(problem: &PartitionProblem<'_>, assignment: &mut [u32], max_pas
     for &k in assignment.iter() {
         occ[k as usize] += 1;
     }
-    let mut cost = problem.cut_spikes(assignment) as i64;
+
     for _ in 0..max_passes {
         let mut improved = false;
         for i in 0..n {
@@ -52,7 +53,7 @@ fn refine_spikes(problem: &PartitionProblem<'_>, assignment: &mut [u32], max_pas
                 if t == from || occ[t as usize] >= cap {
                     continue;
                 }
-                let d = problem.move_delta_spikes(assignment, i, t);
+                let d = engine.move_delta(&state, assignment, i, t);
                 if d < 0 && best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((t, d));
                 }
@@ -60,8 +61,7 @@ fn refine_spikes(problem: &PartitionProblem<'_>, assignment: &mut [u32], max_pas
             if let Some((t, d)) = best {
                 occ[from as usize] -= 1;
                 occ[t as usize] += 1;
-                assignment[i] = t;
-                cost += d;
+                engine.apply_priced_move(&mut state, assignment, i, t, d);
                 improved = true;
             }
         }
@@ -69,166 +69,8 @@ fn refine_spikes(problem: &PartitionProblem<'_>, assignment: &mut [u32], max_pas
             break;
         }
     }
-    debug_assert_eq!(cost as u64, problem.cut_spikes(assignment));
-    cost as u64
-}
-
-/// Incremental state for the multicast-aware (packet) objective:
-/// `cnt[p][k]` = number of `p`'s targets on crossbar `k`.
-struct PacketState {
-    cnt: Vec<u32>,
-    c: usize,
-}
-
-impl PacketState {
-    fn new(problem: &PartitionProblem<'_>, assignment: &[u32]) -> Self {
-        let g = problem.graph();
-        let n = g.num_neurons() as usize;
-        let c = problem.num_crossbars();
-        let mut cnt = vec![0u32; n * c];
-        for p in 0..n as u32 {
-            for &j in g.targets(p) {
-                cnt[p as usize * c + assignment[j as usize] as usize] += 1;
-            }
-        }
-        Self { cnt, c }
-    }
-
-    #[inline]
-    fn row(&self, p: usize) -> &[u32] {
-        &self.cnt[p * self.c..(p + 1) * self.c]
-    }
-
-    /// Remote-packet multiplier of neuron `p`: distinct crossbars holding
-    /// its targets, excluding its own.
-    fn remote_multiplier(&self, p: usize, home: u32) -> u64 {
-        self.row(p)
-            .iter()
-            .enumerate()
-            .filter(|&(k, &v)| v > 0 && k as u32 != home)
-            .count() as u64
-    }
-}
-
-fn refine_packets(problem: &PartitionProblem<'_>, assignment: &mut [u32], max_passes: u32) -> u64 {
-    let g = problem.graph();
-    let n = assignment.len();
-    let c = problem.num_crossbars();
-    let cap = problem.capacity();
-    let mut occ = vec![0u32; c];
-    for &k in assignment.iter() {
-        occ[k as usize] += 1;
-    }
-    let mut state = PacketState::new(problem, assignment);
-    let mut cost = problem.cut_packets(assignment) as i64;
-
-    // multiplicity of edges p → i, reused scratch
-    let mut edge_mult: Vec<(u32, u32)> = Vec::new();
-
-    for _ in 0..max_passes {
-        let mut improved = false;
-        for i in 0..n {
-            let from = assignment[i];
-            // group duplicate in-edges by source
-            edge_mult.clear();
-            {
-                let mut srcs: Vec<u32> = g.sources(i as u32).to_vec();
-                srcs.sort_unstable();
-                for p in srcs {
-                    match edge_mult.last_mut() {
-                        Some((q, m)) if *q == p => *m += 1,
-                        _ => edge_mult.push((p, 1)),
-                    }
-                }
-            }
-
-            let mut best: Option<(u32, i64)> = None;
-            for t in 0..c as u32 {
-                if t == from || occ[t as usize] >= cap {
-                    continue;
-                }
-                let mut d = 0i64;
-                // own outgoing packets: the home crossbar stops/starts
-                // masking targets
-                let ci = g.count(i as u32) as i64;
-                if ci > 0 {
-                    let row = state.row(i);
-                    // careful: i's own targets may include i (self-loop);
-                    // moving i moves that target too. Handle the common
-                    // no-self-loop case incrementally, self-loops by
-                    // recomputation below.
-                    let self_m = g
-                        .targets(i as u32)
-                        .iter()
-                        .filter(|&&j| j as usize == i)
-                        .count() as u32;
-                    if self_m > 0 {
-                        // rare: recompute both sides directly, moving every
-                        // self-loop edge with the neuron
-                        let before = state.remote_multiplier(i, from) as i64;
-                        let mut row_after: Vec<u32> = row.to_vec();
-                        row_after[from as usize] -= self_m;
-                        row_after[t as usize] += self_m;
-                        let after = row_after
-                            .iter()
-                            .enumerate()
-                            .filter(|&(k, &v)| v > 0 && k as u32 != t)
-                            .count() as i64;
-                        d += ci * (after - before);
-                    } else {
-                        let before = (row[from as usize] > 0) as i64;
-                        let after = (row[t as usize] > 0) as i64;
-                        // leaving `from` unmasks targets there; arriving at
-                        // `t` masks targets there
-                        d += ci * (before - after);
-                    }
-                }
-                // incoming: each distinct source p sees i move from→t
-                for &(p, m) in &edge_mult {
-                    let p = p as usize;
-                    if p == i {
-                        continue; // self-loop handled above
-                    }
-                    let cp = g.count(p as u32) as i64;
-                    if cp == 0 {
-                        continue;
-                    }
-                    let home_p = assignment[p];
-                    let row = state.row(p);
-                    // `from` drops out of p's set if i carried its last edges
-                    if row[from as usize] == m && from != home_p {
-                        d -= cp;
-                    }
-                    // `t` joins p's set if previously empty
-                    if row[t as usize] == 0 && t != home_p {
-                        d += cp;
-                    }
-                }
-                if d < 0 && best.is_none_or(|(_, bd)| d < bd) {
-                    best = Some((t, d));
-                }
-            }
-
-            if let Some((t, d)) = best {
-                // apply: update cnt rows of all sources (and self-loops)
-                for &(p, m) in &edge_mult {
-                    let base = p as usize * c;
-                    state.cnt[base + from as usize] -= m;
-                    state.cnt[base + t as usize] += m;
-                }
-                occ[from as usize] -= 1;
-                occ[t as usize] += 1;
-                assignment[i] = t;
-                cost += d;
-                improved = true;
-            }
-        }
-        if !improved {
-            break;
-        }
-    }
-    debug_assert_eq!(cost as u64, problem.cut_packets(assignment));
-    cost.max(0) as u64
+    debug_assert_eq!(state.cost(), problem.cost(kind, assignment));
+    state.cost()
 }
 
 #[cfg(test)]
@@ -256,7 +98,10 @@ mod tests {
                 let mut a: Vec<u32> = (0..24).map(|i| i % 4).collect();
                 let before = p.cost(kind, &a);
                 let after = refine(&p, kind, &mut a, 10);
-                assert!(after <= before, "{kind:?} seed {seed}: {after} !<= {before}");
+                assert!(
+                    after <= before,
+                    "{kind:?} seed {seed}: {after} !<= {before}"
+                );
                 assert!(p.is_feasible(&a));
                 assert_eq!(after, p.cost(kind, &a), "incremental cost drifted");
             }
@@ -320,12 +165,8 @@ mod tests {
     fn duplicate_self_loops_tracked_exactly() {
         // regression: a neuron with TWO self-loop synapses — the packet
         // bookkeeping must move both when the neuron migrates
-        let g = SpikeGraph::from_parts(
-            2,
-            vec![(0, 0), (0, 1), (1, 0), (0, 0)],
-            vec![1, 1],
-        )
-        .unwrap();
+        let g =
+            SpikeGraph::from_parts(2, vec![(0, 0), (0, 1), (1, 0), (0, 0)], vec![1, 1]).unwrap();
         let p = PartitionProblem::new(&g, 3, 2).unwrap();
         let mut a = vec![0, 1];
         let after = refine(&p, FitnessKind::CutPackets, &mut a, 4);

@@ -183,7 +183,12 @@ pub fn remap(
     let cost_after = cost.max(0) as u64;
     debug_assert_eq!(cost_after, problem.cost(config.fitness, &assignment));
     let mapping = problem.into_mapping(assignment)?;
-    Ok(RemapOutcome { mapping, migrations, cost_before, cost_after })
+    Ok(RemapOutcome {
+        mapping,
+        migrations,
+        cost_before,
+        cost_after,
+    })
 }
 
 #[cfg(test)]
@@ -232,7 +237,10 @@ mod tests {
         let g = graph_with_rates(50, 50);
         let problem = PartitionProblem::new(&g, 2, 5).unwrap();
         let stale = Mapping::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
-        let cfg = RemapConfig { max_migrations: 2, ..RemapConfig::default() };
+        let cfg = RemapConfig {
+            max_migrations: 2,
+            ..RemapConfig::default()
+        };
         let outcome = remap(&problem, &stale, &cfg).unwrap();
         assert!(outcome.migrations.len() <= 2);
     }

@@ -87,7 +87,8 @@ pub fn encode_stream(ids: &[u32], trains: &[&[u32]]) -> Vec<AerEvent> {
 /// Splits an AER stream back into per-neuron spike-time lists (the decoder
 /// side of Figure 2). Returns `(id, times)` pairs ordered by id.
 pub fn decode_stream(events: &[AerEvent]) -> Vec<(u32, Vec<u32>)> {
-    let mut by_source: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    let mut by_source: std::collections::BTreeMap<u32, Vec<u32>> =
+        std::collections::BTreeMap::new();
     for e in events {
         by_source.entry(e.source).or_default().push(e.timestamp);
     }

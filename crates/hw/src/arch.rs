@@ -82,7 +82,10 @@ impl Architecture {
     /// [`HwError::InvalidParameter`] if `n` is zero.
     pub fn truenorth_like(n: usize) -> Result<Self, HwError> {
         if n == 0 {
-            return Err(HwError::InvalidParameter { name: "n", value: "0".into() });
+            return Err(HwError::InvalidParameter {
+                name: "n",
+                value: "0".into(),
+            });
         }
         Ok(Self {
             num_crossbars: n,

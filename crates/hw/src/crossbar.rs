@@ -30,9 +30,15 @@ impl CrossbarSpec {
     /// [`HwError::InvalidParameter`] if `n` is zero.
     pub fn square(n: u32) -> Result<Self, HwError> {
         if n == 0 {
-            return Err(HwError::InvalidParameter { name: "n", value: "0".into() });
+            return Err(HwError::InvalidParameter {
+                name: "n",
+                value: "0".into(),
+            });
         }
-        Ok(Self { inputs: n, outputs: n })
+        Ok(Self {
+            inputs: n,
+            outputs: n,
+        })
     }
 
     /// Maximum number of local synapses (crosspoints).
@@ -55,7 +61,10 @@ impl CrossbarSpec {
 impl Default for CrossbarSpec {
     /// The CxQuad crossbar: 128 × 128.
     fn default() -> Self {
-        Self { inputs: 128, outputs: 128 }
+        Self {
+            inputs: 128,
+            outputs: 128,
+        }
     }
 }
 
@@ -84,7 +93,10 @@ mod tests {
 
     #[test]
     fn asymmetric_capacity_is_min() {
-        let c = CrossbarSpec { inputs: 64, outputs: 256 };
+        let c = CrossbarSpec {
+            inputs: 64,
+            outputs: 256,
+        };
         assert_eq!(c.neuron_capacity(), 64);
     }
 }

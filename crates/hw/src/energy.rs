@@ -131,7 +131,11 @@ impl EnergyModel {
     /// (linear wordline/bitline capacitance scaling; see
     /// [`EnergyModel::reference_dim`]).
     pub fn local_event_pj(&self, crossbar_dim: u32) -> f64 {
-        let ref_dim = if self.reference_dim > 0.0 { self.reference_dim } else { 128.0 };
+        let ref_dim = if self.reference_dim > 0.0 {
+            self.reference_dim
+        } else {
+            128.0
+        };
         self.local_synapse_pj * crossbar_dim as f64 / ref_dim
     }
 
@@ -179,7 +183,10 @@ mod tests {
 
     #[test]
     fn negative_energy_rejected() {
-        let m = EnergyModel { router_hop_pj: -1.0, ..EnergyModel::default() };
+        let m = EnergyModel {
+            router_hop_pj: -1.0,
+            ..EnergyModel::default()
+        };
         assert!(m.validate().is_err());
         let json = serde_json::to_string(&m).unwrap();
         assert!(EnergyModel::from_json(&json).is_err());

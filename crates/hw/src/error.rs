@@ -36,11 +36,18 @@ pub enum HwError {
 impl fmt::Display for HwError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HwError::CapacityExceeded { crossbar, assigned, capacity } => write!(
+            HwError::CapacityExceeded {
+                crossbar,
+                assigned,
+                capacity,
+            } => write!(
                 f,
                 "crossbar {crossbar} holds {assigned} neurons, capacity is {capacity}"
             ),
-            HwError::CrossbarOutOfRange { crossbar, available } => write!(
+            HwError::CrossbarOutOfRange {
+                crossbar,
+                available,
+            } => write!(
                 f,
                 "crossbar {crossbar} referenced, architecture has {available}"
             ),
@@ -60,7 +67,11 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = HwError::CapacityExceeded { crossbar: 2, assigned: 300, capacity: 128 };
+        let e = HwError::CapacityExceeded {
+            crossbar: 2,
+            assigned: 300,
+            capacity: 128,
+        };
         let m = e.to_string();
         assert!(m.contains("300") && m.contains("128"));
     }

@@ -36,7 +36,10 @@ impl Mapping {
                 available: num_crossbars,
             });
         }
-        Ok(Self { crossbar_of, num_crossbars })
+        Ok(Self {
+            crossbar_of,
+            num_crossbars,
+        })
     }
 
     /// Number of neurons covered.
@@ -147,7 +150,10 @@ mod tests {
     #[test]
     fn out_of_range_assignment_rejected() {
         let err = Mapping::from_assignment(vec![0, 1, 4], 4).unwrap_err();
-        assert!(matches!(err, HwError::CrossbarOutOfRange { crossbar: 4, .. }));
+        assert!(matches!(
+            err,
+            HwError::CrossbarOutOfRange { crossbar: 4, .. }
+        ));
     }
 
     #[test]
@@ -168,7 +174,11 @@ mod tests {
         let err = over.validate(&arch).unwrap_err();
         assert!(matches!(
             err,
-            HwError::CapacityExceeded { crossbar: 0, assigned: 3, capacity: 2 }
+            HwError::CapacityExceeded {
+                crossbar: 0,
+                assigned: 3,
+                capacity: 2
+            }
         ));
     }
 

@@ -54,16 +54,28 @@ impl NocConfig {
     /// (zero buffer depth, zero flits, zero cycles per step).
     pub fn validate(&self) -> Result<(), NocError> {
         if self.buffer_depth == 0 {
-            return Err(NocError::InvalidConfig { name: "buffer_depth", value: "0".into() });
+            return Err(NocError::InvalidConfig {
+                name: "buffer_depth",
+                value: "0".into(),
+            });
         }
         if self.flits_per_packet == 0 {
-            return Err(NocError::InvalidConfig { name: "flits_per_packet", value: "0".into() });
+            return Err(NocError::InvalidConfig {
+                name: "flits_per_packet",
+                value: "0".into(),
+            });
         }
         if self.cycles_per_step == 0 {
-            return Err(NocError::InvalidConfig { name: "cycles_per_step", value: "0".into() });
+            return Err(NocError::InvalidConfig {
+                name: "cycles_per_step",
+                value: "0".into(),
+            });
         }
         if self.max_cycles == 0 {
-            return Err(NocError::InvalidConfig { name: "max_cycles", value: "0".into() });
+            return Err(NocError::InvalidConfig {
+                name: "max_cycles",
+                value: "0".into(),
+            });
         }
         Ok(())
     }
@@ -76,8 +88,10 @@ impl NocConfig {
     /// [`NocError::InvalidConfig`] when the JSON is malformed or a field is
     /// out of domain.
     pub fn from_json(json: &str) -> Result<Self, NocError> {
-        let cfg: NocConfig = serde_json::from_str(json)
-            .map_err(|e| NocError::InvalidConfig { name: "json", value: e.to_string() })?;
+        let cfg: NocConfig = serde_json::from_str(json).map_err(|e| NocError::InvalidConfig {
+            name: "json",
+            value: e.to_string(),
+        })?;
         cfg.validate()?;
         Ok(cfg)
     }
@@ -99,11 +113,20 @@ mod tests {
 
     #[test]
     fn zero_fields_rejected() {
-        let c = NocConfig { buffer_depth: 0, ..NocConfig::default() };
+        let c = NocConfig {
+            buffer_depth: 0,
+            ..NocConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = NocConfig { flits_per_packet: 0, ..NocConfig::default() };
+        let c = NocConfig {
+            flits_per_packet: 0,
+            ..NocConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = NocConfig { cycles_per_step: 0, ..NocConfig::default() };
+        let c = NocConfig {
+            cycles_per_step: 0,
+            ..NocConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

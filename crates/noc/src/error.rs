@@ -32,7 +32,10 @@ pub enum NocError {
 impl fmt::Display for NocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NocError::UnknownCrossbar { crossbar, available } => write!(
+            NocError::UnknownCrossbar {
+                crossbar,
+                available,
+            } => write!(
                 f,
                 "flow references crossbar {crossbar}, topology serves {available}"
             ),
@@ -55,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_mentions_parameters() {
-        let e = NocError::CycleBudgetExhausted { budget: 100, in_flight: 3 };
+        let e = NocError::CycleBudgetExhausted {
+            budget: 100,
+            in_flight: 3,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("3"));
     }

@@ -75,7 +75,11 @@ impl NocSim {
     /// Creates a simulator over a topology with the given configuration and
     /// energy model.
     pub fn new(topo: Box<dyn Topology>, config: NocConfig, energy: EnergyModel) -> Self {
-        Self { topo, config, energy }
+        Self {
+            topo,
+            config,
+            energy,
+        }
     }
 
     /// The topology in use.
@@ -93,7 +97,8 @@ impl NocSim {
     /// * [`NocError::CycleBudgetExhausted`] if traffic cannot drain.
     pub fn run(&mut self, flows: &[SpikeFlow]) -> Result<NocStats, NocError> {
         let duration = flows.iter().map(|f| f.send_step + 1).max().unwrap_or(1);
-        self.run_with_duration(flows, duration).map(|(stats, _)| stats)
+        self.run_with_duration(flows, duration)
+            .map(|(stats, _)| stats)
     }
 
     /// Like [`NocSim::run`], but with an explicit SNN duration (timesteps)
@@ -110,10 +115,16 @@ impl NocSim {
         self.config.validate()?;
         let nc = self.topo.num_crossbars();
         for f in flows {
-            let all = f.dst_crossbars.iter().chain(std::iter::once(&f.src_crossbar));
+            let all = f
+                .dst_crossbars
+                .iter()
+                .chain(std::iter::once(&f.src_crossbar));
             for &c in all {
                 if c as usize >= nc {
-                    return Err(NocError::UnknownCrossbar { crossbar: c, available: nc });
+                    return Err(NocError::UnknownCrossbar {
+                        crossbar: c,
+                        available: nc,
+                    });
                 }
             }
         }
@@ -325,8 +336,7 @@ impl NocSim {
                             }
                         }
                     }
-                    let Some(win_pos) =
-                        cfg.arbitration.pick(&candidates, routers[r].rr_cursor[o])
+                    let Some(win_pos) = cfg.arbitration.pick(&candidates, routers[r].rr_cursor[o])
                     else {
                         continue;
                     };
@@ -344,9 +354,7 @@ impl NocSim {
                         .filter(|&d| topo.route_next(r, topo.endpoint(d)) == nbr)
                         .collect();
                     let branch = if via.len() == head.dests.len() {
-                        let p = routers[r].fifos[fi]
-                            .pop_front()
-                            .expect("head exists");
+                        let p = routers[r].fifos[fi].pop_front().expect("head exists");
                         queued_packets -= 1;
                         if fi > 0 {
                             routers[r].credits_used[fi] -= 1;
@@ -457,12 +465,11 @@ mod tests {
     fn multicast_injects_fewer_packets_than_unicast() {
         let flows = vec![SpikeFlow::multicast(0, 0, vec![1, 2, 3], 0); 10];
         let run = |multicast: bool| {
-            let cfg = NocConfig { multicast, ..NocConfig::default() };
-            let mut s = NocSim::new(
-                Box::new(NocTree::new(4, 4)),
-                cfg,
-                EnergyModel::default(),
-            );
+            let cfg = NocConfig {
+                multicast,
+                ..NocConfig::default()
+            };
+            let mut s = NocSim::new(Box::new(NocTree::new(4, 4)), cfg, EnergyModel::default());
             s.run(&flows).unwrap()
         };
         let mc = run(true);
@@ -545,7 +552,10 @@ mod tests {
     #[test]
     fn backpressure_does_not_lose_packets() {
         // tiny buffers + heavy burst through one tree root
-        let cfg = NocConfig { buffer_depth: 1, ..NocConfig::default() };
+        let cfg = NocConfig {
+            buffer_depth: 1,
+            ..NocConfig::default()
+        };
         let flows: Vec<SpikeFlow> = (0..200)
             .map(|i| SpikeFlow::unicast(i, i % 4, ((i % 4) + 4) % 8, 0))
             .collect();
@@ -566,7 +576,10 @@ mod tests {
             }
         }
         let run = |arb| {
-            let cfg = NocConfig { arbitration: arb, ..NocConfig::default() };
+            let cfg = NocConfig {
+                arbitration: arb,
+                ..NocConfig::default()
+            };
             let mut s = NocSim::new(
                 Box::new(Mesh2D::for_crossbars(9)),
                 cfg,
@@ -576,7 +589,10 @@ mod tests {
         };
         let rr = run(crate::router::Arbitration::RoundRobin);
         let of = run(crate::router::Arbitration::OldestFirst);
-        assert!(of <= rr, "oldest-first should not increase disorder: {of} !<= {rr}");
+        assert!(
+            of <= rr,
+            "oldest-first should not increase disorder: {of} !<= {rr}"
+        );
     }
 
     #[test]

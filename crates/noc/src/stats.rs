@@ -220,7 +220,11 @@ pub fn isi_distortion(deliveries: &[Delivery]) -> (f64, u64) {
         count += 1;
         global_max = global_max.max(stream_max);
     }
-    let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+    let mean = if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    };
     (mean, global_max)
 }
 
@@ -336,8 +340,20 @@ mod tests {
     fn energy_scales_with_counters() {
         let em = EnergyModel::default();
         let ds: Vec<Delivery> = Vec::new();
-        let small = Counters { packets_injected: 1, deliveries: 1, router_traversals: 1, link_flits: 1, buffer_flits: 1 };
-        let large = Counters { packets_injected: 10, deliveries: 10, router_traversals: 10, link_flits: 10, buffer_flits: 10 };
+        let small = Counters {
+            packets_injected: 1,
+            deliveries: 1,
+            router_traversals: 1,
+            link_flits: 1,
+            buffer_flits: 1,
+        };
+        let large = Counters {
+            packets_injected: 10,
+            deliveries: 10,
+            router_traversals: 10,
+            link_flits: 10,
+            buffer_flits: 10,
+        };
         let s1 = NocStats::from_deliveries(&ds, small, &em, 1, 1, 1);
         let s2 = NocStats::from_deliveries(&ds, large, &em, 1, 1, 1);
         assert!((s2.global_energy_pj - 10.0 * s1.global_energy_pj).abs() < 1e-9);

@@ -54,7 +54,12 @@ impl Mesh2D {
                 }
             }
         }
-        Self { cols, rows, num_crossbars: crossbars, neighbors }
+        Self {
+            cols,
+            rows,
+            num_crossbars: crossbars,
+            neighbors,
+        }
     }
 
     fn coords(&self, r: usize) -> (usize, usize) {
@@ -155,7 +160,12 @@ impl Torus {
                 push_unique(((y + rows - 1) % rows) * cols + x);
             }
         }
-        Self { cols, rows, num_crossbars: crossbars, neighbors }
+        Self {
+            cols,
+            rows,
+            num_crossbars: crossbars,
+            neighbors,
+        }
     }
 
     fn coords(&self, r: usize) -> (usize, usize) {
@@ -261,7 +271,7 @@ mod tests {
     #[test]
     fn torus_wraps() {
         let t = Torus::for_crossbars(9); // 3x3
-        // 0 (0,0) to 2 (2,0): wrap left is 1 hop
+                                         // 0 (0,0) to 2 (2,0): wrap left is 1 hop
         assert_eq!(t.hops(0, 2), 1);
         assert_eq!(t.route_next(0, 2), 2);
     }

@@ -26,7 +26,10 @@ impl Star {
             neighbors[leaf].push(hub);
             neighbors[hub].push(leaf);
         }
-        Self { crossbars, neighbors }
+        Self {
+            crossbars,
+            neighbors,
+        }
     }
 
     /// The hub router id.
@@ -88,7 +91,10 @@ impl PointToPoint {
         let neighbors = (0..crossbars)
             .map(|r| (0..crossbars).filter(|&n| n != r).collect())
             .collect();
-        Self { crossbars, neighbors }
+        Self {
+            crossbars,
+            neighbors,
+        }
     }
 }
 

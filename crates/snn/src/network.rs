@@ -281,7 +281,10 @@ impl NetworkBuilder {
         delay: u16,
         plastic: bool,
     ) -> Result<&mut Self, SnnError> {
-        let pre_g = self.groups.get(pre.0).ok_or(SnnError::UnknownGroup(pre.0))?;
+        let pre_g = self
+            .groups
+            .get(pre.0)
+            .ok_or(SnnError::UnknownGroup(pre.0))?;
         let post_g = self
             .groups
             .get(post.0)
@@ -366,9 +369,7 @@ fn validate_pattern(pattern: &ConnectPattern, pre: u32, post: u32) -> Result<(),
                 post: post as usize,
             })
         }
-        ConnectPattern::Pairs { pairs }
-            if pairs.iter().any(|&(a, b)| a >= pre || b >= post) =>
-        {
+        ConnectPattern::Pairs { pairs } if pairs.iter().any(|&(a, b)| a >= pre || b >= post) => {
             Err(SnnError::PatternMismatch {
                 pattern: "pairs (index out of range)".into(),
                 pre: pre as usize,
@@ -406,9 +407,8 @@ fn expand_pattern<F: FnMut(u32, u32)>(
         ConnectPattern::Random { p } => {
             // pattern-local deterministic stream so group order doesn't
             // perturb other projections
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
-                (pre_g.first as u64) << 32 | post_g.first as u64,
-            );
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64((pre_g.first as u64) << 32 | post_g.first as u64);
             for i in 0..pre_g.size {
                 for j in 0..post_g.size {
                     if recurrent_same && i == j {
@@ -435,7 +435,11 @@ fn expand_pattern<F: FnMut(u32, u32)>(
                 }
             }
         }
-        ConnectPattern::Neighborhood2D { width, height, radius } => {
+        ConnectPattern::Neighborhood2D {
+            width,
+            height,
+            radius,
+        } => {
             let (w, h, r) = (*width as i64, *height as i64, *radius as i64);
             for y in 0..h {
                 for x in 0..w {
@@ -490,9 +494,7 @@ impl Network {
 
     /// Group containing global neuron `id`, if in range.
     pub fn group_of(&self, id: u32) -> Option<&Group> {
-        self.groups
-            .iter()
-            .find(|g| g.range().contains(&id))
+        self.groups.iter().find(|g| g.range().contains(&id))
     }
 
     /// Looks a group up by name.
@@ -614,7 +616,11 @@ mod tests {
         b.connect(
             a,
             c,
-            ConnectPattern::Neighborhood2D { width: 4, height: 4, radius: 1 },
+            ConnectPattern::Neighborhood2D {
+                width: 4,
+                height: 4,
+                radius: 1,
+            },
             WeightInit::Constant(1.0),
             1,
         )
@@ -632,7 +638,11 @@ mod tests {
             .connect(
                 a,
                 c,
-                ConnectPattern::Neighborhood2D { width: 4, height: 4, radius: 1 },
+                ConnectPattern::Neighborhood2D {
+                    width: 4,
+                    height: 4,
+                    radius: 1,
+                },
                 WeightInit::Constant(1.0),
                 1,
             )
@@ -647,7 +657,9 @@ mod tests {
             .connect(
                 a,
                 c,
-                ConnectPattern::Pairs { pairs: vec![(0, 5)] },
+                ConnectPattern::Pairs {
+                    pairs: vec![(0, 5)],
+                },
                 WeightInit::Constant(1.0),
                 1,
             )
@@ -670,7 +682,9 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut b = NetworkBuilder::new();
         b.add_group("x", 2, NeuronKind::izhikevich_rs()).unwrap();
-        let err = b.add_group("x", 2, NeuronKind::izhikevich_rs()).unwrap_err();
+        let err = b
+            .add_group("x", 2, NeuronKind::izhikevich_rs())
+            .unwrap_err();
         assert!(matches!(err, SnnError::DuplicateGroup(_)));
     }
 

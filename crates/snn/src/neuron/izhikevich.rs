@@ -42,7 +42,14 @@ impl Izhikevich {
     /// the canonical rest state `v = −65`, `u = b·v`.
     pub fn new(a: f32, b: f32, c: f32, d: f32) -> Self {
         let v = -65.0;
-        Self { a, b, c, d, v, u: b * v }
+        Self {
+            a,
+            b,
+            c,
+            d,
+            v,
+            u: b * v,
+        }
     }
 
     /// Regular-spiking (RS) excitatory cell.
@@ -115,7 +122,10 @@ mod tests {
         let mut hi = Izhikevich::regular_spiking();
         let r_lo = count_spikes(&mut lo, 6.0, 1000);
         let r_hi = count_spikes(&mut hi, 14.0, 1000);
-        assert!(r_hi > r_lo, "f-I curve must be increasing: {r_lo} !< {r_hi}");
+        assert!(
+            r_hi > r_lo,
+            "f-I curve must be increasing: {r_lo} !< {r_hi}"
+        );
     }
 
     #[test]

@@ -32,7 +32,15 @@ impl Lif {
     pub fn new(tau_m: f32, v_rest: f32, v_th: f32, v_reset: f32, refractory: f32) -> Self {
         assert!(tau_m > 0.0, "membrane time constant must be positive");
         assert!(v_th > v_reset, "threshold must exceed reset potential");
-        Self { tau_m, v_rest, v_th, v_reset, refractory, v: v_rest, refr_left: 0.0 }
+        Self {
+            tau_m,
+            v_rest,
+            v_th,
+            v_reset,
+            refractory,
+            v: v_rest,
+            refr_left: 0.0,
+        }
     }
 
     /// The (static) firing threshold in mV.
@@ -107,7 +115,12 @@ impl AdaptiveLif {
     /// Panics if `tau_theta <= 0`.
     pub fn new(base: Lif, theta_plus: f32, tau_theta: f32) -> Self {
         assert!(tau_theta > 0.0, "theta time constant must be positive");
-        Self { base, theta: 0.0, theta_plus, tau_theta }
+        Self {
+            base,
+            theta: 0.0,
+            theta_plus,
+            tau_theta,
+        }
     }
 
     /// Current adaptation offset θ in mV.

@@ -94,27 +94,52 @@ pub enum NeuronKind {
 impl NeuronKind {
     /// Izhikevich *regular spiking* (RS) — cortical excitatory default.
     pub fn izhikevich_rs() -> Self {
-        NeuronKind::Izhikevich { a: 0.02, b: 0.2, c: -65.0, d: 8.0 }
+        NeuronKind::Izhikevich {
+            a: 0.02,
+            b: 0.2,
+            c: -65.0,
+            d: 8.0,
+        }
     }
 
     /// Izhikevich *fast spiking* (FS) — cortical inhibitory default.
     pub fn izhikevich_fs() -> Self {
-        NeuronKind::Izhikevich { a: 0.1, b: 0.2, c: -65.0, d: 2.0 }
+        NeuronKind::Izhikevich {
+            a: 0.1,
+            b: 0.2,
+            c: -65.0,
+            d: 2.0,
+        }
     }
 
     /// Izhikevich *chattering* (CH).
     pub fn izhikevich_ch() -> Self {
-        NeuronKind::Izhikevich { a: 0.02, b: 0.2, c: -50.0, d: 2.0 }
+        NeuronKind::Izhikevich {
+            a: 0.02,
+            b: 0.2,
+            c: -50.0,
+            d: 2.0,
+        }
     }
 
     /// Izhikevich *intrinsically bursting* (IB).
     pub fn izhikevich_ib() -> Self {
-        NeuronKind::Izhikevich { a: 0.02, b: 0.2, c: -55.0, d: 4.0 }
+        NeuronKind::Izhikevich {
+            a: 0.02,
+            b: 0.2,
+            c: -55.0,
+            d: 4.0,
+        }
     }
 
     /// Izhikevich *low-threshold spiking* (LTS).
     pub fn izhikevich_lts() -> Self {
-        NeuronKind::Izhikevich { a: 0.02, b: 0.25, c: -65.0, d: 2.0 }
+        NeuronKind::Izhikevich {
+            a: 0.02,
+            b: 0.25,
+            c: -65.0,
+            d: 2.0,
+        }
     }
 
     /// A standard LIF parameterization (τm = 20 ms, threshold −52 mV).
@@ -145,9 +170,13 @@ impl NeuronKind {
     pub fn build(&self) -> Box<dyn NeuronModel + Send> {
         match *self {
             NeuronKind::Izhikevich { a, b, c, d } => Box::new(Izhikevich::new(a, b, c, d)),
-            NeuronKind::Lif { tau_m, v_rest, v_th, v_reset, refractory } => {
-                Box::new(Lif::new(tau_m, v_rest, v_th, v_reset, refractory))
-            }
+            NeuronKind::Lif {
+                tau_m,
+                v_rest,
+                v_th,
+                v_reset,
+                refractory,
+            } => Box::new(Lif::new(tau_m, v_rest, v_th, v_reset, refractory)),
             NeuronKind::AdaptiveLif {
                 tau_m,
                 v_rest,

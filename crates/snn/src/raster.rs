@@ -22,7 +22,11 @@ pub fn raster(record: &SpikeRecord, ids: &[u32], bin_ms: u32) -> String {
         for b in 0..bins {
             let lo = b * bin_ms;
             let hi = (lo + bin_ms).min(record.steps());
-            row.push(if train.count_in(lo, hi) > 0 { '#' } else { '·' });
+            row.push(if train.count_in(lo, hi) > 0 {
+                '#'
+            } else {
+                '·'
+            });
         }
         out.push_str(&row);
         out.push('\n');

@@ -32,7 +32,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { dt_ms: 1.0, stdp: None }
+        Self {
+            dt_ms: 1.0,
+            stdp: None,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ pub struct SpikeRecord {
 impl SpikeRecord {
     /// Creates an empty record for `n` neurons over `steps` timesteps.
     pub fn new(n: usize, steps: u32) -> Self {
-        Self { trains: vec![SpikeTrain::new(); n], steps }
+        Self {
+            trains: vec![SpikeTrain::new(); n],
+            steps,
+        }
     }
 
     /// Number of neurons covered by the record.
@@ -387,8 +393,14 @@ mod tests {
             .add_input_group("in", 5, Generator::poisson(100.0))
             .unwrap();
         let out = b.add_group("out", 3, NeuronKind::izhikevich_rs()).unwrap();
-        b.connect(inp, out, ConnectPattern::Full, WeightInit::Constant(weight), 1)
-            .unwrap();
+        b.connect(
+            inp,
+            out,
+            ConnectPattern::Full,
+            WeightInit::Constant(weight),
+            1,
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -431,8 +443,14 @@ mod tests {
                 .add_input_group("in", 1, Generator::periodic(1000, 0))
                 .unwrap();
             let out = b.add_group("out", 1, NeuronKind::lif_default()).unwrap();
-            b.connect(inp, out, ConnectPattern::Full, WeightInit::Constant(400.0), delay)
-                .unwrap();
+            b.connect(
+                inp,
+                out,
+                ConnectPattern::Full,
+                WeightInit::Constant(400.0),
+                delay,
+            )
+            .unwrap();
             b.build().unwrap()
         };
         let first_spike = |delay: u16| {
@@ -459,8 +477,14 @@ mod tests {
             let out = b.add_group("out", 2, NeuronKind::izhikevich_rs()).unwrap();
             b.connect(exc, out, ConnectPattern::Full, WeightInit::Constant(4.0), 1)
                 .unwrap();
-            b.connect(inh, out, ConnectPattern::Full, WeightInit::Constant(inh_w), 1)
-                .unwrap();
+            b.connect(
+                inh,
+                out,
+                ConnectPattern::Full,
+                WeightInit::Constant(inh_w),
+                1,
+            )
+            .unwrap();
             b.build().unwrap()
         };
         let count = |inh_w: f32| {
@@ -471,7 +495,10 @@ mod tests {
         };
         let without = count(0.0);
         let with = count(-4.0);
-        assert!(with < without, "inhibition must reduce rate: {with} !< {without}");
+        assert!(
+            with < without,
+            "inhibition must reduce rate: {with} !< {without}"
+        );
     }
 
     #[test]
@@ -503,8 +530,13 @@ mod tests {
             w_max: 5.0,
             ..StdpConfig::default()
         };
-        let mut sim =
-            Simulator::with_config(net, SimConfig { dt_ms: 1.0, stdp: Some(cfg) });
+        let mut sim = Simulator::with_config(
+            net,
+            SimConfig {
+                dt_ms: 1.0,
+                stdp: Some(cfg),
+            },
+        );
         let mut rng = StdRng::seed_from_u64(5);
         sim.run(2000, &mut rng).unwrap();
         let after: Vec<f32> = sim.network().synapses().iter().map(|s| s.weight).collect();
@@ -519,7 +551,10 @@ mod tests {
         let before: Vec<f32> = net.synapses().iter().map(|s| s.weight).collect();
         let mut sim = Simulator::with_config(
             net,
-            SimConfig { dt_ms: 1.0, stdp: Some(StdpConfig::default()) },
+            SimConfig {
+                dt_ms: 1.0,
+                stdp: Some(StdpConfig::default()),
+            },
         );
         let mut rng = StdRng::seed_from_u64(5);
         sim.run(500, &mut rng).unwrap();
@@ -542,7 +577,13 @@ mod tests {
             normalize_target: 5.0,
             ..StdpConfig::default()
         };
-        let mut sim = Simulator::with_config(net, SimConfig { dt_ms: 1.0, stdp: Some(cfg) });
+        let mut sim = Simulator::with_config(
+            net,
+            SimConfig {
+                dt_ms: 1.0,
+                stdp: Some(cfg),
+            },
+        );
         let mut rng = StdRng::seed_from_u64(2);
         sim.run(100, &mut rng).unwrap();
         // inbound plastic sum per output neuron ≈ 5.0 right after a

@@ -36,7 +36,13 @@ impl Synapse {
             (1..=MAX_DELAY).contains(&delay),
             "delay {delay} outside 1..={MAX_DELAY}"
         );
-        Self { pre, post, weight, delay, plastic: false }
+        Self {
+            pre,
+            post,
+            weight,
+            delay,
+            plastic: false,
+        }
     }
 
     /// Marks the synapse as plastic (STDP-managed). Builder-style.

@@ -10,7 +10,10 @@ use neuromap::core::{run_pipeline, PipelineConfig};
 use neuromap::hw::arch::{Architecture, InterconnectKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = Synthetic { steps: 400, ..Synthetic::new(3, 60) };
+    let app = Synthetic {
+        steps: 400,
+        ..Synthetic::new(3, 60)
+    };
     let graph = app.spike_graph(3)?;
     println!(
         "application {}: {} neurons, {} synapses\n",

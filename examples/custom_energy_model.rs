@@ -13,7 +13,10 @@ use neuromap::hw::arch::{Architecture, InterconnectKind};
 use neuromap::hw::energy::EnergyModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = Synthetic { steps: 400, ..Synthetic::new(2, 48) };
+    let app = Synthetic {
+        steps: 400,
+        ..Synthetic::new(2, 48)
+    };
     let graph = app.spike_graph(5)?;
 
     // two technologies, expressed as loadable JSON (edit freely):

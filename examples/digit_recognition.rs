@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rest_ms: 25,
         ..DigitRecognition::default()
     };
-    println!("\nsimulating {} ({} ms with STDP)…", app.name(), app.sim_steps());
+    println!(
+        "\nsimulating {} ({} ms with STDP)…",
+        app.name(),
+        app.sim_steps()
+    );
     let graph = app.spike_graph(42)?;
     println!(
         "spike graph: {} neurons, {} synapses, {} spikes",
@@ -54,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..PsoConfig::default()
     });
     let sizes = [180u32, 360, 720, 1440];
-    println!("\n{:>8} {:>10} {:>12} {:>12} {:>12} {:>10}", "size", "crossbars", "local µJ", "global µJ", "total µJ", "latency");
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "size", "crossbars", "local µJ", "global µJ", "total µJ", "latency"
+    );
     for pt in architecture_sweep(&graph, &base, &sizes, &pso)? {
         println!(
             "{:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>10}",

@@ -8,14 +8,17 @@
 use neuromap::apps::heartbeat::HeartbeatEstimation;
 use neuromap::apps::App;
 use neuromap::core::baselines::PacmanPartitioner;
-use neuromap::core::partition::{Partitioner, PartitionProblem};
+use neuromap::core::partition::{PartitionProblem, Partitioner};
 use neuromap::core::pipeline::evaluate_mapping_detailed;
 use neuromap::core::pso::{PsoConfig, PsoPartitioner};
 use neuromap::core::PipelineConfig;
 use neuromap::hw::arch::{Architecture, InterconnectKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = HeartbeatEstimation { duration_ms: 4000, ..HeartbeatEstimation::default() };
+    let app = HeartbeatEstimation {
+        duration_ms: 4000,
+        ..HeartbeatEstimation::default()
+    };
 
     // the application itself: estimate the heart rate from spikes
     let (ecg, trains) = app.encoded_input(11);
@@ -45,17 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = Architecture::custom(4, 24, InterconnectKind::Tree { arity: 4 })?;
     let problem = PartitionProblem::new(&graph, 4, 24)?;
 
-    let pso = PsoPartitioner::new(PsoConfig { swarm_size: 30, iterations: 30, ..PsoConfig::default() });
+    let pso = PsoPartitioner::new(PsoConfig {
+        swarm_size: 30,
+        iterations: 30,
+        ..PsoConfig::default()
+    });
     let m_pso = pso.partition(&problem)?;
     let m_pacman = PacmanPartitioner::new().partition(&problem)?;
 
     println!("\ninterconnect clock sweep (slower clock = lower power = more congestion):");
-    println!("{:>10} {:>22} {:>22}", "cycles/ms", "PACMAN ISI dist (cyc)", "PSO ISI dist (cyc)");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "cycles/ms", "PACMAN ISI dist (cyc)", "PSO ISI dist (cyc)"
+    );
     for cycles in [64u64, 256, 1024] {
         let mut cfg = PipelineConfig::for_arch(arch.clone());
         cfg.noc.cycles_per_step = cycles;
-        let (r_pacman, _) =
-            evaluate_mapping_detailed(&graph, m_pacman.clone(), "pacman", &cfg)?;
+        let (r_pacman, _) = evaluate_mapping_detailed(&graph, m_pacman.clone(), "pacman", &cfg)?;
         let (r_pso, _) = evaluate_mapping_detailed(&graph, m_pso.clone(), "pso", &cfg)?;
         println!(
             "{:>10} {:>22.1} {:>22.1}",

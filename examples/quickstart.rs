@@ -14,14 +14,20 @@ use neuromap::hw::arch::{Architecture, InterconnectKind};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An application: a 2-layer synthetic SNN driven by 10 Poisson
     //    sources (the paper's synth_2x40 would be the m×n notation).
-    let app = Synthetic { steps: 500, ..Synthetic::new(2, 40) };
+    let app = Synthetic {
+        steps: 500,
+        ..Synthetic::new(2, 40)
+    };
     println!("application: {}", app.name());
 
     // 2. Simulate it and extract the spike graph (the CARLsim → dataflow
     //    graph step of the paper's Figure 4).
     let (net, record) = app.run(7)?;
     let rates = neuromap::snn::raster::population_rate(&record, 10..90, 25);
-    println!("population rate: {}", neuromap::snn::raster::sparkline(&rates));
+    println!(
+        "population rate: {}",
+        neuromap::snn::raster::sparkline(&rates)
+    );
     let graph = neuromap::core::SpikeGraph::from_record(&net, &record);
     println!(
         "spike graph: {} neurons, {} synapses, {} spikes over {} ms",
@@ -49,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(pso),
     ];
 
-    println!("\n{:<10} {:>12} {:>14} {:>14} {:>12}", "mapping", "cut spikes", "global pJ", "local pJ", "max lat");
+    println!(
+        "\n{:<10} {:>12} {:>14} {:>14} {:>12}",
+        "mapping", "cut spikes", "global pJ", "local pJ", "max lat"
+    );
     for p in &partitioners {
         let report = run_pipeline(&graph, p.as_ref(), &config)?;
         println!(
@@ -61,6 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.noc.max_latency_cycles,
         );
     }
-    println!("\nlower cut spikes ⇒ lower interconnect energy and latency — the paper's core result");
+    println!(
+        "\nlower cut spikes ⇒ lower interconnect energy and latency — the paper's core result"
+    );
     Ok(())
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the lint/bench gates added with the eval-engine
+# PR. Everything runs offline (all dependencies are vendored in ./vendor).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> tests (workspace)"
+cargo test --workspace -q
+
+echo "==> rustfmt"
+cargo fmt --all -- --check
+
+echo "==> clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench smoke (1 sample)"
+NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench eval
+
+echo "verify: OK"

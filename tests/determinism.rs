@@ -8,7 +8,10 @@ use neuromap::core::{run_pipeline, PipelineConfig, Report};
 use neuromap::hw::arch::{Architecture, InterconnectKind};
 
 fn full_run(seed: u64, threads: usize) -> Report {
-    let app = Synthetic { steps: 250, ..Synthetic::new(2, 20) };
+    let app = Synthetic {
+        steps: 250,
+        ..Synthetic::new(2, 20)
+    };
     let graph = app.spike_graph(seed).expect("app simulates");
     let arch = Architecture::custom(4, 14, InterconnectKind::Tree { arity: 2 }).unwrap();
     let cfg = PipelineConfig::for_arch(arch);
@@ -45,7 +48,10 @@ fn different_seeds_differ() {
 
 #[test]
 fn application_graphs_are_reproducible() {
-    let app = HeartbeatEstimation { duration_ms: 1500, ..HeartbeatEstimation::default() };
+    let app = HeartbeatEstimation {
+        duration_ms: 1500,
+        ..HeartbeatEstimation::default()
+    };
     let a = app.spike_graph(7).expect("runs");
     let b = app.spike_graph(7).expect("runs");
     assert_eq!(a, b);

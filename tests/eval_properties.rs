@@ -1,0 +1,128 @@
+//! Property tests for the incremental fitness engine: on arbitrary
+//! graphs, for every `FitnessKind`, the incrementally maintained cost
+//! must equal a full `cut_spikes`/`cut_packets` recomputation across
+//! random move sequences, random churn fractions, and the batched swarm
+//! evaluator.
+
+use neuromap::core::eval::{EvalEngine, SwarmEval, SwarmScratch};
+use neuromap::core::partition::{FitnessKind, PartitionProblem};
+use neuromap::core::SpikeGraph;
+use proptest::prelude::*;
+
+/// Strategy: a random spike graph with 2..=n_max neurons, including
+/// duplicate edges and self-loops.
+fn arb_graph(n_max: u32) -> impl Strategy<Value = SpikeGraph> {
+    (2..=n_max).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n as usize * 5));
+        let counts = proptest::collection::vec(0u32..25, n as usize);
+        (edges, counts).prop_map(move |(edges, counts)| {
+            SpikeGraph::from_parts(n, edges, counts).expect("endpoints in range")
+        })
+    })
+}
+
+const KINDS: [FitnessKind; 2] = [FitnessKind::CutSpikes, FitnessKind::CutPackets];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn applied_moves_match_full_recompute(
+        graph in arb_graph(20),
+        moves in proptest::collection::vec((0u32..20, 0u32..4), 1..60),
+    ) {
+        let n = graph.num_neurons();
+        let problem = PartitionProblem::new(&graph, 4, n).expect("feasible");
+        for kind in KINDS {
+            let engine = EvalEngine::new(problem, kind);
+            let mut a: Vec<u32> = (0..n).map(|i| i % 4).collect();
+            let mut state = engine.init(&a);
+            for &(i, to) in &moves {
+                let i = (i % n) as usize;
+                let before = state.cost() as i64;
+                let peek = engine.move_delta(&state, &a, i, to);
+                let applied = engine.apply_move(&mut state, &mut a, i, to);
+                prop_assert_eq!(peek, applied, "{:?}: peek != applied", kind);
+                prop_assert_eq!(
+                    state.cost(),
+                    engine.full_cost(&a),
+                    "{:?}: state drifted after moving {} to {}", kind, i, to
+                );
+                prop_assert_eq!(state.cost() as i64, before + applied, "{:?}", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_matches_full_recompute_at_any_churn(
+        graph in arb_graph(24),
+        churn in proptest::collection::vec((0u32..24, 0u32..5), 0..24),
+        threshold in 0.0f32..=1.0,
+    ) {
+        let n = graph.num_neurons();
+        let problem = PartitionProblem::new(&graph, 5, n).expect("feasible");
+        for kind in KINDS {
+            let engine = EvalEngine::new(problem, kind).with_churn_threshold(threshold);
+            let mut current: Vec<u32> = (0..n).map(|i| i % 5).collect();
+            let mut state = engine.init(&current);
+            // target = current with a random churn fraction applied
+            let mut target = current.clone();
+            for &(i, to) in &churn {
+                target[(i % n) as usize] = to;
+            }
+            let cost = engine.sync(&mut state, &mut current, &target);
+            prop_assert_eq!(&current, &target, "{:?}: sync must land on target", kind);
+            prop_assert_eq!(cost, problem.cost(kind, &target), "{:?}", kind);
+            prop_assert_eq!(state.cost(), cost, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn batched_swarm_eval_matches_scalar(
+        graph in arb_graph(16),
+        lanes in 1usize..70,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = graph.num_neurons();
+        let problem = PartitionProblem::new(&graph, 6, n).expect("feasible");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<u32> =
+            (0..lanes * n as usize).map(|_| rng.gen_range(0..6u32)).collect();
+        for kind in KINDS {
+            let evaluator = SwarmEval::new(problem, kind);
+            let mut out = vec![0u64; lanes];
+            let mut scratch = SwarmScratch::default();
+            evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+            for lane in 0..lanes {
+                let row = &positions[lane * n as usize..(lane + 1) * n as usize];
+                prop_assert_eq!(out[lane], problem.cost(kind, row), "{:?} lane {}", kind, lane);
+            }
+        }
+    }
+
+    #[test]
+    fn move_then_inverse_is_identity(
+        graph in arb_graph(18),
+        i in 0u32..18,
+        to in 0u32..4,
+    ) {
+        let n = graph.num_neurons();
+        let i = (i % n) as usize;
+        let problem = PartitionProblem::new(&graph, 4, n).expect("feasible");
+        for kind in KINDS {
+            let engine = EvalEngine::new(problem, kind);
+            let mut a: Vec<u32> = (0..n).map(|i| i % 4).collect();
+            let mut state = engine.init(&a);
+            let original = a.clone();
+            let cost0 = state.cost();
+            let from = a[i];
+            let d1 = engine.apply_move(&mut state, &mut a, i, to);
+            let d2 = engine.apply_move(&mut state, &mut a, i, from);
+            prop_assert_eq!(d1, -d2, "{:?}: deltas must be antisymmetric", kind);
+            prop_assert_eq!(state.cost(), cost0, "{:?}", kind);
+            prop_assert_eq!(&a, &original, "{:?}", kind);
+        }
+    }
+}

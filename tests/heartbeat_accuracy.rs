@@ -6,7 +6,7 @@
 use neuromap::apps::heartbeat::HeartbeatEstimation;
 use neuromap::apps::App;
 use neuromap::core::baselines::PacmanPartitioner;
-use neuromap::core::partition::{Partitioner, PartitionProblem};
+use neuromap::core::partition::{PartitionProblem, Partitioner};
 use neuromap::core::pipeline::evaluate_mapping_detailed;
 use neuromap::core::pso::{PsoConfig, PsoPartitioner};
 use neuromap::core::PipelineConfig;
@@ -47,7 +47,10 @@ fn temporal_fidelity(log: &[Delivery], cycles_per_ms: u64) -> f64 {
 
 #[test]
 fn lsm_estimates_heart_rate_from_spikes() {
-    let app = HeartbeatEstimation { duration_ms: 4000, ..HeartbeatEstimation::default() };
+    let app = HeartbeatEstimation {
+        duration_ms: 4000,
+        ..HeartbeatEstimation::default()
+    };
     let (_, record) = app.run(3).expect("simulates");
     let (ecg, _) = app.encoded_input(3);
     let acc = app.estimate_accuracy(&record, ecg.mean_rr());
@@ -56,7 +59,10 @@ fn lsm_estimates_heart_rate_from_spikes() {
 
 #[test]
 fn congestion_degrades_temporal_fidelity_and_pso_resists() {
-    let app = HeartbeatEstimation { duration_ms: 3000, ..HeartbeatEstimation::default() };
+    let app = HeartbeatEstimation {
+        duration_ms: 3000,
+        ..HeartbeatEstimation::default()
+    };
     let graph = app.spike_graph(5).expect("simulates");
     let arch = Architecture::custom(4, 24, InterconnectKind::Tree { arity: 4 }).unwrap();
     let problem = PartitionProblem::new(&graph, 4, 24).unwrap();
@@ -74,12 +80,18 @@ fn congestion_degrades_temporal_fidelity_and_pso_resists() {
         cfg.noc.cycles_per_step = cycles;
         let (report, log) =
             evaluate_mapping_detailed(&graph, mapping.clone(), "x", &cfg).expect("evaluates");
-        (report.noc.avg_isi_distortion_cycles, temporal_fidelity(&log, cycles))
+        (
+            report.noc.avg_isi_distortion_cycles,
+            temporal_fidelity(&log, cycles),
+        )
     };
 
     // fast clock: both mappings deliver faithfully
     let (_, fid_pso_fast) = fidelity(&m_pso, 4096);
-    assert!(fid_pso_fast > 0.95, "fast clock should be faithful: {fid_pso_fast}");
+    assert!(
+        fid_pso_fast > 0.95,
+        "fast clock should be faithful: {fid_pso_fast}"
+    );
 
     // power-limited clock: congestion differentiates the mappings
     let (isi_pacman, fid_pacman) = fidelity(&m_pacman, 96);

@@ -12,7 +12,9 @@ use neuromap::noc::traffic::SpikeFlow;
 fn uncongested_streams_have_no_distortion_or_disorder() {
     // one source, periodic spikes, no contention: the interconnect is a
     // constant delay — ISIs survive exactly
-    let flows: Vec<SpikeFlow> = (0..10).map(|k| SpikeFlow::unicast(1, 0, 3, k * 2)).collect();
+    let flows: Vec<SpikeFlow> = (0..10)
+        .map(|k| SpikeFlow::unicast(1, 0, 3, k * 2))
+        .collect();
     let mut sim = NocSim::new(
         Box::new(Mesh2D::for_crossbars(4)),
         NocConfig::default(),
@@ -37,7 +39,10 @@ fn hub_congestion_creates_isi_distortion() {
         }
     }
     // slow clock so bursts interact with the step length
-    let cfg = NocConfig { cycles_per_step: 32, ..NocConfig::default() };
+    let cfg = NocConfig {
+        cycles_per_step: 32,
+        ..NocConfig::default()
+    };
     let mut sim = NocSim::new(Box::new(Star::new(6)), cfg, EnergyModel::default());
     let stats = sim.run(&flows).expect("drains");
     assert!(
@@ -56,7 +61,10 @@ fn cross_step_overtaking_is_disorder() {
         flows.push(SpikeFlow::unicast(k, 1, 0, 0));
     }
     flows.push(SpikeFlow::unicast(999, 2, 0, 1));
-    let cfg = NocConfig { cycles_per_step: 8, ..NocConfig::default() };
+    let cfg = NocConfig {
+        cycles_per_step: 8,
+        ..NocConfig::default()
+    };
     let mut sim = NocSim::new(Box::new(Star::new(3)), cfg, EnergyModel::default());
     let stats = sim.run(&flows).expect("drains");
     assert!(
@@ -81,14 +89,20 @@ fn energy_scales_with_distance_and_traffic() {
 
     let once: Vec<SpikeFlow> = vec![SpikeFlow::unicast(0, 0, 3, 0)];
     let thrice: Vec<SpikeFlow> = (0..3).map(|k| SpikeFlow::unicast(k, 0, 3, k)).collect();
-    assert!((run(&thrice) - 3.0 * run(&once)).abs() < 1e-6, "uncongested energy is linear");
+    assert!(
+        (run(&thrice) - 3.0 * run(&once)).abs() < 1e-6,
+        "uncongested energy is linear"
+    );
 }
 
 #[test]
 fn multicast_saves_energy_over_unicast_clones() {
     let flows = vec![SpikeFlow::multicast(7, 0, vec![1, 2, 3], 0); 5];
     let run = |multicast: bool| {
-        let cfg = NocConfig { multicast, ..NocConfig::default() };
+        let cfg = NocConfig {
+            multicast,
+            ..NocConfig::default()
+        };
         let mut sim = NocSim::new(
             Box::new(neuromap::noc::topology::NocTree::new(4, 4)),
             cfg,

@@ -16,10 +16,10 @@ const CROSSBARS: u32 = 8;
 fn arb_flows(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
     proptest::collection::vec(
         (
-            0u32..1000,        // source neuron
-            0u32..CROSSBARS,   // src crossbar
+            0u32..1000,      // source neuron
+            0u32..CROSSBARS, // src crossbar
             proptest::collection::vec(0u32..CROSSBARS, 1..4),
-            0u32..6,           // send step
+            0u32..6, // send step
         ),
         0..max_flows,
     )

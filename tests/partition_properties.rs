@@ -7,7 +7,7 @@ use neuromap::core::baselines::{
     GaConfig, GaPartitioner, NeutramsPartitioner, PacmanPartitioner, RandomPartitioner, SaConfig,
     SaPartitioner,
 };
-use neuromap::core::partition::{FitnessKind, Partitioner, PartitionProblem};
+use neuromap::core::partition::{FitnessKind, PartitionProblem, Partitioner};
 use neuromap::core::pso::{PsoConfig, PsoPartitioner};
 use neuromap::core::refine::refine;
 use neuromap::core::SpikeGraph;

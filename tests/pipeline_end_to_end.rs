@@ -22,7 +22,10 @@ fn quick_pso() -> PsoPartitioner {
 
 #[test]
 fn every_partitioner_completes_the_full_flow() {
-    let app = Synthetic { steps: 300, ..Synthetic::new(2, 24) };
+    let app = Synthetic {
+        steps: 300,
+        ..Synthetic::new(2, 24)
+    };
     let graph = app.spike_graph(1).expect("app simulates");
     let arch = Architecture::custom(4, 18, InterconnectKind::Tree { arity: 4 }).unwrap();
     let cfg = PipelineConfig::for_arch(arch);
@@ -31,13 +34,19 @@ fn every_partitioner_completes_the_full_flow() {
         Box::new(NeutramsPartitioner::new()),
         Box::new(PacmanPartitioner::new()),
         Box::new(RandomPartitioner::new(3)),
-        Box::new(SaPartitioner::new(SaConfig { moves: 3000, ..SaConfig::default() })),
-        Box::new(GaPartitioner::new(GaConfig { generations: 10, ..GaConfig::default() })),
+        Box::new(SaPartitioner::new(SaConfig {
+            moves: 3000,
+            ..SaConfig::default()
+        })),
+        Box::new(GaPartitioner::new(GaConfig {
+            generations: 10,
+            ..GaConfig::default()
+        })),
         Box::new(quick_pso()),
     ];
     for p in &partitioners {
-        let report = run_pipeline(&graph, p.as_ref(), &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        let report =
+            run_pipeline(&graph, p.as_ref(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
         // conservation: every synaptic event is local or cut
         assert_eq!(
             report.local_events + report.cut_spikes,
@@ -57,7 +66,10 @@ fn pso_never_loses_to_the_baselines() {
     // the paper's headline, as an invariant: with baseline seeding the PSO
     // result is at least as good as PACMAN and NEUTRAMS on the objective
     for (layers, width) in [(1u32, 30u32), (2, 24), (3, 16)] {
-        let app = Synthetic { steps: 300, ..Synthetic::new(layers, width) };
+        let app = Synthetic {
+            steps: 300,
+            ..Synthetic::new(layers, width)
+        };
         let graph = app.spike_graph(9).expect("app simulates");
         let cap = (graph.num_neurons() / 4) + 4;
         let arch = Architecture::custom(5, cap, InterconnectKind::Mesh).unwrap();
@@ -78,7 +90,10 @@ fn pso_never_loses_to_the_baselines() {
 
 #[test]
 fn all_interconnects_complete_and_account_energy() {
-    let app = HelloWorld { steps: 300, ..HelloWorld::default() };
+    let app = HelloWorld {
+        steps: 300,
+        ..HelloWorld::default()
+    };
     let graph = app.spike_graph(5).expect("app simulates");
     for kind in [
         InterconnectKind::Mesh,
@@ -101,7 +116,10 @@ fn all_interconnects_complete_and_account_energy() {
 
 #[test]
 fn single_crossbar_chip_has_zero_global_traffic() {
-    let app = Synthetic { steps: 200, ..Synthetic::new(1, 20) };
+    let app = Synthetic {
+        steps: 200,
+        ..Synthetic::new(1, 20)
+    };
     let graph = app.spike_graph(2).expect("app simulates");
     let arch = Architecture::custom(1, 64, InterconnectKind::Star).unwrap();
     let cfg = PipelineConfig::for_arch(arch);
@@ -114,7 +132,10 @@ fn single_crossbar_chip_has_zero_global_traffic() {
 
 #[test]
 fn infeasible_architectures_are_rejected_cleanly() {
-    let app = Synthetic { steps: 100, ..Synthetic::new(1, 30) };
+    let app = Synthetic {
+        steps: 100,
+        ..Synthetic::new(1, 30)
+    };
     let graph = app.spike_graph(0).expect("app simulates");
     let arch = Architecture::custom(2, 10, InterconnectKind::Mesh).unwrap(); // 20 < 40
     let cfg = PipelineConfig::for_arch(arch);

@@ -5,7 +5,7 @@
 
 use neuromap::apps::hello_world::HelloWorld;
 use neuromap::apps::{synthetic::Synthetic, App};
-use neuromap::core::partition::{Partitioner, PartitionProblem};
+use neuromap::core::partition::{PartitionProblem, Partitioner};
 use neuromap::core::pso::{PsoConfig, PsoPartitioner};
 use neuromap::core::remap::{remap, RemapConfig};
 
@@ -13,12 +13,18 @@ use neuromap::core::remap::{remap, RemapConfig};
 fn remap_recovers_after_stimulus_drift() {
     // design-time workload (seed 1) and a drifted field workload (seed 99:
     // different Poisson rates on the stimulus sources)
-    let design = Synthetic { steps: 400, ..Synthetic::new(2, 30) }
-        .spike_graph(1)
-        .expect("simulates");
-    let field = Synthetic { steps: 400, ..Synthetic::new(2, 30) }
-        .spike_graph(99)
-        .expect("simulates");
+    let design = Synthetic {
+        steps: 400,
+        ..Synthetic::new(2, 30)
+    }
+    .spike_graph(1)
+    .expect("simulates");
+    let field = Synthetic {
+        steps: 400,
+        ..Synthetic::new(2, 30)
+    }
+    .spike_graph(99)
+    .expect("simulates");
 
     let c = 4usize;
     let cap = (design.num_neurons() / 4) + 4;
@@ -33,10 +39,14 @@ fn remap_recovers_after_stimulus_drift() {
     let deployed = pso.partition(&p_design).unwrap();
 
     let stale_cost = p_field.cut_spikes(deployed.assignment());
-    let outcome = remap(&p_field, &deployed, &RemapConfig {
-        max_migrations: 24,
-        ..RemapConfig::default()
-    })
+    let outcome = remap(
+        &p_field,
+        &deployed,
+        &RemapConfig {
+            max_migrations: 24,
+            ..RemapConfig::default()
+        },
+    )
     .unwrap();
 
     assert_eq!(outcome.cost_before, stale_cost);
@@ -94,10 +104,14 @@ fn remap_recovers_controlled_rate_drift() {
     let fresh = pso.partition(&p_field).unwrap();
     let fresh_cost = p_field.cut_spikes(fresh.assignment());
 
-    let outcome = remap(&p_field, &deployed, &RemapConfig {
-        max_migrations: 64,
-        ..RemapConfig::default()
-    })
+    let outcome = remap(
+        &p_field,
+        &deployed,
+        &RemapConfig {
+            max_migrations: 64,
+            ..RemapConfig::default()
+        },
+    )
     .unwrap();
 
     // bounded repair must never regress and must recover a meaningful
@@ -121,7 +135,10 @@ fn remap_never_regresses_even_when_structure_is_locked() {
     // The pooling structure of hello-world resists local repair: a fresh
     // global optimization can regroup whole stripes, bounded migration
     // cannot. The contract is monotonicity, not optimality.
-    let app = HelloWorld { steps: 400, ..HelloWorld::default() };
+    let app = HelloWorld {
+        steps: 400,
+        ..HelloWorld::default()
+    };
     let design = app.spike_graph(1).expect("simulates");
     let field = app.spike_graph(77).expect("simulates");
 
@@ -136,10 +153,14 @@ fn remap_never_regresses_even_when_structure_is_locked() {
         ..PsoConfig::default()
     });
     let deployed = pso.partition(&p_design).unwrap();
-    let outcome = remap(&p_field, &deployed, &RemapConfig {
-        max_migrations: 64,
-        ..RemapConfig::default()
-    })
+    let outcome = remap(
+        &p_field,
+        &deployed,
+        &RemapConfig {
+            max_migrations: 64,
+            ..RemapConfig::default()
+        },
+    )
     .unwrap();
     assert!(outcome.cost_after <= outcome.cost_before);
     assert!(p_field.is_feasible(outcome.mapping.assignment()));

@@ -1,0 +1,293 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. The
+//! measurement loop is deliberately simple (calibrated batching, median of
+//! `sample_size` samples, no outlier statistics or plots); results print
+//! one line per benchmark and are queryable via [`Criterion::summaries`]
+//! so benches can export machine-readable JSON.
+//!
+//! Environment knobs:
+//!
+//! * `NEUROMAP_BENCH_FAST=1` — smoke mode: 1 sample, 1 iteration per
+//!   bench (CI gate that benches still run);
+//! * `NEUROMAP_BENCH_TIME_MS` — target measurement time per sample
+//!   (default 50 ms).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Full benchmark id (`group/param` or plain function name).
+    pub id: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Per-iteration times of each sample, nanoseconds.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations per sample to smooth
+    /// scheduler noise.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up + calibration: how many iterations fit the time budget?
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed();
+        if self.iters_per_sample == 0 {
+            let target = target_sample_time();
+            let est = once.max(Duration::from_nanos(20));
+            self.iters_per_sample = (target.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        }
+        self.sample_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.sample_ns
+                .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("NEUROMAP_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("NEUROMAP_BENCH_TIME_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50u64);
+    Duration::from_millis(ms)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+    summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: if fast_mode() { 1 } else { 10 },
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI args are ignored offline).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into().id;
+        let samples = self.default_samples;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+
+    /// All measurements recorded so far (for JSON export by benches).
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut f: F) {
+        let mut b = Bencher {
+            iters_per_sample: if fast_mode() { 1 } else { 0 },
+            samples,
+            sample_ns: Vec::new(),
+        };
+        f(&mut b);
+        if b.sample_ns.is_empty() {
+            return; // closure never called iter()
+        }
+        let mut sorted = b.sample_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median_ns = sorted[sorted.len() / 2];
+        let mean_ns = b.sample_ns.iter().sum::<f64>() / b.sample_ns.len() as f64;
+        println!(
+            "bench {id:<48} median {:>12} mean {:>12}  ({} iters x {} samples)",
+            format_ns(median_ns),
+            format_ns(mean_ns),
+            b.iters_per_sample,
+            b.sample_ns.len(),
+        );
+        self.summaries.push(Summary {
+            id,
+            median_ns,
+            mean_ns,
+            iters_per_sample: b.iters_per_sample,
+            samples: b.sample_ns.len(),
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks a function under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.samples;
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Benchmarks a function with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_summary() {
+        std::env::set_var("NEUROMAP_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2)
+            .bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+        g.finish();
+        assert_eq!(c.summaries().len(), 2);
+        assert_eq!(c.summaries()[0].id, "noop");
+        assert_eq!(c.summaries()[1].id, "grp/7");
+        assert!(c.summaries().iter().all(|s| s.median_ns >= 0.0));
+    }
+}

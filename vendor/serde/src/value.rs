@@ -1,0 +1,122 @@
+//! The JSON-shaped value tree shared by the vendored serde and serde_json.
+
+use std::fmt;
+
+/// A JSON number, kept in its natural representation so integer
+/// round-trips are exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+/// A JSON document. Objects preserve insertion order (a `Vec` of pairs) so
+/// serialized output is deterministic and mirrors field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered key → value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n),
+            Value::Number(Number::I64(n)) if *n >= 0 => Some(*n as u64),
+            Value::Number(Number::F64(f))
+                if *f >= 0.0 && f.fract() == 0.0 && *f <= 2f64.powi(53) =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n),
+            Value::Number(Number::U64(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F64(f)) if f.fract() == 0.0 && f.abs() <= 2f64.powi(53) => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(f)) => Some(*f),
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an object slice, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Short name of the JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the first shape
+/// mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// "expected X, found Y" convenience constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,538 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (the offline build has no
+//! `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! * named-field structs, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * `#[serde(deny_unknown_fields)]` on containers;
+//! * `#[serde(default)]` / `#[serde(default = "path")]` on named fields.
+//!
+//! Generics are intentionally unsupported (none of the workspace types
+//! need them); deriving on a generic type is a compile-time panic with a
+//! clear message rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------- item model ----------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+    deny_unknown: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
+enum FieldDefault {
+    Trait,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------- parsing ----------------
+
+/// Serde attributes found on one syntactic element.
+#[derive(Default)]
+struct SerdeAttrs {
+    deny_unknown: bool,
+    default: Option<FieldDefault>,
+}
+
+/// Consumes leading `#[...]` attributes from `toks[*pos..]`, collecting
+/// serde attributes.
+fn take_attrs(toks: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while *pos + 1 < toks.len() {
+        let TokenTree::Punct(p) = &toks[*pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &toks[*pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        parse_attr_body(&g.stream().into_iter().collect::<Vec<_>>(), &mut out);
+        *pos += 2;
+    }
+    out
+}
+
+/// Interprets the tokens inside one `#[...]`; records serde attributes.
+fn parse_attr_body(body: &[TokenTree], out: &mut SerdeAttrs) {
+    let [TokenTree::Ident(name), rest @ ..] = body else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return; // doc comments, non_exhaustive, derive, ...
+    }
+    let [TokenTree::Group(g)] = rest else {
+        panic!("unsupported #[serde ...] attribute shape");
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "deny_unknown_fields" => {
+                    out.deny_unknown = true;
+                    i += 1;
+                }
+                "default" => {
+                    if let Some(TokenTree::Punct(eq)) = inner.get(i + 1) {
+                        if eq.as_char() == '=' {
+                            let TokenTree::Literal(lit) = &inner[i + 2] else {
+                                panic!("#[serde(default = ...)] expects a string literal");
+                            };
+                            let s = lit.to_string();
+                            let path = s.trim_matches('"').to_string();
+                            out.default = Some(FieldDefault::Path(path));
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    out.default = Some(FieldDefault::Trait);
+                    i += 1;
+                }
+                other => panic!("unsupported serde attribute `{other}` (vendored stub)"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("unsupported serde attribute token `{other}`"),
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` visibility at `toks[*pos..]`.
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container_attrs = take_attrs(&toks, &mut pos);
+    skip_vis(&toks, &mut pos);
+
+    let kw = match &toks[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    pos += 1;
+    let name = match &toks[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            panic!("derive on generic type `{name}` is unsupported by the vendored serde stub");
+        }
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_commas_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("malformed enum body: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Item {
+        name,
+        shape,
+        deny_unknown: container_attrs.deny_unknown,
+    }
+}
+
+/// Parses `name: Type, ...` named fields, keeping names and serde attrs.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        let attrs = take_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        let TokenTree::Ident(id) = &toks[pos] else {
+            panic!("expected field name, found `{}`", toks[pos]);
+        };
+        let fname = id.to_string();
+        pos += 1;
+        match &toks[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{fname}`, found `{other}`"),
+        }
+        skip_type(&toks, &mut pos);
+        fields.push(Field {
+            name: fname,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the `,` that ends the field (or
+/// at end of stream). Tracks `<`/`>` nesting so commas inside generics
+/// don't terminate the field.
+fn skip_type(toks: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while *pos < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts fields of a tuple struct / tuple variant (top-level commas at
+/// angle-depth zero, ignoring a trailing comma).
+fn count_top_level_commas_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle: i32 = 0;
+    for (i, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 && i + 1 < toks.len() => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        let _attrs = take_attrs(&toks, &mut pos);
+        let TokenTree::Ident(id) = &toks[pos] else {
+            panic!("expected variant name, found `{}`", toks[pos]);
+        };
+        let vname = id.to_string();
+        pos += 1;
+        let kind = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_top_level_commas_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip a trailing `,` (and reject `= discriminant`, unsupported)
+        if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+            match p.as_char() {
+                ',' => pos += 1,
+                '=' => panic!("enum discriminants are unsupported by the vendored serde stub"),
+                other => panic!("unexpected `{other}` after variant `{vname}`"),
+            }
+        }
+        variants.push(Variant { name: vname, kind });
+    }
+    variants
+}
+
+// ---------------- codegen ----------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    let tag = format!("::std::string::String::from(\"{vn}\")");
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vn} => ::serde::Value::String({tag}),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![({tag}, \
+                 ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let vals: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                .collect();
+            format!(
+                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![({tag}, \
+                     ::serde::Value::Array(::std::vec![{vals}]))]),",
+                binds = binds.join(", "),
+                vals = vals.join(", "),
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![({tag}, \
+                     ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                pairs = pairs.join(", "),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => de_named_struct(name, fields, item.deny_unknown),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                         Ok({name}({items})),\n\
+                     other => Err(::serde::DeError::expected(\"{arity}-element array for {name}\", other)),\n\
+                 }}",
+                items = items.join(", "),
+            )
+        }
+        Shape::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::Enum(variants) => de_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_named_struct(name: &str, fields: &[Field], deny_unknown: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "let obj = v.as_object().ok_or_else(|| \
+             ::serde::DeError::expected(\"object for struct {name}\", v))?;\n"
+    ));
+    if deny_unknown {
+        let known: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+        let pat = if known.is_empty() {
+            "\"\"".to_string()
+        } else {
+            known.join(" | ")
+        };
+        out.push_str(&format!(
+            "for (k, _) in obj {{ match k.as_str() {{ {pat} => {{}}, other => \
+                 return Err(::serde::DeError::new(::std::format!(\
+                     \"unknown field `{{other}}` in {name}\"))) }} }}\n"
+        ));
+    }
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let missing = match &f.default {
+                Some(FieldDefault::Trait) => "::std::default::Default::default()".to_string(),
+                Some(FieldDefault::Path(p)) => format!("{p}()"),
+                None => format!(
+                    "return Err(::serde::DeError::new(\
+                         \"missing field `{fname}` in {name}\".to_string()))"
+                ),
+            };
+            format!(
+                "{fname}: match v.get(\"{fname}\") {{ \
+                     Some(x) => ::serde::Deserialize::from_value(x)?, \
+                     None => {missing} }},"
+            )
+        })
+        .collect();
+    out.push_str(&format!("Ok({name} {{ {} }})", inits.join(" ")));
+    out
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => match payload {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 Ok({name}::{vn}({items})),\n\
+                             other => Err(::serde::DeError::expected(\
+                                 \"{arity}-element array for {name}::{vn}\", other)),\n\
+                         }},",
+                        items = items.join(", "),
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: match payload.get(\"{f}\") {{ \
+                                     Some(x) => ::serde::Deserialize::from_value(x)?, \
+                                     None => return Err(::serde::DeError::new(\
+                                         \"missing field `{f}` in {name}::{vn}\".to_string())) }},"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                        inits.join(" ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::new(::std::format!(\
+                     \"unknown unit variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, payload) = &o[0];\n\
+                 match tag.as_str() {{\n\
+                     {payload_arms}\n\
+                     other => Err(::serde::DeError::new(::std::format!(\
+                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             other => Err(::serde::DeError::expected(\"variant of {name}\", other)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        payload_arms = payload_arms.join("\n"),
+    )
+}
