@@ -1,9 +1,21 @@
-//! Microbenchmark: interconnect simulation throughput across topologies,
+//! Interconnect benchmarks: the event-driven engine against the
+//! cycle-driven oracle, plus simulation throughput across topologies,
 //! load levels, and multicast settings.
+//!
+//! Writes a `BENCH_noc.json` summary (same shape as `BENCH_eval.json`:
+//! a `benchmarks` array of `{id, median_ns, mean_ns, samples}`) so the
+//! interconnect perf trajectory is tracked across PRs, plus the derived
+//! `noc_sparse_speedup` / `noc_dense_speedup` ratios the event engine is
+//! held to. Before timing anything, every engine-comparison workload is
+//! differentially checked: the two engines must produce byte-identical
+//! statistics (digest equality), so the numbers always compare equals.
+//!
+//! Knobs: `NEUROMAP_BENCH_FAST=1` — 1-sample smoke run (CI gate).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use neuromap_hw::energy::EnergyModel;
 use neuromap_noc::config::NocConfig;
+use neuromap_noc::sim::oracle::CycleSim;
 use neuromap_noc::sim::NocSim;
 use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology};
 use neuromap_noc::traffic::SpikeFlow;
@@ -20,6 +32,111 @@ fn burst_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec<SpikeF
         }
     }
     flows
+}
+
+/// Sparse paper-scale traffic: a TrueNorth-class 64-crossbar mesh where
+/// only a handful of neurons spike per timestep (SNN activity is sparse),
+/// each multicasting to a few destination crossbars. The cycle-driven
+/// oracle pays a full router sweep for every cycle of every drain window;
+/// the event engine only touches the routers the packets are actually in.
+fn sparse_paper_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec<SpikeFlow> {
+    let mut flows = Vec::new();
+    for step in 0..steps {
+        for k in 0..spikes_per_step {
+            let src = (step * 7 + k * 13) % crossbars;
+            let dsts = vec![
+                (src + 1 + step) % crossbars,
+                (src + 17 + k) % crossbars,
+                (src + 33) % crossbars,
+            ];
+            flows.push(SpikeFlow::multicast(src * 100 + k, src, dsts, step));
+        }
+    }
+    flows
+}
+
+struct EngineWorkload {
+    name: &'static str,
+    flows: Vec<SpikeFlow>,
+    crossbars: usize,
+    cfg: NocConfig,
+}
+
+fn engine_workloads() -> Vec<EngineWorkload> {
+    vec![
+        EngineWorkload {
+            name: "sparse_paper64",
+            flows: sparse_paper_traffic(64, 2, 800),
+            crossbars: 64,
+            cfg: NocConfig::default(),
+        },
+        EngineWorkload {
+            name: "moderate_paper64",
+            flows: sparse_paper_traffic(64, 8, 200),
+            crossbars: 64,
+            cfg: NocConfig::default(),
+        },
+        EngineWorkload {
+            name: "dense_burst16",
+            flows: burst_traffic(16, 256, 10),
+            crossbars: 16,
+            cfg: NocConfig::default(),
+        },
+    ]
+}
+
+/// Differential gate: both engines must digest-match on `w` before their
+/// timings are worth comparing. Returns the shared digest.
+fn assert_engines_agree(w: &EngineWorkload) -> u64 {
+    let mut event = NocSim::new(
+        Box::new(Mesh2D::for_crossbars(w.crossbars)),
+        w.cfg,
+        EnergyModel::default(),
+    );
+    let mut oracle = CycleSim::new(
+        Box::new(Mesh2D::for_crossbars(w.crossbars)),
+        w.cfg,
+        EnergyModel::default(),
+    );
+    let ev = event.run(&w.flows).expect("event engine drains");
+    let or = oracle.run(&w.flows).expect("oracle drains");
+    assert_eq!(
+        ev.digest(),
+        or.digest(),
+        "{}: engines diverge — benchmark numbers would be meaningless",
+        w.name
+    );
+    ev.digest()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    for w in engine_workloads() {
+        let digest = assert_engines_agree(&w);
+        println!("engine/{}: differential digest {digest:#018x} OK", w.name);
+        let mut group = c.benchmark_group(format!("engine/{}", w.name));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("event"), &w, |b, w| {
+            b.iter(|| {
+                let mut sim = NocSim::new(
+                    Box::new(Mesh2D::for_crossbars(w.crossbars)),
+                    w.cfg,
+                    EnergyModel::default(),
+                );
+                sim.run(&w.flows).expect("traffic drains")
+            });
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("oracle"), &w, |b, w| {
+            b.iter(|| {
+                let mut sim = CycleSim::new(
+                    Box::new(Mesh2D::for_crossbars(w.crossbars)),
+                    w.cfg,
+                    EnergyModel::default(),
+                );
+                sim.run(&w.flows).expect("traffic drains")
+            });
+        });
+        group.finish();
+    }
 }
 
 type TopoFactory = fn() -> Box<dyn Topology>;
@@ -89,5 +206,58 @@ fn bench_multicast(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_topologies, bench_load, bench_multicast);
-criterion_main!(benches);
+/// Oracle-vs-event median ratio for one engine group, if both ran.
+fn speedup(c: &Criterion, group: &str) -> Option<f64> {
+    let median = |id: String| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+    };
+    let oracle = median(format!("{group}/oracle"))?;
+    let event = median(format!("{group}/event"))?;
+    (event > 0.0).then_some(oracle / event)
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_engines(&mut c);
+    bench_topologies(&mut c);
+    bench_load(&mut c);
+    bench_multicast(&mut c);
+
+    let sparse = speedup(&c, "engine/sparse_paper64");
+    let moderate = speedup(&c, "engine/moderate_paper64");
+    let dense = speedup(&c, "engine/dense_burst16");
+    if let Some(s) = sparse {
+        println!("event engine speedup over oracle, sparse paper-scale: {s:.1}x");
+    }
+    if let Some(s) = moderate {
+        println!("event engine speedup over oracle, moderate paper-scale: {s:.1}x");
+    }
+    if let Some(s) = dense {
+        println!("event engine speedup over oracle, dense bursts: {s:.1}x");
+    }
+
+    // machine-readable summary for cross-PR tracking
+    let entries: Vec<String> = c
+        .summaries()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}",
+                s.id, s.median_ns, s.mean_ns, s.samples
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        sparse.unwrap_or(0.0),
+        moderate.unwrap_or(0.0),
+        dense.unwrap_or(0.0),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_noc.json");
+    std::fs::write(path, &json).expect("write BENCH_noc.json");
+    println!("wrote BENCH_noc.json ({} entries)", c.summaries().len());
+}

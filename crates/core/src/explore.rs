@@ -47,6 +47,7 @@ pub fn architecture_sweep(
             arch,
             noc: base.noc,
             traffic: base.traffic,
+            engine: base.engine,
         };
         let report = run_pipeline(graph, partitioner, &cfg)?;
         points.push(ArchPoint {

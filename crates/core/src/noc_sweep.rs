@@ -6,6 +6,10 @@
 //! the mapping stays fixed and the interconnect's micro-parameters move,
 //! answering the designer's second-order questions (how deep do the router
 //! FIFOs need to be? does the arbitration policy matter for this traffic?).
+//!
+//! Sweeps run on whichever engine [`PipelineConfig::engine`] selects; the
+//! event-driven default makes wide sweeps cheap, and the tests pin every
+//! sweep point to the cycle-driven oracle's output.
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
@@ -159,6 +163,24 @@ mod tests {
         let problem = PartitionProblem::new(&graph, 4, 6).unwrap();
         let mapping = PacmanPartitioner::new().partition(&problem).unwrap();
         (graph, mapping, cfg)
+    }
+
+    #[test]
+    fn sweep_points_identical_across_engines() {
+        // a sweep is many simulator runs — assert each point agrees with
+        // the oracle engine byte-for-byte
+        let (graph, mapping, cfg) = setup();
+        let oracle_cfg = cfg
+            .clone()
+            .with_engine(neuromap_noc::sim::EngineKind::CycleOracle);
+        let depths = [1usize, 2, 8];
+        let ev = buffer_depth_sweep(&graph, &mapping, &cfg, &depths).unwrap();
+        let or = buffer_depth_sweep(&graph, &mapping, &oracle_cfg, &depths).unwrap();
+        assert_eq!(ev.len(), or.len());
+        for (e, o) in ev.iter().zip(&or) {
+            assert_eq!(e.setting, o.setting);
+            assert_eq!(e.stats.digest(), o.stats.digest(), "{}", e.setting);
+        }
     }
 
     #[test]

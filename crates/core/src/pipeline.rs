@@ -16,7 +16,7 @@ use crate::partition::{PartitionProblem, Partitioner};
 use neuromap_hw::arch::{Architecture, InterconnectKind};
 use neuromap_hw::mapping::Mapping;
 use neuromap_noc::config::NocConfig;
-use neuromap_noc::sim::NocSim;
+use neuromap_noc::sim::{oracle::CycleSim, EngineKind, NocSim};
 use neuromap_noc::stats::NocStats;
 use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology, Torus};
 use neuromap_noc::traffic::SpikeFlow;
@@ -48,6 +48,10 @@ pub struct PipelineConfig {
     pub noc: NocConfig,
     /// Packetization model for global synaptic events.
     pub traffic: TrafficMode,
+    /// Which interconnect engine simulates the traffic. The engines are
+    /// output-identical (differentially verified); the cycle-driven
+    /// oracle exists for cross-checks and debugging.
+    pub engine: EngineKind,
 }
 
 impl PipelineConfig {
@@ -62,12 +66,19 @@ impl PipelineConfig {
             arch,
             noc: NocConfig::default(),
             traffic: TrafficMode::default(),
+            engine: EngineKind::default(),
         }
     }
 
     /// Selects the packetization model (builder style).
     pub fn with_traffic(mut self, traffic: TrafficMode) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Selects the interconnect engine (builder style).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -257,8 +268,12 @@ pub fn evaluate_mapping_detailed(
     if config.traffic == TrafficMode::PerSynapse {
         noc_cfg.multicast = false;
     }
-    let mut sim = NocSim::new(topo, noc_cfg, *config.arch.energy());
-    let (noc_stats, deliveries) = sim.run_with_duration(&flows, graph.duration_steps())?;
+    let (noc_stats, deliveries) = match config.engine {
+        EngineKind::CycleOracle => CycleSim::new(topo, noc_cfg, *config.arch.energy())
+            .run_with_duration(&flows, graph.duration_steps())?,
+        _ => NocSim::new(topo, noc_cfg, *config.arch.energy())
+            .run_with_duration(&flows, graph.duration_steps())?,
+    };
 
     let dim = config.arch.neurons_per_crossbar();
     let local_energy_pj = config.arch.energy().local_pj_scaled(local, dim);
@@ -322,6 +337,23 @@ mod tests {
         // every synaptic event is either local or cut
         assert_eq!(r.local_events + r.cut_spikes, g.total_synaptic_events());
         assert!((r.total_energy_pj - r.local_energy_pj - r.global_energy_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_the_report() {
+        // end-to-end differential check: the event-driven engine and the
+        // cycle-driven oracle must agree on every metric in the report,
+        // under both packetization models
+        let g = layered_graph();
+        for traffic in [TrafficMode::PerSynapse, TrafficMode::PerCrossbar] {
+            let cfg = PipelineConfig::for_arch(small_arch()).with_traffic(traffic);
+            let oracle_cfg = cfg.clone().with_engine(EngineKind::CycleOracle);
+            let part = PacmanPartitioner::new();
+            let r_event = run_pipeline(&g, &part, &cfg).unwrap();
+            let r_oracle = run_pipeline(&g, &part, &oracle_cfg).unwrap();
+            assert_eq!(r_event, r_oracle, "{traffic:?}");
+            assert_eq!(r_event.noc.digest(), r_oracle.noc.digest(), "{traffic:?}");
+        }
     }
 
     #[test]

@@ -80,6 +80,19 @@ impl NocConfig {
         Ok(())
     }
 
+    /// Cycles a packet spends between leaving one router and arriving at
+    /// the next: pipeline delay plus link serialization of the trailing
+    /// flits, never less than one cycle. Shared by the event-driven engine
+    /// and the cycle-driven oracle so the timing model cannot drift.
+    pub fn hop_latency(&self) -> u64 {
+        (self.router_delay + self.flits_per_packet - 1).max(1) as u64
+    }
+
+    /// Cycles an output port stays busy serializing one packet.
+    pub fn serialization_cycles(&self) -> u64 {
+        self.flits_per_packet as u64
+    }
+
     /// Parses a configuration from JSON (the counterpart of Noxim's
     /// externally loaded configuration file).
     ///
@@ -128,6 +141,23 @@ mod tests {
             ..NocConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hop_latency_never_zero() {
+        let c = NocConfig {
+            router_delay: 0,
+            flits_per_packet: 1,
+            ..NocConfig::default()
+        };
+        assert_eq!(c.hop_latency(), 1);
+        let c = NocConfig {
+            router_delay: 1,
+            flits_per_packet: 2,
+            ..NocConfig::default()
+        };
+        assert_eq!(c.hop_latency(), 2);
+        assert_eq!(c.serialization_cycles(), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # neuromap-noc — time-multiplexed interconnect simulator
 //!
-//! A Noxim-class, cycle-driven network-on-chip simulator extended the way
-//! the paper extends Noxim into **Noxim++** (Section IV):
+//! A Noxim-class network-on-chip simulator extended the way the paper
+//! extends Noxim into **Noxim++** (Section IV):
 //!
 //! 1. *interconnect models for representative neuromorphic hardware* —
 //!    [`topology::Mesh2D`] (TrueNorth/HiCANN), [`topology::NocTree`]
@@ -17,6 +17,12 @@
 //! arbitration ([`router::Arbitration`]), link serialization by packet size
 //! in flits, and backpressure — the congestion mechanisms that produce the
 //! latency, disorder and distortion effects the paper measures.
+//!
+//! Two engines implement this model: the event-driven [`sim::NocSim`]
+//! (production — runtime scales with traffic events, not simulated
+//! cycles) and the cycle-driven [`sim::oracle::CycleSim`] reference it is
+//! differentially verified against, byte-for-byte. See the [`sim`] module
+//! docs for the event model and the equivalence argument.
 //!
 //! ## Quickstart
 //!
@@ -50,5 +56,5 @@ pub mod traffic;
 
 pub use config::NocConfig;
 pub use error::NocError;
-pub use sim::NocSim;
+pub use sim::{EngineKind, NocSim};
 pub use stats::NocStats;

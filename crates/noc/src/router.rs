@@ -102,4 +102,42 @@ mod tests {
         let c = vec![(0, 0), (4, 0)];
         assert_eq!(Arbitration::RoundRobin.pick(&c, 2), Some(1)); // port 4
     }
+
+    #[test]
+    fn round_robin_never_starves_a_persistent_candidate() {
+        // all ports always want the output (saturated input FIFOs), the
+        // cursor advances past each winner exactly as the engines do:
+        // every port must win once per full rotation — the no-starvation
+        // invariant the simulator-level fairness test builds on
+        let ports = 5usize;
+        let candidates: Vec<(usize, u64)> = (0..ports).map(|p| (p, 0)).collect();
+        let mut cursor = 0usize;
+        let mut wins = vec![0u32; ports];
+        let rounds = 7;
+        for _ in 0..ports * rounds {
+            let w = Arbitration::RoundRobin
+                .pick(&candidates, cursor)
+                .expect("candidates present");
+            let (port, _) = candidates[w];
+            wins[port] += 1;
+            cursor = port + 1;
+        }
+        assert!(
+            wins.iter().all(|&w| w == rounds as u32),
+            "round-robin must serve every persistent candidate equally: {wins:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_priority_starves_low_priority_candidates() {
+        // the counterexample round-robin protects against: under fixed
+        // priority a persistent port 0 monopolizes the output
+        let candidates = vec![(0usize, 5u64), (1, 0), (2, 3)];
+        for cursor in 0..4 {
+            assert_eq!(
+                Arbitration::FixedPriority.pick(&candidates, cursor),
+                Some(0)
+            );
+        }
+    }
 }

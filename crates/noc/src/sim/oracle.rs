@@ -1,0 +1,347 @@
+//! The cycle-driven reference oracle.
+//!
+//! [`CycleSim`] is the original interconnect engine: it advances the clock
+//! one cycle at a time (fast-forwarding only across globally idle gaps)
+//! and sweeps every router for arbitration each cycle. That makes it slow
+//! — runtime scales with simulated cycles × routers — but easy to audit
+//! against the hardware model, which is exactly what a differential oracle
+//! needs to be.
+//!
+//! The production engine ([`super::NocSim`]) must produce byte-identical
+//! [`NocStats`] and delivery logs; `tests/noc_properties.rs` enforces this
+//! over a randomized corpus of topologies, buffer depths, multicast
+//! fan-outs, and backpressured traffic, and `benches/noc.rs` measures the
+//! speedup the event model buys. Keep changes to this file to a minimum:
+//! its value is that it stays the simple, obviously-cycle-accurate
+//! formulation.
+
+use super::{build_schedule, strip_local, validate_flows, Arrival};
+use crate::config::NocConfig;
+use crate::error::NocError;
+use crate::packet::Packet;
+use crate::stats::{Counters, Delivery, NocStats};
+use crate::topology::Topology;
+use crate::traffic::SpikeFlow;
+use neuromap_hw::energy::EnergyModel;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-router runtime state (mirrors the event engine's, without the
+/// queued-packet bookkeeping the wake list needs).
+struct RouterState {
+    /// Input FIFOs: index 0 = local injection, `1 + i` = ingress from
+    /// `neighbors[i]`.
+    fifos: Vec<VecDeque<Packet>>,
+    /// Round-robin cursor per output port.
+    rr_cursor: Vec<usize>,
+    /// Output port busy (serializing) until this cycle (exclusive).
+    busy_until: Vec<u64>,
+    /// Credits consumed on each ingress FIFO of *this* router
+    /// (occupancy + packets already in flight toward it).
+    credits_used: Vec<usize>,
+}
+
+/// The cycle-driven interconnect simulator (reference oracle).
+///
+/// Same public surface as [`super::NocSim`]; see the module docs for its
+/// role.
+pub struct CycleSim {
+    topo: Box<dyn Topology>,
+    config: NocConfig,
+    energy: EnergyModel,
+}
+
+impl std::fmt::Debug for CycleSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleSim")
+            .field("topology", &self.topo.name())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CycleSim {
+    /// Creates a simulator over a topology with the given configuration and
+    /// energy model.
+    pub fn new(topo: Box<dyn Topology>, config: NocConfig, energy: EnergyModel) -> Self {
+        Self {
+            topo,
+            config,
+            energy,
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// Runs the spike schedule to completion and returns aggregate
+    /// statistics. The SNN duration is inferred from the last send step.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::NocSim::run`].
+    pub fn run(&mut self, flows: &[SpikeFlow]) -> Result<NocStats, NocError> {
+        let duration = flows.iter().map(|f| f.send_step + 1).max().unwrap_or(1);
+        self.run_with_duration(flows, duration)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Like [`CycleSim::run`], but with an explicit SNN duration
+    /// (timesteps) and returning the raw delivery log alongside the
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::NocSim::run`].
+    pub fn run_with_duration(
+        &mut self,
+        flows: &[SpikeFlow],
+        duration_steps: u32,
+    ) -> Result<(NocStats, Vec<Delivery>), NocError> {
+        self.config.validate()?;
+        validate_flows(self.topo.as_ref(), flows)?;
+        let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
+        let (deliveries, counters) = self.simulate(schedule)?;
+        let stats = NocStats::from_deliveries(
+            &deliveries,
+            counters,
+            &self.energy,
+            self.config.flits_per_packet,
+            duration_steps,
+            self.config.cycles_per_step,
+        );
+        Ok((stats, deliveries))
+    }
+
+    /// The cycle-by-cycle main loop.
+    fn simulate(&self, schedule: Vec<Packet>) -> Result<(Vec<Delivery>, Counters), NocError> {
+        let cfg = &self.config;
+        let topo = self.topo.as_ref();
+        let nr = topo.num_routers();
+
+        let mut routers: Vec<RouterState> = (0..nr)
+            .map(|r| {
+                let deg = topo.neighbors(r).len();
+                RouterState {
+                    fifos: vec![VecDeque::new(); deg + 1],
+                    rr_cursor: vec![0; deg],
+                    busy_until: vec![0; deg],
+                    credits_used: vec![0; deg + 1],
+                }
+            })
+            .collect();
+
+        // crossbars hosted per router, for arrival stripping
+        let mut hosted: Vec<Vec<u32>> = vec![Vec::new(); nr];
+        for k in 0..topo.num_crossbars() as u32 {
+            hosted[topo.endpoint(k)].push(k);
+        }
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut counters = Counters::default();
+        let mut in_transit: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut next_inject = 0usize;
+        let mut queued_packets = 0usize; // packets sitting in any FIFO
+        let mut now = 0u64;
+        let flits = cfg.flits_per_packet;
+        let hop_latency = cfg.hop_latency();
+
+        let total = schedule.len();
+        while next_inject < total || queued_packets > 0 || !in_transit.is_empty() {
+            if now > cfg.max_cycles {
+                return Err(NocError::CycleBudgetExhausted {
+                    budget: cfg.max_cycles,
+                    in_flight: queued_packets + in_transit.len(),
+                });
+            }
+
+            // fast-forward across idle gaps
+            if queued_packets == 0 {
+                let mut jump = u64::MAX;
+                if next_inject < total {
+                    jump = jump.min(schedule[next_inject].inject_cycle);
+                }
+                if let Some(Reverse(a)) = in_transit.peek() {
+                    jump = jump.min(a.cycle);
+                }
+                if jump > now && jump != u64::MAX {
+                    now = jump;
+                }
+            }
+
+            // 1. link arrivals due now
+            while let Some(Reverse(a)) = in_transit.peek() {
+                if a.cycle > now {
+                    break;
+                }
+                let Reverse(mut a) = in_transit.pop().expect("peeked");
+                counters.router_traversals += 1;
+                strip_local(
+                    &hosted[a.router],
+                    topo,
+                    a.router,
+                    &mut a.packet,
+                    now,
+                    &mut deliveries,
+                );
+                if a.packet.dests.is_empty() {
+                    routers[a.router].credits_used[a.ingress] -= 1;
+                } else {
+                    counters.buffer_flits += flits as u64;
+                    routers[a.router].fifos[a.ingress].push_back(a.packet);
+                    debug_assert!(
+                        routers[a.router].fifos[a.ingress].len() <= cfg.buffer_depth,
+                        "ingress FIFO overflows its credit-bounded depth"
+                    );
+                    queued_packets += 1;
+                    // credit stays consumed until the packet leaves the FIFO
+                }
+            }
+
+            // 2. injections due now
+            while next_inject < total && schedule[next_inject].inject_cycle <= now {
+                let mut p = schedule[next_inject].clone();
+                next_inject += 1;
+                counters.packets_injected += 1;
+                counters.router_traversals += 1;
+                let src_router = topo.endpoint(p.src_crossbar);
+                strip_local(
+                    &hosted[src_router],
+                    topo,
+                    src_router,
+                    &mut p,
+                    now,
+                    &mut deliveries,
+                );
+                if !p.dests.is_empty() {
+                    routers[src_router].fifos[0].push_back(p);
+                    queued_packets += 1;
+                }
+            }
+
+            if queued_packets == 0 {
+                // nothing to arbitrate; loop back and fast-forward
+                if next_inject >= total && in_transit.is_empty() {
+                    break;
+                }
+                now += 1;
+                continue;
+            }
+
+            // 3. arbitration & forwarding, one winner per output port
+            for r in 0..nr {
+                let neighbors = topo.neighbors(r).to_vec();
+                for (o, &nbr) in neighbors.iter().enumerate() {
+                    if routers[r].busy_until[o] > now {
+                        continue;
+                    }
+                    // ingress index on the downstream router
+                    let down_ingress = 1 + topo
+                        .neighbors(nbr)
+                        .iter()
+                        .position(|&x| x == r)
+                        .expect("links are bidirectional");
+                    if routers[nbr].credits_used[down_ingress] >= cfg.buffer_depth {
+                        continue; // backpressure
+                    }
+                    // candidates: FIFOs whose head routes some dest via nbr
+                    let mut candidates: Vec<(usize, u64)> = Vec::new();
+                    for (fi, fifo) in routers[r].fifos.iter().enumerate() {
+                        if let Some(head) = fifo.front() {
+                            if head
+                                .dests
+                                .iter()
+                                .any(|&d| topo.route_next(r, topo.endpoint(d)) == nbr)
+                            {
+                                candidates.push((fi, head.inject_cycle));
+                            }
+                        }
+                    }
+                    let Some(win_pos) = cfg.arbitration.pick(&candidates, routers[r].rr_cursor[o])
+                    else {
+                        continue;
+                    };
+                    let (fi, _) = candidates[win_pos];
+                    routers[r].rr_cursor[o] = fi + 1;
+
+                    // split off the dests routed via this port
+                    let head = routers[r].fifos[fi]
+                        .front_mut()
+                        .expect("candidate fifo has a head");
+                    let via: Vec<u32> = head
+                        .dests
+                        .iter()
+                        .copied()
+                        .filter(|&d| topo.route_next(r, topo.endpoint(d)) == nbr)
+                        .collect();
+                    let branch = if via.len() == head.dests.len() {
+                        let p = routers[r].fifos[fi].pop_front().expect("head exists");
+                        queued_packets -= 1;
+                        if fi > 0 {
+                            routers[r].credits_used[fi] -= 1;
+                        }
+                        p
+                    } else {
+                        head.split(&via)
+                    };
+
+                    counters.link_flits += flits as u64;
+                    routers[r].busy_until[o] = now + flits as u64;
+                    routers[nbr].credits_used[down_ingress] += 1;
+                    debug_assert!(
+                        routers[nbr].credits_used[down_ingress] <= cfg.buffer_depth,
+                        "credits must never exceed the FIFO depth"
+                    );
+                    seq += 1;
+                    in_transit.push(Reverse(Arrival {
+                        cycle: now + hop_latency,
+                        seq,
+                        router: nbr,
+                        ingress: down_ingress,
+                        packet: branch,
+                    }));
+                }
+            }
+
+            now += 1;
+        }
+
+        counters.deliveries = deliveries.len() as u64;
+        Ok((deliveries, counters))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Mesh2D;
+
+    #[test]
+    fn oracle_single_packet_timing() {
+        let mut s = CycleSim::new(
+            Box::new(Mesh2D::for_crossbars(4)),
+            NocConfig::default(),
+            EnergyModel::default(),
+        );
+        let stats = s.run(&[SpikeFlow::unicast(1, 0, 3, 0)]).unwrap();
+        assert_eq!(stats.delivered, 1);
+        // 2 hops × (router_delay 1 + flits 2 − 1) = 4 cycles minimum
+        assert_eq!(stats.max_latency_cycles, 4);
+    }
+
+    #[test]
+    fn oracle_conserves_traffic() {
+        let flows: Vec<SpikeFlow> = (0..100)
+            .map(|i| SpikeFlow::unicast(i, i % 4, (i + 1) % 4, i / 25))
+            .collect();
+        let mut s = CycleSim::new(
+            Box::new(Mesh2D::for_crossbars(4)),
+            NocConfig::default(),
+            EnergyModel::default(),
+        );
+        assert_eq!(s.run(&flows).unwrap().delivered, 100);
+    }
+}

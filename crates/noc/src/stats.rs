@@ -127,6 +127,23 @@ impl NocStats {
             counters,
         }
     }
+
+    /// FNV-1a digest of the canonical JSON serialization.
+    ///
+    /// Two statistics blocks digest equal iff their serialized bytes are
+    /// identical — including the exact bit patterns of the float fields.
+    /// The differential test suite and `BENCH_noc.json` use this to assert
+    /// that the event-driven engine and the cycle-driven oracle agree
+    /// byte-for-byte, not merely approximately.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("stats serialize");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
 }
 
 /// Energy helpers on top of the raw counters.
@@ -316,6 +333,24 @@ mod tests {
         assert_eq!(s.max_latency_cycles, 10);
         assert!(s.global_energy_pj > 0.0);
         assert!(s.throughput_aer_per_ms > 0.0);
+    }
+
+    #[test]
+    fn digest_distinguishes_stats() {
+        let ds = vec![d(0, 1, 0, 10), d(0, 1, 100, 110)];
+        let counters = Counters {
+            packets_injected: 2,
+            deliveries: 2,
+            router_traversals: 4,
+            link_flits: 4,
+            buffer_flits: 4,
+        };
+        let em = EnergyModel::default();
+        let a = NocStats::from_deliveries(&ds, counters, &em, 2, 1, 1024);
+        let b = NocStats::from_deliveries(&ds, counters, &em, 2, 1, 1024);
+        assert_eq!(a.digest(), b.digest(), "identical stats digest equal");
+        let c = NocStats::from_deliveries(&ds[..1], counters, &em, 2, 1, 1024);
+        assert_ne!(a.digest(), c.digest(), "different stats digest apart");
     }
 
     #[test]

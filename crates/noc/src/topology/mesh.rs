@@ -232,6 +232,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn mesh_lut_follows_xy_order() {
+        use super::super::RouteLut;
+        let m = Mesh2D::grid(3, 3, 9);
+        let lut = RouteLut::new(&m);
+        // 0 -> 8 goes X first: next hop is router 1, and the egress port
+        // indexes the +x neighbor
+        assert_eq!(lut.next_router(0, 8), 1);
+        let p = lut.egress_port(0, 8) as usize;
+        assert_eq!(m.neighbors(0)[p], 1);
+        // same column: Y moves next
+        assert_eq!(lut.next_router(1, 7), 4);
+        assert_eq!(lut.egress_port(4, 4), RouteLut::NO_PORT);
+    }
+
+    #[test]
     fn mesh_geometry() {
         let m = Mesh2D::for_crossbars(7); // 3x3 grid
         assert_eq!(m.num_routers(), 9);

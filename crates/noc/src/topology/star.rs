@@ -134,6 +134,25 @@ mod tests {
     use super::*;
 
     #[test]
+    fn star_lut_routes_through_hub() {
+        use super::super::RouteLut;
+        let s = Star::new(5);
+        let lut = RouteLut::new(&s);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a == b {
+                    continue;
+                }
+                // a leaf's only egress is port 0, toward the hub
+                assert_eq!(lut.next_router(a, b), s.hub());
+                assert_eq!(lut.egress_port(a, b), 0);
+                // the hub's egress port toward leaf b is b (insertion order)
+                assert_eq!(lut.egress_port(s.hub(), b), b as u32);
+            }
+        }
+    }
+
+    #[test]
     fn star_two_hop_property() {
         let s = Star::new(8);
         for a in 0..8 {

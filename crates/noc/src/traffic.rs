@@ -55,9 +55,29 @@ impl SpikeFlow {
 }
 
 /// Sorts flows into canonical injection order: by step, then source
-/// crossbar, then source neuron — the order the AER encoders see them.
+/// crossbar, then source neuron, then destination set — the order the AER
+/// encoders see them.
+///
+/// The destination set participates so the order is *total*: per-synapse
+/// traffic emits several flows with the same `(step, crossbar, neuron)`
+/// key (one per cut synapse), and a key-only sort would let the caller's
+/// input order leak into the injection schedule. With a total order,
+/// permuting the input flows cannot change the simulation.
 pub fn sort_canonical(flows: &mut [SpikeFlow]) {
-    flows.sort_by_key(|f| (f.send_step, f.src_crossbar, f.source_neuron));
+    flows.sort_by(|a, b| {
+        (
+            a.send_step,
+            a.src_crossbar,
+            a.source_neuron,
+            &a.dst_crossbars,
+        )
+            .cmp(&(
+                b.send_step,
+                b.src_crossbar,
+                b.source_neuron,
+                &b.dst_crossbars,
+            ))
+    });
 }
 
 /// Total packet count of a flow schedule under the given multicast setting.
@@ -97,6 +117,20 @@ mod tests {
         assert_eq!(flows[0].send_step, 1);
         assert_eq!(flows[1].src_crossbar, 0);
         assert_eq!(flows[2].src_crossbar, 1);
+    }
+
+    #[test]
+    fn canonical_sort_is_total_over_destinations() {
+        // same (step, crossbar, neuron) key, different destinations — the
+        // per-synapse traffic shape; order must not depend on input order
+        let a = SpikeFlow::unicast(5, 0, 3, 1);
+        let b = SpikeFlow::unicast(5, 0, 1, 1);
+        let mut fwd = vec![a.clone(), b.clone()];
+        let mut rev = vec![b, a];
+        sort_canonical(&mut fwd);
+        sort_canonical(&mut rev);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd[0].dst_crossbars, vec![1]);
     }
 
     #[test]

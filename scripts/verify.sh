@@ -18,5 +18,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> bench smoke (1 sample)"
 NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench eval
+# the noc bench also differentially gates the event engine against the
+# cycle-driven oracle before timing anything
+NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench noc
+
+echo "==> NoC differential proptests (high case count)"
+NEUROMAP_PROPTEST_CASES=256 cargo test --release --test noc_properties -q
 
 echo "verify: OK"

@@ -9,7 +9,8 @@
 //!   temporal coding);
 //! * [`hw`] — the hardware model (crossbars, CxQuad/TrueNorth-class
 //!   architectures, AER protocol, JSON-loadable energy model);
-//! * [`noc`] — a Noxim++-class cycle-driven interconnect simulator
+//! * [`noc`] — a Noxim++-class interconnect simulator — an event-driven
+//!   engine differentially verified against a cycle-accurate oracle
 //!   (mesh/tree/torus/star, multicast, spike-disorder and ISI-distortion
 //!   metrics);
 //! * [`core`] — the paper's contribution: binary-PSO partitioning of an SNN

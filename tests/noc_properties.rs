@@ -1,17 +1,45 @@
-//! Property-based tests over the interconnect simulator: conservation
-//! (every flow delivered exactly once per destination), latency sanity,
-//! and robustness across topologies, buffer depths, and arbitration
-//! policies.
+//! Property-based tests over the interconnect simulator.
+//!
+//! Two layers:
+//!
+//! * **Differential verification** — the event-driven engine
+//!   ([`NocSim`]) must produce *byte-identical* statistics and delivery
+//!   logs to the cycle-driven oracle ([`CycleSim`]) across randomized
+//!   topologies, FIFO depths, packet sizes, arbitration policies,
+//!   multicast fan-outs, bursty/backpressured traffic, and cycle-budget
+//!   errors. This corpus is the correctness story for the event engine:
+//!   any divergence in timing, arbitration order, credit accounting, or
+//!   budget handling shows up here as a non-equal stats digest or log.
+//! * **Conservation/sanity properties** — every flow delivered exactly
+//!   once per destination, latency bounded below by hop count, energy
+//!   counters consistent, input-permutation invariance.
+//!
+//! `NEUROMAP_PROPTEST_CASES` overrides the per-test case count (CI runs a
+//! higher-case pass over this suite; see `.github/workflows/ci.yml`).
 
 use neuromap::hw::energy::EnergyModel;
 use neuromap::noc::config::NocConfig;
 use neuromap::noc::router::Arbitration;
+use neuromap::noc::sim::oracle::CycleSim;
 use neuromap::noc::sim::NocSim;
+use neuromap::noc::stats::{Delivery, NocStats};
 use neuromap::noc::topology::{Mesh2D, NocTree, PointToPoint, Star, Topology, Torus};
 use neuromap::noc::traffic::SpikeFlow;
+use neuromap::noc::NocError;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const CROSSBARS: u32 = 8;
+
+/// Per-test case count, overridable via `NEUROMAP_PROPTEST_CASES` so CI
+/// can run a deeper pass over the same corpus without editing the tests.
+fn cases(default: u32) -> u32 {
+    std::env::var("NEUROMAP_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn arb_flows(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
     proptest::collection::vec(
@@ -30,6 +58,24 @@ fn arb_flows(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
     })
 }
 
+/// Hotspot traffic: many sources, one destination crossbar — the shape
+/// that drives credit backpressure and round-robin contention hardest.
+fn arb_hotspot(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
+    proptest::collection::vec(
+        (
+            0u32..1000,      // source neuron
+            1u32..CROSSBARS, // src crossbar (never the hotspot)
+            0u32..3,         // send step: tight bursts
+        ),
+        1..max_flows,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(neuron, src, step)| SpikeFlow::unicast(neuron, src, 0, step))
+            .collect()
+    })
+}
+
 fn topologies() -> Vec<Box<dyn Topology>> {
     vec![
         Box::new(Mesh2D::for_crossbars(CROSSBARS as usize)),
@@ -41,8 +87,144 @@ fn topologies() -> Vec<Box<dyn Topology>> {
     ]
 }
 
+fn topology(idx: usize) -> Box<dyn Topology> {
+    topologies().swap_remove(idx % 6)
+}
+
+const ARBS: [Arbitration; 3] = [
+    Arbitration::RoundRobin,
+    Arbitration::OldestFirst,
+    Arbitration::FixedPriority,
+];
+
+/// Runs both engines and asserts byte-identical outcomes (stats *and*
+/// delivery logs on success, the exact error on failure).
+fn assert_engines_agree(
+    topo_idx: usize,
+    cfg: NocConfig,
+    flows: &[SpikeFlow],
+    duration: u32,
+) -> Result<(), String> {
+    let mut event = NocSim::new(topology(topo_idx), cfg, EnergyModel::default());
+    let mut oracle = CycleSim::new(topology(topo_idx), cfg, EnergyModel::default());
+    let name = event.topology().name();
+    let ev: Result<(NocStats, Vec<Delivery>), NocError> = event.run_with_duration(flows, duration);
+    let or = oracle.run_with_duration(flows, duration);
+    match (ev, or) {
+        (Ok((es, ed)), Ok((os, od))) => {
+            prop_assert_eq!(&ed, &od, "{}: delivery logs diverge", &name);
+            // byte-identical: compare the serialized form, not just the
+            // (float-tolerant-looking) PartialEq
+            let ej = serde_json::to_string(&es).expect("stats serialize");
+            let oj = serde_json::to_string(&os).expect("stats serialize");
+            prop_assert_eq!(&ej, &oj, "{}: stats bytes diverge", &name);
+            prop_assert_eq!(es.digest(), os.digest(), "{}: digests diverge", &name);
+        }
+        (Err(ee), Err(oe)) => {
+            prop_assert_eq!(&ee, &oe, "{}: errors diverge", &name);
+        }
+        (ev, or) => {
+            return Err(format!(
+                "{name}: one engine failed, the other did not: event={ev:?} oracle={or:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic Fisher–Yates permutation of `flows`.
+fn shuffled(flows: &[SpikeFlow], seed: u64) -> Vec<SpikeFlow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = flows.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+
+    #[test]
+    fn event_engine_matches_cycle_oracle(
+        flows in arb_flows(60),
+        topo_idx in 0usize..6,
+        depth in 1usize..6,
+        flits in 1u32..4,
+        router_delay in 0u32..3,
+        (arb_idx, multicast) in (0usize..3, any::<bool>()),
+    ) {
+        let cfg = NocConfig {
+            buffer_depth: depth,
+            flits_per_packet: flits,
+            router_delay,
+            arbitration: ARBS[arb_idx],
+            multicast,
+            ..NocConfig::default()
+        };
+        assert_engines_agree(topo_idx, cfg, &flows, 8)?;
+    }
+
+    #[test]
+    fn engines_agree_under_backpressure(
+        flows in arb_hotspot(120),
+        topo_idx in 0usize..6,
+        multicast in any::<bool>(),
+    ) {
+        // single-entry FIFOs: every hop stalls on credits, the regime
+        // where the event engine's wake list is hardest to get right
+        let cfg = NocConfig {
+            buffer_depth: 1,
+            multicast,
+            ..NocConfig::default()
+        };
+        assert_engines_agree(topo_idx, cfg, &flows, 4)?;
+    }
+
+    #[test]
+    fn engines_agree_on_cycle_budget_errors(
+        flows in arb_hotspot(150),
+        topo_idx in 0usize..6,
+        budget in 1u64..300,
+    ) {
+        // tight budgets turn heavy hotspot traffic into
+        // CycleBudgetExhausted; both engines must fail identically (same
+        // budget, same in-flight count) or succeed identically
+        let cfg = NocConfig {
+            buffer_depth: 1,
+            max_cycles: budget,
+            ..NocConfig::default()
+        };
+        assert_engines_agree(topo_idx, cfg, &flows, 4)?;
+    }
+
+    #[test]
+    fn input_permutation_does_not_change_results(
+        flows in arb_flows(60),
+        topo_idx in 0usize..6,
+        shuffle_seed in any::<u64>(),
+        congested in any::<bool>(),
+    ) {
+        // the canonical AER sort must fully determine the injection
+        // schedule: feeding the flows in any order yields bit-identical
+        // statistics and delivery logs, with and without credit stalls
+        let cfg = NocConfig {
+            buffer_depth: if congested { 1 } else { 4 },
+            ..NocConfig::default()
+        };
+        let permuted = shuffled(&flows, shuffle_seed);
+        let mut a = NocSim::new(topology(topo_idx), cfg, EnergyModel::default());
+        let mut b = NocSim::new(topology(topo_idx), cfg, EnergyModel::default());
+        let (sa, da) = a.run_with_duration(&flows, 8).expect("drains");
+        let (sb, db) = b.run_with_duration(&permuted, 8).expect("drains");
+        prop_assert_eq!(da, db, "delivery logs depend on input order");
+        prop_assert_eq!(sa.digest(), sb.digest(), "stats depend on input order");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
 
     #[test]
     fn every_flow_is_delivered_exactly_once_per_destination(
@@ -105,7 +287,7 @@ proptest! {
     #[test]
     fn arbitration_policies_conserve_traffic(flows in arb_flows(50)) {
         let expected: u64 = flows.iter().map(|f| f.dst_crossbars.len() as u64).sum();
-        for arb in [Arbitration::RoundRobin, Arbitration::OldestFirst, Arbitration::FixedPriority] {
+        for arb in ARBS {
             let cfg = NocConfig { arbitration: arb, ..NocConfig::default() };
             let mut sim = NocSim::new(
                 Box::new(NocTree::new(CROSSBARS as usize, 2)),
