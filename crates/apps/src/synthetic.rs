@@ -97,6 +97,111 @@ impl App for Synthetic {
     }
 }
 
+/// A synthetic *large-architecture* partitioning scenario: a `side ×
+/// side` crossbar grid (256 crossbars at the default `side = 16`) filled
+/// to `fill_percent` of capacity with a locality-biased random spike
+/// graph.
+///
+/// The Fig. 5 topologies above exercise paper-scale *networks* on small
+/// architectures (≤ 64 crossbars); SpiNeMap-class evaluations
+/// (Balaji et al.) run on hundreds of cores, which is exactly the regime
+/// where the batched `CutPackets` evaluator used to fall back to a
+/// per-candidate scalar scan. This scenario is built **directly as a
+/// spike graph** (seeded, no SNN simulation) so 256-crossbar workloads
+/// are cheap to construct in benches and tests: most synapses stay
+/// between neighbouring tiles of the grid (a good mapping exists and
+/// optimizers have real gradient to follow), a global tail keeps the
+/// multicast sets non-trivial.
+#[derive(Debug, Clone, Copy)]
+pub struct LargeArch {
+    /// Crossbar grid side; the architecture has `side²` crossbars.
+    pub side: u32,
+    /// Crossbar capacity (neurons per crossbar).
+    pub neurons_per_crossbar: u32,
+    /// Outgoing synapses per neuron.
+    pub synapses_per_neuron: u32,
+    /// Occupied fraction of total capacity, in percent — the headroom
+    /// lets partitioners actually move neurons around.
+    pub fill_percent: u32,
+}
+
+impl LargeArch {
+    /// The 16 × 16 = 256-crossbar benchmark scenario tracked in
+    /// `BENCH_eval.json`.
+    pub fn grid16() -> Self {
+        Self {
+            side: 16,
+            neurons_per_crossbar: 8,
+            synapses_per_neuron: 24,
+            fill_percent: 85,
+        }
+    }
+
+    /// Scenario label (`synth_16x16grid` for the default).
+    pub fn name(&self) -> String {
+        format!("synth_{0}x{0}grid", self.side)
+    }
+
+    /// Number of crossbars in the grid.
+    pub fn num_crossbars(&self) -> usize {
+        (self.side * self.side) as usize
+    }
+
+    /// Crossbar capacity.
+    pub fn capacity(&self) -> u32 {
+        self.neurons_per_crossbar
+    }
+
+    /// Neurons in the generated graph (`fill_percent` of total capacity).
+    pub fn num_neurons(&self) -> u32 {
+        let total = self.side * self.side * self.neurons_per_crossbar;
+        (total * self.fill_percent / 100).max(1)
+    }
+
+    /// Builds the spike graph: neuron `i`'s *home tile* is `i / capacity`;
+    /// 85 % of its synapses land in the home tile or a grid-adjacent tile
+    /// (half of those stay in the home tile itself), the rest are uniform
+    /// over the whole graph. Spike counts are uniform in `0..20`.
+    /// Deterministic for a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InvalidGraph`] from graph construction
+    /// (unreachable for the parameter ranges above).
+    pub fn spike_graph(&self, seed: u64) -> Result<neuromap_core::SpikeGraph, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.num_neurons();
+        let side = self.side as i64;
+        let cap = self.neurons_per_crossbar.max(1);
+        let tiles = self.side * self.side;
+        let mut synapses = Vec::with_capacity((n * self.synapses_per_neuron) as usize);
+        for i in 0..n {
+            let home = (i / cap).min(tiles - 1) as i64;
+            let (hx, hy) = (home % side, home / side);
+            for _ in 0..self.synapses_per_neuron {
+                let j = if rng.gen_bool(0.85) {
+                    // home tile (half the local draws) or a grid neighbour
+                    let (dx, dy) = if rng.gen_bool(0.5) {
+                        (0, 0)
+                    } else {
+                        (rng.gen_range(-1i64..=1), rng.gen_range(-1i64..=1))
+                    };
+                    let (tx, ty) = ((hx + dx).clamp(0, side - 1), (hy + dy).clamp(0, side - 1));
+                    let tile = (ty * side + tx) as u32;
+                    let lo = tile * cap;
+                    let span = cap.min(n.saturating_sub(lo)).max(1);
+                    (lo + rng.gen_range(0..span)).min(n - 1)
+                } else {
+                    rng.gen_range(0..n)
+                };
+                synapses.push((i, j));
+            }
+        }
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+        neuromap_core::SpikeGraph::from_parts(n, synapses, counts)
+    }
+}
+
 /// The eight synthetic topologies evaluated in the paper's Fig. 5
 /// (four of which are plotted), in label order.
 pub fn fig5_topologies() -> Vec<Synthetic> {
@@ -168,5 +273,49 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_layers_rejected() {
         let _ = Synthetic::new(0, 10);
+    }
+
+    #[test]
+    fn grid16_is_a_256_crossbar_scenario() {
+        let s = LargeArch::grid16();
+        assert_eq!(s.name(), "synth_16x16grid");
+        assert_eq!(s.num_crossbars(), 256);
+        assert!(u64::from(s.num_neurons()) <= 256 * u64::from(s.capacity()));
+        // enough slack for partitioners to move neurons around
+        assert!(u64::from(s.num_neurons()) <= 256 * u64::from(s.capacity()) * 9 / 10);
+    }
+
+    #[test]
+    fn large_arch_graph_is_reproducible_and_local() {
+        let s = LargeArch::grid16();
+        let a = s.spike_graph(3).unwrap();
+        let b = s.spike_graph(3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_neurons(), s.num_neurons());
+        assert_eq!(
+            a.num_synapses(),
+            (s.num_neurons() * s.synapses_per_neuron) as usize
+        );
+        // locality bias: the home-tile packing must beat a round-robin
+        // scatter on the cut-packet objective by at least 1.5×
+        let p =
+            neuromap_core::partition::PartitionProblem::new(&a, s.num_crossbars(), s.capacity())
+                .unwrap();
+        let packed: Vec<u32> = (0..s.num_neurons()).map(|i| i / s.capacity()).collect();
+        let scattered: Vec<u32> = (0..s.num_neurons()).map(|i| i % 256).collect();
+        assert!(p.cut_packets(&packed) * 3 < p.cut_packets(&scattered) * 2);
+    }
+
+    #[test]
+    fn large_arch_scales_down() {
+        // tiny instances stay valid (used by the property tests)
+        let s = LargeArch {
+            side: 2,
+            neurons_per_crossbar: 3,
+            synapses_per_neuron: 4,
+            fill_percent: 100,
+        };
+        let g = s.spike_graph(1).unwrap();
+        assert_eq!(g.num_neurons(), 12);
     }
 }

@@ -1,7 +1,12 @@
 //! Evaluation-engine benchmarks: full recompute vs the incremental
 //! per-candidate path vs the batched swarm path, at paper scale, plus an
-//! end-to-end PSO timing. Writes a `BENCH_eval.json` summary so the perf
-//! trajectory is tracked across PRs.
+//! end-to-end PSO timing — and the 256-crossbar `synth_16x16grid`
+//! scenario, which **gates the batched envelope**: the bench aborts if
+//! `SwarmEval` ever falls back to the per-candidate scalar path at 256
+//! crossbars, so a regression fails CI loudly instead of silently
+//! slowing down. Writes a `BENCH_eval.json` summary so the perf
+//! trajectory is tracked across PRs (`scripts/verify.sh` diffs the key
+//! set).
 //!
 //! Knobs:
 //! * `NEUROMAP_BENCH_FAST=1` — 1-sample smoke run (CI gate);
@@ -10,7 +15,7 @@
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use neuromap_apps::digit_recognition::DigitRecognition;
-use neuromap_apps::synthetic::Synthetic;
+use neuromap_apps::synthetic::{LargeArch, Synthetic};
 use neuromap_apps::App;
 use neuromap_bench::{arch_for, SEED};
 use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmScratch};
@@ -89,9 +94,18 @@ fn bench_swarm_eval(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
     let arch = arch_for(graph.num_neurons());
     let problem = PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
         .expect("feasible");
-    let n = graph.num_neurons() as usize;
-    let lanes = 100usize;
-    let positions = random_swarm(n, arch.num_crossbars(), lanes, 7);
+    bench_swarm_eval_on(c, name, &problem, 100);
+}
+
+/// Scalar-vs-batched swarm scoring on an explicit problem instance.
+fn bench_swarm_eval_on(
+    c: &mut Criterion,
+    name: &str,
+    problem: &PartitionProblem<'_>,
+    lanes: usize,
+) {
+    let n = problem.graph().num_neurons() as usize;
+    let positions = random_swarm(n, problem.num_crossbars(), lanes, 7);
     let mut group = c.benchmark_group(format!("swarm_eval/{name}"));
     group.sample_size(10);
     for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
@@ -108,13 +122,65 @@ fn bench_swarm_eval(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
         });
         // batched neuron-major tiles
         group.bench_with_input(BenchmarkId::new("batched", &tag), &kind, |b, &kind| {
-            let evaluator = SwarmEval::new(problem, kind);
+            let evaluator = SwarmEval::new(*problem, kind);
             let mut scratch = SwarmScratch::default();
             let mut out = vec![0u64; lanes];
             b.iter(|| {
                 evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
                 black_box(out[0])
             });
+        });
+    }
+    group.finish();
+}
+
+/// The 256-crossbar large-architecture scenario: envelope gate + timings.
+///
+/// The scenario's trajectory in `BENCH_eval.json` is the regression
+/// record for the multi-word batched evaluator and the fused
+/// decode/repair kernel; before timing anything the bench *asserts* that
+/// the tiled path still covers 256 crossbars for both objectives.
+fn bench_large_arch(c: &mut Criterion) {
+    let scenario = LargeArch::grid16();
+    let graph = scenario.spike_graph(SEED).expect("scenario builds");
+    let problem = PartitionProblem::new(&graph, scenario.num_crossbars(), scenario.capacity())
+        .expect("feasible");
+    let name = scenario.name();
+
+    // ---- envelope gate (fail loudly, do not time a regression) ----
+    for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
+        let evaluator = SwarmEval::new(problem, kind);
+        assert!(
+            evaluator.batched(),
+            "REGRESSION: SwarmEval fell back to the scalar path for {kind:?} \
+             at {} crossbars — the batched envelope must cover 256",
+            scenario.num_crossbars()
+        );
+    }
+    assert_eq!(
+        SwarmEval::new(problem, FitnessKind::CutPackets).mask_words(),
+        4,
+        "256 crossbars must use the 4-word mask stride"
+    );
+
+    bench_swarm_eval_on(c, &name, &problem, 64);
+
+    // full PSO steps (fused decode + repair + batched evaluation)
+    let mut group = c.benchmark_group(format!("pso_step/{name}"));
+    group.sample_size(10);
+    for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
+        let tag = format!("swarm40_iters4/{kind:?}");
+        group.bench_with_input(BenchmarkId::from(tag), &kind, |b, &kind| {
+            let pso = PsoPartitioner::new(PsoConfig {
+                swarm_size: 40,
+                iterations: 4,
+                fitness: kind,
+                seed_baselines: false,
+                polish_passes: 0,
+                threads: 1,
+                ..PsoConfig::default()
+            });
+            b.iter(|| pso.partition_traced(&problem).expect("feasible"));
         });
     }
     group.finish();
@@ -148,6 +214,9 @@ fn main() {
         bench_swarm_eval(&mut c, name, graph);
         bench_pso_step(&mut c, name, graph);
     }
+
+    // 16 × 16 = 256 crossbars: the multi-word envelope, gated + timed
+    bench_large_arch(&mut c);
 
     // end-to-end paper-scale run (slow; opt-in)
     let mut paper_seconds: Option<f64> = None;

@@ -349,6 +349,39 @@ mod tests {
     }
 
     #[test]
+    fn ga_population_scoring_uses_the_lifted_envelope() {
+        // 100 crossbars: the GA's batched SwarmEval scoring now runs the
+        // multi-word tiled path; results must stay thread-invariant and
+        // feasible (batched == scalar cost equality at these widths is
+        // covered by the `large_arch` block in tests/eval_properties.rs)
+        use crate::eval::SwarmEval;
+        use crate::graph::SpikeGraph;
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 150u32;
+        let synapses: Vec<(u32, u32)> = (0..500)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..10)).collect();
+        let g = SpikeGraph::from_parts(n, synapses, counts).unwrap();
+        let p = PartitionProblem::new(&g, 100, 2).unwrap();
+        assert!(SwarmEval::new(p, FitnessKind::CutPackets).batched());
+        let base = GaConfig {
+            population: 12,
+            generations: 6,
+            fitness: FitnessKind::CutPackets,
+            ..GaConfig::default()
+        };
+        let seq = GaPartitioner::new(GaConfig { threads: 1, ..base })
+            .partition(&p)
+            .unwrap();
+        let par = GaPartitioner::new(GaConfig { threads: 4, ..base })
+            .partition(&p)
+            .unwrap();
+        assert_eq!(seq, par, "chunked batched scoring must be thread-invariant");
+        assert!(p.is_feasible(seq.assignment()));
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
         let g = clusters();
         let p = PartitionProblem::new(&g, 2, 3).unwrap();

@@ -363,6 +363,33 @@ mod tests {
     }
 
     #[test]
+    fn anneals_on_the_multi_word_envelope() {
+        // 80 crossbars: the packet tallies cross the one-word boundary;
+        // the chain must stay feasible and never worsen its PACMAN start
+        use crate::graph::SpikeGraph;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 120u32;
+        let synapses: Vec<(u32, u32)> = (0..400)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+        let g = SpikeGraph::from_parts(n, synapses, counts).unwrap();
+        let p = PartitionProblem::new(&g, 80, 3).unwrap();
+        let start: Vec<u32> = (0..n).map(|i| i / 3).collect();
+        let start_cost = p.cut_packets(&start);
+        let cfg = SaConfig {
+            moves: 3000,
+            fitness: FitnessKind::CutPackets,
+            ..SaConfig::default()
+        };
+        let m = SaPartitioner::new(cfg).partition(&p).unwrap();
+        assert!(p.is_feasible(m.assignment()));
+        assert!(p.cut_packets(m.assignment()) <= start_cost);
+    }
+
+    #[test]
     fn respects_capacity_throughout() {
         let g = bipartite();
         let p = PartitionProblem::new(&g, 3, 2).unwrap();

@@ -1,0 +1,609 @@
+//! The binary-PSO re-binarization + repair kernel (Eq. 2–5), as a
+//! standalone lane-parallel pass.
+//!
+//! Every PSO iteration turns each particle's real-valued velocity matrix
+//! (`N × C` floats) back into a feasible assignment: per neuron,
+//! candidate crossbars are tested in descending-velocity order and
+//! accepted with probability `sigmoid(v)` (Eq. 2–3); if no free crossbar
+//! is accepted, the highest-velocity free crossbar is assigned (repair,
+//! Eq. 4–5). ROADMAP measured this decode/repair loop at ~40 % of a PSO
+//! step, so the kernel matters as much as evaluation.
+//!
+//! Two implementations live here:
+//!
+//! * [`Decoder::decode`] / [`Decoder::step`] — the **production
+//!   lane-parallel pass**: each velocity row is processed in fixed-width
+//!   f32 lanes (eligibility-masked maxima accumulated per lane, reduced,
+//!   then resolved to the first index attaining the maximum), and
+//!   [`Decoder::step`] *fuses* the whole per-iteration pipeline — inertia
+//!   decay, the stochastic cognitive/social pulls (Eq. 1), and the
+//!   decode/repair — into a single sweep per velocity row, so the swarm's
+//!   structure-of-arrays buffer is traversed once per iteration instead
+//!   of three times.
+//! * [`Decoder::decode_reference`] / [`Decoder::step_reference`] — the
+//!   **scalar kernels**: a plain descending-velocity walk per neuron, the
+//!   executable specification.
+//!
+//! ## Equivalence and determinism contract
+//!
+//! For identical inputs and RNG state, the lane-parallel and scalar
+//! kernels produce **bit-identical assignments and RNG streams**
+//! (property-tested in `tests/determinism.rs` across random velocity
+//! states): the lane-parallel maximum is the same value `max` is a
+//! reduction of, non-`NaN` f32 maxima are associative, and both kernels
+//! resolve ties to the lowest eligible index. Both consume exactly one
+//! acceptance draw per neuron on the fast path, plus one draw per
+//! candidate visited by the slow acceptance walk. The kernel is
+//! allocation-free after warm-up and shared by every shard of the pooled
+//! PSO step (`neuromap_core::pool`), so thread count never changes
+//! results.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sigmoid.
+#[inline]
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// f32 lanes per chunk of the masked-maximum pass: wide enough to fill
+/// a 256-bit SIMD register, small enough that remainders stay cheap.
+const F_LANES: usize = 8;
+
+/// Piecewise-linear sigmoid over the clamped velocity domain
+/// `[-v_max, v_max]`: 4096 segments give an interpolation error below
+/// `5e-8` (σ″ ≤ 0.1), far under the `f32` noise floor of the sampling
+/// itself, while replacing a libm `exp` per acceptance test with two
+/// loads and a fused multiply-add. Deterministic pure-`f32` arithmetic.
+#[derive(Debug, Clone)]
+struct SigmoidLut {
+    lo: f32,
+    inv_step: f32,
+    table: Vec<f32>,
+}
+
+impl SigmoidLut {
+    const SEGMENTS: usize = 4096;
+
+    fn new(v_max: f32) -> Self {
+        let lo = -v_max;
+        let step = (2.0 * v_max) / Self::SEGMENTS as f32;
+        let table: Vec<f32> = (0..=Self::SEGMENTS)
+            .map(|k| sigmoid(lo + step * k as f32))
+            .collect();
+        Self {
+            lo,
+            inv_step: 1.0 / step,
+            table,
+        }
+    }
+
+    /// σ(v) for `v ∈ [-v_max, v_max]` (clamped outside).
+    #[inline]
+    fn eval(&self, v: f32) -> f32 {
+        let x = ((v - self.lo) * self.inv_step).clamp(0.0, (Self::SEGMENTS as f32) - 1e-3);
+        let k = x as usize;
+        let frac = x - k as f32;
+        let a = self.table[k];
+        let b = self.table[k + 1];
+        a + (b - a) * frac
+    }
+}
+
+/// Velocity-update weights of the fused [`Decoder::step`] (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepWeights {
+    /// Inertia weight `w`.
+    pub inertia: f32,
+    /// Cognitive acceleration φ₁ (toward the particle's own best).
+    pub phi_p: f32,
+    /// Social acceleration φ₂ (toward the swarm best).
+    pub phi_g: f32,
+}
+
+/// Reusable per-shard buffers for the decode kernels.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    remaining: Vec<u32>,
+    tried: Vec<bool>,
+}
+
+/// The re-binarization kernel (Eq. 2–3 + repair), shared by all PSO
+/// shards. See the [module docs](self) for the equivalence contract
+/// between the lane-parallel and reference entry points.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    n: usize,
+    c: usize,
+    capacity: u32,
+    v_max: f32,
+    lut: SigmoidLut,
+}
+
+impl Decoder {
+    /// Creates a kernel for `n` neurons on `c` crossbars of `capacity`
+    /// slots, with velocities clamped to `[-v_max, v_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≤ c × capacity` (the repair invariant: every
+    /// decode must be able to place every neuron) and `v_max > 0`.
+    pub fn new(n: usize, c: usize, capacity: u32, v_max: f32) -> Self {
+        assert!(
+            n as u128 <= c as u128 * u128::from(capacity),
+            "total capacity ({c} crossbars × {capacity}) must hold all {n} neurons"
+        );
+        assert!(v_max > 0.0, "v_max must be positive, got {v_max}");
+        Self {
+            n,
+            c,
+            capacity,
+            v_max,
+            lut: SigmoidLut::new(v_max),
+        }
+    }
+
+    /// Fills one particle's velocity buffer uniformly over
+    /// `[-v_max, v_max)`, two dimensions per RNG word: the init-round
+    /// fill is RNG-bound at large `N × C` (a 256-crossbar particle draws
+    /// hundreds of thousands of values), so each 64-bit draw feeds two
+    /// 24-bit mantissas instead of paying the full per-draw range
+    /// machinery twice. Deterministic per RNG stream.
+    pub fn fill_velocity(&self, vel: &mut [f32], rng: &mut StdRng) {
+        let v_max = self.v_max;
+        // exact for 24-bit integers: x / 2^23 - 1 ∈ [-1, 2 - 2^-23)
+        let conv = move |x: u32| (x as f32 * (1.0 / 8_388_608.0) - 1.0) * v_max;
+        let mut pairs = vel.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            let r = rng.gen::<u64>();
+            pair[0] = conv((r & 0xFF_FFFF) as u32);
+            pair[1] = conv(((r >> 24) & 0xFF_FFFF) as u32);
+        }
+        if let [last] = pairs.into_remainder() {
+            let r = rng.gen::<u64>();
+            *last = conv((r & 0xFF_FFFF) as u32);
+        }
+    }
+
+    /// Binarizes one particle's velocities into a feasible assignment —
+    /// the lane-parallel production pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `velocity.len() != n * c` or `out.len() != n` (debug
+    /// builds; release builds panic on the first out-of-range access).
+    pub fn decode(
+        &self,
+        velocity: &[f32],
+        rng: &mut StdRng,
+        out: &mut [u32],
+        s: &mut DecodeScratch,
+    ) {
+        let (n, c) = (self.n, self.c);
+        debug_assert_eq!(velocity.len(), n * c);
+        debug_assert_eq!(out.len(), n);
+        s.reset(c, self.capacity);
+        for i in 0..n {
+            let row = &velocity[i * c..(i + 1) * c];
+            let (arg, arg_v) = masked_argmax(row, &s.remaining);
+            let k = self.accept_or_walk(row, rng, s, arg, arg_v);
+            s.remaining[k] -= 1;
+            out[i] = k as u32;
+        }
+    }
+
+    /// Binarizes one particle's velocities — the scalar reference walk
+    /// (bit-identical to [`Decoder::decode`], including the RNG stream).
+    pub fn decode_reference(
+        &self,
+        velocity: &[f32],
+        rng: &mut StdRng,
+        out: &mut [u32],
+        s: &mut DecodeScratch,
+    ) {
+        let (n, c) = (self.n, self.c);
+        s.reset(c, self.capacity);
+        for i in 0..n {
+            let row = &velocity[i * c..(i + 1) * c];
+            let (arg, arg_v) = masked_argmax_reference(row, &s.remaining);
+            let k = self.accept_or_walk(row, rng, s, arg, arg_v);
+            s.remaining[k] -= 1;
+            out[i] = k as u32;
+        }
+    }
+
+    /// One full fused PSO iteration for one particle: per neuron row,
+    /// inertia decay (+ clamp for `inertia > 1`), the stochastic
+    /// cognitive/social pulls (Eq. 1 — at most four touched dimensions
+    /// per neuron), and the lane-parallel decode/repair, in a single
+    /// sweep over the velocity buffer. `pos` holds the particle's current
+    /// assignment on entry and the freshly decoded one on exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on any buffer-length mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &self,
+        w: StepWeights,
+        velocity: &mut [f32],
+        rng: &mut StdRng,
+        pos: &mut [u32],
+        pbest: &[u32],
+        gbest: &[u32],
+        s: &mut DecodeScratch,
+    ) {
+        let (n, c) = (self.n, self.c);
+        debug_assert_eq!(velocity.len(), n * c);
+        debug_assert_eq!(pos.len(), n);
+        debug_assert_eq!(pbest.len(), n);
+        debug_assert_eq!(gbest.len(), n);
+        s.reset(c, self.capacity);
+        for i in 0..n {
+            let row = &mut velocity[i * c..(i + 1) * c];
+            self.decay_and_pull(w, row, rng, pos[i], pbest[i], gbest[i]);
+            let (arg, arg_v) = masked_argmax(row, &s.remaining);
+            let k = self.accept_or_walk(row, rng, s, arg, arg_v);
+            s.remaining[k] -= 1;
+            pos[i] = k as u32;
+        }
+    }
+
+    /// Scalar reference of [`Decoder::step`] (bit-identical, including
+    /// the RNG stream).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_reference(
+        &self,
+        w: StepWeights,
+        velocity: &mut [f32],
+        rng: &mut StdRng,
+        pos: &mut [u32],
+        pbest: &[u32],
+        gbest: &[u32],
+        s: &mut DecodeScratch,
+    ) {
+        let (n, c) = (self.n, self.c);
+        s.reset(c, self.capacity);
+        for i in 0..n {
+            let row = &mut velocity[i * c..(i + 1) * c];
+            self.decay_and_pull(w, row, rng, pos[i], pbest[i], gbest[i]);
+            let (arg, arg_v) = masked_argmax_reference(row, &s.remaining);
+            let k = self.accept_or_walk(row, rng, s, arg, arg_v);
+            s.remaining[k] -= 1;
+            pos[i] = k as u32;
+        }
+    }
+
+    /// Velocity update for one neuron row: inertia decay applies to every
+    /// dimension; the stochastic pulls are non-zero only where the
+    /// indicator positions differ (`k ∈ {own, pbest, gbest}`), which
+    /// exploits that instead of drawing two random factors for each of
+    /// the `C` dimensions. Shared verbatim by the production and
+    /// reference steps (it is not part of the differential surface).
+    #[inline]
+    fn decay_and_pull(
+        &self,
+        w: StepWeights,
+        row: &mut [f32],
+        rng: &mut StdRng,
+        own: u32,
+        pb: u32,
+        gb: u32,
+    ) {
+        for v in row.iter_mut() {
+            *v *= w.inertia;
+        }
+        if w.inertia > 1.0 {
+            for v in row.iter_mut() {
+                *v = v.clamp(-self.v_max, self.v_max);
+            }
+        }
+        let (own, pb, gb) = (own as usize, pb as usize, gb as usize);
+        if pb != own {
+            let r1: f32 = rng.gen();
+            let r2: f32 = rng.gen();
+            row[pb] = (row[pb] + w.phi_p * r1).clamp(-self.v_max, self.v_max);
+            row[own] = (row[own] - w.phi_p * r2).clamp(-self.v_max, self.v_max);
+        }
+        if gb != own {
+            let r1: f32 = rng.gen();
+            let r2: f32 = rng.gen();
+            row[gb] = (row[gb] + w.phi_g * r1).clamp(-self.v_max, self.v_max);
+            row[own] = (row[own] - w.phi_g * r2).clamp(-self.v_max, self.v_max);
+        }
+    }
+
+    /// Acceptance test for the best free crossbar, falling into the slow
+    /// descending-velocity walk when it fails. `arg`/`arg_v` come from a
+    /// masked argmax over free crossbars (non-empty by the capacity
+    /// invariant).
+    #[inline]
+    fn accept_or_walk(
+        &self,
+        row: &[f32],
+        rng: &mut StdRng,
+        s: &mut DecodeScratch,
+        arg: usize,
+        arg_v: f32,
+    ) -> usize {
+        debug_assert!(arg != usize::MAX, "total capacity ≥ neurons");
+        if rng.gen::<f32>() < self.lut.eval(arg_v) {
+            arg
+        } else {
+            self.decode_slow(row, rng, &s.remaining, &mut s.tried, arg)
+        }
+    }
+
+    /// Continues the acceptance walk after the top candidate failed:
+    /// tests the remaining free crossbars in descending-velocity order;
+    /// falls back to the overall-best free crossbar (`fallback`) when
+    /// every test fails.
+    #[cold]
+    fn decode_slow(
+        &self,
+        row: &[f32],
+        rng: &mut StdRng,
+        remaining: &[u32],
+        tried: &mut [bool],
+        fallback: usize,
+    ) -> usize {
+        tried.fill(false);
+        tried[fallback] = true;
+        loop {
+            let mut arg = usize::MAX;
+            let mut arg_v = f32::NEG_INFINITY;
+            for (k, &v) in row.iter().enumerate() {
+                if remaining[k] != 0 && !tried[k] && v > arg_v {
+                    arg_v = v;
+                    arg = k;
+                }
+            }
+            if arg == usize::MAX {
+                return fallback;
+            }
+            if rng.gen::<f32>() < self.lut.eval(arg_v) {
+                return arg;
+            }
+            tried[arg] = true;
+        }
+    }
+}
+
+impl DecodeScratch {
+    /// Resets the per-particle capacity tallies.
+    fn reset(&mut self, c: usize, capacity: u32) {
+        self.remaining.clear();
+        self.remaining.resize(c, capacity);
+        self.tried.resize(c, false);
+    }
+}
+
+/// Lane-parallel masked argmax: the highest velocity over free crossbars
+/// and the first index attaining it. The maximum is accumulated in
+/// [`F_LANES`] independent lanes (eligibility applied as a select to
+/// `-∞`, so the loop is branch-free and vectorizes), reduced, and then
+/// resolved to the **lowest** eligible index with that value — the same
+/// tie-breaking as the reference scan.
+#[inline]
+fn masked_argmax(row: &[f32], remaining: &[u32]) -> (usize, f32) {
+    let mut acc = [f32::NEG_INFINITY; F_LANES];
+    let chunks = row.len() / F_LANES;
+    for ch in 0..chunks {
+        let base = ch * F_LANES;
+        for lane in 0..F_LANES {
+            let eligible = remaining[base + lane] != 0;
+            let v = if eligible {
+                row[base + lane]
+            } else {
+                f32::NEG_INFINITY
+            };
+            acc[lane] = acc[lane].max(v);
+        }
+    }
+    let mut best = f32::NEG_INFINITY;
+    for &v in &acc {
+        best = best.max(v);
+    }
+    for k in chunks * F_LANES..row.len() {
+        if remaining[k] != 0 {
+            best = best.max(row[k]);
+        }
+    }
+    for (k, (&v, &rem)) in row.iter().zip(remaining).enumerate() {
+        if rem != 0 && v == best {
+            return (k, v);
+        }
+    }
+    (usize::MAX, f32::NEG_INFINITY)
+}
+
+/// Scalar reference argmax: a single descending walk keeping the first
+/// maximum (strict `>` never replaces an earlier equal value).
+#[inline]
+fn masked_argmax_reference(row: &[f32], remaining: &[u32]) -> (usize, f32) {
+    let mut arg = usize::MAX;
+    let mut arg_v = f32::NEG_INFINITY;
+    for (k, (&v, &rem)) in row.iter().zip(remaining).enumerate() {
+        if rem != 0 && v > arg_v {
+            arg_v = v;
+            arg = k;
+        }
+    }
+    (arg, arg_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decode_always_feasible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 13;
+        let c = 4;
+        let cap = 4; // 16 ≥ 13
+        let decoder = Decoder::new(n, c, cap, 4.0);
+        let mut scratch = DecodeScratch::default();
+        for _ in 0..50 {
+            let velocity: Vec<f32> = (0..n * c).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let mut a = vec![0u32; n];
+            decoder.decode(&velocity, &mut rng, &mut a, &mut scratch);
+            let mut occ = vec![0u32; c];
+            for &k in &a {
+                occ[k as usize] += 1;
+            }
+            assert!(occ.iter().all(|&o| o <= cap));
+            assert_eq!(a.len(), n);
+        }
+    }
+
+    #[test]
+    fn decode_prefers_high_velocity() {
+        // saturated velocities: every neuron should land on its argmax
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 6;
+        let c = 3;
+        let mut velocity = vec![-8.0f32; n * c];
+        for i in 0..n {
+            velocity[i * c + i % c] = 8.0;
+        }
+        let mut a = vec![0u32; n];
+        let decoder = Decoder::new(n, c, 2, 8.0);
+        let mut scratch = DecodeScratch::default();
+        decoder.decode(&velocity, &mut rng, &mut a, &mut scratch);
+        for (i, &k) in a.iter().enumerate() {
+            assert_eq!(k as usize, i % c, "neuron {i}");
+        }
+    }
+
+    #[test]
+    fn lane_parallel_matches_reference_including_rng_stream() {
+        // random velocities on awkward row widths (remainder lanes, ties
+        // from clamping) — assignments and post-call RNG states must both
+        // match the scalar reference exactly
+        for (n, c, cap, seed) in [
+            (13usize, 5usize, 3u32, 7u64),
+            (40, 7, 6, 8),
+            (9, 1, 9, 9),
+            (30, 11, 3, 10),
+            (8, 67, 1, 11),
+        ] {
+            let decoder = Decoder::new(n, c, cap, 4.0);
+            let mut vel_rng = StdRng::seed_from_u64(seed);
+            for round in 0..20 {
+                let velocity: Vec<f32> = (0..n * c)
+                    .map(|_| {
+                        // heavy clamping makes exact ties common
+                        vel_rng.gen_range(-6.0f32..6.0).clamp(-4.0, 4.0)
+                    })
+                    .collect();
+                let mut rng_a = StdRng::seed_from_u64(seed ^ (round + 1));
+                let mut rng_b = StdRng::seed_from_u64(seed ^ (round + 1));
+                let mut a = vec![0u32; n];
+                let mut b = vec![0u32; n];
+                decoder.decode(&velocity, &mut rng_a, &mut a, &mut DecodeScratch::default());
+                decoder.decode_reference(
+                    &velocity,
+                    &mut rng_b,
+                    &mut b,
+                    &mut DecodeScratch::default(),
+                );
+                assert_eq!(a, b, "n={n} c={c} round={round}");
+                assert_eq!(
+                    rng_a.gen::<u64>(),
+                    rng_b.gen::<u64>(),
+                    "RNG streams diverged: n={n} c={c} round={round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_step_matches_reference() {
+        let (n, c, cap) = (24usize, 9usize, 4u32);
+        let decoder = Decoder::new(n, c, cap, 4.0);
+        let w = StepWeights {
+            inertia: 0.72,
+            phi_p: 1.49,
+            phi_g: 1.49,
+        };
+        let mut vel_rng = StdRng::seed_from_u64(3);
+        for round in 0..10 {
+            let velocity: Vec<f32> = (0..n * c)
+                .map(|_| vel_rng.gen_range(-4.0f32..4.0))
+                .collect();
+            let pos: Vec<u32> = (0..n).map(|i| (i % c) as u32).collect();
+            let pbest: Vec<u32> = (0..n).map(|i| ((i + 1) % c) as u32).collect();
+            let gbest: Vec<u32> = (0..n).map(|i| ((i * 3) % c) as u32).collect();
+            let (mut va, mut vb) = (velocity.clone(), velocity);
+            let (mut pa, mut pb) = (pos.clone(), pos);
+            let mut rng_a = StdRng::seed_from_u64(100 + round);
+            let mut rng_b = StdRng::seed_from_u64(100 + round);
+            decoder.step(
+                w,
+                &mut va,
+                &mut rng_a,
+                &mut pa,
+                &pbest,
+                &gbest,
+                &mut DecodeScratch::default(),
+            );
+            decoder.step_reference(
+                w,
+                &mut vb,
+                &mut rng_b,
+                &mut pb,
+                &pbest,
+                &gbest,
+                &mut DecodeScratch::default(),
+            );
+            assert_eq!(pa, pb, "round {round}");
+            assert_eq!(va, vb, "round {round}");
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn masked_argmax_respects_eligibility_and_ties() {
+        let row = [1.0f32, 3.0, 3.0, 2.0, 3.0, -1.0, 0.5, 0.25, 3.0];
+        // highest value 3.0 occurs at 1 (full), 2, 4, 8
+        let mut remaining = vec![1u32; 9];
+        remaining[1] = 0;
+        assert_eq!(masked_argmax(&row, &remaining), (2, 3.0));
+        assert_eq!(masked_argmax_reference(&row, &remaining), (2, 3.0));
+        remaining[2] = 0;
+        remaining[4] = 0;
+        assert_eq!(masked_argmax(&row, &remaining), (8, 3.0));
+        assert_eq!(masked_argmax_reference(&row, &remaining), (8, 3.0));
+    }
+
+    #[test]
+    fn fill_velocity_in_range_and_deterministic() {
+        let decoder = Decoder::new(7, 9, 2, 4.0);
+        let mut a = vec![0f32; 63];
+        let mut b = vec![1f32; 63]; // odd length exercises the remainder
+        decoder.fill_velocity(&mut a, &mut StdRng::seed_from_u64(5));
+        decoder.fill_velocity(&mut b, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-4.0..4.0).contains(v)));
+        // roughly centred (weak sanity bound on the mean)
+        let mean: f32 = a.iter().sum::<f32>() / a.len() as f32;
+        assert!(mean.abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn sigmoid_lut_tracks_exact_sigmoid() {
+        let lut = SigmoidLut::new(4.0);
+        let mut worst = 0f32;
+        for k in 0..=8000 {
+            let v = -4.0 + k as f32 * 0.001;
+            worst = worst.max((lut.eval(v) - sigmoid(v)).abs());
+        }
+        assert!(worst < 1e-5, "lut error {worst}");
+        // clamped outside the domain
+        assert!((lut.eval(100.0) - sigmoid(4.0)).abs() < 1e-5);
+        assert!((lut.eval(-100.0) - sigmoid(-4.0)).abs() < 1e-5);
+    }
+}

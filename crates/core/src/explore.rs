@@ -159,6 +159,39 @@ mod tests {
     }
 
     #[test]
+    fn architecture_sweep_crosses_the_64_crossbar_envelope() {
+        // 90 neurons at crossbar sizes 1 and 5 → 90 and 18 crossbars: the
+        // first sweep point runs the PSO's batched CutPackets evaluator
+        // in its multi-word regime, the second in the single-word regime;
+        // the reported cut must match a scalar recompute at every point
+        let mut synapses = Vec::new();
+        for a in 0..45u32 {
+            synapses.push((a, a + 45));
+            synapses.push((a, (a + 1) % 45));
+        }
+        let trains: Vec<SpikeTrain> = (0..90)
+            .map(|i| SpikeTrain::from_times((0..5).map(|k| k * 50 + (i % 7)).collect()))
+            .collect();
+        let g = SpikeGraph::from_trains(90, synapses, trains).unwrap();
+        let base =
+            PipelineConfig::for_arch(Architecture::custom(90, 1, InterconnectKind::Mesh).unwrap());
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 6,
+            iterations: 4,
+            fitness: crate::partition::FitnessKind::CutPackets,
+            polish_passes: 0,
+            ..PsoConfig::default()
+        });
+        let pts = architecture_sweep(&g, &base, &[1, 5], &pso).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].num_crossbars > 64, "first point must be large-arch");
+        assert!(pts[1].num_crossbars <= 64);
+        // more capacity per crossbar keeps more synapses local
+        assert!(pts[1].global_energy_uj <= pts[0].global_energy_uj);
+        assert!(pts.iter().all(|p| p.total_energy_uj > 0.0));
+    }
+
+    #[test]
     fn swarm_sweep_improves_with_size() {
         let g = graph();
         let cfg =

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod decode;
 mod error;
 pub mod eval;
 pub mod explore;

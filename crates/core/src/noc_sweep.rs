@@ -184,6 +184,45 @@ mod tests {
     }
 
     #[test]
+    fn sweep_runs_on_a_256_crossbar_mesh() {
+        // a PSO-produced mapping on a full 16 × 16 mesh: the optimizer
+        // exercises the multi-word batched evaluator end to end, and the
+        // interconnect sweep stays conservation-clean at 256 routers
+        use crate::partition::FitnessKind;
+        use crate::pso::{PsoConfig, PsoPartitioner};
+
+        // ring-of-rings: 320 neurons, local chains plus long skips
+        let n = 320u32;
+        let mut synapses = Vec::new();
+        for i in 0..n {
+            synapses.push((i, (i + 1) % n));
+            if i % 5 == 0 {
+                synapses.push((i, (i + 97) % n));
+            }
+        }
+        let trains: Vec<SpikeTrain> = (0..n)
+            .map(|i| SpikeTrain::from_times((0..3).map(|k| k * 80 + (i % 11)).collect()))
+            .collect();
+        let graph = SpikeGraph::from_trains(n, synapses, trains).unwrap();
+        let arch = Architecture::custom(256, 2, InterconnectKind::Mesh).unwrap();
+        let cfg = PipelineConfig::for_arch(arch);
+        let problem = PartitionProblem::new(&graph, 256, 2).unwrap();
+        let pso = PsoPartitioner::new(PsoConfig {
+            swarm_size: 6,
+            iterations: 3,
+            fitness: FitnessKind::CutPackets,
+            polish_passes: 1,
+            ..PsoConfig::default()
+        });
+        let mapping = pso.partition(&problem).unwrap();
+        let pts = buffer_depth_sweep(&graph, &mapping, &cfg, &[1, 4]).unwrap();
+        assert_eq!(pts.len(), 2);
+        let d0 = pts[0].stats.delivered;
+        assert!(d0 > 0, "traffic must actually cross the mesh");
+        assert!(pts.iter().all(|p| p.stats.delivered == d0));
+    }
+
+    #[test]
     fn deeper_buffers_do_not_increase_latency() {
         let (graph, mapping, cfg) = setup();
         let pts = buffer_depth_sweep(&graph, &mapping, &cfg, &[1, 4, 16]).unwrap();

@@ -17,12 +17,24 @@ pub struct PartitionProblem<'g> {
     capacity: u32,
 }
 
+/// Largest representable crossbar count: assignments store crossbar ids
+/// as `u32`, and the evaluators size their per-source tallies and
+/// remote-crossbar mask strides (`⌈C / 64⌉` words) from the id domain.
+/// Counts beyond this used to slip through construction and only blow up
+/// later as wrapped indices or debug assertions deep inside the engines;
+/// [`PartitionProblem::new`] now rejects them up front.
+pub const MAX_CROSSBARS: usize = u32::MAX as usize;
+
 impl<'g> PartitionProblem<'g> {
     /// Creates a problem instance.
     ///
     /// # Errors
     ///
-    /// * [`CoreError::InvalidParameter`] for zero crossbars/capacity.
+    /// * [`CoreError::InvalidParameter`] for zero crossbars/capacity, a
+    ///   crossbar count above [`MAX_CROSSBARS`], or a `neurons ×
+    ///   crossbars` tally footprint that cannot be indexed on this
+    ///   platform (the packet evaluator's per-source stride would
+    ///   overflow `usize`).
     /// * [`CoreError::Infeasible`] when total capacity cannot hold the
     ///   graph's neurons (no assignment satisfies Eq. 4–5).
     pub fn new(
@@ -36,12 +48,28 @@ impl<'g> PartitionProblem<'g> {
                 value: "0".into(),
             });
         }
+        if num_crossbars > MAX_CROSSBARS {
+            return Err(CoreError::InvalidParameter {
+                name: "num_crossbars",
+                value: format!("{num_crossbars} (max {MAX_CROSSBARS})"),
+            });
+        }
+        if (graph.num_neurons() as u128) * (num_crossbars as u128) > usize::MAX as u128 {
+            return Err(CoreError::InvalidParameter {
+                name: "num_crossbars",
+                value: format!(
+                    "{num_crossbars} ({} neurons × {num_crossbars} crossbars overflows usize)",
+                    graph.num_neurons()
+                ),
+            });
+        }
         if capacity == 0 {
             return Err(CoreError::InvalidParameter {
                 name: "capacity",
                 value: "0".into(),
             });
         }
+        // both factors are ≤ u32::MAX here, so the u64 product is exact
         if graph.num_neurons() as u64 > num_crossbars as u64 * capacity as u64 {
             return Err(CoreError::Infeasible {
                 neurons: graph.num_neurons(),
@@ -263,6 +291,31 @@ mod tests {
             Err(CoreError::Infeasible { .. })
         ));
         assert!(PartitionProblem::new(&g, 2, 2).is_ok());
+    }
+
+    #[test]
+    fn oversized_crossbar_counts_rejected_up_front() {
+        // counts beyond the u32 id domain used to survive construction
+        // (and overflow the u64 capacity product in release builds);
+        // they must now fail loudly as InvalidParameter, not Infeasible
+        let g = line_graph();
+        assert!(matches!(
+            PartitionProblem::new(&g, MAX_CROSSBARS + 1, 1),
+            Err(CoreError::InvalidParameter {
+                name: "num_crossbars",
+                ..
+            })
+        ));
+        // the u64-overflow regression case: crossbars × capacity wraps
+        assert!(matches!(
+            PartitionProblem::new(&g, usize::MAX, u32::MAX),
+            Err(CoreError::InvalidParameter {
+                name: "num_crossbars",
+                ..
+            })
+        ));
+        // the ceiling itself is representable (construction is O(1))
+        assert!(PartitionProblem::new(&g, MAX_CROSSBARS, 1).is_ok());
     }
 
     #[test]

@@ -19,17 +19,22 @@
 //! cannot beat a full scan here; instead the whole shard is evaluated in
 //! one pass over the CSR through [`SwarmEval`] — neuron-major byte tiles
 //! whose per-edge lane compares vectorize and reuse every row `deg`
-//! times from cache. The per-candidate incremental engine
-//! ([`crate::eval::EvalEngine`]) drives the low-churn optimizers
-//! (refinement, SA, GA) instead.
+//! times from cache (multi-word remote-crossbar bitmasks keep the tiled
+//! path up to 256 crossbars for both objectives). The per-candidate
+//! incremental engine ([`crate::eval::EvalEngine`]) drives the low-churn
+//! optimizers (refinement, SA, GA) instead.
 //!
-//! The velocity rule touches at most four dimensions per neuron with a
-//! non-zero stochastic term (`k ∈ {own, pbest, gbest}`); all other
-//! dimensions only decay by the inertia factor. The update exploits that
-//! instead of drawing two random factors for every one of the `N · C`
-//! dimensions.
+//! The velocity update, re-binarization, and capacity repair are one
+//! **fused lane-parallel sweep** per particle ([`Decoder::step`] in
+//! [`crate::decode`]): inertia decay, the ≤ 4 stochastically pulled
+//! dimensions per neuron (`k ∈ {own, pbest, gbest}`), and the
+//! eligibility-masked argmax of the decode all happen while the neuron's
+//! velocity row is hot, so the `swarm × N × C` buffer is traversed once
+//! per iteration instead of once for the velocity rule and again for the
+//! decode. The kernel ships with a scalar reference implementation that
+//! is bit-identical by construction and by property test.
 //!
-//! The whole particle step (velocity update + decode + evaluation +
+//! The whole particle step (fused velocity/decode sweep + evaluation +
 //! personal-best tracking) runs on a persistent worker pool created once
 //! per [`PsoPartitioner::partition_traced`] call (`core::pool`), not on
 //! per-iteration spawned threads.
@@ -56,6 +61,7 @@
 //!   highest-velocity accepted candidate, so this draws from the same
 //!   distribution as testing every candidate independently).
 
+use crate::decode::{DecodeScratch, Decoder, StepWeights};
 use crate::error::CoreError;
 use crate::eval::{SwarmEval, SwarmScratch};
 use crate::partition::{FitnessKind, PartitionProblem, Partitioner};
@@ -240,9 +246,7 @@ impl Shard<'_, '_> {
         for p in 0..self.particles() {
             let rng = &mut self.rngs[p];
             let vel = &mut self.velocity[p * dims..(p + 1) * dims];
-            for v in vel.iter_mut() {
-                *v = rng.gen_range(-self.cfg.v_max..self.cfg.v_max);
-            }
+            self.decoder.fill_velocity(vel, rng);
             self.decoder.decode(
                 vel,
                 rng,
@@ -275,52 +279,27 @@ impl Shard<'_, '_> {
         }
     }
 
-    /// One PSO step for every particle in the shard.
+    /// One PSO step for every particle in the shard: the fused velocity
+    /// update (Eq. 1) + re-binarization (Eq. 2–3) + repair (Eq. 4–5)
+    /// sweep of [`Decoder::step`], then the batched evaluation.
     fn step_round(&mut self, gbest: &[u32]) {
-        let (n, c) = (self.n, self.c);
-        let dims = n * c;
-        let cfg = &self.cfg;
+        let n = self.n;
+        let dims = n * self.c;
+        let weights = StepWeights {
+            inertia: self.cfg.inertia,
+            phi_p: self.cfg.phi_p,
+            phi_g: self.cfg.phi_g,
+        };
         for p in 0..self.particles() {
-            let rng = &mut self.rngs[p];
-            let vel = &mut self.velocity[p * dims..(p + 1) * dims];
-            let pos = &mut self.position[p * n..(p + 1) * n];
-            let pbest = &self.best_position[p * n..(p + 1) * n];
-
-            // --- velocity update (Eq. 1) ---
-            // inertia decay applies to every dimension; stochastic
-            // cognitive/social pulls are non-zero only where the indicator
-            // positions differ (k ∈ {own, pbest, gbest})
-            for v in vel.iter_mut() {
-                *v *= cfg.inertia;
-            }
-            if cfg.inertia > 1.0 {
-                for v in vel.iter_mut() {
-                    *v = v.clamp(-cfg.v_max, cfg.v_max);
-                }
-            }
-            for i in 0..n {
-                let own = pos[i] as usize;
-                let pb = pbest[i] as usize;
-                let gb = gbest[i] as usize;
-                let base = i * c;
-                if pb != own {
-                    let r1: f32 = rng.gen();
-                    let r2: f32 = rng.gen();
-                    vel[base + pb] = (vel[base + pb] + cfg.phi_p * r1).clamp(-cfg.v_max, cfg.v_max);
-                    vel[base + own] =
-                        (vel[base + own] - cfg.phi_p * r2).clamp(-cfg.v_max, cfg.v_max);
-                }
-                if gb != own {
-                    let r1: f32 = rng.gen();
-                    let r2: f32 = rng.gen();
-                    vel[base + gb] = (vel[base + gb] + cfg.phi_g * r1).clamp(-cfg.v_max, cfg.v_max);
-                    vel[base + own] =
-                        (vel[base + own] - cfg.phi_g * r2).clamp(-cfg.v_max, cfg.v_max);
-                }
-            }
-
-            // --- re-binarization (Eq. 2–3 + repair) ---
-            self.decoder.decode(vel, rng, pos, &mut self.decode_scratch);
+            self.decoder.step(
+                weights,
+                &mut self.velocity[p * dims..(p + 1) * dims],
+                &mut self.rngs[p],
+                &mut self.position[p * n..(p + 1) * n],
+                &self.best_position[p * n..(p + 1) * n],
+                gbest,
+                &mut self.decode_scratch,
+            );
         }
 
         // --- batched evaluation + personal best ---
@@ -571,150 +550,6 @@ impl Partitioner for PsoPartitioner {
     }
 }
 
-/// Sigmoid.
-#[inline]
-fn sigmoid(v: f32) -> f32 {
-    1.0 / (1.0 + (-v).exp())
-}
-
-/// Piecewise-linear sigmoid over the clamped velocity domain
-/// `[-v_max, v_max]`: 4096 segments give an interpolation error below
-/// `5e-8` (σ″ ≤ 0.1), far under the `f32` noise floor of the sampling
-/// itself, while replacing a libm `exp` per acceptance test with two
-/// loads and a fused multiply-add. Deterministic pure-`f32` arithmetic.
-#[derive(Debug, Clone)]
-struct SigmoidLut {
-    lo: f32,
-    inv_step: f32,
-    table: Vec<f32>,
-}
-
-impl SigmoidLut {
-    const SEGMENTS: usize = 4096;
-
-    fn new(v_max: f32) -> Self {
-        let lo = -v_max;
-        let step = (2.0 * v_max) / Self::SEGMENTS as f32;
-        let table: Vec<f32> = (0..=Self::SEGMENTS)
-            .map(|k| sigmoid(lo + step * k as f32))
-            .collect();
-        Self {
-            lo,
-            inv_step: 1.0 / step,
-            table,
-        }
-    }
-
-    /// σ(v) for `v ∈ [-v_max, v_max]` (clamped outside).
-    #[inline]
-    fn eval(&self, v: f32) -> f32 {
-        let x = ((v - self.lo) * self.inv_step).clamp(0.0, (Self::SEGMENTS as f32) - 1e-3);
-        let k = x as usize;
-        let frac = x - k as f32;
-        let a = self.table[k];
-        let b = self.table[k + 1];
-        a + (b - a) * frac
-    }
-}
-
-/// The re-binarization kernel (Eq. 2–3 + repair), shared by all shards.
-#[derive(Debug, Clone)]
-struct Decoder {
-    n: usize,
-    c: usize,
-    capacity: u32,
-    lut: SigmoidLut,
-}
-
-/// Reusable per-shard buffers for [`Decoder::decode`].
-#[derive(Debug, Clone, Default)]
-struct DecodeScratch {
-    remaining: Vec<u32>,
-    tried: Vec<bool>,
-}
-
-impl Decoder {
-    fn new(n: usize, c: usize, capacity: u32, v_max: f32) -> Self {
-        Self {
-            n,
-            c,
-            capacity,
-            lut: SigmoidLut::new(v_max),
-        }
-    }
-
-    /// Binarizes velocities into a feasible assignment: per neuron,
-    /// candidate crossbars are tested in descending-velocity order and
-    /// accepted with probability `sigmoid(v)` (Eq. 2–3) — the first
-    /// acceptance is exactly the highest-velocity member of the sampled
-    /// candidate set. If no free crossbar is accepted, the
-    /// highest-velocity free crossbar is assigned (repair, Eq. 4–5).
-    fn decode(&self, velocity: &[f32], rng: &mut StdRng, out: &mut [u32], s: &mut DecodeScratch) {
-        let (n, c) = (self.n, self.c);
-        s.remaining.clear();
-        s.remaining.resize(c, self.capacity);
-        s.tried.resize(c, false);
-        let remaining = &mut s.remaining[..c];
-        let tried = &mut s.tried[..c];
-        for i in 0..n {
-            let row = &velocity[i * c..(i + 1) * c];
-            // fast path: the highest-velocity free crossbar usually
-            // passes its acceptance test on the first draw — no `tried`
-            // bookkeeping unless it fails
-            let mut arg = usize::MAX;
-            let mut arg_v = f32::NEG_INFINITY;
-            for (k, (&v, &rem)) in row.iter().zip(remaining.iter()).enumerate() {
-                if rem != 0 && v > arg_v {
-                    arg_v = v;
-                    arg = k;
-                }
-            }
-            debug_assert!(arg != usize::MAX, "total capacity ≥ neurons");
-            let k = if rng.gen::<f32>() < self.lut.eval(arg_v) {
-                arg
-            } else {
-                self.decode_slow(row, rng, remaining, tried, arg)
-            };
-            remaining[k] -= 1;
-            out[i] = k as u32;
-        }
-    }
-
-    /// Continues the acceptance walk after the top candidate failed:
-    /// tests the remaining free crossbars in descending-velocity order;
-    /// falls back to the overall-best free crossbar (`fallback`) when
-    /// every test fails.
-    #[cold]
-    fn decode_slow(
-        &self,
-        row: &[f32],
-        rng: &mut StdRng,
-        remaining: &[u32],
-        tried: &mut [bool],
-        fallback: usize,
-    ) -> usize {
-        tried.fill(false);
-        tried[fallback] = true;
-        loop {
-            let mut arg = usize::MAX;
-            let mut arg_v = f32::NEG_INFINITY;
-            for (k, &v) in row.iter().enumerate() {
-                if remaining[k] != 0 && !tried[k] && v > arg_v {
-                    arg_v = v;
-                    arg = k;
-                }
-            }
-            if arg == usize::MAX {
-                return fallback;
-            }
-            if rng.gen::<f32>() < self.lut.eval(arg_v) {
-                return arg;
-            }
-            tried[arg] = true;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -888,56 +723,30 @@ mod tests {
     }
 
     #[test]
-    fn decode_always_feasible() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let n = 13;
-        let c = 4;
-        let cap = 4; // 16 ≥ 13
-        let decoder = Decoder::new(n, c, cap, 4.0);
-        let mut scratch = DecodeScratch::default();
-        for _ in 0..50 {
-            let velocity: Vec<f32> = (0..n * c).map(|_| rng.gen_range(-4.0..4.0)).collect();
-            let mut a = vec![0u32; n];
-            decoder.decode(&velocity, &mut rng, &mut a, &mut scratch);
-            let mut occ = vec![0u32; c];
-            for &k in &a {
-                occ[k as usize] += 1;
-            }
-            assert!(occ.iter().all(|&o| o <= cap));
-            assert_eq!(a.len(), n);
+    fn large_arch_pso_stays_batched_and_consistent() {
+        // 81 crossbars: the multi-word CutPackets envelope, end to end
+        // through a PSO run — trace tail must equal a scalar recompute
+        let g = two_clusters(30);
+        // widen the graph so an 81-crossbar instance is feasible
+        let mut synapses = g.synapses().to_vec();
+        for i in 8..90u32 {
+            synapses.push((i % 8, i));
         }
-    }
-
-    #[test]
-    fn decode_prefers_high_velocity() {
-        // saturated velocities: every neuron should land on its argmax
-        let mut rng = StdRng::seed_from_u64(2);
-        let n = 6;
-        let c = 3;
-        let mut velocity = vec![-8.0f32; n * c];
-        for i in 0..n {
-            velocity[i * c + i % c] = 8.0;
-        }
-        let mut a = vec![0u32; n];
-        let decoder = Decoder::new(n, c, 2, 8.0);
-        let mut scratch = DecodeScratch::default();
-        decoder.decode(&velocity, &mut rng, &mut a, &mut scratch);
-        for (i, &k) in a.iter().enumerate() {
-            assert_eq!(k as usize, i % c, "neuron {i}");
-        }
-    }
-
-    #[test]
-    fn sigmoid_lut_tracks_exact_sigmoid() {
-        let lut = SigmoidLut::new(4.0);
-        let mut worst = 0f32;
-        for k in 0..=8000 {
-            let v = -4.0 + k as f32 * 0.001;
-            worst = worst.max((lut.eval(v) - sigmoid(v)).abs());
-        }
-        assert!(worst < 1e-5, "lut error {worst}");
-        // clamped outside the domain
-        assert!((lut.eval(100.0) - sigmoid(4.0)).abs() < 1e-5);
-        assert!((lut.eval(-100.0) - sigmoid(-4.0)).abs() < 1e-5);
+        let g = SpikeGraph::from_parts(90, synapses, vec![3; 90]).unwrap();
+        let p = PartitionProblem::new(&g, 81, 2).unwrap();
+        assert!(SwarmEval::new(p, FitnessKind::CutPackets).batched());
+        let cfg = PsoConfig {
+            swarm_size: 10,
+            iterations: 8,
+            fitness: FitnessKind::CutPackets,
+            seed_baselines: false,
+            polish_passes: 0,
+            ..PsoConfig::default()
+        };
+        let (m, t) = PsoPartitioner::new(cfg).partition_traced(&p).unwrap();
+        assert_eq!(
+            *t.best_per_iteration.last().unwrap(),
+            p.cut_packets(m.assignment())
+        );
     }
 }

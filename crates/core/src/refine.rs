@@ -176,6 +176,22 @@ mod tests {
     }
 
     #[test]
+    fn refine_handles_the_multi_word_envelope() {
+        // 96 crossbars (2 mask words): the incremental packet tallies and
+        // the greedy loop must agree with a scalar recompute throughout
+        let g = random_graph(96, 300, 9);
+        let p = PartitionProblem::new(&g, 96, 2).unwrap();
+        for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
+            let mut a: Vec<u32> = (0..96).map(|i| i % 96).collect();
+            let before = p.cost(kind, &a);
+            let after = refine(&p, kind, &mut a, 6);
+            assert!(after <= before, "{kind:?}");
+            assert!(p.is_feasible(&a), "{kind:?}");
+            assert_eq!(after, p.cost(kind, &a), "{kind:?} drifted");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "feasible")]
     fn infeasible_start_rejected() {
         let g = random_graph(6, 10, 1);

@@ -17,12 +17,30 @@ echo "==> clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> bench smoke (1 sample)"
+# the eval bench asserts the 256-crossbar scenario stays on the batched
+# (multi-word) path before timing anything — a fallback regression fails
+# here, not as a silent slowdown
 NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench eval
 # the noc bench also differentially gates the event engine against the
 # cycle-driven oracle before timing anything
 NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench noc
 
+echo "==> BENCH_eval.json key gate (large-arch trajectory present)"
+for key in \
+  "swarm_eval/synth_16x16grid/scalar/CutPackets" \
+  "swarm_eval/synth_16x16grid/batched/CutPackets" \
+  "swarm_eval/synth_16x16grid/batched/CutSpikes" \
+  "pso_step/synth_16x16grid/swarm40_iters4/CutPackets" \
+  "pso_step/synth_16x16grid/swarm40_iters4/CutSpikes"; do
+  grep -qF "\"id\": \"$key\"" BENCH_eval.json \
+    || { echo "BENCH_eval.json lost key: $key"; exit 1; }
+done
+
 echo "==> NoC differential proptests (high case count)"
 NEUROMAP_PROPTEST_CASES=256 cargo test --release --test noc_properties -q
+
+echo "==> eval/decode equivalence + determinism proptests (high case count)"
+NEUROMAP_PROPTEST_CASES=256 cargo test --release \
+  --test eval_properties --test determinism --test partition_properties -q
 
 echo "verify: OK"

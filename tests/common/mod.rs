@@ -1,0 +1,13 @@
+//! Helpers shared by the property-test suites.
+
+/// Per-test proptest case count, overridable via `NEUROMAP_PROPTEST_CASES`
+/// so CI can run a deeper pass over the same corpus without editing the
+/// tests. `scripts/verify.sh` and the workflow run 256-case passes over
+/// the differential suites; a plain `cargo test` uses each suite's
+/// (cheaper) default.
+pub fn cases(default: u32) -> u32 {
+    std::env::var("NEUROMAP_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -9,6 +9,8 @@ use neuromap::core::partition::{FitnessKind, PartitionProblem};
 use neuromap::core::SpikeGraph;
 use proptest::prelude::*;
 
+mod common;
+
 /// Strategy: a random spike graph with 2..=n_max neurons, including
 /// duplicate edges and self-loops.
 fn arb_graph(n_max: u32) -> impl Strategy<Value = SpikeGraph> {
@@ -24,7 +26,7 @@ fn arb_graph(n_max: u32) -> impl Strategy<Value = SpikeGraph> {
 const KINDS: [FitnessKind; 2] = [FitnessKind::CutSpikes, FitnessKind::CutPackets];
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+    #![proptest_config(ProptestConfig::with_cases(common::cases(40)))]
 
     #[test]
     fn applied_moves_match_full_recompute(
@@ -98,6 +100,73 @@ proptest! {
             for lane in 0..lanes {
                 let row = &positions[lane * n as usize..(lane + 1) * n as usize];
                 prop_assert_eq!(out[lane], problem.cost(kind, row), "{:?} lane {}", kind, lane);
+            }
+        }
+    }
+
+    // ---- large_arch: the lifted multi-word envelope -------------------
+    //
+    // 65–300 crossbars straddles every mask stride (2–4 words) plus the
+    // per-candidate fallback beyond the 256-crossbar byte-tile ceiling;
+    // the batched evaluator must equal the scalar `full_cost` everywhere,
+    // for both objectives, including lane counts that leave a partial
+    // final tile.
+
+    #[test]
+    fn large_arch_batched_eval_matches_scalar(
+        graph in arb_graph(40),
+        crossbars in 65usize..=300,
+        lanes in 1usize..130,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = graph.num_neurons();
+        let problem = PartitionProblem::new(&graph, crossbars, n).expect("feasible");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<u32> = (0..lanes * n as usize)
+            .map(|_| rng.gen_range(0..crossbars as u32))
+            .collect();
+        for kind in KINDS {
+            let evaluator = SwarmEval::new(problem, kind);
+            let engine = EvalEngine::new(problem, kind);
+            prop_assert_eq!(
+                evaluator.batched(),
+                crossbars <= 256,
+                "envelope must cover the whole byte tile ({:?}, {} crossbars)",
+                kind, crossbars
+            );
+            let mut out = vec![0u64; lanes];
+            let mut scratch = SwarmScratch::default();
+            evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+            for lane in 0..lanes {
+                let row = &positions[lane * n as usize..(lane + 1) * n as usize];
+                prop_assert_eq!(
+                    out[lane],
+                    engine.full_cost(row),
+                    "{:?} c={} lane {}", kind, crossbars, lane
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_arch_incremental_engine_matches_recompute(
+        graph in arb_graph(30),
+        crossbars in 65usize..=300,
+        moves in proptest::collection::vec((0u32..30, 0u32..300), 1..40),
+    ) {
+        let n = graph.num_neurons();
+        let problem = PartitionProblem::new(&graph, crossbars, n).expect("feasible");
+        for kind in KINDS {
+            let engine = EvalEngine::new(problem, kind);
+            let mut a: Vec<u32> = (0..n).map(|i| i % crossbars as u32).collect();
+            let mut state = engine.init(&a);
+            for &(i, to) in &moves {
+                let i = (i % n) as usize;
+                let to = to % crossbars as u32;
+                engine.apply_move(&mut state, &mut a, i, to);
+                prop_assert_eq!(state.cost(), engine.full_cost(&a), "{:?}", kind);
             }
         }
     }

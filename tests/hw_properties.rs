@@ -7,8 +7,10 @@ use neuromap::hw::energy::EnergyModel;
 use neuromap::hw::mapping::Mapping;
 use proptest::prelude::*;
 
+mod common;
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(common::cases(64)))]
 
     #[test]
     fn aer_pack_roundtrip(source in any::<u32>(), timestamp in any::<u32>()) {

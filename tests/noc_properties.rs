@@ -27,19 +27,12 @@ use neuromap::noc::topology::{Mesh2D, NocTree, PointToPoint, Star, Topology, Tor
 use neuromap::noc::traffic::SpikeFlow;
 use neuromap::noc::NocError;
 use proptest::prelude::*;
+
+mod common;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CROSSBARS: u32 = 8;
-
-/// Per-test case count, overridable via `NEUROMAP_PROPTEST_CASES` so CI
-/// can run a deeper pass over the same corpus without editing the tests.
-fn cases(default: u32) -> u32 {
-    std::env::var("NEUROMAP_PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn arb_flows(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
     proptest::collection::vec(
@@ -144,7 +137,7 @@ fn shuffled(flows: &[SpikeFlow], seed: u64) -> Vec<SpikeFlow> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
+    #![proptest_config(ProptestConfig::with_cases(common::cases(24)))]
 
     #[test]
     fn event_engine_matches_cycle_oracle(
@@ -224,7 +217,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+    #![proptest_config(ProptestConfig::with_cases(common::cases(32)))]
 
     #[test]
     fn every_flow_is_delivered_exactly_once_per_destination(

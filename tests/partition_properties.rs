@@ -13,6 +13,8 @@ use neuromap::core::refine::refine;
 use neuromap::core::SpikeGraph;
 use proptest::prelude::*;
 
+mod common;
+
 /// Strategy: a random spike graph with up to `n_max` neurons.
 fn arb_graph(n_max: u32) -> impl Strategy<Value = SpikeGraph> {
     (2..=n_max).prop_flat_map(|n| {
@@ -33,7 +35,7 @@ fn arb_arch(n: u32) -> impl Strategy<Value = (usize, u32)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(common::cases(48)))]
 
     #[test]
     fn all_partitioners_always_feasible(

@@ -59,50 +59,72 @@ fn remap_recovers_after_stimulus_drift() {
 
 #[test]
 fn remap_recovers_controlled_rate_drift() {
-    // Controlled drift with known ground truth: the same topology, but the
-    // traffic hot-spot moves from the first half of a layer to the second.
-    // (Sampling-noise "drift" on identical stimuli mostly measures
-    // overfitting of the design-time optimum, not adaptability.)
+    // Controlled drift with exact ground truth and *no optimizer in the
+    // loop* (an optimizer-produced deployment makes the recoverable gap
+    // depend on which local optimum the search happens to land in): 24
+    // triples (aᵢ, bᵢ, xᵢ) with synapses aᵢ→xᵢ and bᵢ→xᵢ. At design time
+    // the aᵢ are hot (40 spikes) and the bᵢ cold (2); in the field the
+    // hot-spot has moved to the bᵢ. The deployed mapping co-locates every
+    // hot source with its target ({aᵢ, xᵢ} packed per crossbar, bᵢ on the
+    // next crossbar over) — optimal for the design statistics (cost 48 =
+    // 24 cold cut synapses) and maximally wrong after the drift (cost 960
+    // = 24 hot cut synapses). Bounded single-neuron migration can provably
+    // repair it: each bᵢ migrates to xᵢ's crossbar (capacity 20 ≥ 18
+    // leaves room), so remap must recover essentially the whole gap.
     use neuromap::core::SpikeGraph;
+    use neuromap::hw::mapping::Mapping;
 
-    let width = 24u32;
+    let pairs = 24u32;
+    let (b0, x0) = (pairs, 2 * pairs);
+    let n = 3 * pairs;
     let mut synapses = Vec::new();
-    for a in 0..width {
-        for b in width..2 * width {
-            if (a + b) % 3 == 0 {
-                synapses.push((a, b));
-            }
-        }
+    for i in 0..pairs {
+        synapses.push((i, x0 + i));
+        synapses.push((b0 + i, x0 + i));
     }
-    let hot = |first_half_hot: bool| -> SpikeGraph {
-        let counts: Vec<u32> = (0..2 * width)
-            .map(|i| {
-                let in_first = i < width / 2 || (width..width + width / 2).contains(&i);
-                if in_first == first_half_hot {
-                    40
+    let counts = |a_hot: bool| -> Vec<u32> {
+        (0..n)
+            .map(|j| {
+                if j < b0 {
+                    if a_hot {
+                        40
+                    } else {
+                        2
+                    }
+                } else if j < x0 {
+                    if a_hot {
+                        2
+                    } else {
+                        40
+                    }
                 } else {
-                    2
+                    0
                 }
             })
-            .collect();
-        SpikeGraph::from_parts(2 * width, synapses.clone(), counts).unwrap()
+            .collect()
     };
-    let design = hot(true);
-    let field = hot(false);
-
+    let design = SpikeGraph::from_parts(n, synapses.clone(), counts(true)).unwrap();
+    let field = SpikeGraph::from_parts(n, synapses, counts(false)).unwrap();
     let c = 4usize;
-    let cap = design.num_neurons() / 4 + 4;
+    let cap = 20u32;
     let p_design = PartitionProblem::new(&design, c, cap).unwrap();
     let p_field = PartitionProblem::new(&field, c, cap).unwrap();
 
-    let pso = PsoPartitioner::new(PsoConfig {
-        swarm_size: 24,
-        iterations: 24,
-        ..PsoConfig::default()
-    });
-    let deployed = pso.partition(&p_design).unwrap();
-    let fresh = pso.partition(&p_field).unwrap();
-    let fresh_cost = p_field.cut_spikes(fresh.assignment());
+    // deployed: {aᵢ, xᵢ} on crossbar ⌊i/6⌋, bᵢ shifted one crossbar over
+    let deployed_a: Vec<u32> = (0..n)
+        .map(|j| {
+            if j < b0 {
+                j / 6
+            } else if j < x0 {
+                ((j - b0) / 6 + 1) % 4
+            } else {
+                (j - x0) / 6
+            }
+        })
+        .collect();
+    assert_eq!(p_design.cut_spikes(&deployed_a), 48, "design-optimal");
+    assert_eq!(p_field.cut_spikes(&deployed_a), 960, "maximally stale");
+    let deployed = Mapping::from_assignment(deployed_a, c).unwrap();
 
     let outcome = remap(
         &p_field,
@@ -114,20 +136,17 @@ fn remap_recovers_controlled_rate_drift() {
     )
     .unwrap();
 
-    // bounded repair must never regress and must recover a meaningful
-    // share of the drift-induced degradation
+    // bounded repair must never regress, must recover ≥ 95 % of the gap,
+    // and must stay within a migration budget proportional to the drift
+    assert_eq!(outcome.cost_before, 960);
     assert!(outcome.cost_after <= outcome.cost_before);
-    let stale_gap = outcome.cost_before.saturating_sub(fresh_cost) as f64;
-    let recovered = (outcome.cost_before - outcome.cost_after) as f64;
-    if stale_gap > 0.0 {
-        assert!(
-            recovered >= 0.3 * stale_gap,
-            "remap recovered only {recovered} of a {stale_gap} gap \
-             (stale {}, remapped {}, fresh {fresh_cost})",
-            outcome.cost_before,
-            outcome.cost_after
-        );
-    }
+    assert!(
+        outcome.cost_after <= 48,
+        "remap left {} of a 960-spike stale cost",
+        outcome.cost_after
+    );
+    assert!(outcome.migrations.len() <= 32, "one move per drifted pair");
+    assert!(p_field.is_feasible(outcome.mapping.assignment()));
 }
 
 #[test]

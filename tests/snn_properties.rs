@@ -11,11 +11,13 @@ use neuromap::snn::neuron::NeuronKind;
 use neuromap::snn::spikes::{isi_distortion, SpikeTrain};
 use neuromap::snn::Simulator;
 use proptest::prelude::*;
+
+mod common;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(common::cases(64)))]
 
     #[test]
     fn spike_trains_are_always_strictly_increasing(times in proptest::collection::vec(0u32..10_000, 0..200)) {
