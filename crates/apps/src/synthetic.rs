@@ -200,6 +200,29 @@ impl LargeArch {
         let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
         neuromap_core::SpikeGraph::from_parts(n, synapses, counts)
     }
+
+    /// Packs the scenario's neurons into their home tiles, then scrambles
+    /// the *cluster ids* with a seeded permutation: cluster contents stay
+    /// grid-local, but identity placement wires them to scattered
+    /// routers. This is what any partitioner that doesn't know the
+    /// chip's geometry produces, and exactly the situation the placement
+    /// stage must repair — shared by the eval bench's placement gate and
+    /// the placement acceptance tests so both exercise the same scenario.
+    pub fn scrambled_packed_mapping(&self, seed: u64) -> neuromap_hw::mapping::Mapping {
+        let c = self.num_crossbars();
+        let n = self.num_neurons();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..c as u32).collect();
+        for a in (1..c).rev() {
+            let b = rng.gen_range(0..a + 1);
+            perm.swap(a, b);
+        }
+        let cap = self.neurons_per_crossbar.max(1);
+        let assign: Vec<u32> = (0..n)
+            .map(|i| perm[((i / cap) as usize).min(c - 1)])
+            .collect();
+        neuromap_hw::mapping::Mapping::from_assignment(assign, c).expect("permuted ids in range")
+    }
 }
 
 /// The eight synthetic topologies evaluated in the paper's Fig. 5

@@ -20,8 +20,11 @@ use neuromap_apps::App;
 use neuromap_bench::{arch_for, SEED};
 use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmScratch};
 use neuromap_core::partition::{FitnessKind, PartitionProblem};
+use neuromap_core::pipeline::TrafficMode;
+use neuromap_core::place::{optimize_placement, PlaceConfig, TrafficMatrix};
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_core::SpikeGraph;
+use neuromap_noc::topology::{DistanceLut, Mesh2D};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -148,8 +151,17 @@ fn bench_large_arch(c: &mut Criterion) {
     let name = scenario.name();
 
     // ---- envelope gate (fail loudly, do not time a regression) ----
-    for kind in [FitnessKind::CutSpikes, FitnessKind::CutPackets] {
-        let evaluator = SwarmEval::new(problem, kind);
+    // the hop-aware objective carries the mesh's hop table; like the
+    // other objectives it must stay on the batched byte-tile path at the
+    // full 256-crossbar envelope
+    let lut = DistanceLut::new(&Mesh2D::for_crossbars(scenario.num_crossbars()));
+    let problem_hops = problem.with_hops(&lut).expect("lut covers the arch");
+    for (kind, p) in [
+        (FitnessKind::CutSpikes, &problem),
+        (FitnessKind::CutPackets, &problem),
+        (FitnessKind::CutHops, &problem_hops),
+    ] {
+        let evaluator = SwarmEval::new(*p, kind);
         assert!(
             evaluator.batched(),
             "REGRESSION: SwarmEval fell back to the scalar path for {kind:?} \
@@ -164,6 +176,41 @@ fn bench_large_arch(c: &mut Criterion) {
     );
 
     bench_swarm_eval_on(c, &name, &problem, 64);
+
+    // hop-weighted scoring: scalar per-candidate scan vs the weighted
+    // byte-tile reduction, same group/key shape as the other objectives
+    {
+        let lanes = 64;
+        let n = problem_hops.graph().num_neurons() as usize;
+        let positions = random_swarm(n, problem_hops.num_crossbars(), lanes, 7);
+        let mut group = c.benchmark_group(format!("swarm_eval/{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("scalar", "CutHops"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for lane in 0..lanes {
+                    acc ^= problem_hops.cut_hops(&positions[lane * n..(lane + 1) * n]);
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_function(BenchmarkId::new("batched", "CutHops"), |b| {
+            let evaluator = SwarmEval::new(problem_hops, FitnessKind::CutHops);
+            let mut scratch = SwarmScratch::default();
+            let mut out = vec![0u64; lanes];
+            b.iter(|| {
+                evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+                black_box(out[0])
+            });
+        });
+        group.finish();
+    }
+
+    // ---- placement stage on the 256-crossbar scenario ----
+    // a packed partition with scrambled cluster ids: the contents of each
+    // cluster are grid-local, but identity placement scatters them across
+    // the mesh — exactly the situation the placement stage must repair
+    bench_placement(c, &name, &graph, &scenario, &lut);
 
     // full PSO steps (fused decode + repair + batched evaluation)
     let mut group = c.benchmark_group(format!("pso_step/{name}"));
@@ -183,6 +230,47 @@ fn bench_large_arch(c: &mut Criterion) {
             b.iter(|| pso.partition_traced(&problem).expect("feasible"));
         });
     }
+    group.finish();
+}
+
+/// Times the placement optimizer on the 256-crossbar scenario and gates
+/// its quality: the optimized permutation must price strictly below
+/// identity on the scrambled-cluster traffic.
+fn bench_placement(
+    c: &mut Criterion,
+    name: &str,
+    graph: &SpikeGraph,
+    scenario: &LargeArch,
+    lut: &DistanceLut,
+) {
+    let mapping = scenario.scrambled_packed_mapping(0x91A);
+    let traffic = TrafficMatrix::from_mapping(graph, &mapping, TrafficMode::PerCrossbar);
+    // two restarts keep the timed call representative (identity-greedy +
+    // one annealed chain) without making the smoke run minutes long
+    let cfg = PlaceConfig {
+        threads: 1,
+        restarts: 2,
+        ..PlaceConfig::default()
+    };
+    let outcome = optimize_placement(&traffic, lut, &cfg).expect("valid config");
+    assert!(
+        outcome.optimized_cost < outcome.identity_cost,
+        "REGRESSION: placement must beat identity on scrambled clusters \
+         ({} !< {})",
+        outcome.optimized_cost,
+        outcome.identity_cost
+    );
+    println!(
+        "placement/{name}: hop-weighted packets {} -> {} ({:.1}% lower)",
+        outcome.identity_cost,
+        outcome.optimized_cost,
+        100.0 * outcome.relative_gain()
+    );
+    let mut group = c.benchmark_group(format!("placement/{name}"));
+    group.sample_size(10);
+    group.bench_function("optimize", |b| {
+        b.iter(|| optimize_placement(&traffic, lut, &cfg).expect("valid config"));
+    });
     group.finish();
 }
 
@@ -258,11 +346,53 @@ fn main() {
             secs * 1e9
         ));
     }
+    // same-run paired ratios: baseline and candidate are measured back to
+    // back in one process, so the ratio is immune to the 1-core box's
+    // thermal throttling that makes cross-PR *absolute* ns unreliable
+    // (ROADMAP caveat from PR 3) — cross-PR reads should compare these
+    let ratios = paired_ratios(&c);
     let json = format!(
-        "{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"ratios\": [\n{}\n  ],\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        ratios.join(",\n"),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");
     println!("wrote BENCH_eval.json ({} entries)", c.summaries().len());
+}
+
+/// Builds `{id, baseline, candidate, speedup}` entries for every
+/// same-run baseline/candidate pair: `scalar` vs `batched` swarm scoring
+/// and `full` vs `incremental` move pricing.
+fn paired_ratios(c: &Criterion) -> Vec<String> {
+    const PAIRS: [(&str, &str); 2] = [("/scalar/", "/batched/"), ("/full/", "/incremental/")];
+    let median = |id: &str| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+    };
+    let mut out = Vec::new();
+    for s in c.summaries() {
+        for (base_marker, cand_marker) in PAIRS {
+            if !s.id.contains(base_marker) {
+                continue;
+            }
+            let cand_id = s.id.replace(base_marker, cand_marker);
+            let Some(cand) = median(&cand_id) else {
+                continue;
+            };
+            if cand <= 0.0 {
+                continue;
+            }
+            out.push(format!(
+                "    {{\"id\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \"speedup\": {:.2}}}",
+                s.id.replace(base_marker, "/"),
+                s.id,
+                cand_id,
+                s.median_ns / cand
+            ));
+        }
+    }
+    out
 }

@@ -250,11 +250,31 @@ fn main() {
             )
         })
         .collect();
+    // same-run paired ratios (baseline = oracle, candidate = event): the
+    // two engines run back to back in one process, so the ratio is
+    // immune to the 1-core box's thermal throttling that pollutes
+    // cross-PR absolute ns (ROADMAP caveat from PR 3). The top-level
+    // `noc_*_speedup` keys are kept for backwards compatibility.
+    let ratios: Vec<String> = [
+        ("engine/sparse_paper64", sparse),
+        ("engine/moderate_paper64", moderate),
+        ("engine/dense_burst16", dense),
+    ]
+    .iter()
+    .filter_map(|(group, speedup)| {
+        speedup.map(|s| {
+            format!(
+                "    {{\"id\": \"{group}\", \"baseline\": \"{group}/oracle\", \"candidate\": \"{group}/event\", \"speedup\": {s:.2}}}"
+            )
+        })
+    })
+    .collect();
     let json = format!(
-        "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"ratios\": [\n{}\n  ],\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
         sparse.unwrap_or(0.0),
         moderate.unwrap_or(0.0),
         dense.unwrap_or(0.0),
+        ratios.join(",\n"),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_noc.json");

@@ -1,5 +1,6 @@
 //! Runs every reproduction binary in sequence (Fig. 5, Table II, Fig. 6,
-//! Fig. 7). Output is the full experimental record for EXPERIMENTS.md.
+//! Fig. 7, plus the placement-stage study). Output is the full
+//! experimental record for EXPERIMENTS.md.
 //!
 //! Run: `cargo run --release -p neuromap-bench --bin repro_all [--paper]`
 
@@ -7,7 +8,13 @@ use std::process::Command;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = std::env::args().any(|a| a == "--paper");
-    let bins = ["repro_fig5", "repro_table2", "repro_fig6", "repro_fig7"];
+    let bins = [
+        "repro_fig5",
+        "repro_table2",
+        "repro_fig6",
+        "repro_fig7",
+        "repro_placement",
+    ];
     let exe = std::env::current_exe()?;
     let dir = exe.parent().expect("binary has a parent directory");
     for bin in bins {

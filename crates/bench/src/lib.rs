@@ -9,6 +9,7 @@
 //! | Fig. 6 | `repro_fig6` | architecture exploration (neurons per crossbar sweep) |
 //! | Fig. 7 | `repro_fig7` | swarm-size exploration |
 //! | ablation | `repro_ablation` | warm-start/polish and objective ablations |
+//! | placement | `repro_placement` | identity vs hop-optimized cluster placement (64/256-crossbar mesh + torus) |
 //! | all | `repro_all` | everything above in sequence |
 //!
 //! Every binary accepts `--paper` for paper-scale parameters (swarm 1000 ×

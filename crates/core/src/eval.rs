@@ -16,6 +16,12 @@
 //!   per-source tally `cnt[p][k]` = number of `p`'s targets on crossbar
 //!   `k` — the same bookkeeping the greedy refiner used internally, now
 //!   shared by every optimizer.
+//! * `CutHops` (hop-aware): the same tallies as `CutPackets`, with every
+//!   remote crossbar priced by the interconnect hop distance from the
+//!   source's home crossbar (the problem must carry a
+//!   [`crate::partition::PartitionProblem::with_hops`] table). Move
+//!   deltas reprice the migrating neuron's distinct-target row in
+//!   O(deg + C) and each incoming source in O(1).
 //!
 //! ## Invariants
 //!
@@ -110,7 +116,7 @@ impl<'g> EvalEngine<'g> {
     pub fn new(problem: PartitionProblem<'g>, kind: FitnessKind) -> Self {
         let (grouped_sources, grouped_offsets, self_mult) = match kind {
             FitnessKind::CutSpikes => (Vec::new(), Vec::new(), Vec::new()),
-            FitnessKind::CutPackets => group_sources(&problem),
+            FitnessKind::CutPackets | FitnessKind::CutHops => group_sources(&problem),
         };
         Self {
             problem,
@@ -157,10 +163,15 @@ impl<'g> EvalEngine<'g> {
         state
     }
 
+    /// Whether this objective maintains the per-source target tallies.
+    fn tracks_targets(&self) -> bool {
+        matches!(self.kind, FitnessKind::CutPackets | FitnessKind::CutHops)
+    }
+
     /// Recomputes `state` from scratch for `assignment`.
     fn rebuild(&self, state: &mut CostState, assignment: &[u32]) {
         state.cost = self.full_cost(assignment);
-        if self.kind == FitnessKind::CutPackets {
+        if self.tracks_targets() {
             let g = self.problem.graph();
             let n = g.num_neurons() as usize;
             let c = self.problem.num_crossbars();
@@ -175,7 +186,8 @@ impl<'g> EvalEngine<'g> {
     }
 
     /// Exact cost change of migrating neuron `i` to crossbar `to`, in
-    /// O(deg(i)), without mutating anything.
+    /// O(deg(i)) (`CutHops` additionally rescans the migrating neuron's
+    /// C-entry target row: O(deg(i) + C)), without mutating anything.
     ///
     /// # Panics
     ///
@@ -185,7 +197,29 @@ impl<'g> EvalEngine<'g> {
         match self.kind {
             FitnessKind::CutSpikes => self.problem.move_delta_spikes(assignment, i, to),
             FitnessKind::CutPackets => self.packet_delta(state, assignment, i, to),
+            FitnessKind::CutHops => self.hop_delta(state, assignment, i, to),
         }
+    }
+
+    /// Exchanges the crossbars of neurons `i` and `j`, updating `state`
+    /// and `assignment`; returns the exact combined cost change. A swap
+    /// preserves per-crossbar occupancy, which is what capacity-tight
+    /// placement and annealing loops need. No-op (delta 0) when both
+    /// neurons already share a crossbar.
+    pub fn apply_swap(
+        &self,
+        state: &mut CostState,
+        assignment: &mut [u32],
+        i: usize,
+        j: usize,
+    ) -> i64 {
+        let (ci, cj) = (assignment[i], assignment[j]);
+        if ci == cj {
+            return 0;
+        }
+        let d1 = self.apply_move(state, assignment, i, cj);
+        let d2 = self.apply_move(state, assignment, j, ci);
+        d1 + d2
     }
 
     /// Applies the migration of neuron `i` to crossbar `to`, updating
@@ -247,7 +281,7 @@ impl<'g> EvalEngine<'g> {
         delta: i64,
     ) {
         let from = assignment[i];
-        if self.kind == FitnessKind::CutPackets {
+        if self.tracks_targets() {
             let c = self.problem.num_crossbars();
             let lo = self.grouped_offsets[i] as usize;
             let hi = self.grouped_offsets[i + 1] as usize;
@@ -382,6 +416,88 @@ impl<'g> EvalEngine<'g> {
         }
         d
     }
+
+    /// `CutHops` delta: like [`EvalEngine::packet_delta`], but every
+    /// remote-crossbar membership change is priced by the hop distance
+    /// instead of 1, and moving neuron `i` additionally *reprices its own
+    /// whole distinct-target set* (the home crossbar changes, so every
+    /// target distance changes — an O(C) row rescan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem carries no hop table.
+    fn hop_delta(&self, state: &CostState, assignment: &[u32], i: usize, to: u32) -> i64 {
+        let g = self.problem.graph();
+        let c = self.problem.num_crossbars();
+        let hops = self
+            .problem
+            .hops()
+            .expect("CutHops requires a hop table; attach one with `with_hops`");
+        let from = assignment[i];
+        if from == to {
+            return 0;
+        }
+        let mut d = 0i64;
+
+        // i's own outgoing traffic: reprice the distinct-target set from
+        // w(from, ·) to w(to, ·); self-loop targets migrate with i.
+        // w(a, a) = 0, so the home crossbar needs no special-casing.
+        let ci = g.count(i as u32) as i64;
+        if ci > 0 {
+            let row = &state.target_cnt[i * c..(i + 1) * c];
+            let self_m = self.self_mult[i];
+            let mut before = 0i64;
+            let mut after = 0i64;
+            for (k, &v) in row.iter().enumerate() {
+                let k = k as u32;
+                let v_after = if self_m > 0 {
+                    if k == from {
+                        v - self_m
+                    } else if k == to {
+                        v + self_m
+                    } else {
+                        v
+                    }
+                } else {
+                    v
+                };
+                if v > 0 {
+                    before += i64::from(hops.hops(from, k));
+                }
+                if v_after > 0 {
+                    after += i64::from(hops.hops(to, k));
+                }
+            }
+            d += ci * (after - before);
+        }
+
+        // incoming: each distinct source p sees target i move from→to;
+        // membership thresholds are the same as the packet delta, weights
+        // are the hop distances from p's home (zero when p lives there)
+        let lo = self.grouped_offsets[i] as usize;
+        let hi = self.grouped_offsets[i + 1] as usize;
+        for &(p, m) in &self.grouped_sources[lo..hi] {
+            let p = p as usize;
+            if p == i {
+                continue; // self-loops handled with the outgoing side
+            }
+            let cp = g.count(p as u32) as i64;
+            if cp == 0 {
+                continue;
+            }
+            let home_p = assignment[p];
+            let row = &state.target_cnt[p * c..(p + 1) * c];
+            // `from` drops out of p's remote set if i carried its last edges
+            if row[from as usize] == m {
+                d -= cp * i64::from(hops.hops(home_p, from));
+            }
+            // `to` joins p's remote set if previously untargeted
+            if row[to as usize] == 0 {
+                d += cp * i64::from(hops.hops(home_p, to));
+            }
+        }
+        d
+    }
 }
 
 /// Number of candidates evaluated together per tile by [`SwarmEval`]:
@@ -446,7 +562,16 @@ pub struct SwarmScratch {
 
 impl<'g> SwarmEval<'g> {
     /// Creates a batched evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`FitnessKind::CutHops`] when the problem carries no
+    /// hop table ([`PartitionProblem::with_hops`]).
     pub fn new(problem: PartitionProblem<'g>, kind: FitnessKind) -> Self {
+        assert!(
+            kind != FitnessKind::CutHops || problem.hops().is_some(),
+            "CutHops requires a hop table; attach one with `with_hops`"
+        );
         Self { problem, kind }
     }
 
@@ -527,6 +652,18 @@ impl<'g> SwarmEval<'g> {
                         self.tile_cut_packets(width, scratch, out);
                     } else {
                         self.tile_cut_packets_wide(width, scratch, out);
+                    }
+                }
+                FitnessKind::CutHops => {
+                    // same mask accumulation as the packet kernels — the
+                    // per-edge inner loop cannot carry weights, so the
+                    // hop pricing happens in the per-lane reduction over
+                    // the surviving mask bits
+                    let out = &mut out[lane0..lane0 + width];
+                    if self.mask_words() == 1 {
+                        self.tile_cut_hops(width, scratch, out);
+                    } else {
+                        self.tile_cut_hops_wide(width, scratch, out);
                     }
                 }
             }
@@ -672,6 +809,102 @@ impl<'g> SwarmEval<'g> {
             }
         }
     }
+
+    /// Hop-weighted packets over one tile (≤ 64 crossbars): the per-edge
+    /// loop is the packet kernel's mask OR — the byte-SIMD inner loop
+    /// cannot carry per-destination weights — and the per-lane reduction
+    /// walks the surviving mask bits, pricing each distinct crossbar by
+    /// its hop distance from the lane's home (`w(home, home) = 0`, so the
+    /// home bit needs no masking).
+    fn tile_cut_hops(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let hops = self.problem.hops().expect("checked in SwarmEval::new");
+        let tile = &scratch.tile;
+        let masks = &mut scratch.masks;
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            masks[..width].fill(0);
+            let home = &tile[i * LANES..i * LANES + LANES];
+            for &j in targets {
+                let tgt = &tile[j as usize * LANES..j as usize * LANES + LANES];
+                for lane in 0..width {
+                    masks[lane] |= 1u64 << tgt[lane];
+                }
+            }
+            for lane in 0..width {
+                let h = u32::from(home[lane]);
+                let mut m = masks[lane];
+                let mut weighted = 0u64;
+                while m != 0 {
+                    let k = m.trailing_zeros();
+                    weighted += u64::from(hops.hops(h, k));
+                    m &= m - 1;
+                }
+                out[lane] += ci * weighted;
+            }
+        }
+    }
+
+    /// Multi-word hop-weighted kernel for 64 < crossbars ≤ 256: the
+    /// strided mask accumulation of [`SwarmEval::tile_cut_packets_wide`]
+    /// with the weighted bit-walk reduction of
+    /// [`SwarmEval::tile_cut_hops`].
+    fn tile_cut_hops_wide(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        const MASK_WORDS: usize = MASK_WORDS_MAX;
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let hops = self.problem.hops().expect("checked in SwarmEval::new");
+        let tile = &scratch.tile;
+        let masks: &mut [u64; LANES * MASK_WORDS] = (&mut scratch.masks[..LANES * MASK_WORDS])
+            .try_into()
+            .expect("eval_swarm sizes the mask scratch to the fixed wide stride");
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            masks.fill(0);
+            let home = &tile[i * LANES..i * LANES + LANES];
+            for &j in targets {
+                let tgt: &[u8; LANES] = tile[j as usize * LANES..j as usize * LANES + LANES]
+                    .try_into()
+                    .expect("tile row is LANES wide");
+                for lane in 0..LANES {
+                    let k = tgt[lane] as usize;
+                    masks[lane * MASK_WORDS + (k >> 6)] |= 1u64 << (k & 63);
+                }
+            }
+            for lane in 0..width {
+                let h = u32::from(home[lane]);
+                let words = &masks[lane * MASK_WORDS..lane * MASK_WORDS + MASK_WORDS];
+                let mut weighted = 0u64;
+                for (w, &word) in words.iter().enumerate() {
+                    let base = (w as u32) << 6;
+                    let mut m = word;
+                    while m != 0 {
+                        let k = base + m.trailing_zeros();
+                        weighted += u64::from(hops.hops(h, k));
+                        m &= m - 1;
+                    }
+                }
+                out[lane] += ci * weighted;
+            }
+        }
+    }
 }
 
 /// Groups the reverse CSR into (distinct source, multiplicity) runs and
@@ -724,6 +957,10 @@ mod tests {
 
     fn kinds() -> [FitnessKind; 2] {
         [FitnessKind::CutSpikes, FitnessKind::CutPackets]
+    }
+
+    fn mesh_lut(c: usize) -> neuromap_noc::topology::DistanceLut {
+        neuromap_noc::topology::DistanceLut::new(&neuromap_noc::topology::Mesh2D::for_crossbars(c))
     }
 
     #[test]
@@ -836,6 +1073,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hop_engine_matches_recompute_under_moves_and_swaps() {
+        let g = random_graph(22, 120, 17);
+        let lut = mesh_lut(5);
+        let p = PartitionProblem::new(&g, 5, 22)
+            .unwrap()
+            .with_hops(&lut)
+            .unwrap();
+        let engine = EvalEngine::new(p, FitnessKind::CutHops);
+        let mut a: Vec<u32> = (0..22).map(|i| i % 5).collect();
+        let mut state = engine.init(&a);
+        assert_eq!(state.cost(), engine.full_cost(&a));
+        let mut rng = StdRng::seed_from_u64(3);
+        for step in 0..200 {
+            if rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..22usize);
+                let to = rng.gen_range(0..5u32);
+                let peek = engine.move_delta(&state, &a, i, to);
+                let applied = engine.apply_move(&mut state, &mut a, i, to);
+                assert_eq!(peek, applied, "step {step}");
+            } else {
+                let i = rng.gen_range(0..22usize);
+                let j = rng.gen_range(0..22usize);
+                engine.apply_swap(&mut state, &mut a, i, j);
+            }
+            assert_eq!(state.cost(), engine.full_cost(&a), "drifted at step {step}");
+        }
+    }
+
+    #[test]
+    fn hop_engine_prices_self_loops_exactly() {
+        let g = SpikeGraph::from_parts(
+            3,
+            vec![(0, 0), (0, 0), (0, 1), (0, 1), (1, 0), (1, 2)],
+            vec![7, 3, 0],
+        )
+        .unwrap();
+        let lut = mesh_lut(4);
+        let p = PartitionProblem::new(&g, 4, 3)
+            .unwrap()
+            .with_hops(&lut)
+            .unwrap();
+        let engine = EvalEngine::new(p, FitnessKind::CutHops);
+        let mut a = vec![0u32, 1, 2];
+        let mut state = engine.init(&a);
+        for (i, to) in [(0usize, 3u32), (1, 3), (0, 2), (2, 0), (0, 0), (1, 1)] {
+            engine.apply_move(&mut state, &mut a, i, to);
+            assert_eq!(state.cost(), engine.full_cost(&a), "move {i}->{to}");
+        }
+    }
+
+    #[test]
+    fn hop_cost_with_unit_distances_equals_packets() {
+        // a star's crossbars all sit one hop apart (via the hub), so the
+        // hop objective must coincide with the packet objective exactly
+        let g = random_graph(18, 90, 12);
+        let topo = neuromap_noc::topology::Star::new(6);
+        let lut = neuromap_noc::topology::DistanceLut::new(&topo);
+        let p = PartitionProblem::new(&g, 6, 18).unwrap();
+        let ph = p.with_hops(&lut).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a: Vec<u32> = (0..18).map(|_| rng.gen_range(0..6u32)).collect();
+            assert_eq!(ph.cut_hops(&a), 2 * p.cut_packets(&a));
+        }
+    }
+
+    #[test]
+    fn swarm_eval_hops_matches_scalar_across_mask_strides() {
+        let g = random_graph(60, 350, 23);
+        let mut rng = StdRng::seed_from_u64(9);
+        for c in [4usize, 63, 64, 65, 129, 255, 256] {
+            let lut = mesh_lut(c);
+            let p = PartitionProblem::new(&g, c, 60)
+                .unwrap()
+                .with_hops(&lut)
+                .unwrap();
+            let evaluator = SwarmEval::new(p, FitnessKind::CutHops);
+            assert!(evaluator.batched(), "{c} crossbars must stay tiled");
+            let lanes = 70; // full tile + remainder
+            let positions: Vec<u32> = (0..lanes * 60)
+                .map(|_| rng.gen_range(0..c as u32))
+                .collect();
+            let mut out = vec![0u64; lanes];
+            evaluator.eval_swarm(&positions, lanes, &mut SwarmScratch::default(), &mut out);
+            for lane in 0..lanes {
+                assert_eq!(
+                    out[lane],
+                    p.cut_hops(&positions[lane * 60..(lane + 1) * 60]),
+                    "c={c} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swarm_eval_hops_falls_back_beyond_tile_envelope() {
+        let g = random_graph(40, 100, 4);
+        let lut = mesh_lut(300);
+        let p = PartitionProblem::new(&g, 300, 4)
+            .unwrap()
+            .with_hops(&lut)
+            .unwrap();
+        let evaluator = SwarmEval::new(p, FitnessKind::CutHops);
+        assert!(!evaluator.batched());
+        let mut rng = StdRng::seed_from_u64(6);
+        let positions: Vec<u32> = (0..2 * 40).map(|_| rng.gen_range(0..300u32)).collect();
+        let mut out = vec![0u64; 2];
+        evaluator.eval_swarm(&positions, 2, &mut SwarmScratch::default(), &mut out);
+        assert_eq!(out[0], p.cut_hops(&positions[0..40]));
+        assert_eq!(out[1], p.cut_hops(&positions[40..80]));
+    }
+
+    #[test]
+    #[should_panic(expected = "hop table")]
+    fn swarm_eval_hops_without_table_rejected() {
+        let g = random_graph(10, 20, 1);
+        let p = PartitionProblem::new(&g, 4, 10).unwrap();
+        let _ = SwarmEval::new(p, FitnessKind::CutHops);
     }
 
     #[test]

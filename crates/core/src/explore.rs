@@ -3,8 +3,8 @@
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
-use crate::partition::{PartitionProblem, Partitioner};
-use crate::pipeline::{evaluate_mapping, run_pipeline, PipelineConfig, Report};
+use crate::partition::Partitioner;
+use crate::pipeline::{MappingPipeline, PipelineConfig, Report};
 use crate::pso::{PsoConfig, PsoPartitioner};
 use neuromap_hw::energy::pj_to_uj;
 use serde::{Deserialize, Serialize};
@@ -48,11 +48,16 @@ pub fn architecture_sweep(
             noc: base.noc,
             traffic: base.traffic,
             engine: base.engine,
+            placement: base.placement.clone(),
         };
-        let report = run_pipeline(graph, partitioner, &cfg)?;
+        // each sweep point is a different chip, so each gets its own
+        // staged pipeline (topology + distance table derived once per
+        // point and shared across its stages)
+        let pipeline = MappingPipeline::new(cfg);
+        let report = pipeline.run(graph, partitioner)?;
         points.push(ArchPoint {
             neurons_per_crossbar: npc,
-            num_crossbars: cfg.arch.num_crossbars(),
+            num_crossbars: pipeline.config().arch.num_crossbars(),
             local_energy_uj: pj_to_uj(report.local_energy_pj),
             global_energy_uj: pj_to_uj(report.global_energy_pj),
             total_energy_uj: pj_to_uj(report.total_energy_pj),
@@ -89,11 +94,10 @@ pub fn swarm_sweep(
     swarm_sizes: &[usize],
     base: PsoConfig,
 ) -> Result<Vec<SwarmPoint>, CoreError> {
-    let problem = PartitionProblem::new(
-        graph,
-        config.arch.num_crossbars(),
-        config.arch.neurons_per_crossbar(),
-    )?;
+    // one architecture across the whole sweep: build the staged pipeline
+    // (topology + distance table) once and reuse it for every point
+    let pipeline = MappingPipeline::new(config.clone());
+    let problem = pipeline.problem(graph)?;
     let mut points = Vec::with_capacity(swarm_sizes.len());
     for &n in swarm_sizes {
         let pso = PsoPartitioner::new(PsoConfig {
@@ -102,7 +106,7 @@ pub fn swarm_sweep(
         });
         let (mapping, trace) = pso.partition_traced(&problem)?;
         let cut = problem.cut_spikes(mapping.assignment());
-        let report: Report = evaluate_mapping(graph, mapping, "pso", config)?;
+        let report: Report = pipeline.evaluate(graph, mapping, "pso")?;
         points.push(SwarmPoint {
             swarm_size: n,
             cut_spikes: cut,

@@ -22,8 +22,12 @@
 //!   (partition-oblivious round-robin), random packing, plus simulated
 //!   annealing and a genetic algorithm for the paper's "PSO converges
 //!   faster than GA/SA" claim;
-//! * [`pipeline`] — the Figure-4 flow: SNN → spike graph → partitioner →
-//!   mapping → interconnect simulation → [`pipeline::Report`];
+//! * [`pipeline`] — the staged flow: SNN → spike graph → partition →
+//!   place → packetize → interconnect simulation → [`pipeline::Report`]
+//!   ([`pipeline::MappingPipeline`]);
+//! * [`place`] — the hop-aware cluster-placement stage (SpiNeMap-style):
+//!   a deterministic QAP optimizer mapping logical clusters onto physical
+//!   crossbars to minimize hop-weighted packets;
 //! * [`explore`] — the architecture sweep of Fig. 6 and the swarm-size
 //!   sweep of Fig. 7;
 //! * [`remap`] — bounded incremental run-time remapping (the paper's
@@ -65,6 +69,7 @@ pub mod graph;
 pub mod noc_sweep;
 pub mod partition;
 pub mod pipeline;
+pub mod place;
 pub mod pool;
 pub mod pso;
 pub mod refine;

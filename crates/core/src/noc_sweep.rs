@@ -10,14 +10,48 @@
 //! Sweeps run on whichever engine [`PipelineConfig::engine`] selects; the
 //! event-driven default makes wide sweeps cheap, and the tests pin every
 //! sweep point to the cycle-driven oracle's output.
+//!
+//! The architecture is fixed across a sweep, so every sweep builds **one**
+//! [`MappingPipeline`] — router graph and hop-distance table derived once
+//! — and walks the parameter grid through
+//! [`MappingPipeline::with_noc`], instead of rebuilding the
+//! `Box<dyn Topology>` from scratch at every point as the pre-staged
+//! pipeline did.
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
-use crate::pipeline::{evaluate_mapping, PipelineConfig};
+use crate::pipeline::{MappingPipeline, PipelineConfig};
 use neuromap_hw::mapping::Mapping;
+use neuromap_noc::config::NocConfig;
 use neuromap_noc::router::Arbitration;
 use neuromap_noc::stats::NocStats;
 use serde::{Deserialize, Serialize};
+
+/// Shared sweep driver: one pipeline, one `NocConfig` edit per point.
+fn sweep_points<T>(
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    base: &PipelineConfig,
+    settings: impl IntoIterator<Item = T>,
+    label: impl Fn(&T) -> String,
+    apply: impl Fn(&T, &mut NocConfig),
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    let pipeline = MappingPipeline::new(base.clone());
+    settings
+        .into_iter()
+        .map(|setting| {
+            let mut noc = base.noc;
+            apply(&setting, &mut noc);
+            let report = pipeline
+                .with_noc(noc)
+                .evaluate(graph, mapping.clone(), "sweep")?;
+            Ok(NocSweepPoint {
+                setting: label(&setting),
+                stats: report.noc,
+            })
+        })
+        .collect()
+}
 
 /// One point of an interconnect-parameter sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,18 +73,14 @@ pub fn buffer_depth_sweep(
     base: &PipelineConfig,
     depths: &[usize],
 ) -> Result<Vec<NocSweepPoint>, CoreError> {
-    depths
-        .iter()
-        .map(|&depth| {
-            let mut cfg = base.clone();
-            cfg.noc.buffer_depth = depth;
-            let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
-            Ok(NocSweepPoint {
-                setting: format!("buffer_depth={depth}"),
-                stats: report.noc,
-            })
-        })
-        .collect()
+    sweep_points(
+        graph,
+        mapping,
+        base,
+        depths.iter().copied(),
+        |d| format!("buffer_depth={d}"),
+        |&d, noc| noc.buffer_depth = d,
+    )
 }
 
 /// Sweeps the packet size in flits (AER payload over link width).
@@ -64,18 +94,14 @@ pub fn packet_size_sweep(
     base: &PipelineConfig,
     flit_counts: &[u32],
 ) -> Result<Vec<NocSweepPoint>, CoreError> {
-    flit_counts
-        .iter()
-        .map(|&flits| {
-            let mut cfg = base.clone();
-            cfg.noc.flits_per_packet = flits;
-            let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
-            Ok(NocSweepPoint {
-                setting: format!("flits_per_packet={flits}"),
-                stats: report.noc,
-            })
-        })
-        .collect()
+    sweep_points(
+        graph,
+        mapping,
+        base,
+        flit_counts.iter().copied(),
+        |f| format!("flits_per_packet={f}"),
+        |&f, noc| noc.flits_per_packet = f,
+    )
 }
 
 /// Sweeps the arbitration ("selection") policy.
@@ -88,22 +114,18 @@ pub fn arbitration_sweep(
     mapping: &Mapping,
     base: &PipelineConfig,
 ) -> Result<Vec<NocSweepPoint>, CoreError> {
-    [
-        Arbitration::RoundRobin,
-        Arbitration::OldestFirst,
-        Arbitration::FixedPriority,
-    ]
-    .iter()
-    .map(|&arb| {
-        let mut cfg = base.clone();
-        cfg.noc.arbitration = arb;
-        let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
-        Ok(NocSweepPoint {
-            setting: format!("arbitration={arb:?}"),
-            stats: report.noc,
-        })
-    })
-    .collect()
+    sweep_points(
+        graph,
+        mapping,
+        base,
+        [
+            Arbitration::RoundRobin,
+            Arbitration::OldestFirst,
+            Arbitration::FixedPriority,
+        ],
+        |arb| format!("arbitration={arb:?}"),
+        |&arb, noc| noc.arbitration = arb,
+    )
 }
 
 /// Sweeps the interconnect clock ratio (cycles per SNN timestep) — the
@@ -118,18 +140,14 @@ pub fn clock_sweep(
     base: &PipelineConfig,
     cycles_per_step: &[u64],
 ) -> Result<Vec<NocSweepPoint>, CoreError> {
-    cycles_per_step
-        .iter()
-        .map(|&cps| {
-            let mut cfg = base.clone();
-            cfg.noc.cycles_per_step = cps;
-            let report = evaluate_mapping(graph, mapping.clone(), "sweep", &cfg)?;
-            Ok(NocSweepPoint {
-                setting: format!("cycles_per_step={cps}"),
-                stats: report.noc,
-            })
-        })
-        .collect()
+    sweep_points(
+        graph,
+        mapping,
+        base,
+        cycles_per_step.iter().copied(),
+        |c| format!("cycles_per_step={c}"),
+        |&c, noc| noc.cycles_per_step = c,
+    )
 }
 
 #[cfg(test)]

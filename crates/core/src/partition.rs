@@ -4,17 +4,25 @@
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
 use neuromap_hw::mapping::Mapping;
+use neuromap_noc::topology::DistanceLut;
 
 /// An instance of the paper's optimization problem (§III): a spike graph to
 /// split over `num_crossbars` crossbars of `capacity` neurons each.
 ///
 /// The cost of an assignment is **Eq. 8**: the total spike count over cut
 /// synapses, `F = Σ_{(i,j) ∈ S, cb(i) ≠ cb(j)} |T_i|`.
+///
+/// Hop-aware instances ([`PartitionProblem::with_hops`]) additionally
+/// carry the interconnect's crossbar-to-crossbar hop distances, enabling
+/// the [`FitnessKind::CutHops`] objective that prices each packet by how
+/// far it actually travels on the NoC instead of counting every cut the
+/// same.
 #[derive(Debug, Clone, Copy)]
 pub struct PartitionProblem<'g> {
     graph: &'g SpikeGraph,
     num_crossbars: usize,
     capacity: u32,
+    hops: Option<&'g DistanceLut>,
 }
 
 /// Largest representable crossbar count: assignments store crossbar ids
@@ -81,7 +89,37 @@ impl<'g> PartitionProblem<'g> {
             graph,
             num_crossbars,
             capacity,
+            hops: None,
         })
+    }
+
+    /// Attaches the interconnect's hop-distance table, enabling the
+    /// [`FitnessKind::CutHops`] objective (the other objectives ignore
+    /// it). The staged pipeline builds the [`DistanceLut`] once per
+    /// topology and threads it through here.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if the table covers fewer crossbars
+    /// than this problem targets.
+    pub fn with_hops(mut self, hops: &'g DistanceLut) -> Result<Self, CoreError> {
+        if hops.num_crossbars() < self.num_crossbars {
+            return Err(CoreError::InvalidParameter {
+                name: "hops",
+                value: format!(
+                    "{} crossbars covered, problem targets {}",
+                    hops.num_crossbars(),
+                    self.num_crossbars
+                ),
+            });
+        }
+        self.hops = Some(hops);
+        Ok(self)
+    }
+
+    /// The attached hop-distance table, if any.
+    pub fn hops(&self) -> Option<&'g DistanceLut> {
+        self.hops
     }
 
     /// The underlying spike graph.
@@ -159,6 +197,44 @@ impl<'g> PartitionProblem<'g> {
         total
     }
 
+    /// Hop-weighted multicast traffic: every distinct remote destination
+    /// crossbar of a spiking neuron is priced by the interconnect hop
+    /// distance from the neuron's home crossbar instead of counting 1 —
+    /// `Σ_i |T_i| · Σ_{k ∈ distinct target crossbars of i} hops(cb(i), k)`.
+    /// Local targets contribute zero (`hops(a, a) = 0`), so the sum runs
+    /// over all target crossbars uniformly. With an all-ones off-diagonal
+    /// distance matrix this degenerates to [`PartitionProblem::cut_packets`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_neurons` or no hop table is
+    /// attached ([`PartitionProblem::with_hops`]).
+    pub fn cut_hops(&self, assignment: &[u32]) -> u64 {
+        assert_eq!(assignment.len(), self.graph.num_neurons() as usize);
+        let hops = self
+            .hops
+            .expect("CutHops requires a hop table; attach one with `with_hops`");
+        let mut total = 0u64;
+        let mut seen = vec![u32::MAX; self.num_crossbars];
+        for i in 0..self.graph.num_neurons() {
+            let c = self.graph.count(i) as u64;
+            if c == 0 {
+                continue;
+            }
+            let home = assignment[i as usize];
+            let mut weighted = 0u64;
+            for &j in self.graph.targets(i) {
+                let cb = assignment[j as usize];
+                if seen[cb as usize] != i {
+                    seen[cb as usize] = i;
+                    weighted += u64::from(hops.hops(home, cb));
+                }
+            }
+            total += c * weighted;
+        }
+        total
+    }
+
     /// Whether `assignment` satisfies Eq. 4 (covered structurally) and
     /// Eq. 5 (capacity).
     pub fn is_feasible(&self, assignment: &[u32]) -> bool {
@@ -208,6 +284,11 @@ pub enum FitnessKind {
     /// Multicast-aware extension: AER *packets* on the interconnect —
     /// duplicate destinations within a crossbar collapse to one.
     CutPackets,
+    /// Hop-aware extension: packets weighted by the interconnect hop
+    /// distance between source and destination crossbars — the objective
+    /// the NoC's energy and latency actually scale with. Requires a hop
+    /// table on the problem ([`PartitionProblem::with_hops`]).
+    CutHops,
 }
 
 impl<'g> PartitionProblem<'g> {
@@ -215,11 +296,13 @@ impl<'g> PartitionProblem<'g> {
     ///
     /// # Panics
     ///
-    /// Panics if `assignment.len() != num_neurons`.
+    /// Panics if `assignment.len() != num_neurons`, or for
+    /// [`FitnessKind::CutHops`] without an attached hop table.
     pub fn cost(&self, kind: FitnessKind, assignment: &[u32]) -> u64 {
         match kind {
             FitnessKind::CutSpikes => self.cut_spikes(assignment),
             FitnessKind::CutPackets => self.cut_packets(assignment),
+            FitnessKind::CutHops => self.cut_hops(assignment),
         }
     }
 
@@ -338,6 +421,53 @@ mod tests {
         let a = [0, 1, 1, 1];
         assert_eq!(p.cut_spikes(&a), 15); // per-synapse
         assert_eq!(p.cut_packets(&a), 5); // one packet per spike
+    }
+
+    #[test]
+    fn cut_hops_prices_distance_and_degenerates_to_packets_nearby() {
+        use neuromap_noc::topology::{DistanceLut, Mesh2D};
+        // neuron 0 fires 5 times into targets on crossbars 1 (1 hop away)
+        // and 3 (2 hops away on a 2x2 mesh)
+        let g = SpikeGraph::from_parts(4, vec![(0, 1), (0, 2), (0, 3)], vec![5, 0, 0, 0]).unwrap();
+        let topo = Mesh2D::grid(2, 2, 4);
+        let lut = DistanceLut::new(&topo);
+        let p = PartitionProblem::new(&g, 4, 4)
+            .unwrap()
+            .with_hops(&lut)
+            .unwrap();
+        // targets 1,2 on crossbar 1; target 3 on crossbar 3
+        let a = [0, 1, 1, 3];
+        assert_eq!(p.cut_packets(&a), 10); // 5 spikes × 2 remote crossbars
+        assert_eq!(p.cut_hops(&a), 5 * (1 + 2)); // weighted by hops
+                                                 // all targets local → zero under every objective
+        let local = [0, 0, 0, 0];
+        assert_eq!(p.cut_hops(&local), 0);
+        assert_eq!(p.cost(FitnessKind::CutHops, &a), p.cut_hops(&a));
+    }
+
+    #[test]
+    fn with_hops_rejects_undersized_tables() {
+        use neuromap_noc::topology::{DistanceLut, Mesh2D};
+        let g = line_graph();
+        let topo = Mesh2D::grid(1, 2, 2);
+        let lut = DistanceLut::new(&topo);
+        // 3-crossbar problem, 2-crossbar table
+        assert!(PartitionProblem::new(&g, 3, 2)
+            .unwrap()
+            .with_hops(&lut)
+            .is_err());
+        assert!(PartitionProblem::new(&g, 2, 2)
+            .unwrap()
+            .with_hops(&lut)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "hop table")]
+    fn cut_hops_without_table_panics_loudly() {
+        let g = line_graph();
+        let p = PartitionProblem::new(&g, 2, 2).unwrap();
+        let _ = p.cut_hops(&[0, 0, 1, 1]);
     }
 
     #[test]

@@ -1,26 +1,48 @@
-//! The end-to-end systematic framework of the paper's Figure 4:
+//! The end-to-end mapping flow as an explicit **staged pipeline**:
 //!
 //! ```text
-//! application → SNN simulation → spike graph → partitioner → mapping
-//!            → interconnect (Noxim++-class) simulation → report
+//! application → SNN simulation → spike graph
+//!   → [partition]  neurons → logical clusters     (Partitioner, Eq. 4–8)
+//!   → [place]      clusters → physical crossbars  (core::place, hop-aware)
+//!   → [packetize]  cut synapses → injection flows (TrafficMode)
+//!   → [simulate]   flows → NoC statistics         (event engine / oracle)
+//!   → [report]     every metric the paper's evaluation uses
 //! ```
 //!
-//! [`run_pipeline`] drives a [`Partitioner`] over a [`SpikeGraph`] for a
-//! given [`Architecture`], simulates the resulting global traffic on the
-//! architecture's interconnect, and assembles the [`Report`] with every
-//! metric the paper's evaluation uses.
+//! The paper's Figure-4 framework stops after partitioning: cluster `k`
+//! is implicitly wired to router `k`, so every cut packet is priced the
+//! same regardless of how far it travels. [`MappingPipeline`] makes each
+//! stage explicit and threads **hop awareness** through all of them — the
+//! topology's [`DistanceLut`] is built once, shared by the
+//! [`crate::partition::FitnessKind::CutHops`] objective, the placement
+//! optimizer, and the hop metrics in the [`Report`]
+//! (`avg_hops`, `hop_weighted_packets`). With the default
+//! [`PlacementStrategy::Identity`] the staged flow reproduces the
+//! original single-stage pipeline **bit-identically** (property-tested in
+//! `tests/placement_properties.rs`); [`PlacementStrategy::HopOptimized`]
+//! inserts the SpiNeMap-style placement stage that moves chatty clusters
+//! onto adjacent routers.
+//!
+//! [`run_pipeline`] remains the one-call convenience wrapper: it builds a
+//! [`MappingPipeline`] for the config and runs every stage. Sweeps that
+//! evaluate many points on the *same* architecture
+//! ([`crate::noc_sweep`], [`crate::explore`]) hold one pipeline and reuse
+//! its topology and distance table across points instead of rebuilding
+//! them per call.
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
 use crate::partition::{PartitionProblem, Partitioner};
+use crate::place::{optimize_placement, PlaceConfig, TrafficMatrix};
 use neuromap_hw::arch::{Architecture, InterconnectKind};
-use neuromap_hw::mapping::Mapping;
+use neuromap_hw::mapping::{Mapping, Placement};
 use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::{oracle::CycleSim, EngineKind, NocSim};
-use neuromap_noc::stats::NocStats;
-use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology, Torus};
+use neuromap_noc::stats::{Delivery, NocStats};
+use neuromap_noc::topology::{DistanceLut, Mesh2D, NocTree, Star, Topology, Torus};
 use neuromap_noc::traffic::SpikeFlow;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How global synaptic events become interconnect packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -39,6 +61,19 @@ pub enum TrafficMode {
     PerCrossbar,
 }
 
+/// How the place stage maps logical clusters onto physical crossbars.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PlacementStrategy {
+    /// Cluster `k` on physical crossbar `k` — the implicit wiring of the
+    /// paper's single-stage flow. Reports are bit-identical to the
+    /// pre-placement pipeline.
+    #[default]
+    Identity,
+    /// Optimize the cluster permutation for hop-weighted packets with
+    /// [`crate::place::optimize_placement`] before packetizing.
+    HopOptimized(PlaceConfig),
+}
+
 /// Pipeline parameters: the target chip and the interconnect configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -52,6 +87,8 @@ pub struct PipelineConfig {
     /// output-identical (differentially verified); the cycle-driven
     /// oracle exists for cross-checks and debugging.
     pub engine: EngineKind,
+    /// How the place stage assigns clusters to physical crossbars.
+    pub placement: PlacementStrategy,
 }
 
 impl PipelineConfig {
@@ -67,6 +104,7 @@ impl PipelineConfig {
             noc: NocConfig::default(),
             traffic: TrafficMode::default(),
             engine: EngineKind::default(),
+            placement: PlacementStrategy::default(),
         }
     }
 
@@ -79,6 +117,12 @@ impl PipelineConfig {
     /// Selects the interconnect engine (builder style).
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the placement strategy (builder style).
+    pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -103,9 +147,21 @@ pub struct Report {
     pub global_energy_pj: f64,
     /// Local + global energy in pJ.
     pub total_energy_pj: f64,
+    /// Average interconnect hops per unicast packet (0 when nothing
+    /// crosses the interconnect) — derived from the topology's
+    /// [`DistanceLut`], independent of the engine.
+    pub avg_hops: f64,
+    /// Hop-weighted packet total: every packet priced by the hop distance
+    /// between its source and destination crossbars — the placement
+    /// stage's objective, measured on the flows actually injected.
+    pub hop_weighted_packets: u64,
+    /// Which placement stage produced the evaluated mapping
+    /// (`"identity"` or `"hop-optimized"`).
+    pub placement: String,
     /// Full interconnect statistics (latency, throughput, disorder, ISI).
     pub noc: NocStats,
-    /// The neuron → crossbar mapping that produced these numbers.
+    /// The neuron → (physical) crossbar mapping that produced these
+    /// numbers, placement already composed in.
     pub mapping: Mapping,
 }
 
@@ -201,7 +257,301 @@ pub fn local_events(graph: &SpikeGraph, mapping: &Mapping) -> u64 {
     total
 }
 
-/// Runs partitioning + interconnect simulation for one spike graph.
+/// The staged mapping pipeline: partition → place → packetize → simulate
+/// → report, over a topology and hop-distance table built **once** and
+/// shared by every stage (and, through [`MappingPipeline::with_noc`],
+/// across sweep points).
+///
+/// Each stage is callable on its own — exploration code can re-partition
+/// without re-simulating, re-place without re-partitioning, or evaluate a
+/// pre-existing mapping — and [`MappingPipeline::run`] chains them all.
+#[derive(Clone)]
+pub struct MappingPipeline {
+    config: PipelineConfig,
+    topo: Arc<dyn Topology>,
+    dist: Arc<DistanceLut>,
+}
+
+impl std::fmt::Debug for MappingPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappingPipeline")
+            .field("topology", &self.topo.name())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MappingPipeline {
+    /// Builds the pipeline for a configuration: derives the router graph
+    /// from the architecture's interconnect descriptor and precomputes
+    /// its [`DistanceLut`], both shared by every subsequent stage call.
+    pub fn new(config: PipelineConfig) -> Self {
+        let topo: Arc<dyn Topology> = Arc::from(build_topology(&config.arch));
+        let dist = Arc::new(DistanceLut::new(topo.as_ref()));
+        Self { config, topo, dist }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The shared router graph.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The shared all-pairs hop-distance table.
+    pub fn distances(&self) -> &DistanceLut {
+        &self.dist
+    }
+
+    /// A pipeline over the **same** topology and distance table with a
+    /// different interconnect configuration — how `crate::noc_sweep`
+    /// walks parameter grids without rebuilding the router graph per
+    /// point (the `Arc`s are shared, not cloned).
+    pub fn with_noc(&self, noc: NocConfig) -> Self {
+        let mut next = self.clone();
+        next.config.noc = noc;
+        next
+    }
+
+    /// A pipeline over the same topology and distance table with a
+    /// different placement strategy — comparing identity against
+    /// hop-optimized placement shares every precomputed structure.
+    pub fn with_placement(&self, placement: PlacementStrategy) -> Self {
+        let mut next = self.clone();
+        next.config.placement = placement;
+        next
+    }
+
+    /// The partition problem for a graph on this architecture, with the
+    /// hop table attached (so [`crate::partition::FitnessKind::CutHops`]
+    /// partitioners work out of the box).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] when the chip cannot hold the graph.
+    pub fn problem<'g>(&'g self, graph: &'g SpikeGraph) -> Result<PartitionProblem<'g>, CoreError> {
+        PartitionProblem::new(
+            graph,
+            self.config.arch.num_crossbars(),
+            self.config.arch.neurons_per_crossbar(),
+        )?
+        .with_hops(&self.dist)
+    }
+
+    /// **Stage 1 — partition**: neurons → logical clusters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner errors and infeasibility.
+    pub fn partition(
+        &self,
+        graph: &SpikeGraph,
+        partitioner: &dyn Partitioner,
+    ) -> Result<Mapping, CoreError> {
+        let problem = self.problem(graph)?;
+        partitioner.partition(&problem)
+    }
+
+    /// **Stage 2 — place**: logical clusters → physical crossbars, per
+    /// the configured [`PlacementStrategy`]. Returns the placed mapping,
+    /// the permutation, and the placement id recorded in the report.
+    /// Identity placement returns a mapping equal to the input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-optimizer configuration errors.
+    pub fn place(
+        &self,
+        graph: &SpikeGraph,
+        mapping: &Mapping,
+    ) -> Result<(Mapping, Placement, String), CoreError> {
+        match &self.config.placement {
+            PlacementStrategy::Identity => Ok((
+                mapping.clone(),
+                Placement::identity(mapping.num_crossbars()),
+                "identity".to_owned(),
+            )),
+            PlacementStrategy::HopOptimized(cfg) => {
+                let traffic = TrafficMatrix::from_mapping(graph, mapping, self.config.traffic);
+                let outcome = optimize_placement(&traffic, &self.dist, cfg)?;
+                let placed = mapping.place(&outcome.placement)?;
+                Ok((placed, outcome.placement, "hop-optimized".to_owned()))
+            }
+        }
+    }
+
+    /// **Stage 3 — packetize**: cut synaptic events → injection flows
+    /// under the configured [`TrafficMode`].
+    pub fn packetize(&self, graph: &SpikeGraph, mapping: &Mapping) -> Vec<SpikeFlow> {
+        build_flows(graph, mapping, self.config.traffic)
+    }
+
+    /// **Stage 4 — simulate**: flows → interconnect statistics plus the
+    /// raw delivery log, on the configured engine over the shared
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Noc`] for interconnect failures.
+    pub fn simulate(
+        &self,
+        flows: &[SpikeFlow],
+        duration_steps: u32,
+    ) -> Result<(NocStats, Vec<Delivery>), CoreError> {
+        // per-synapse flows are single-destination by construction;
+        // disable multicast handling so packet counts match Eq. 7 exactly
+        let mut noc_cfg = self.config.noc;
+        if self.config.traffic == TrafficMode::PerSynapse {
+            noc_cfg.multicast = false;
+        }
+        let energy = *self.config.arch.energy();
+        let stats = match self.config.engine {
+            EngineKind::CycleOracle => CycleSim::shared(Arc::clone(&self.topo), noc_cfg, energy)
+                .run_with_duration(flows, duration_steps)?,
+            _ => NocSim::shared(Arc::clone(&self.topo), noc_cfg, energy)
+                .run_with_duration(flows, duration_steps)?,
+        };
+        Ok(stats)
+    }
+
+    /// Hop metrics of a flow set: `(hop-weighted packets, unicast packet
+    /// count)` — every `(source, destination)` pair priced by the shared
+    /// distance table.
+    pub fn hop_metrics(&self, flows: &[SpikeFlow]) -> (u64, u64) {
+        let mut weighted = 0u64;
+        let mut unicast = 0u64;
+        for f in flows {
+            for &dst in &f.dst_crossbars {
+                weighted += u64::from(self.dist.hops(f.src_crossbar, dst));
+                unicast += 1;
+            }
+        }
+        (weighted, unicast)
+    }
+
+    /// All stages: partition, place, packetize, simulate, report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner errors, infeasibility
+    /// ([`CoreError::Infeasible`]) and interconnect errors
+    /// ([`CoreError::Noc`]).
+    pub fn run(
+        &self,
+        graph: &SpikeGraph,
+        partitioner: &dyn Partitioner,
+    ) -> Result<Report, CoreError> {
+        let mapping = self.partition(graph, partitioner)?;
+        let (placed, _, placement_id) = self.place(graph, &mapping)?;
+        self.measure(graph, placed, partitioner.name(), &placement_id)
+            .map(|(report, _)| report)
+    }
+
+    /// **Stage 5 — report**: evaluates an existing mapping — the
+    /// measurement half of the pipeline. The report's `placement` field
+    /// records `"identity"`: the mapping is measured as given, wired
+    /// cluster `k` → router `k`. For a mapping produced by an explicit
+    /// [`MappingPipeline::place`] call, use [`MappingPipeline::evaluate_as`]
+    /// with the id that call returned so the report attributes the
+    /// numbers to the right stage.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Hw`] if the mapping is invalid for the architecture;
+    /// [`CoreError::Noc`] for interconnect failures.
+    pub fn evaluate(
+        &self,
+        graph: &SpikeGraph,
+        mapping: Mapping,
+        partitioner_name: &str,
+    ) -> Result<Report, CoreError> {
+        self.evaluate_as(graph, mapping, partitioner_name, "identity")
+    }
+
+    /// [`MappingPipeline::evaluate`] with an explicit placement id for
+    /// the report (the label [`MappingPipeline::place`] returned).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MappingPipeline::evaluate`].
+    pub fn evaluate_as(
+        &self,
+        graph: &SpikeGraph,
+        mapping: Mapping,
+        partitioner_name: &str,
+        placement_id: &str,
+    ) -> Result<Report, CoreError> {
+        self.measure(graph, mapping, partitioner_name, placement_id)
+            .map(|(report, _)| report)
+    }
+
+    /// [`MappingPipeline::evaluate`], additionally returning the raw
+    /// delivery log (needed for end-to-end application-accuracy studies
+    /// such as the paper's §V-B heartbeat analysis).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MappingPipeline::evaluate`].
+    pub fn evaluate_detailed(
+        &self,
+        graph: &SpikeGraph,
+        mapping: Mapping,
+        partitioner_name: &str,
+    ) -> Result<(Report, Vec<Delivery>), CoreError> {
+        self.measure(graph, mapping, partitioner_name, "identity")
+    }
+
+    /// Shared measurement path behind `run`/`evaluate*`.
+    fn measure(
+        &self,
+        graph: &SpikeGraph,
+        mapping: Mapping,
+        partitioner_name: &str,
+        placement_id: &str,
+    ) -> Result<(Report, Vec<Delivery>), CoreError> {
+        mapping.validate(&self.config.arch)?;
+        let problem = self.problem(graph)?;
+        let cut_spikes = problem.cut_spikes(mapping.assignment());
+        let local = local_events(graph, &mapping);
+
+        let flows = self.packetize(graph, &mapping);
+        let (hop_weighted_packets, unicast) = self.hop_metrics(&flows);
+        let (noc_stats, deliveries) = self.simulate(&flows, graph.duration_steps())?;
+
+        let dim = self.config.arch.neurons_per_crossbar();
+        let local_energy_pj = self.config.arch.energy().local_pj_scaled(local, dim);
+        let global_energy_pj = noc_stats.global_energy_pj;
+
+        Ok((
+            Report {
+                partitioner: partitioner_name.to_owned(),
+                num_neurons: graph.num_neurons(),
+                num_synapses: graph.num_synapses(),
+                cut_spikes,
+                local_events: local,
+                local_energy_pj,
+                global_energy_pj,
+                total_energy_pj: local_energy_pj + global_energy_pj,
+                avg_hops: if unicast == 0 {
+                    0.0
+                } else {
+                    hop_weighted_packets as f64 / unicast as f64
+                },
+                hop_weighted_packets,
+                placement: placement_id.to_owned(),
+                noc: noc_stats,
+                mapping,
+            },
+            deliveries,
+        ))
+    }
+}
+
+/// Runs the full staged pipeline for one spike graph — the one-call
+/// convenience wrapper over [`MappingPipeline::run`].
 ///
 /// # Errors
 ///
@@ -213,17 +563,13 @@ pub fn run_pipeline(
     partitioner: &dyn Partitioner,
     config: &PipelineConfig,
 ) -> Result<Report, CoreError> {
-    let problem = PartitionProblem::new(
-        graph,
-        config.arch.num_crossbars(),
-        config.arch.neurons_per_crossbar(),
-    )?;
-    let mapping = partitioner.partition(&problem)?;
-    evaluate_mapping(graph, mapping, partitioner.name(), config)
+    MappingPipeline::new(config.clone()).run(graph, partitioner)
 }
 
 /// Evaluates an existing mapping (the measurement half of the pipeline) —
-/// used by the exploration sweeps to avoid re-partitioning.
+/// used by the exploration sweeps to avoid re-partitioning. The
+/// configured placement strategy is **not** applied: the mapping is
+/// measured as given.
 ///
 /// # Errors
 ///
@@ -235,7 +581,7 @@ pub fn evaluate_mapping(
     partitioner_name: &str,
     config: &PipelineConfig,
 ) -> Result<Report, CoreError> {
-    evaluate_mapping_detailed(graph, mapping, partitioner_name, config).map(|(r, _)| r)
+    MappingPipeline::new(config.clone()).evaluate(graph, mapping, partitioner_name)
 }
 
 /// [`evaluate_mapping`], additionally returning the raw interconnect
@@ -250,50 +596,8 @@ pub fn evaluate_mapping_detailed(
     mapping: Mapping,
     partitioner_name: &str,
     config: &PipelineConfig,
-) -> Result<(Report, Vec<neuromap_noc::stats::Delivery>), CoreError> {
-    mapping.validate(&config.arch)?;
-    let problem = PartitionProblem::new(
-        graph,
-        config.arch.num_crossbars(),
-        config.arch.neurons_per_crossbar(),
-    )?;
-    let cut_spikes = problem.cut_spikes(mapping.assignment());
-    let local = local_events(graph, &mapping);
-
-    let flows = build_flows(graph, &mapping, config.traffic);
-    let topo = build_topology(&config.arch);
-    // per-synapse flows are single-destination by construction; disable
-    // multicast handling so packet counts match Eq. 7 exactly
-    let mut noc_cfg = config.noc;
-    if config.traffic == TrafficMode::PerSynapse {
-        noc_cfg.multicast = false;
-    }
-    let (noc_stats, deliveries) = match config.engine {
-        EngineKind::CycleOracle => CycleSim::new(topo, noc_cfg, *config.arch.energy())
-            .run_with_duration(&flows, graph.duration_steps())?,
-        _ => NocSim::new(topo, noc_cfg, *config.arch.energy())
-            .run_with_duration(&flows, graph.duration_steps())?,
-    };
-
-    let dim = config.arch.neurons_per_crossbar();
-    let local_energy_pj = config.arch.energy().local_pj_scaled(local, dim);
-    let global_energy_pj = noc_stats.global_energy_pj;
-
-    Ok((
-        Report {
-            partitioner: partitioner_name.to_owned(),
-            num_neurons: graph.num_neurons(),
-            num_synapses: graph.num_synapses(),
-            cut_spikes,
-            local_events: local,
-            local_energy_pj,
-            global_energy_pj,
-            total_energy_pj: local_energy_pj + global_energy_pj,
-            noc: noc_stats,
-            mapping,
-        },
-        deliveries,
-    ))
+) -> Result<(Report, Vec<Delivery>), CoreError> {
+    MappingPipeline::new(config.clone()).evaluate_detailed(graph, mapping, partitioner_name)
 }
 
 #[cfg(test)]
@@ -423,6 +727,106 @@ mod tests {
             );
             assert_eq!(topo.num_crossbars(), 4);
         }
+    }
+
+    #[test]
+    fn staged_identity_run_equals_the_wrapper() {
+        let g = layered_graph();
+        let cfg = PipelineConfig::for_arch(small_arch());
+        let pipeline = MappingPipeline::new(cfg.clone());
+        let part = PacmanPartitioner::new();
+        let staged = pipeline.run(&g, &part).unwrap();
+        let wrapped = run_pipeline(&g, &part, &cfg).unwrap();
+        assert_eq!(staged, wrapped);
+        assert_eq!(staged.placement, "identity");
+        // the stages compose to the same mapping the wrapper reports
+        let mapping = pipeline.partition(&g, &part).unwrap();
+        let (placed, placement, id) = pipeline.place(&g, &mapping).unwrap();
+        assert!(placement.is_identity());
+        assert_eq!(id, "identity");
+        assert_eq!(placed, mapping);
+        assert_eq!(&placed, &staged.mapping);
+    }
+
+    #[test]
+    fn report_hop_metrics_follow_the_distance_table() {
+        let g = layered_graph();
+        let cfg = PipelineConfig::for_arch(small_arch());
+        let pipeline = MappingPipeline::new(cfg);
+        // split layers across opposite corners of the 2x2 mesh:
+        // crossbars 0 and 3 are 2 hops apart
+        let assign: Vec<u32> = (0..16).map(|i| if i < 8 { 0 } else { 3 }).collect();
+        let m = Mapping::from_assignment(assign, 4).unwrap();
+        let r = pipeline.evaluate(&g, m, "manual").unwrap();
+        assert_eq!(pipeline.distances().hops(0, 3), 2);
+        assert_eq!(r.hop_weighted_packets, 2 * r.cut_spikes);
+        assert!((r.avg_hops - 2.0).abs() < 1e-12);
+        // adjacent crossbars: every packet travels exactly 1 hop
+        let assign: Vec<u32> = (0..16).map(|i| if i < 8 { 0 } else { 1 }).collect();
+        let m = Mapping::from_assignment(assign, 4).unwrap();
+        let r = pipeline.evaluate(&g, m, "manual").unwrap();
+        assert_eq!(r.hop_weighted_packets, r.cut_spikes);
+        assert!((r.avg_hops - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_optimized_placement_improves_a_scattered_mapping() {
+        use crate::place::PlaceConfig;
+        // chain traffic over a 3x3 mesh, clusters deliberately scattered:
+        // cluster k talks to cluster k+1 but sits far from it
+        let n = 18u32;
+        let mut synapses = Vec::new();
+        for i in 0..n {
+            synapses.push((i, (i + 2) % n));
+        }
+        let trains: Vec<SpikeTrain> = (0..n)
+            .map(|i| SpikeTrain::from_times((0..6).map(|k| k * 60 + (i % 7)).collect()))
+            .collect();
+        let g = SpikeGraph::from_trains(n, synapses, trains).unwrap();
+        let arch = Architecture::custom(9, 2, InterconnectKind::Mesh).unwrap();
+        let identity = MappingPipeline::new(PipelineConfig::for_arch(arch.clone()));
+        let optimized = MappingPipeline::new(
+            PipelineConfig::for_arch(arch)
+                .with_placement(PlacementStrategy::HopOptimized(PlaceConfig::default())),
+        );
+        // a fixed scattered mapping, same for both pipelines
+        let assign: Vec<u32> = (0..n).map(|i| i.wrapping_mul(4) % 9).collect();
+        let m = Mapping::from_assignment(assign, 9).unwrap();
+        let (id_m, _, id_label) = identity.place(&g, &m).unwrap();
+        let (opt_m, opt_p, opt_id) = optimized.place(&g, &m).unwrap();
+        assert_eq!(opt_id, "hop-optimized");
+        assert_eq!(opt_m, m.place(&opt_p).unwrap());
+        let r_id = identity.evaluate_as(&g, id_m, "manual", &id_label).unwrap();
+        let r_opt = optimized.evaluate_as(&g, opt_m, "manual", &opt_id).unwrap();
+        assert_eq!(r_id.placement, "identity");
+        assert_eq!(r_opt.placement, "hop-optimized");
+        // packet totals are placement-invariant; hop-weighted cost drops
+        assert_eq!(r_id.cut_spikes, r_opt.cut_spikes);
+        assert!(
+            r_opt.hop_weighted_packets < r_id.hop_weighted_packets,
+            "placement must reduce hop-weighted packets: {} !< {}",
+            r_opt.hop_weighted_packets,
+            r_id.hop_weighted_packets
+        );
+        assert!(r_opt.global_energy_pj < r_id.global_energy_pj);
+    }
+
+    #[test]
+    fn with_noc_shares_the_topology() {
+        let g = layered_graph();
+        let cfg = PipelineConfig::for_arch(small_arch());
+        let pipeline = MappingPipeline::new(cfg.clone());
+        let mut noc = cfg.noc;
+        noc.buffer_depth = 7;
+        let swept = pipeline.with_noc(noc);
+        assert_eq!(swept.config().noc.buffer_depth, 7);
+        // same underlying router graph (Arc identity, not a rebuild)
+        assert!(std::ptr::eq(pipeline.topology(), swept.topology()));
+        // and the swept pipeline still evaluates correctly
+        let assign: Vec<u32> = (0..16).map(|i| (i / 8) as u32).collect();
+        let m = Mapping::from_assignment(assign, 4).unwrap();
+        let r = swept.evaluate(&g, m, "manual").unwrap();
+        assert_eq!(r.noc.delivered, r.cut_spikes);
     }
 
     #[test]

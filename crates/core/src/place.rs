@@ -1,0 +1,596 @@
+//! Cluster placement — the second mapping stage.
+//!
+//! The partitioner (any [`crate::partition::Partitioner`]) decides *which
+//! neurons share a crossbar*; until this module, cluster `k` was then
+//! implicitly wired to router `k`, so every cut packet was priced the
+//! same no matter how far it travelled. On a real NoC a packet's energy
+//! and latency scale with the **hop distance** between its source and
+//! destination crossbars, and SpiNeMap (Balaji et al., *"Mapping Spiking
+//! Neural Networks to Neuromorphic Hardware"*) shows that a second,
+//! placement-of-clusters stage on top of partitioning cuts both
+//! substantially. This module implements that stage:
+//!
+//! 1. [`TrafficMatrix::from_mapping`] collapses the partitioned spike
+//!    graph into cluster-to-cluster packet counts (respecting the
+//!    pipeline's [`TrafficMode`] accounting);
+//! 2. [`optimize_placement`] searches the space of cluster → physical
+//!    crossbar permutations for one minimizing
+//!    `Σ packets(k1, k2) · hops(π(k1), π(k2))` — a quadratic assignment
+//!    problem — with deterministic, thread-spread simulated-annealing
+//!    restarts polished by greedy swap local search.
+//!
+//! ## Incremental pricing and its reference kernel
+//!
+//! Exchanging the physical slots of two clusters touches only their rows
+//! and columns of the traffic matrix, so [`swap_delta`] prices a swap in
+//! O(C) instead of the O(C²) full recompute [`placement_cost`] performs.
+//! The two are held equal by `tests/placement_properties.rs` over random
+//! matrices, topologies, and swap sequences — the same
+//! reference-vs-optimized discipline `decode.rs` uses for the PSO
+//! kernels.
+//!
+//! ## Determinism contract
+//!
+//! Restart `k` derives its RNG stream from `seed` and `k` alone, restarts
+//! are spread across workers by contiguous chunks, results are reduced in
+//! restart order, and ties go to the lowest restart index — so `threads`
+//! is purely an execution knob: any thread count produces byte-identical
+//! placements (property-tested). Restart 0 starts from the identity
+//! permutation and uses greedy descent only, which guarantees the
+//! returned placement never prices worse than the identity wiring.
+
+use crate::error::CoreError;
+use crate::graph::SpikeGraph;
+use crate::pipeline::TrafficMode;
+use crate::pool;
+use neuromap_hw::mapping::{Mapping, Placement};
+use neuromap_noc::topology::DistanceLut;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Cluster-to-cluster packet counts under a mapping — the placement
+/// stage's whole view of the application (neurons no longer appear).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    c: usize,
+    /// `packets[src * c + dst]`, diagonal zero (local traffic never
+    /// touches the interconnect).
+    packets: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// Collapses a partitioned spike graph into cluster-level traffic.
+    ///
+    /// Under [`TrafficMode::PerCrossbar`] a spiking neuron contributes
+    /// its spike count once per *distinct* remote target cluster
+    /// (multicast packet accounting); under [`TrafficMode::PerSynapse`]
+    /// once per cut synapse (the paper's Eq. 7 accounting). Either way
+    /// the matrix times the hop table prices exactly the flows
+    /// `crate::pipeline::build_flows` will emit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping covers fewer neurons than the graph.
+    pub fn from_mapping(graph: &SpikeGraph, mapping: &Mapping, mode: TrafficMode) -> Self {
+        assert_eq!(
+            mapping.num_neurons(),
+            graph.num_neurons() as usize,
+            "mapping must cover every neuron"
+        );
+        let c = mapping.num_crossbars();
+        let mut packets = vec![0u64; c * c];
+        let mut seen = vec![u32::MAX; c];
+        for i in 0..graph.num_neurons() {
+            let count = graph.count(i) as u64;
+            if count == 0 {
+                continue;
+            }
+            let home = mapping.crossbar_of(i);
+            for &j in graph.targets(i) {
+                let dst = mapping.crossbar_of(j);
+                if dst == home {
+                    continue;
+                }
+                match mode {
+                    TrafficMode::PerSynapse => {
+                        packets[home as usize * c + dst as usize] += count;
+                    }
+                    TrafficMode::PerCrossbar => {
+                        if seen[dst as usize] != i {
+                            seen[dst as usize] = i;
+                            packets[home as usize * c + dst as usize] += count;
+                        }
+                    }
+                }
+            }
+        }
+        Self { c, packets }
+    }
+
+    /// Builds a matrix from raw counts (tests and synthetic workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets.len() != c * c`.
+    pub fn from_raw(c: usize, packets: Vec<u64>) -> Self {
+        assert_eq!(packets.len(), c * c, "matrix must be c x c");
+        Self { c, packets }
+    }
+
+    /// Number of clusters covered.
+    pub fn num_crossbars(&self) -> usize {
+        self.c
+    }
+
+    /// Packets from cluster `src` to cluster `dst`.
+    #[inline]
+    pub fn packets(&self, src: u32, dst: u32) -> u64 {
+        self.packets[src as usize * self.c + dst as usize]
+    }
+
+    /// Total packets crossing the interconnect (placement-invariant).
+    pub fn total_packets(&self) -> u64 {
+        self.packets.iter().sum()
+    }
+}
+
+/// Reference kernel: the hop-weighted packet total of a placement,
+/// recomputed from scratch in O(C²). [`swap_delta`] must always agree
+/// with differences of this function (property-tested).
+///
+/// # Panics
+///
+/// Panics if `physical_of` and the matrix/table disagree on the cluster
+/// count.
+pub fn placement_cost(traffic: &TrafficMatrix, dist: &DistanceLut, physical_of: &[u32]) -> u64 {
+    let c = traffic.c;
+    assert_eq!(physical_of.len(), c, "placement must cover every cluster");
+    assert!(dist.num_crossbars() >= c, "hop table too small");
+    let mut cost = 0u64;
+    for a in 0..c {
+        let row = &traffic.packets[a * c..(a + 1) * c];
+        let pa = physical_of[a];
+        for (b, &t) in row.iter().enumerate() {
+            if t != 0 {
+                cost += t * u64::from(dist.hops(pa, physical_of[b]));
+            }
+        }
+    }
+    cost
+}
+
+/// Exact cost change of exchanging the physical slots of clusters `x`
+/// and `y` under `physical_of`, in O(C): only the rows and columns of
+/// the two clusters reprice. Pure — nothing is mutated.
+///
+/// # Panics
+///
+/// Panics if `x`/`y` are out of range for the matrix.
+pub fn swap_delta(
+    traffic: &TrafficMatrix,
+    dist: &DistanceLut,
+    physical_of: &[u32],
+    x: usize,
+    y: usize,
+) -> i64 {
+    if x == y {
+        return 0;
+    }
+    let c = traffic.c;
+    let (px, py) = (physical_of[x], physical_of[y]);
+    let w = |a: u32, b: u32| i64::from(dist.hops(a, b));
+    let t = |a: usize, b: usize| traffic.packets[a * c + b] as i64;
+    let mut d = 0i64;
+    for (k, &pk) in physical_of.iter().enumerate() {
+        if k == x || k == y {
+            continue;
+        }
+        d += t(x, k) * (w(py, pk) - w(px, pk)) + t(k, x) * (w(pk, py) - w(pk, px));
+        d += t(y, k) * (w(px, pk) - w(py, pk)) + t(k, y) * (w(pk, px) - w(pk, py));
+    }
+    // cross terms between x and y (zero for symmetric distance tables,
+    // kept for exactness)
+    d += t(x, y) * (w(py, px) - w(px, py)) + t(y, x) * (w(px, py) - w(py, px));
+    d
+}
+
+/// Placement-optimizer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaceConfig {
+    /// Independent restarts; restart 0 is greedy descent from the
+    /// identity permutation (so the result never loses to identity), the
+    /// rest anneal from seeded random permutations. Ties go to the lowest
+    /// restart index.
+    pub restarts: u32,
+    /// Annealing proposals per restart (random cluster-pair swaps).
+    pub sa_moves: u32,
+    /// Initial temperature, in units of the objective.
+    pub t0: f64,
+    /// Geometric cooling factor per proposal.
+    pub alpha: f64,
+    /// Maximum greedy first-improvement sweeps polishing each restart.
+    pub greedy_passes: u32,
+    /// RNG seed (restart `k` derives its stream from `seed` and `k`).
+    pub seed: u64,
+    /// Worker threads the restarts are spread across. Purely an execution
+    /// knob: results depend on `restarts`, never on `threads`.
+    pub threads: usize,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        Self {
+            restarts: 4,
+            sa_moves: 4_000,
+            t0: 50.0,
+            alpha: 0.999,
+            greedy_passes: 8,
+            seed: 0x9A5E,
+            threads: crate::pso::default_threads(),
+        }
+    }
+}
+
+impl PlaceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for zero restarts/passes/threads
+    /// or a cooling factor outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.restarts == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "restarts",
+                value: "0".into(),
+            });
+        }
+        if self.greedy_passes == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "greedy_passes",
+                value: "0".into(),
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "alpha",
+                value: self.alpha.to_string(),
+            });
+        }
+        if self.threads == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "threads",
+                value: "0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a placement optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceOutcome {
+    /// The winning cluster → physical crossbar permutation.
+    pub placement: Placement,
+    /// Hop-weighted packets under the identity placement (the implicit
+    /// wiring of the single-stage pipeline).
+    pub identity_cost: u64,
+    /// Hop-weighted packets under [`PlaceOutcome::placement`]; never
+    /// exceeds [`PlaceOutcome::identity_cost`].
+    pub optimized_cost: u64,
+    /// Index of the restart that produced the winner.
+    pub winning_restart: u32,
+}
+
+impl PlaceOutcome {
+    /// Relative reduction of hop-weighted packets in `[0, 1]`.
+    pub fn relative_gain(&self) -> f64 {
+        if self.identity_cost == 0 {
+            0.0
+        } else {
+            1.0 - self.optimized_cost as f64 / self.identity_cost as f64
+        }
+    }
+}
+
+/// One restart: anneal (restarts ≥ 1 only), then greedy first-improvement
+/// sweeps until a sweep makes no progress or the pass budget is spent.
+/// Deterministic for a fixed `(traffic, dist, cfg, k)`.
+fn run_restart(
+    traffic: &TrafficMatrix,
+    dist: &DistanceLut,
+    cfg: &PlaceConfig,
+    k: u32,
+) -> (u64, Vec<u32>) {
+    let c = traffic.c;
+    let mut perm: Vec<u32> = (0..c as u32).collect();
+    let mut cost = placement_cost(traffic, dist, &perm) as i64;
+
+    if k > 0 {
+        let seed = cfg
+            .seed
+            .wrapping_add(u64::from(k).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher–Yates scatter, then anneal
+        for a in (1..c).rev() {
+            let b = rng.gen_range(0..a + 1);
+            perm.swap(a, b);
+        }
+        cost = placement_cost(traffic, dist, &perm) as i64;
+        let mut temp = cfg.t0;
+        for _ in 0..cfg.sa_moves {
+            let a = rng.gen_range(0..c);
+            let b = rng.gen_range(0..c);
+            if a != b {
+                let d = swap_delta(traffic, dist, &perm, a, b);
+                let accept = d <= 0 || {
+                    temp > f64::EPSILON && rng.gen_range(0.0..1.0) < (-(d as f64) / temp).exp()
+                };
+                if accept {
+                    perm.swap(a, b);
+                    cost += d;
+                }
+            }
+            temp *= cfg.alpha;
+        }
+    }
+
+    // greedy polish: first-improvement sweeps over all cluster pairs,
+    // each swap priced incrementally in O(C)
+    for _ in 0..cfg.greedy_passes {
+        let mut improved = false;
+        for a in 0..c {
+            for b in a + 1..c {
+                let d = swap_delta(traffic, dist, &perm, a, b);
+                if d < 0 {
+                    perm.swap(a, b);
+                    cost += d;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert_eq!(cost as u64, placement_cost(traffic, dist, &perm));
+    (cost as u64, perm)
+}
+
+/// Searches cluster → physical crossbar permutations minimizing
+/// hop-weighted packets. Restarts are spread over the worker pool
+/// (`crate::pool`) in contiguous chunks; the reduction walks results in
+/// restart order, so the outcome is byte-identical for every thread
+/// count. The identity-seeded restart guarantees
+/// `optimized_cost <= identity_cost`.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for an invalid configuration or a hop
+/// table covering fewer crossbars than the traffic matrix.
+pub fn optimize_placement(
+    traffic: &TrafficMatrix,
+    dist: &DistanceLut,
+    cfg: &PlaceConfig,
+) -> Result<PlaceOutcome, CoreError> {
+    cfg.validate()?;
+    let c = traffic.c;
+    if dist.num_crossbars() < c {
+        return Err(CoreError::InvalidParameter {
+            name: "dist",
+            value: format!(
+                "{} crossbars covered, traffic matrix has {c}",
+                dist.num_crossbars()
+            ),
+        });
+    }
+    let identity: Vec<u32> = (0..c as u32).collect();
+    let identity_cost = placement_cost(traffic, dist, &identity);
+
+    // spread restart indices over workers in contiguous chunks (same
+    // discipline as the SA baseline); per-restart results depend only on
+    // (traffic, dist, cfg, k), so the chunking is invisible in the output
+    let restarts = cfg.restarts;
+    let workers = cfg.threads.min(restarts as usize).max(1);
+    let per_worker = (restarts as usize).div_ceil(workers);
+    let chunks: Vec<Vec<u32>> = (0..workers)
+        .map(|w| {
+            let lo = (w * per_worker) as u32;
+            let hi = restarts.min(lo + per_worker as u32);
+            (lo..hi).collect()
+        })
+        .collect();
+
+    let mut per_restart: Vec<(u64, u32, Vec<u32>)> = Vec::with_capacity(restarts as usize);
+    pool::run_phased(
+        chunks,
+        1,
+        (),
+        |_, (), idxs: &mut Vec<u32>| {
+            idxs.iter()
+                .map(|&k| {
+                    let (cost, perm) = run_restart(traffic, dist, cfg, k);
+                    (cost, k, perm)
+                })
+                .collect::<Vec<_>>()
+        },
+        |_, results| {
+            for chunk in results {
+                per_restart.extend(chunk);
+            }
+            None
+        },
+    );
+
+    let (optimized_cost, winning_restart, perm) = per_restart
+        .into_iter()
+        .min_by_key(|&(cost, k, _)| (cost, k))
+        .expect("restarts >= 1");
+    debug_assert!(optimized_cost <= identity_cost, "restart 0 covers identity");
+    let placement = Placement::new(perm).map_err(CoreError::from)?;
+    Ok(PlaceOutcome {
+        placement,
+        identity_cost,
+        optimized_cost,
+        winning_restart,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuromap_noc::topology::{Mesh2D, Torus};
+
+    fn mesh_lut(c: usize) -> DistanceLut {
+        DistanceLut::new(&Mesh2D::for_crossbars(c))
+    }
+
+    /// A ring of heavy neighbor traffic, deliberately scattered: cluster
+    /// `k` talks to cluster `(k + 1) % c`, so a placement following the
+    /// grid's space-filling order prices far below identity-on-a-ring.
+    fn ring_traffic(c: usize, weight: u64) -> TrafficMatrix {
+        let mut packets = vec![0u64; c * c];
+        for k in 0..c {
+            packets[k * c + (k + 1) % c] = weight;
+        }
+        TrafficMatrix::from_raw(c, packets)
+    }
+
+    #[test]
+    fn traffic_matrix_respects_modes() {
+        use crate::graph::SpikeGraph;
+        // neuron 0 (5 spikes) on cluster 0 hits two targets on cluster 1
+        let g = SpikeGraph::from_parts(3, vec![(0, 1), (0, 2)], vec![5, 0, 0]).unwrap();
+        let m = Mapping::from_assignment(vec![0, 1, 1], 2).unwrap();
+        let per_packet = TrafficMatrix::from_mapping(&g, &m, TrafficMode::PerCrossbar);
+        assert_eq!(per_packet.packets(0, 1), 5); // deduplicated
+        let per_syn = TrafficMatrix::from_mapping(&g, &m, TrafficMode::PerSynapse);
+        assert_eq!(per_syn.packets(0, 1), 10); // one per cut synapse
+        assert_eq!(per_packet.packets(1, 0), 0);
+        assert_eq!(per_packet.total_packets(), 5);
+    }
+
+    #[test]
+    fn swap_delta_matches_reference_exhaustively() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for c in [2usize, 5, 9, 16] {
+            let packets: Vec<u64> = (0..c * c)
+                .enumerate()
+                .map(|(i, _)| {
+                    if i % (c + 1) == 0 {
+                        0 // keep the diagonal empty like real matrices
+                    } else {
+                        rng.gen_range(0..50u64)
+                    }
+                })
+                .collect();
+            let traffic = TrafficMatrix::from_raw(c, packets);
+            let dist = mesh_lut(c);
+            let mut perm: Vec<u32> = (0..c as u32).collect();
+            for a in (1..c).rev() {
+                let b = rng.gen_range(0..a + 1);
+                perm.swap(a, b);
+            }
+            let base = placement_cost(&traffic, &dist, &perm) as i64;
+            for x in 0..c {
+                for y in 0..c {
+                    let mut swapped = perm.clone();
+                    swapped.swap(x, y);
+                    let expected = placement_cost(&traffic, &dist, &swapped) as i64 - base;
+                    assert_eq!(
+                        swap_delta(&traffic, &dist, &perm, x, y),
+                        expected,
+                        "c={c} swap {x}<->{y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_never_loses_to_identity_and_finds_ring_structure() {
+        let c = 16;
+        let traffic = ring_traffic(c, 10);
+        let dist = mesh_lut(c);
+        let outcome = optimize_placement(&traffic, &dist, &PlaceConfig::default()).unwrap();
+        assert!(outcome.optimized_cost <= outcome.identity_cost);
+        // identity on a 4x4 mesh prices the ring's wrap edge at 6 hops
+        // (Manhattan distance corner to corner along the row-major order);
+        // a snake placement brings every ring edge to 1-2 hops
+        assert!(
+            outcome.optimized_cost < outcome.identity_cost,
+            "ring traffic must beat identity: {} !< {}",
+            outcome.optimized_cost,
+            outcome.identity_cost
+        );
+        assert_eq!(
+            placement_cost(&traffic, &dist, outcome.placement.as_slice()),
+            outcome.optimized_cost
+        );
+        assert!(outcome.relative_gain() > 0.0);
+    }
+
+    #[test]
+    fn optimizer_is_deterministic_across_thread_counts() {
+        let traffic = ring_traffic(12, 7);
+        let dist = DistanceLut::new(&Torus::for_crossbars(12));
+        let base = PlaceConfig {
+            restarts: 6,
+            ..PlaceConfig::default()
+        };
+        let one = optimize_placement(&traffic, &dist, &PlaceConfig { threads: 1, ..base }).unwrap();
+        for threads in [2usize, 3, 8] {
+            let multi =
+                optimize_placement(&traffic, &dist, &PlaceConfig { threads, ..base }).unwrap();
+            assert_eq!(one, multi, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_handled() {
+        // single cluster: identity is the only permutation
+        let traffic = TrafficMatrix::from_raw(1, vec![0]);
+        let dist = mesh_lut(1);
+        let outcome = optimize_placement(&traffic, &dist, &PlaceConfig::default()).unwrap();
+        assert!(outcome.placement.is_identity());
+        assert_eq!(outcome.optimized_cost, 0);
+        // empty traffic: every permutation costs zero; identity wins
+        let traffic = TrafficMatrix::from_raw(4, vec![0; 16]);
+        let dist = mesh_lut(4);
+        let outcome = optimize_placement(&traffic, &dist, &PlaceConfig::default()).unwrap();
+        assert_eq!(outcome.optimized_cost, 0);
+        assert_eq!(outcome.identity_cost, 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let traffic = ring_traffic(4, 1);
+        let dist = mesh_lut(4);
+        for bad in [
+            PlaceConfig {
+                restarts: 0,
+                ..PlaceConfig::default()
+            },
+            PlaceConfig {
+                greedy_passes: 0,
+                ..PlaceConfig::default()
+            },
+            PlaceConfig {
+                alpha: 0.0,
+                ..PlaceConfig::default()
+            },
+            PlaceConfig {
+                threads: 0,
+                ..PlaceConfig::default()
+            },
+        ] {
+            assert!(optimize_placement(&traffic, &dist, &bad).is_err());
+        }
+        // undersized hop table rejected
+        let small = mesh_lut(2);
+        assert!(optimize_placement(&traffic, &small, &PlaceConfig::default()).is_err());
+    }
+}

@@ -107,11 +107,11 @@ pub fn remap(
     let delta_of = |assignment: &[u32], cost: i64, i: usize, t: u32| -> i64 {
         match config.fitness {
             FitnessKind::CutSpikes => problem.move_delta_spikes(assignment, i, t),
-            FitnessKind::CutPackets => {
+            FitnessKind::CutPackets | FitnessKind::CutHops => {
                 // exact but non-incremental: acceptable at runtime scales
                 let mut trial = assignment.to_vec();
                 trial[i] = t;
-                problem.cut_packets(&trial) as i64 - cost
+                problem.cost(config.fitness, &trial) as i64 - cost
             }
         }
     };
@@ -278,6 +278,29 @@ mod tests {
         assert_eq!(
             outcome.cost_after,
             problem.cut_packets(outcome.mapping.assignment())
+        );
+    }
+
+    #[test]
+    fn hop_objective_supported() {
+        use neuromap_noc::topology::{DistanceLut, Mesh2D};
+        let g = graph_with_rates(30, 1);
+        let topo = Mesh2D::for_crossbars(2);
+        let lut = DistanceLut::new(&topo);
+        let problem = PartitionProblem::new(&g, 2, 5)
+            .unwrap()
+            .with_hops(&lut)
+            .unwrap();
+        let stale = Mapping::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let cfg = RemapConfig {
+            fitness: FitnessKind::CutHops,
+            ..RemapConfig::default()
+        };
+        let outcome = remap(&problem, &stale, &cfg).unwrap();
+        assert!(outcome.cost_after <= outcome.cost_before);
+        assert_eq!(
+            outcome.cost_after,
+            problem.cut_hops(outcome.mapping.assignment())
         );
     }
 

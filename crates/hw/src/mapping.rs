@@ -1,4 +1,5 @@
-//! Neuron → crossbar assignments and the paper's validity constraints.
+//! Neuron → crossbar assignments, cluster placement, and the paper's
+//! validity constraints.
 //!
 //! A [`Mapping`] is the *output* of the partitioning problem of Section III:
 //! for every neuron, the crossbar hosting it. Synapses whose endpoints share
@@ -7,6 +8,13 @@
 //! of Eq. 4–5 — every neuron on exactly one crossbar, and no crossbar over
 //! capacity — are enforced by [`Mapping::from_assignment`] (structurally)
 //! and [`Mapping::validate`] (against a concrete [`Architecture`]).
+//!
+//! A [`Placement`] is the output of the *second* mapping stage
+//! (SpiNeMap-style, Balaji et al.): the partitioner's clusters are logical
+//! until a placement decides which **physical** crossbar — and therefore
+//! which interconnect router — hosts each one. [`Mapping::place`] composes
+//! the two; the identity placement leaves a mapping untouched, so the
+//! staged pipeline degrades exactly to the paper's single-stage flow.
 
 use crate::arch::Architecture;
 use crate::error::HwError;
@@ -16,10 +24,48 @@ use serde::{Deserialize, Serialize};
 pub type SynapsePairs = Vec<(u32, u32)>;
 
 /// An assignment of every neuron to one crossbar.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Alongside the per-neuron assignment vector, construction builds a
+/// CSR-style crossbar → neurons index once (`O(n + c)`), so
+/// [`Mapping::neurons_on`] is a slice borrow instead of the O(n) scan +
+/// allocation it used to be — the placement stage queries crossbar
+/// occupancy for every cluster and hits that path hard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Mapping {
     crossbar_of: Vec<u32>,
     num_crossbars: usize,
+    /// CSR offsets: crossbar `k` hosts
+    /// `by_crossbar[csr_offsets[k] .. csr_offsets[k + 1]]`.
+    csr_offsets: Vec<u32>,
+    /// Neuron ids grouped by crossbar, ascending within each crossbar.
+    by_crossbar: Vec<u32>,
+}
+
+// The CSR index is derived state: serialization keeps the original
+// two-field shape (pre-placement JSON stays loadable, reports don't
+// double in size), and deserialization routes through
+// `Mapping::from_assignment` so the index can never disagree with the
+// assignment — crafted redundant bytes have nothing to corrupt.
+impl Serialize for Mapping {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("crossbar_of".to_owned(), self.crossbar_of.to_value()),
+            ("num_crossbars".to_owned(), self.num_crossbars.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Mapping {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError::new(format!("missing field `{name}`")))
+        };
+        let crossbar_of = Vec::<u32>::from_value(field("crossbar_of")?)?;
+        let num_crossbars = usize::from_value(field("num_crossbars")?)?;
+        Mapping::from_assignment(crossbar_of, num_crossbars)
+            .map_err(|e| serde::DeError::new(e.to_string()))
+    }
 }
 
 impl Mapping {
@@ -36,9 +82,26 @@ impl Mapping {
                 available: num_crossbars,
             });
         }
+        // counting sort into the CSR index: one pass for occupancy, one
+        // pass (in ascending neuron order) to scatter ids
+        let mut csr_offsets = vec![0u32; num_crossbars + 1];
+        for &c in &crossbar_of {
+            csr_offsets[c as usize + 1] += 1;
+        }
+        for k in 0..num_crossbars {
+            csr_offsets[k + 1] += csr_offsets[k];
+        }
+        let mut cursor = csr_offsets[..num_crossbars].to_vec();
+        let mut by_crossbar = vec![0u32; crossbar_of.len()];
+        for (i, &c) in crossbar_of.iter().enumerate() {
+            by_crossbar[cursor[c as usize] as usize] = i as u32;
+            cursor[c as usize] += 1;
+        }
         Ok(Self {
             crossbar_of,
             num_crossbars,
+            csr_offsets,
+            by_crossbar,
         })
     }
 
@@ -76,23 +139,24 @@ impl Mapping {
         self.crossbar_of[pre as usize] == self.crossbar_of[post as usize]
     }
 
-    /// Neurons hosted on crossbar `k`, in id order.
-    pub fn neurons_on(&self, k: u32) -> Vec<u32> {
-        self.crossbar_of
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c == k)
-            .map(|(i, _)| i as u32)
-            .collect()
+    /// Neurons hosted on crossbar `k`, in id order — a borrow from the
+    /// CSR index built at construction, O(1) per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_crossbars`.
+    pub fn neurons_on(&self, k: u32) -> &[u32] {
+        let lo = self.csr_offsets[k as usize] as usize;
+        let hi = self.csr_offsets[k as usize + 1] as usize;
+        &self.by_crossbar[lo..hi]
     }
 
-    /// Occupancy (neuron count) per crossbar.
+    /// Occupancy (neuron count) per crossbar — read off the CSR offsets.
     pub fn occupancy(&self) -> Vec<usize> {
-        let mut occ = vec![0usize; self.num_crossbars];
-        for &c in &self.crossbar_of {
-            occ[c as usize] += 1;
-        }
-        occ
+        self.csr_offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect()
     }
 
     /// Validates the capacity constraint (Eq. 5) against an architecture.
@@ -123,6 +187,33 @@ impl Mapping {
         Ok(())
     }
 
+    /// Composes a [`Placement`] into this mapping: every neuron of logical
+    /// cluster `k` lands on physical crossbar `placement.physical_of(k)`.
+    /// The identity placement returns a mapping equal to `self`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidParameter`] if the placement covers a different
+    /// crossbar count than this mapping targets.
+    pub fn place(&self, placement: &Placement) -> Result<Mapping, HwError> {
+        if placement.num_crossbars() != self.num_crossbars {
+            return Err(HwError::InvalidParameter {
+                name: "placement",
+                value: format!(
+                    "{} crossbars, mapping targets {}",
+                    placement.num_crossbars(),
+                    self.num_crossbars
+                ),
+            });
+        }
+        let placed: Vec<u32> = self
+            .crossbar_of
+            .iter()
+            .map(|&k| placement.physical_of(k))
+            .collect();
+        Mapping::from_assignment(placed, self.num_crossbars)
+    }
+
     /// Splits a synapse list into `(local, global)` according to this
     /// mapping — the paper's partition of S into local and global synapses.
     pub fn classify_synapses<'a>(
@@ -139,6 +230,111 @@ impl Mapping {
             }
         }
         (local, global)
+    }
+}
+
+/// A cluster → physical-crossbar permutation: the placement stage's
+/// output.
+///
+/// The partitioner decides *which neurons share a crossbar* (minimizing
+/// cut traffic); the placement decides *where on the chip* each of those
+/// clusters sits — and therefore how many router hops every global packet
+/// travels. Physical crossbar `physical_of[k]` hosts logical cluster `k`;
+/// the vector is validated to be a permutation so every cluster gets
+/// exactly one physical crossbar and capacities are preserved (all
+/// crossbars of an [`Architecture`] are homogeneous).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Placement {
+    physical_of: Vec<u32>,
+}
+
+impl Serialize for Placement {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "physical_of".to_owned(),
+            self.physical_of.to_value(),
+        )])
+    }
+}
+
+// Deserialization routes through `Placement::new` so a non-permutation
+// can never enter through serialized data.
+impl Deserialize for Placement {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = v
+            .get("physical_of")
+            .ok_or_else(|| serde::DeError::new("missing field `physical_of`"))?;
+        Placement::new(Vec::<u32>::from_value(field)?)
+            .map_err(|e| serde::DeError::new(e.to_string()))
+    }
+}
+
+impl Placement {
+    /// The identity placement over `num_crossbars` crossbars: cluster `k`
+    /// on physical crossbar `k` — the implicit wiring of the single-stage
+    /// pipeline.
+    pub fn identity(num_crossbars: usize) -> Self {
+        Self {
+            physical_of: (0..num_crossbars as u32).collect(),
+        }
+    }
+
+    /// Builds a placement from `physical_of[cluster] = physical crossbar`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidParameter`] if `physical_of` is not a permutation
+    /// of `0..len` (out-of-range or duplicate entries).
+    pub fn new(physical_of: Vec<u32>) -> Result<Self, HwError> {
+        let c = physical_of.len();
+        let mut seen = vec![false; c];
+        for &p in &physical_of {
+            if (p as usize) >= c || seen[p as usize] {
+                return Err(HwError::InvalidParameter {
+                    name: "physical_of",
+                    value: format!("entry {p} breaks the permutation over 0..{c}"),
+                });
+            }
+            seen[p as usize] = true;
+        }
+        Ok(Self { physical_of })
+    }
+
+    /// Number of crossbars (clusters) covered.
+    pub fn num_crossbars(&self) -> usize {
+        self.physical_of.len()
+    }
+
+    /// Physical crossbar hosting logical cluster `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn physical_of(&self, k: u32) -> u32 {
+        self.physical_of[k as usize]
+    }
+
+    /// The raw permutation slice (`physical_of[cluster]`).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.physical_of
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.physical_of
+            .iter()
+            .enumerate()
+            .all(|(k, &p)| p as usize == k)
+    }
+
+    /// The inverse permutation (`cluster_of[physical crossbar]`).
+    pub fn inverse(&self) -> Placement {
+        let mut inv = vec![0u32; self.physical_of.len()];
+        for (k, &p) in self.physical_of.iter().enumerate() {
+            inv[p as usize] = k as u32;
+        }
+        Placement { physical_of: inv }
     }
 }
 
@@ -196,6 +392,88 @@ mod tests {
         let (local, global) = m.classify_synapses(&syn);
         assert_eq!(local, vec![(0, 1)]);
         assert_eq!(global, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn csr_index_covers_every_crossbar_in_id_order() {
+        let m = Mapping::from_assignment(vec![2, 0, 2, 1, 0, 2], 4).unwrap();
+        assert_eq!(m.neurons_on(0), &[1, 4]);
+        assert_eq!(m.neurons_on(1), &[3]);
+        assert_eq!(m.neurons_on(2), &[0, 2, 5]);
+        assert_eq!(m.neurons_on(3), &[] as &[u32]);
+        assert_eq!(m.occupancy(), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn placement_validates_permutations() {
+        assert!(Placement::new(vec![2, 0, 1]).is_ok());
+        assert!(Placement::new(vec![0, 0, 1]).is_err()); // duplicate
+        assert!(Placement::new(vec![0, 3, 1]).is_err()); // out of range
+        let id = Placement::identity(4);
+        assert!(id.is_identity());
+        assert!(!Placement::new(vec![1, 0]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn placement_inverse_roundtrips() {
+        let p = Placement::new(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        for k in 0..4u32 {
+            assert_eq!(inv.physical_of(p.physical_of(k)), k);
+        }
+    }
+
+    #[test]
+    fn identity_placement_leaves_mapping_unchanged() {
+        let m = Mapping::from_assignment(vec![0, 1, 2, 1], 3).unwrap();
+        let placed = m.place(&Placement::identity(3)).unwrap();
+        assert_eq!(placed, m);
+    }
+
+    #[test]
+    fn placement_permutes_clusters_and_preserves_occupancy() {
+        let m = Mapping::from_assignment(vec![0, 0, 1, 2], 3).unwrap();
+        let p = Placement::new(vec![2, 0, 1]).unwrap();
+        let placed = m.place(&p).unwrap();
+        assert_eq!(placed.assignment(), &[2, 2, 0, 1]);
+        // occupancy is the permuted original
+        let occ = m.occupancy();
+        let pocc = placed.occupancy();
+        for k in 0..3u32 {
+            assert_eq!(pocc[p.physical_of(k) as usize], occ[k as usize]);
+        }
+        // crossbar-count mismatch rejected
+        assert!(m.place(&Placement::identity(4)).is_err());
+    }
+
+    #[test]
+    fn serde_keeps_the_two_field_shape_and_rebuilds_the_index() {
+        let m = Mapping::from_assignment(vec![2, 0, 2, 1], 3).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        // the derived CSR index never reaches the wire
+        assert!(!json.contains("csr_offsets"), "{json}");
+        assert!(!json.contains("by_crossbar"), "{json}");
+        let back: Mapping = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.neurons_on(2), &[0, 2]);
+        // pre-placement JSON (the original two-field shape) stays loadable
+        let old: Mapping =
+            serde_json::from_str(r#"{"crossbar_of":[1,0,1],"num_crossbars":2}"#).unwrap();
+        assert_eq!(old.neurons_on(1), &[0, 2]);
+        // out-of-range assignments are rejected at the boundary
+        assert!(
+            serde_json::from_str::<Mapping>(r#"{"crossbar_of":[5],"num_crossbars":2}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn placement_serde_revalidates_the_permutation() {
+        let p = Placement::new(vec![2, 0, 1]).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Placement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // a duplicate entry cannot enter through serialized data
+        assert!(serde_json::from_str::<Placement>(r#"{"physical_of":[0,0,1]}"#).is_err());
     }
 
     #[test]

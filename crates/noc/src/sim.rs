@@ -209,7 +209,7 @@ struct RouterState {
 /// the event model and its equivalence argument against
 /// [`oracle::CycleSim`].
 pub struct NocSim {
-    topo: Box<dyn Topology>,
+    topo: std::sync::Arc<dyn Topology>,
     config: NocConfig,
     energy: EnergyModel,
 }
@@ -227,6 +227,18 @@ impl NocSim {
     /// Creates a simulator over a topology with the given configuration and
     /// energy model.
     pub fn new(topo: Box<dyn Topology>, config: NocConfig, energy: EnergyModel) -> Self {
+        Self::shared(std::sync::Arc::from(topo), config, energy)
+    }
+
+    /// Like [`NocSim::new`], but over a *shared* topology: the mapping
+    /// pipeline's sweep stages build each router graph once and hand the
+    /// same `Arc` to every simulator instance instead of re-deriving the
+    /// topology per sweep point.
+    pub fn shared(
+        topo: std::sync::Arc<dyn Topology>,
+        config: NocConfig,
+        energy: EnergyModel,
+    ) -> Self {
         Self {
             topo,
             config,

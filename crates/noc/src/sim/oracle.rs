@@ -46,7 +46,7 @@ struct RouterState {
 /// Same public surface as [`super::NocSim`]; see the module docs for its
 /// role.
 pub struct CycleSim {
-    topo: Box<dyn Topology>,
+    topo: std::sync::Arc<dyn Topology>,
     config: NocConfig,
     energy: EnergyModel,
 }
@@ -64,6 +64,16 @@ impl CycleSim {
     /// Creates a simulator over a topology with the given configuration and
     /// energy model.
     pub fn new(topo: Box<dyn Topology>, config: NocConfig, energy: EnergyModel) -> Self {
+        Self::shared(std::sync::Arc::from(topo), config, energy)
+    }
+
+    /// Like [`CycleSim::new`], but over a topology already shared behind
+    /// an `Arc` (see [`super::NocSim::shared`]).
+    pub fn shared(
+        topo: std::sync::Arc<dyn Topology>,
+        config: NocConfig,
+        energy: EnergyModel,
+    ) -> Self {
         Self {
             topo,
             config,

@@ -141,6 +141,114 @@ impl RouteLut {
     }
 }
 
+/// Precomputed all-pairs hop distances over a [`Topology`]'s router graph.
+///
+/// The placement stage of the mapping pipeline prices every candidate
+/// cluster→crossbar permutation by hop-weighted packet counts; walking
+/// [`Topology::route_next`] per query (or even calling the virtual
+/// [`Topology::hops`]) inside those inner loops would dominate the
+/// optimizer. A `DistanceLut` runs one BFS per router over the neighbor
+/// graph (`O(R · (R + links))`, built **once** per topology and shared
+/// across sweep points) and additionally flattens the crossbar-level
+/// `endpoint(k1) → endpoint(k2)` distances into a row-major matrix for
+/// the evaluators' hot loops.
+///
+/// For every topology shipped here the deterministic route is a shortest
+/// path (XY/dimension-order on mesh and torus, LCA on the tree, via-hub
+/// on the star, direct on point-to-point), so the BFS distances equal the
+/// walked route lengths — asserted against [`Topology::hops`] for all
+/// topologies and against the closed forms for [`Mesh2D`]/[`Torus`] in
+/// the tests below. Distances over the undirected link graph are
+/// symmetric by construction.
+#[derive(Debug, Clone)]
+pub struct DistanceLut {
+    nr: usize,
+    nc: usize,
+    /// `router_hops[a * nr + b]` — BFS hop count between routers.
+    router_hops: Vec<u32>,
+    /// `crossbar_hops[k1 * nc + k2]` — hops between crossbar endpoints.
+    crossbar_hops: Vec<u32>,
+}
+
+impl DistanceLut {
+    /// Runs a BFS from every router and flattens the crossbar-level view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some router pair is unreachable over the neighbor links
+    /// (every shipped topology is connected; a disconnected custom one
+    /// cannot route anyway).
+    pub fn new(topo: &dyn Topology) -> Self {
+        let nr = topo.num_routers();
+        let nc = topo.num_crossbars();
+        let mut router_hops = vec![u32::MAX; nr * nr];
+        let mut queue = std::collections::VecDeque::with_capacity(nr);
+        for src in 0..nr {
+            let row = &mut router_hops[src * nr..(src + 1) * nr];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(r) = queue.pop_front() {
+                let d = row[r];
+                for &next in topo.neighbors(r) {
+                    if row[next] == u32::MAX {
+                        row[next] = d + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            assert!(
+                row.iter().all(|&d| d != u32::MAX),
+                "router {src} cannot reach the whole graph; topology is disconnected"
+            );
+        }
+        let endpoints: Vec<usize> = (0..nc as u32).map(|k| topo.endpoint(k)).collect();
+        let mut crossbar_hops = vec![0u32; nc * nc];
+        for (k1, &e1) in endpoints.iter().enumerate() {
+            for (k2, &e2) in endpoints.iter().enumerate() {
+                crossbar_hops[k1 * nc + k2] = router_hops[e1 * nr + e2];
+            }
+        }
+        Self {
+            nr,
+            nc,
+            router_hops,
+            crossbar_hops,
+        }
+    }
+
+    /// Number of routers covered.
+    pub fn num_routers(&self) -> usize {
+        self.nr
+    }
+
+    /// Number of crossbars covered.
+    pub fn num_crossbars(&self) -> usize {
+        self.nc
+    }
+
+    /// Hop count between two routers.
+    #[inline]
+    pub fn router_hops(&self, a: usize, b: usize) -> u32 {
+        self.router_hops[a * self.nr + b]
+    }
+
+    /// Hop count between the routers crossbars `k1` and `k2` attach to
+    /// (zero when they share a router, in particular when `k1 == k2`).
+    #[inline]
+    pub fn hops(&self, k1: u32, k2: u32) -> u32 {
+        self.crossbar_hops[k1 as usize * self.nc + k2 as usize]
+    }
+
+    /// The crossbar-level distance matrix, row-major
+    /// (`matrix[k1 * num_crossbars + k2]`) — the flat view the batched
+    /// evaluators index directly.
+    #[inline]
+    pub fn crossbar_matrix(&self) -> &[u32] {
+        &self.crossbar_hops
+    }
+}
+
 /// Exhaustively checks that deterministic routes between all router pairs
 /// terminate and only use neighbor links. Intended for tests and as a
 /// self-check after constructing custom topologies.
@@ -242,6 +350,93 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_lut_matches_walked_routes_everywhere() {
+        // the deterministic route of every shipped topology is a shortest
+        // path, so the BFS distances must equal the route-walked hop
+        // counts for all router pairs and all crossbar pairs
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Mesh2D::for_crossbars(7)),
+            Box::new(Mesh2D::for_crossbars(16)),
+            Box::new(Torus::for_crossbars(9)),
+            Box::new(Torus::for_crossbars(12)),
+            Box::new(NocTree::new(4, 4)),
+            Box::new(NocTree::new(13, 2)),
+            Box::new(Star::new(6)),
+            Box::new(PointToPoint::new(5)),
+        ];
+        for t in &topos {
+            let lut = DistanceLut::new(t.as_ref());
+            assert_eq!(lut.num_routers(), t.num_routers(), "{}", t.name());
+            assert_eq!(lut.num_crossbars(), t.num_crossbars(), "{}", t.name());
+            for a in 0..t.num_routers() {
+                for b in 0..t.num_routers() {
+                    assert_eq!(
+                        lut.router_hops(a, b),
+                        t.hops(a, b),
+                        "{}: routers {a}->{b}",
+                        t.name()
+                    );
+                    assert_eq!(
+                        lut.router_hops(a, b),
+                        lut.router_hops(b, a),
+                        "{}: BFS distances must be symmetric",
+                        t.name()
+                    );
+                }
+            }
+            for k1 in 0..t.num_crossbars() as u32 {
+                for k2 in 0..t.num_crossbars() as u32 {
+                    assert_eq!(
+                        lut.hops(k1, k2),
+                        t.hops(t.endpoint(k1), t.endpoint(k2)),
+                        "{}: crossbars {k1}->{k2}",
+                        t.name()
+                    );
+                    assert_eq!(
+                        lut.crossbar_matrix()[k1 as usize * t.num_crossbars() + k2 as usize],
+                        lut.hops(k1, k2),
+                        "{}",
+                        t.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_lut_matches_mesh_and_torus_closed_forms() {
+        // mesh: Manhattan distance |dx| + |dy|
+        let m = Mesh2D::grid(5, 4, 20);
+        let lut = DistanceLut::new(&m);
+        for a in 0..20usize {
+            for b in 0..20usize {
+                let (xa, ya) = (a % 5, a / 5);
+                let (xb, yb) = (b % 5, b / 5);
+                assert_eq!(
+                    lut.router_hops(a, b),
+                    (xa.abs_diff(xb) + ya.abs_diff(yb)) as u32,
+                    "mesh {a}->{b}"
+                );
+            }
+        }
+        // torus: per-dimension ring distance min(|d|, len - |d|)
+        let t = Torus::for_crossbars(16); // 4x4
+        let lut = DistanceLut::new(&t);
+        let ring = |a: usize, b: usize, len: usize| a.abs_diff(b).min(len - a.abs_diff(b));
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let (xa, ya) = (a % 4, a / 4);
+                let (xb, yb) = (b % 4, b / 4);
+                assert_eq!(
+                    lut.router_hops(a, b),
+                    (ring(xa, xb, 4) + ring(ya, yb, 4)) as u32,
+                    "torus {a}->{b}"
+                );
             }
         }
     }

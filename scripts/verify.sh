@@ -25,15 +25,35 @@ NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench eval
 # cycle-driven oracle before timing anything
 NEUROMAP_BENCH_FAST=1 cargo bench -p neuromap-bench --bench noc
 
-echo "==> BENCH_eval.json key gate (large-arch trajectory present)"
+echo "==> BENCH_eval.json key gate (large-arch + placement trajectory present)"
 for key in \
   "swarm_eval/synth_16x16grid/scalar/CutPackets" \
   "swarm_eval/synth_16x16grid/batched/CutPackets" \
   "swarm_eval/synth_16x16grid/batched/CutSpikes" \
+  "swarm_eval/synth_16x16grid/scalar/CutHops" \
+  "swarm_eval/synth_16x16grid/batched/CutHops" \
+  "placement/synth_16x16grid/optimize" \
   "pso_step/synth_16x16grid/swarm40_iters4/CutPackets" \
   "pso_step/synth_16x16grid/swarm40_iters4/CutSpikes"; do
   grep -qF "\"id\": \"$key\"" BENCH_eval.json \
     || { echo "BENCH_eval.json lost key: $key"; exit 1; }
+done
+
+echo "==> paired-ratio gate (same-run baseline-vs-candidate entries present)"
+# cross-PR reads compare these ratios, not absolute ns (the 1-core box
+# throttles under sustained bench load — ROADMAP caveat from PR 3)
+for ratio in \
+  "swarm_eval/synth_16x16grid/CutPackets" \
+  "swarm_eval/synth_16x16grid/CutHops" \
+  "move/synth_2x400/CutSpikes"; do
+  grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_eval.json \
+    || { echo "BENCH_eval.json lost paired ratio: $ratio"; exit 1; }
+done
+for ratio in \
+  "engine/sparse_paper64" \
+  "engine/dense_burst16"; do
+  grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_noc.json \
+    || { echo "BENCH_noc.json lost paired ratio: $ratio"; exit 1; }
 done
 
 echo "==> NoC differential proptests (high case count)"
@@ -42,5 +62,8 @@ NEUROMAP_PROPTEST_CASES=256 cargo test --release --test noc_properties -q
 echo "==> eval/decode equivalence + determinism proptests (high case count)"
 NEUROMAP_PROPTEST_CASES=256 cargo test --release \
   --test eval_properties --test determinism --test partition_properties -q
+
+echo "==> placement/identity-golden proptests (high case count)"
+NEUROMAP_PROPTEST_CASES=256 cargo test --release --test placement_properties -q
 
 echo "verify: OK"

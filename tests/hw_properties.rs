@@ -74,10 +74,50 @@ proptest! {
         let m = Mapping::from_assignment(assignment.clone(), 6).expect("in range");
         let occ = m.occupancy();
         prop_assert_eq!(occ.iter().sum::<usize>(), assignment.len());
-        // neurons_on(k) agrees with occupancy
+        // the CSR index agrees with occupancy, stays in ascending id
+        // order, and partitions the neuron set
+        let mut covered = 0usize;
         for k in 0..6u32 {
-            prop_assert_eq!(m.neurons_on(k).len(), occ[k as usize]);
+            let on = m.neurons_on(k);
+            prop_assert_eq!(on.len(), occ[k as usize]);
+            prop_assert!(on.windows(2).all(|w| w[0] < w[1]), "id order");
+            prop_assert!(on.iter().all(|&i| m.crossbar_of(i) == k));
+            covered += on.len();
         }
+        prop_assert_eq!(covered, assignment.len());
+    }
+
+    #[test]
+    fn placement_composition_preserves_mapping_structure(
+        assignment in proptest::collection::vec(0u32..8, 1..80),
+        perm_seed in 0u64..1000,
+    ) {
+        use neuromap::hw::mapping::Placement;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let m = Mapping::from_assignment(assignment, 8).expect("in range");
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        let mut phys: Vec<u32> = (0..8).collect();
+        for a in (1..8usize).rev() {
+            let b = rng.gen_range(0..a + 1);
+            phys.swap(a, b);
+        }
+        let p = Placement::new(phys).expect("permutation");
+        let placed = m.place(&p).expect("same crossbar count");
+        // per-neuron composition, occupancy permutation, inverse undo
+        let occ = m.occupancy();
+        let pocc = placed.occupancy();
+        for i in 0..m.num_neurons() as u32 {
+            prop_assert_eq!(placed.crossbar_of(i), p.physical_of(m.crossbar_of(i)));
+        }
+        for k in 0..8u32 {
+            prop_assert_eq!(pocc[p.physical_of(k) as usize], occ[k as usize]);
+            prop_assert_eq!(placed.neurons_on(p.physical_of(k)), m.neurons_on(k));
+        }
+        let undone = placed.place(&p.inverse()).expect("same crossbar count");
+        prop_assert_eq!(&undone, &m);
+        let double_inverse = p.inverse().inverse();
+        prop_assert_eq!(double_inverse.as_slice(), p.as_slice());
     }
 
     #[test]
