@@ -17,7 +17,7 @@ use neuromap_hw::energy::EnergyModel;
 use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::oracle::CycleSim;
 use neuromap_noc::sim::NocSim;
-use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology};
+use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology, Torus};
 use neuromap_noc::traffic::SpikeFlow;
 
 fn burst_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec<SpikeFlow> {
@@ -58,29 +58,54 @@ fn sparse_paper_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec
 struct EngineWorkload {
     name: &'static str,
     flows: Vec<SpikeFlow>,
-    crossbars: usize,
+    topo: fn() -> Box<dyn Topology>,
     cfg: NocConfig,
 }
 
+/// Engine-comparison workloads, each also a `ratios` entry in
+/// `BENCH_noc.json`. The torus points run realistic shallow router
+/// FIFOs (the configuration dimension-order routing deadlocks on
+/// without virtual channels) so the VC arbitration path is part of the
+/// tracked perf trajectory, not just the tests.
 fn engine_workloads() -> Vec<EngineWorkload> {
     vec![
         EngineWorkload {
             name: "sparse_paper64",
             flows: sparse_paper_traffic(64, 2, 800),
-            crossbars: 64,
+            topo: || Box::new(Mesh2D::for_crossbars(64)),
             cfg: NocConfig::default(),
         },
         EngineWorkload {
             name: "moderate_paper64",
             flows: sparse_paper_traffic(64, 8, 200),
-            crossbars: 64,
+            topo: || Box::new(Mesh2D::for_crossbars(64)),
             cfg: NocConfig::default(),
         },
         EngineWorkload {
             name: "dense_burst16",
             flows: burst_traffic(16, 256, 10),
-            crossbars: 16,
+            topo: || Box::new(Mesh2D::for_crossbars(16)),
             cfg: NocConfig::default(),
+        },
+        EngineWorkload {
+            name: "torus64_vc2_shallow",
+            flows: sparse_paper_traffic(64, 8, 200),
+            topo: || Box::new(Torus::for_crossbars(64)),
+            cfg: NocConfig {
+                buffer_depth: 2,
+                vc_count: 2,
+                ..NocConfig::default()
+            },
+        },
+        EngineWorkload {
+            name: "torus64_vc4_depth4",
+            flows: sparse_paper_traffic(64, 16, 100),
+            topo: || Box::new(Torus::for_crossbars(64)),
+            cfg: NocConfig {
+                buffer_depth: 4,
+                vc_count: 4,
+                ..NocConfig::default()
+            },
         },
     ]
 }
@@ -88,16 +113,8 @@ fn engine_workloads() -> Vec<EngineWorkload> {
 /// Differential gate: both engines must digest-match on `w` before their
 /// timings are worth comparing. Returns the shared digest.
 fn assert_engines_agree(w: &EngineWorkload) -> u64 {
-    let mut event = NocSim::new(
-        Box::new(Mesh2D::for_crossbars(w.crossbars)),
-        w.cfg,
-        EnergyModel::default(),
-    );
-    let mut oracle = CycleSim::new(
-        Box::new(Mesh2D::for_crossbars(w.crossbars)),
-        w.cfg,
-        EnergyModel::default(),
-    );
+    let mut event = NocSim::new((w.topo)(), w.cfg, EnergyModel::default());
+    let mut oracle = CycleSim::new((w.topo)(), w.cfg, EnergyModel::default());
     let ev = event.run(&w.flows).expect("event engine drains");
     let or = oracle.run(&w.flows).expect("oracle drains");
     assert_eq!(
@@ -106,6 +123,14 @@ fn assert_engines_agree(w: &EngineWorkload) -> u64 {
         "{}: engines diverge — benchmark numbers would be meaningless",
         w.name
     );
+    if w.cfg.vc_count > 1 {
+        assert!(
+            ev.per_vc.iter().all(|v| v.forwarded > 0),
+            "{}: VC workload must exercise every VC: {:?}",
+            w.name,
+            ev.per_vc
+        );
+    }
     ev.digest()
 }
 
@@ -117,21 +142,13 @@ fn bench_engines(c: &mut Criterion) {
         group.sample_size(10);
         group.bench_with_input(BenchmarkId::from_parameter("event"), &w, |b, w| {
             b.iter(|| {
-                let mut sim = NocSim::new(
-                    Box::new(Mesh2D::for_crossbars(w.crossbars)),
-                    w.cfg,
-                    EnergyModel::default(),
-                );
+                let mut sim = NocSim::new((w.topo)(), w.cfg, EnergyModel::default());
                 sim.run(&w.flows).expect("traffic drains")
             });
         });
         group.bench_with_input(BenchmarkId::from_parameter("oracle"), &w, |b, w| {
             b.iter(|| {
-                let mut sim = CycleSim::new(
-                    Box::new(Mesh2D::for_crossbars(w.crossbars)),
-                    w.cfg,
-                    EnergyModel::default(),
-                );
+                let mut sim = CycleSim::new((w.topo)(), w.cfg, EnergyModel::default());
                 sim.run(&w.flows).expect("traffic drains")
             });
         });
@@ -229,14 +246,18 @@ fn main() {
     let sparse = speedup(&c, "engine/sparse_paper64");
     let moderate = speedup(&c, "engine/moderate_paper64");
     let dense = speedup(&c, "engine/dense_burst16");
-    if let Some(s) = sparse {
-        println!("event engine speedup over oracle, sparse paper-scale: {s:.1}x");
-    }
-    if let Some(s) = moderate {
-        println!("event engine speedup over oracle, moderate paper-scale: {s:.1}x");
-    }
-    if let Some(s) = dense {
-        println!("event engine speedup over oracle, dense bursts: {s:.1}x");
+    let engine_ratios: Vec<(String, Option<f64>)> = engine_workloads()
+        .iter()
+        .map(|w| {
+            let group = format!("engine/{}", w.name);
+            let s = speedup(&c, &group);
+            (group, s)
+        })
+        .collect();
+    for (group, s) in &engine_ratios {
+        if let Some(s) = s {
+            println!("event engine speedup over oracle, {group}: {s:.1}x");
+        }
     }
 
     // machine-readable summary for cross-PR tracking
@@ -255,20 +276,16 @@ fn main() {
     // immune to the 1-core box's thermal throttling that pollutes
     // cross-PR absolute ns (ROADMAP caveat from PR 3). The top-level
     // `noc_*_speedup` keys are kept for backwards compatibility.
-    let ratios: Vec<String> = [
-        ("engine/sparse_paper64", sparse),
-        ("engine/moderate_paper64", moderate),
-        ("engine/dense_burst16", dense),
-    ]
-    .iter()
-    .filter_map(|(group, speedup)| {
-        speedup.map(|s| {
-            format!(
-                "    {{\"id\": \"{group}\", \"baseline\": \"{group}/oracle\", \"candidate\": \"{group}/event\", \"speedup\": {s:.2}}}"
-            )
+    let ratios: Vec<String> = engine_ratios
+        .iter()
+        .filter_map(|(group, speedup)| {
+            speedup.map(|s| {
+                format!(
+                    "    {{\"id\": \"{group}\", \"baseline\": \"{group}/oracle\", \"candidate\": \"{group}/event\", \"speedup\": {s:.2}}}"
+                )
+            })
         })
-    })
-    .collect();
+        .collect();
     let json = format!(
         "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"ratios\": [\n{}\n  ],\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
         sparse.unwrap_or(0.0),

@@ -47,14 +47,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // AER multicast packetization + an 8.2 MHz-class interconnect:
             // the dense grid traffic needs both to drain inside each
             // timestep (per-synapse unicast at this scale would model a
-            // hopelessly underprovisioned chip). Deep router FIFOs keep
-            // the torus's wraparound rings clear of credit-cycle deadlock
-            // under bursty injection — dimension-order routing on a torus
-            // is not deadlock-free with shallow buffers.
+            // hopelessly underprovisioned chip). Router FIFOs are the
+            // realistic shallow depth real neuromorphic NoCs ship
+            // (depth 4, not the depth-64 workaround PR 4 needed): on the
+            // torus, two virtual channels with dateline assignment keep
+            // the wraparound rings deadlock-free under bursty multicast
+            // where single-channel dimension-order routing wedges.
             let mut cfg = PipelineConfig::for_arch(arch)
                 .with_traffic(neuromap_core::pipeline::TrafficMode::PerCrossbar);
             cfg.noc.cycles_per_step = 8192;
-            cfg.noc.buffer_depth = 64;
+            cfg.noc.buffer_depth = 4;
+            if kind == InterconnectKind::Torus {
+                cfg.noc.vc_count = 2;
+            }
             let pipeline = MappingPipeline::new(cfg);
             let pso = PsoPartitioner::new(PsoConfig {
                 swarm_size: swarm,

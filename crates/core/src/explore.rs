@@ -196,6 +196,29 @@ mod tests {
     }
 
     #[test]
+    fn architecture_sweep_carries_vc_config_onto_shallow_torus_points() {
+        // the base NocConfig (shallow FIFOs + 2 VCs) must survive the
+        // per-point chip re-derivation: every point simulates on the
+        // wraparound fabric that would be deadlock-capable without VCs,
+        // and single-VC wire shape rules keep per-VC stats visible
+        use neuromap_noc::config::NocConfig;
+        let g = graph();
+        let arch = Architecture::custom(18, 1, InterconnectKind::Torus).unwrap();
+        let mut base = PipelineConfig::for_arch(arch);
+        base.noc = NocConfig {
+            buffer_depth: 2,
+            vc_count: 2,
+            ..NocConfig::default()
+        };
+        let pts = architecture_sweep(&g, &base, &[1, 3], &PacmanPartitioner::new()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.total_energy_uj > 0.0));
+        // the first point (one neuron per crossbar) must push traffic
+        // through the torus rings rather than staying local
+        assert!(pts[0].global_energy_uj > 0.0);
+    }
+
+    #[test]
     fn swarm_sweep_improves_with_size() {
         let g = graph();
         let cfg =

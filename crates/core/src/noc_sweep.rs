@@ -37,10 +37,24 @@ fn sweep_points<T>(
     apply: impl Fn(&T, &mut NocConfig),
 ) -> Result<Vec<NocSweepPoint>, CoreError> {
     let pipeline = MappingPipeline::new(base.clone());
+    sweep_points_with(&pipeline, graph, mapping, settings, label, apply)
+}
+
+/// [`sweep_points`] over a caller-owned pipeline: every point goes
+/// through [`MappingPipeline::with_noc`], which shares the pipeline's
+/// `Arc<dyn Topology>` and distance table instead of rebuilding them.
+fn sweep_points_with<T>(
+    pipeline: &MappingPipeline,
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    settings: impl IntoIterator<Item = T>,
+    label: impl Fn(&T) -> String,
+    apply: impl Fn(&T, &mut NocConfig),
+) -> Result<Vec<NocSweepPoint>, CoreError> {
     settings
         .into_iter()
         .map(|setting| {
-            let mut noc = base.noc;
+            let mut noc = pipeline.config().noc;
             apply(&setting, &mut noc);
             let report = pipeline
                 .with_noc(noc)
@@ -51,6 +65,74 @@ fn sweep_points<T>(
             })
         })
         .collect()
+}
+
+/// Per-point interconnect overrides for a mixed sweep: any field left
+/// `None` inherits the base configuration's value, so one sweep can walk
+/// e.g. `(depth 64, 1 VC)` → `(depth 2, 2 VCs)` without cloning whole
+/// configs per point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocOverride {
+    /// Overrides [`NocConfig::buffer_depth`] for this point.
+    pub buffer_depth: Option<usize>,
+    /// Overrides [`NocConfig::vc_count`] for this point.
+    pub vc_count: Option<usize>,
+}
+
+impl NocOverride {
+    fn apply(&self, noc: &mut NocConfig) {
+        if let Some(d) = self.buffer_depth {
+            noc.buffer_depth = d;
+        }
+        if let Some(v) = self.vc_count {
+            noc.vc_count = v;
+        }
+    }
+}
+
+/// Sweeps heterogeneous `(buffer_depth, vc_count)` points — unlike the
+/// single-knob sweeps, every point may override both knobs independently
+/// (the shallow-FIFO / virtual-channel trade-off study needs exactly
+/// this: deep buffers without VCs against shallow buffers with them).
+///
+/// # Errors
+///
+/// Propagates pipeline errors for any point (including
+/// [`CoreError::Noc`] wrapping a cycle-budget wedge for
+/// deadlock-capable single-VC torus points).
+pub fn mixed_sweep(
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    base: &PipelineConfig,
+    points: &[NocOverride],
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    let pipeline = MappingPipeline::new(base.clone());
+    mixed_sweep_with(&pipeline, graph, mapping, points)
+}
+
+/// [`mixed_sweep`] over a caller-owned pipeline, reusing its shared
+/// topology and distance table across every point.
+pub fn mixed_sweep_with(
+    pipeline: &MappingPipeline,
+    graph: &SpikeGraph,
+    mapping: &Mapping,
+    points: &[NocOverride],
+) -> Result<Vec<NocSweepPoint>, CoreError> {
+    sweep_points_with(
+        pipeline,
+        graph,
+        mapping,
+        points.iter().copied(),
+        |p| {
+            let base = pipeline.config().noc;
+            format!(
+                "buffer_depth={},vc_count={}",
+                p.buffer_depth.unwrap_or(base.buffer_depth),
+                p.vc_count.unwrap_or(base.vc_count)
+            )
+        },
+        |p, noc| p.apply(noc),
+    )
 }
 
 /// One point of an interconnect-parameter sweep.
@@ -237,6 +319,82 @@ mod tests {
         assert_eq!(pts.len(), 2);
         let d0 = pts[0].stats.delivered;
         assert!(d0 > 0, "traffic must actually cross the mesh");
+        assert!(pts.iter().all(|p| p.stats.delivered == d0));
+    }
+
+    #[test]
+    fn mixed_sweep_reuses_the_shared_topology() {
+        // one pipeline, heterogeneous (depth, vc) points: every point
+        // must evaluate over the same Arc'd router graph (no rebuild),
+        // conserve deliveries, and carry per-VC stats only when vc > 1
+        let (graph, mapping, cfg) = setup();
+        let pipeline = MappingPipeline::new(cfg.clone());
+        let before = std::sync::Arc::strong_count(&pipeline.shared_topology());
+        let pts = mixed_sweep_with(
+            &pipeline,
+            &graph,
+            &mapping,
+            &[
+                NocOverride {
+                    buffer_depth: Some(64),
+                    vc_count: None,
+                },
+                NocOverride {
+                    buffer_depth: Some(2),
+                    vc_count: Some(2),
+                },
+                NocOverride::default(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].setting, "buffer_depth=64,vc_count=1");
+        assert_eq!(pts[1].setting, "buffer_depth=2,vc_count=2");
+        assert_eq!(pts[2].setting, "buffer_depth=4,vc_count=1");
+        let d0 = pts[0].stats.delivered;
+        assert!(d0 > 0);
+        assert!(pts.iter().all(|p| p.stats.delivered == d0));
+        assert_eq!(pts[1].stats.per_vc.len(), 2);
+        assert!(pts[0].stats.per_vc.is_empty());
+        assert!(pts[2].stats.per_vc.is_empty());
+        // the sweep held no extra topology references after finishing,
+        // and derived pipelines share the instance rather than rebuild
+        assert_eq!(
+            std::sync::Arc::strong_count(&pipeline.shared_topology()),
+            before
+        );
+        let derived = pipeline.with_noc(cfg.noc);
+        assert!(std::sync::Arc::ptr_eq(
+            &pipeline.shared_topology(),
+            &derived.shared_topology()
+        ));
+    }
+
+    #[test]
+    fn mixed_sweep_covers_the_vc_depth_tradeoff_on_a_torus() {
+        // the study the override exists for: deep single-VC buffers vs
+        // shallow dual-VC buffers on a wraparound fabric, one sweep
+        let (graph, mapping, _) = setup();
+        let arch = Architecture::custom(4, 6, InterconnectKind::Torus).unwrap();
+        let cfg = PipelineConfig::for_arch(arch);
+        let pts = mixed_sweep(
+            &graph,
+            &mapping,
+            &cfg,
+            &[
+                NocOverride {
+                    buffer_depth: Some(64),
+                    vc_count: Some(1),
+                },
+                NocOverride {
+                    buffer_depth: Some(2),
+                    vc_count: Some(2),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        let d0 = pts[0].stats.delivered;
         assert!(pts.iter().all(|p| p.stats.delivered == d0));
     }
 

@@ -114,6 +114,14 @@ impl PipelineConfig {
         self
     }
 
+    /// Replaces the interconnect configuration (builder style) — the
+    /// route `vc_count` / `buffer_depth` settings take from callers like
+    /// `repro_placement` into the simulated fabric.
+    pub fn with_noc(mut self, noc: NocConfig) -> Self {
+        self.noc = noc;
+        self
+    }
+
     /// Selects the interconnect engine (builder style).
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
@@ -299,6 +307,13 @@ impl MappingPipeline {
     /// The shared router graph.
     pub fn topology(&self) -> &dyn Topology {
         self.topo.as_ref()
+    }
+
+    /// A clone of the shared router-graph `Arc` — lets callers (and the
+    /// sweep tests) verify that derived pipelines reuse the same
+    /// topology instance rather than rebuilding it.
+    pub fn shared_topology(&self) -> Arc<dyn Topology> {
+        Arc::clone(&self.topo)
     }
 
     /// The shared all-pairs hop-distance table.
@@ -809,6 +824,45 @@ mod tests {
             r_id.hop_weighted_packets
         );
         assert!(r_opt.global_energy_pj < r_id.global_energy_pj);
+    }
+
+    #[test]
+    fn shallow_torus_with_vcs_agrees_across_engines() {
+        // a 16-crossbar torus at realistic FIFO depth 2 with 2 VCs: the
+        // staged pipeline must produce byte-identical reports on both
+        // engines (this is the configuration class the deep-FIFO
+        // workaround used to paper over)
+        let mut synapses = Vec::new();
+        for a in 0..16u32 {
+            synapses.push((a, (a + 5) % 16));
+            synapses.push((a, (a + 11) % 16));
+        }
+        let trains: Vec<SpikeTrain> = (0..16)
+            .map(|i| SpikeTrain::from_times((0..6).map(|k| k * 40 + (i % 3)).collect()))
+            .collect();
+        let g = SpikeGraph::from_trains(16, synapses, trains).unwrap();
+        let arch = Architecture::custom(16, 1, InterconnectKind::Torus).unwrap();
+        let noc = NocConfig {
+            buffer_depth: 2,
+            vc_count: 2,
+            ..NocConfig::default()
+        };
+        let cfg = PipelineConfig::for_arch(arch)
+            .with_traffic(TrafficMode::PerCrossbar)
+            .with_noc(noc);
+        let oracle_cfg = cfg.clone().with_engine(EngineKind::CycleOracle);
+        let assign: Vec<u32> = (0..16).collect();
+        let m = Mapping::from_assignment(assign, 16).unwrap();
+        let r_ev = MappingPipeline::new(cfg)
+            .evaluate(&g, m.clone(), "manual")
+            .unwrap();
+        let r_or = MappingPipeline::new(oracle_cfg)
+            .evaluate(&g, m, "manual")
+            .unwrap();
+        assert_eq!(r_ev, r_or);
+        assert_eq!(r_ev.noc.digest(), r_or.noc.digest());
+        assert_eq!(r_ev.noc.per_vc.len(), 2);
+        assert!(r_ev.noc.delivered > 0);
     }
 
     #[test]

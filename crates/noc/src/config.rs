@@ -29,7 +29,27 @@ pub struct NocConfig {
     pub multicast: bool,
     /// Hard cycle budget; exceeded ⇒ [`NocError::CycleBudgetExhausted`].
     pub max_cycles: u64,
+    /// Virtual channels per ingress port. Every ingress port carries
+    /// `vc_count` independent FIFOs of [`NocConfig::buffer_depth`] packets,
+    /// each with its own credit counter; the VC a packet occupies on a
+    /// link is assigned by [`crate::topology::Topology::hop_vc`]
+    /// (dateline-based on the torus, which makes shallow-buffer torus
+    /// routing deadlock-free — see [`crate::router`]). The default of 1
+    /// is bit-identical to the pre-VC engines. Deserialization defaults
+    /// absent fields to 1, so pre-VC configuration files stay valid.
+    #[serde(default = "default_vc_count")]
+    pub vc_count: usize,
 }
+
+/// Serde default for [`NocConfig::vc_count`]: one virtual channel, the
+/// pre-VC behavior.
+fn default_vc_count() -> usize {
+    1
+}
+
+/// Upper bound on [`NocConfig::vc_count`] (the engines track VC
+/// eligibility in a 32-bit mask; real routers carry far fewer).
+pub const MAX_VCS: usize = 32;
 
 impl Default for NocConfig {
     fn default() -> Self {
@@ -41,6 +61,7 @@ impl Default for NocConfig {
             arbitration: Arbitration::RoundRobin,
             multicast: true,
             max_cycles: 500_000_000,
+            vc_count: 1,
         }
     }
 }
@@ -75,6 +96,12 @@ impl NocConfig {
             return Err(NocError::InvalidConfig {
                 name: "max_cycles",
                 value: "0".into(),
+            });
+        }
+        if self.vc_count == 0 || self.vc_count > MAX_VCS {
+            return Err(NocError::InvalidConfig {
+                name: "vc_count",
+                value: self.vc_count.to_string(),
             });
         }
         Ok(())
@@ -161,10 +188,53 @@ mod tests {
     }
 
     #[test]
+    fn vc_count_out_of_domain_rejected() {
+        let c = NocConfig {
+            vc_count: 0,
+            ..NocConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(NocError::InvalidConfig {
+                name: "vc_count",
+                ..
+            })
+        ));
+        let c = NocConfig {
+            vc_count: MAX_VCS + 1,
+            ..NocConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = NocConfig {
+            vc_count: MAX_VCS,
+            ..NocConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn pre_vc_json_parses_with_one_vc() {
+        // a configuration file written before virtual channels existed
+        // must keep parsing, defaulting to the single-VC behavior
+        let json = r#"{
+            "buffer_depth": 4, "flits_per_packet": 2, "router_delay": 1,
+            "cycles_per_step": 1024, "arbitration": "RoundRobin",
+            "multicast": true, "max_cycles": 1000
+        }"#;
+        let c = NocConfig::from_json(json).unwrap();
+        assert_eq!(c.vc_count, 1);
+    }
+
+    #[test]
     fn json_roundtrip() {
         let c = NocConfig::default();
         let j = c.to_json();
         assert_eq!(NocConfig::from_json(&j).unwrap(), c);
+        let c = NocConfig {
+            vc_count: 4,
+            ..NocConfig::default()
+        };
+        assert_eq!(NocConfig::from_json(&c.to_json()).unwrap(), c);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The interconnect simulation engines.
 //!
-//! Two engines share one timing model — input-buffered routers,
-//! credit-based backpressure, per-output arbitration, link serialization
-//! by packet size, deterministic routing from the
-//! [`crate::topology::Topology`], and multicast branch splitting:
+//! Two engines share one timing model — input-buffered routers with
+//! per-ingress virtual-channel FIFOs, credit-based backpressure per
+//! `(ingress, VC)` lane, per-output arbitration (VC round-robin nested in
+//! the configured policy), link serialization by packet size,
+//! deterministic routing and VC assignment from the
+//! [`crate::topology::Topology`], and multicast branch splitting by
+//! `(egress port, VC)`:
 //!
 //! * [`NocSim`] — the **event-driven** production engine. A wake list
 //!   (arrival heap keyed by `(cycle, seq)`, output-port busy expiries,
@@ -31,11 +34,18 @@
 //! every cycle in which the oracle makes progress, skipped cycles are
 //! provable no-ops, and both engines walk the same state trajectory —
 //! bit-for-bit, including round-robin cursors and credit occupancy.
+//!
+//! Virtual channels do not weaken the argument: the added state (per-VC
+//! credits, per-port VC cursors, per-VC statistics) also only changes at
+//! forwards and arrivals, both of which schedule wakes, and the VC
+//! assignment is a pure function of `(router, destination)` — nothing
+//! time-dependent enters the arbitration beyond what already did.
 
 use crate::config::NocConfig;
 use crate::error::NocError;
 use crate::packet::Packet;
-use crate::stats::{Counters, Delivery, NocStats};
+use crate::router::pick_vc;
+use crate::stats::{Counters, Delivery, NocStats, VcCounters};
 use crate::topology::{RouteLut, Topology};
 use crate::traffic::{sort_canonical, SpikeFlow};
 use neuromap_hw::energy::EnergyModel;
@@ -65,8 +75,19 @@ pub(crate) struct Arrival {
     pub(crate) cycle: u64,
     pub(crate) seq: u64,
     pub(crate) router: usize,
+    /// FIFO *lane* on the receiving router ([`lane`]:
+    /// `1 + ingress_port * vc_count + vc`). The lane identifies both
+    /// which per-VC FIFO the packet enters and which credit it holds.
     pub(crate) ingress: usize,
     pub(crate) packet: Packet,
+}
+
+/// FIFO-lane index of `(ingress port position, virtual channel)`; lane 0
+/// is the VC-less local-injection queue. With one VC this is the classic
+/// `1 + position` ingress index, so the layout (and therefore every
+/// cursor and credit index) is bit-compatible with the pre-VC engines.
+pub(crate) fn lane(position: usize, vc: usize, vc_count: usize) -> usize {
+    1 + position * vc_count + vc
 }
 
 impl Ord for Arrival {
@@ -189,14 +210,17 @@ pub(crate) fn strip_local(
 
 /// Per-router runtime state.
 struct RouterState {
-    /// Input FIFOs: index 0 = local injection, `1 + i` = ingress from
-    /// `neighbors[i]`.
+    /// Input FIFO lanes: lane 0 = local injection, then one lane per
+    /// `(ingress port, VC)` pair in [`lane`] order.
     fifos: Vec<VecDeque<Packet>>,
-    /// Round-robin cursor per output port.
+    /// Arbitration cursor per `(output port, VC)`:
+    /// `rr_cursor[o * vc_count + vc]`, over FIFO-lane indices.
     rr_cursor: Vec<usize>,
+    /// Round-robin cursor over VCs, per output port.
+    vc_cursor: Vec<usize>,
     /// Output port busy (serializing) until this cycle (exclusive).
     busy_until: Vec<u64>,
-    /// Credits consumed on each ingress FIFO of *this* router
+    /// Credits consumed on each ingress FIFO lane of *this* router
     /// (occupancy + packets already in flight toward it).
     credits_used: Vec<usize>,
     /// Packets currently queued across this router's FIFOs.
@@ -279,7 +303,7 @@ impl NocSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
-        let (deliveries, counters) = self.simulate(schedule)?;
+        let (deliveries, counters, per_vc) = self.simulate(schedule)?;
         let stats = NocStats::from_deliveries(
             &deliveries,
             counters,
@@ -287,16 +311,42 @@ impl NocSim {
             self.config.flits_per_packet,
             duration_steps,
             self.config.cycles_per_step,
-        );
+        )
+        .with_per_vc(per_vc);
         Ok((stats, deliveries))
     }
 
     /// The event-driven main loop.
-    fn simulate(&self, schedule: Vec<Packet>) -> Result<(Vec<Delivery>, Counters), NocError> {
+    #[allow(clippy::type_complexity)]
+    fn simulate(
+        &self,
+        schedule: Vec<Packet>,
+    ) -> Result<(Vec<Delivery>, Counters, Vec<VcCounters>), NocError> {
         let cfg = &self.config;
         let topo = self.topo.as_ref();
         let nr = topo.num_routers();
         let lut = RouteLut::new(topo);
+        let vcs = cfg.vc_count;
+        // flattened VC routing table (the VC of the hop leaving r toward
+        // destination router d); empty in the single-VC fast case
+        let vc_lut: Vec<u8> = if vcs > 1 {
+            let mut t = Vec::with_capacity(nr * nr);
+            for r in 0..nr {
+                for d in 0..nr {
+                    t.push(topo.hop_vc(r, d, vcs) as u8);
+                }
+            }
+            t
+        } else {
+            Vec::new()
+        };
+        let hop_vc = |r: usize, dst_router: usize| -> usize {
+            if vcs == 1 {
+                0
+            } else {
+                vc_lut[r * nr + dst_router] as usize
+            }
+        };
 
         // crossbar → hosting router, and the reverse for arrival stripping
         let endpoint_of: Vec<usize> = (0..topo.num_crossbars() as u32)
@@ -307,18 +357,19 @@ impl NocSim {
             hosted[r].push(k as u32);
         }
 
-        // per-router egress ports: (neighbor, ingress index on the neighbor)
+        // per-router egress ports: (neighbor, our port position on the
+        // neighbor — the downstream lane is derived per VC via `lane`)
         let ports: Vec<Vec<(usize, usize)>> = (0..nr)
             .map(|r| {
                 topo.neighbors(r)
                     .iter()
                     .map(|&nbr| {
-                        let down_ingress = 1 + topo
+                        let down_pos = topo
                             .neighbors(nbr)
                             .iter()
                             .position(|&x| x == r)
                             .expect("links are bidirectional");
-                        (nbr, down_ingress)
+                        (nbr, down_pos)
                     })
                     .collect()
             })
@@ -328,10 +379,11 @@ impl NocSim {
             .map(|r| {
                 let deg = ports[r].len();
                 RouterState {
-                    fifos: vec![VecDeque::new(); deg + 1],
-                    rr_cursor: vec![0; deg],
+                    fifos: vec![VecDeque::new(); 1 + deg * vcs],
+                    rr_cursor: vec![0; deg * vcs],
+                    vc_cursor: vec![0; deg],
                     busy_until: vec![0; deg],
-                    credits_used: vec![0; deg + 1],
+                    credits_used: vec![0; 1 + deg * vcs],
                     queued: 0,
                 }
             })
@@ -339,6 +391,14 @@ impl NocSim {
 
         let mut deliveries: Vec<Delivery> = Vec::new();
         let mut counters = Counters::default();
+        // per-VC counters, aggregated over all routers; empty (and never
+        // updated) in the single-VC case so the serialized statistics
+        // stay byte-identical to the pre-VC engines
+        let mut per_vc: Vec<VcCounters> = if vcs > 1 {
+            vec![VcCounters::default(); vcs]
+        } else {
+            Vec::new()
+        };
         let mut in_transit: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
         // output-port busy expiries; lazily drained, duplicates harmless
         let mut busy_wakes: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
@@ -346,9 +406,9 @@ impl NocSim {
         let mut active: BTreeSet<usize> = BTreeSet::new();
         let mut sweep: Vec<usize> = Vec::new();
         let mut candidates: Vec<(usize, u64)> = Vec::new();
-        // per-FIFO head scratch for the sweep: wanted-egress-port bitmask
-        // and inject cycle (mask path taken when the router degree fits)
-        let max_fifos = (0..nr).map(|r| ports[r].len() + 1).max().unwrap_or(1);
+        // per-FIFO-lane scratch for the sweep: wanted-(egress, VC) bitmask
+        // and inject cycle (mask path taken when deg × vcs fits in 128)
+        let max_fifos = (0..nr).map(|r| 1 + ports[r].len() * vcs).max().unwrap_or(1);
         let mut masks: Vec<u128> = vec![0; max_fifos];
         let mut injects: Vec<u64> = vec![0; max_fifos];
         let mut seq = 0u64;
@@ -409,6 +469,12 @@ impl NocSim {
                         state.fifos[a.ingress].len() <= cfg.buffer_depth,
                         "ingress FIFO overflows its credit-bounded depth"
                     );
+                    if vcs > 1 {
+                        let vc = &mut per_vc[(a.ingress - 1) % vcs];
+                        vc.enqueued += 1;
+                        vc.peak_occupancy =
+                            vc.peak_occupancy.max(state.fifos[a.ingress].len() as u64);
+                    }
                     state.queued += 1;
                     queued_packets += 1;
                     active.insert(a.router);
@@ -447,14 +513,16 @@ impl NocSim {
             sweep.extend(active.iter().copied());
             for &r in &sweep {
                 let deg = ports[r].len();
-                let nf = deg + 1;
-                // wanted-port bitmask per FIFO head; recomputed whenever a
-                // forward changes a head, so later ports in this cycle see
-                // exactly what the oracle's per-port rescan would see
-                let use_masks = deg <= 128;
+                let nf = 1 + deg * vcs;
+                // wanted-(port, VC) bitmask per FIFO-lane head (bit
+                // `o * vcs + w`); recomputed whenever a forward changes a
+                // head, so later ports in this cycle see exactly what the
+                // oracle's per-port rescan would see
+                let use_masks = deg * vcs <= 128;
                 let head_mask = |head: &Packet| -> u128 {
                     head.dests.iter().fold(0u128, |m, &d| {
-                        m | 1u128 << lut.egress_port(r, endpoint_of[d as usize])
+                        let er = endpoint_of[d as usize];
+                        m | 1u128 << (lut.egress_port(r, er) as usize * vcs + hop_vc(r, er))
                     })
                 };
                 if use_masks {
@@ -468,17 +536,44 @@ impl NocSim {
                         }
                     }
                 }
-                for (o, &(nbr, down_ingress)) in ports[r].iter().enumerate() {
+                for (o, &(nbr, down_pos)) in ports[r].iter().enumerate() {
                     if routers[r].busy_until[o] > now {
                         continue;
                     }
-                    if routers[nbr].credits_used[down_ingress] >= cfg.buffer_depth {
-                        continue; // backpressure
+                    // eligible VCs: a candidate head wants (o, w) and the
+                    // downstream (ingress, w) lane has a free credit —
+                    // with one VC this is exactly the pre-VC "skip the
+                    // port when the downstream FIFO is credit-full"
+                    let mut eligible = 0u32;
+                    for w in 0..vcs {
+                        if routers[nbr].credits_used[lane(down_pos, w, vcs)] >= cfg.buffer_depth {
+                            continue; // backpressure on this VC
+                        }
+                        let wanted = if use_masks {
+                            let bit = 1u128 << (o * vcs + w);
+                            (0..nf).any(|fi| masks[fi] & bit != 0)
+                        } else {
+                            routers[r].fifos.iter().any(|fifo| {
+                                fifo.front().is_some_and(|head| {
+                                    head.dests.iter().any(|&d| {
+                                        let er = endpoint_of[d as usize];
+                                        lut.egress_port(r, er) == o as u32 && hop_vc(r, er) == w
+                                    })
+                                })
+                            })
+                        };
+                        if wanted {
+                            eligible |= 1 << w;
+                        }
                     }
-                    // candidates: FIFOs whose head routes some dest via nbr
+                    let Some(w) = pick_vc(eligible, routers[r].vc_cursor[o]) else {
+                        continue;
+                    };
+                    // candidates: FIFO lanes whose head routes some dest
+                    // via (o, w)
                     candidates.clear();
                     if use_masks {
-                        let bit = 1u128 << o;
+                        let bit = 1u128 << (o * vcs + w);
                         for fi in 0..nf {
                             if masks[fi] & bit != 0 {
                                 candidates.push((fi, injects[fi]));
@@ -488,26 +583,37 @@ impl NocSim {
                         for (fi, fifo) in routers[r].fifos.iter().enumerate() {
                             if let Some(head) = fifo.front() {
                                 if head.dests.iter().any(|&d| {
-                                    lut.egress_port(r, endpoint_of[d as usize]) == o as u32
+                                    let er = endpoint_of[d as usize];
+                                    lut.egress_port(r, er) == o as u32 && hop_vc(r, er) == w
                                 }) {
                                     candidates.push((fi, head.inject_cycle));
                                 }
                             }
                         }
                     }
-                    let Some(win_pos) = cfg.arbitration.pick(&candidates, routers[r].rr_cursor[o])
-                    else {
-                        continue;
-                    };
+                    let win_pos = cfg
+                        .arbitration
+                        .pick(&candidates, routers[r].rr_cursor[o * vcs + w])
+                        .expect("an eligible VC has a candidate");
                     let (fi, _) = candidates[win_pos];
-                    routers[r].rr_cursor[o] = fi + 1;
+                    routers[r].rr_cursor[o * vcs + w] = fi + 1;
+                    routers[r].vc_cursor[o] = w + 1;
+                    if vcs > 1 {
+                        per_vc[w].forwarded += 1;
+                        for (w2, vc_stat) in per_vc.iter_mut().enumerate() {
+                            if w2 != w && eligible & (1 << w2) != 0 {
+                                vc_stat.arb_losses += 1;
+                            }
+                        }
+                    }
 
-                    // split off the dests routed via this port
+                    // split off the dests routed via this (port, VC)
                     let head = routers[r].fifos[fi]
                         .front_mut()
                         .expect("candidate fifo has a head");
                     let branch = head.take_dests_where(|d| {
-                        lut.egress_port(r, endpoint_of[d as usize]) == o as u32
+                        let er = endpoint_of[d as usize];
+                        lut.egress_port(r, er) == o as u32 && hop_vc(r, er) == w
                     });
                     if head.dests.is_empty() {
                         routers[r].fifos[fi].pop_front().expect("head exists");
@@ -530,9 +636,10 @@ impl NocSim {
                     counters.link_flits += flits as u64;
                     routers[r].busy_until[o] = now + flits as u64;
                     busy_wakes.push(Reverse(now + flits as u64));
-                    routers[nbr].credits_used[down_ingress] += 1;
+                    let down_lane = lane(down_pos, w, vcs);
+                    routers[nbr].credits_used[down_lane] += 1;
                     debug_assert!(
-                        routers[nbr].credits_used[down_ingress] <= cfg.buffer_depth,
+                        routers[nbr].credits_used[down_lane] <= cfg.buffer_depth,
                         "credits must never exceed the FIFO depth"
                     );
                     seq += 1;
@@ -541,7 +648,7 @@ impl NocSim {
                         cycle: now + hop_latency,
                         seq,
                         router: nbr,
-                        ingress: down_ingress,
+                        ingress: down_lane,
                         packet: branch,
                     }));
                 }
@@ -588,7 +695,7 @@ impl NocSim {
         }
 
         counters.deliveries = deliveries.len() as u64;
-        Ok((deliveries, counters))
+        Ok((deliveries, counters, per_vc))
     }
 }
 
@@ -812,6 +919,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn vc_engines_agree_and_split_traffic_smoke() {
+        // shallow-FIFO 4x4 torus with 2 VCs under multicast cross-ring
+        // traffic: the engines must agree byte-for-byte, the per-VC
+        // counters must be populated, and the dateline assignment must
+        // actually route packets over both VCs (the cross-crate corpus
+        // in tests/noc_properties.rs is the full campaign)
+        let mut flows = Vec::new();
+        for step in 0..6u32 {
+            for src in 0..16u32 {
+                flows.push(SpikeFlow::multicast(
+                    src * 17 + step,
+                    src,
+                    vec![(src + 2) % 16, (src + 9) % 16],
+                    step,
+                ));
+            }
+        }
+        let cfg = NocConfig {
+            buffer_depth: 2,
+            vc_count: 2,
+            ..NocConfig::default()
+        };
+        let mut ev = NocSim::new(
+            Box::new(Torus::for_crossbars(16)),
+            cfg,
+            EnergyModel::default(),
+        );
+        let mut or = CycleSim::new(
+            Box::new(Torus::for_crossbars(16)),
+            cfg,
+            EnergyModel::default(),
+        );
+        let (es, ed) = ev.run_with_duration(&flows, 6).unwrap();
+        let (os, od) = or.run_with_duration(&flows, 6).unwrap();
+        assert_eq!(ed, od, "delivery logs must be identical");
+        assert_eq!(es.digest(), os.digest(), "stats must be byte-identical");
+        assert_eq!(es.per_vc.len(), 2);
+        assert!(es.per_vc.iter().all(|v| v.forwarded > 0), "{:?}", es.per_vc);
+        assert_eq!(
+            es.per_vc.iter().map(|v| v.forwarded).sum::<u64>() * u64::from(cfg.flits_per_packet),
+            es.counters.link_flits,
+            "per-VC forwards must partition the link traffic"
+        );
+        assert!(es
+            .per_vc
+            .iter()
+            .all(|v| v.peak_occupancy <= cfg.buffer_depth as u64));
+    }
+
+    #[test]
+    fn single_vc_config_produces_no_per_vc_counters() {
+        let mut s = sim(Box::new(Mesh2D::for_crossbars(4)));
+        let stats = s.run(&[SpikeFlow::unicast(1, 0, 3, 0)]).unwrap();
+        assert!(stats.per_vc.is_empty());
     }
 
     #[test]

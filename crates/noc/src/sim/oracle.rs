@@ -15,11 +15,12 @@
 //! its value is that it stays the simple, obviously-cycle-accurate
 //! formulation.
 
-use super::{build_schedule, strip_local, validate_flows, Arrival};
+use super::{build_schedule, lane, strip_local, validate_flows, Arrival};
 use crate::config::NocConfig;
 use crate::error::NocError;
 use crate::packet::Packet;
-use crate::stats::{Counters, Delivery, NocStats};
+use crate::router::pick_vc;
+use crate::stats::{Counters, Delivery, NocStats, VcCounters};
 use crate::topology::Topology;
 use crate::traffic::SpikeFlow;
 use neuromap_hw::energy::EnergyModel;
@@ -29,14 +30,17 @@ use std::collections::{BinaryHeap, VecDeque};
 /// Per-router runtime state (mirrors the event engine's, without the
 /// queued-packet bookkeeping the wake list needs).
 struct RouterState {
-    /// Input FIFOs: index 0 = local injection, `1 + i` = ingress from
-    /// `neighbors[i]`.
+    /// Input FIFO lanes: lane 0 = local injection, then one lane per
+    /// `(ingress port, VC)` pair in [`lane`] order.
     fifos: Vec<VecDeque<Packet>>,
-    /// Round-robin cursor per output port.
+    /// Arbitration cursor per `(output port, VC)`:
+    /// `rr_cursor[o * vc_count + vc]`, over FIFO-lane indices.
     rr_cursor: Vec<usize>,
+    /// Round-robin cursor over VCs, per output port.
+    vc_cursor: Vec<usize>,
     /// Output port busy (serializing) until this cycle (exclusive).
     busy_until: Vec<u64>,
-    /// Credits consumed on each ingress FIFO of *this* router
+    /// Credits consumed on each ingress FIFO lane of *this* router
     /// (occupancy + packets already in flight toward it).
     credits_used: Vec<usize>,
 }
@@ -113,7 +117,7 @@ impl CycleSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
-        let (deliveries, counters) = self.simulate(schedule)?;
+        let (deliveries, counters, per_vc) = self.simulate(schedule)?;
         let stats = NocStats::from_deliveries(
             &deliveries,
             counters,
@@ -121,24 +125,31 @@ impl CycleSim {
             self.config.flits_per_packet,
             duration_steps,
             self.config.cycles_per_step,
-        );
+        )
+        .with_per_vc(per_vc);
         Ok((stats, deliveries))
     }
 
     /// The cycle-by-cycle main loop.
-    fn simulate(&self, schedule: Vec<Packet>) -> Result<(Vec<Delivery>, Counters), NocError> {
+    #[allow(clippy::type_complexity)]
+    fn simulate(
+        &self,
+        schedule: Vec<Packet>,
+    ) -> Result<(Vec<Delivery>, Counters, Vec<VcCounters>), NocError> {
         let cfg = &self.config;
         let topo = self.topo.as_ref();
         let nr = topo.num_routers();
+        let vcs = cfg.vc_count;
 
         let mut routers: Vec<RouterState> = (0..nr)
             .map(|r| {
                 let deg = topo.neighbors(r).len();
                 RouterState {
-                    fifos: vec![VecDeque::new(); deg + 1],
-                    rr_cursor: vec![0; deg],
+                    fifos: vec![VecDeque::new(); 1 + deg * vcs],
+                    rr_cursor: vec![0; deg * vcs],
+                    vc_cursor: vec![0; deg],
                     busy_until: vec![0; deg],
-                    credits_used: vec![0; deg + 1],
+                    credits_used: vec![0; 1 + deg * vcs],
                 }
             })
             .collect();
@@ -151,6 +162,13 @@ impl CycleSim {
 
         let mut deliveries: Vec<Delivery> = Vec::new();
         let mut counters = Counters::default();
+        // per-VC counters; empty (never updated) in the single-VC case so
+        // the statistics stay byte-identical to the pre-VC oracle
+        let mut per_vc: Vec<VcCounters> = if vcs > 1 {
+            vec![VcCounters::default(); vcs]
+        } else {
+            Vec::new()
+        };
         let mut in_transit: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut next_inject = 0usize;
@@ -206,6 +224,13 @@ impl CycleSim {
                         routers[a.router].fifos[a.ingress].len() <= cfg.buffer_depth,
                         "ingress FIFO overflows its credit-bounded depth"
                     );
+                    if vcs > 1 {
+                        let vc = &mut per_vc[(a.ingress - 1) % vcs];
+                        vc.enqueued += 1;
+                        vc.peak_occupancy = vc
+                            .peak_occupancy
+                            .max(routers[a.router].fifos[a.ingress].len() as u64);
+                    }
                     queued_packets += 1;
                     // credit stays consumed until the packet leaves the FIFO
                 }
@@ -241,43 +266,72 @@ impl CycleSim {
                 continue;
             }
 
-            // 3. arbitration & forwarding, one winner per output port
+            // 3. arbitration & forwarding, one winner per output port:
+            // round-robin over eligible VCs, then the configured policy
+            // over the candidate FIFO lanes of the winning VC
             for r in 0..nr {
                 let neighbors = topo.neighbors(r).to_vec();
                 for (o, &nbr) in neighbors.iter().enumerate() {
                     if routers[r].busy_until[o] > now {
                         continue;
                     }
-                    // ingress index on the downstream router
-                    let down_ingress = 1 + topo
+                    // our port position on the downstream router
+                    let down_pos = topo
                         .neighbors(nbr)
                         .iter()
                         .position(|&x| x == r)
                         .expect("links are bidirectional");
-                    if routers[nbr].credits_used[down_ingress] >= cfg.buffer_depth {
-                        continue; // backpressure
+                    // a head wants (this port, VC w) when some remaining
+                    // destination routes via nbr on VC w
+                    let head_wants = |head: &Packet, w: usize| {
+                        head.dests.iter().any(|&d| {
+                            let dr = topo.endpoint(d);
+                            topo.route_next(r, dr) == nbr && topo.hop_vc(r, dr, vcs) == w
+                        })
+                    };
+                    // eligible VCs: candidate present + free downstream
+                    // credit on that VC's lane
+                    let mut eligible = 0u32;
+                    for w in 0..vcs {
+                        if routers[nbr].credits_used[lane(down_pos, w, vcs)] >= cfg.buffer_depth {
+                            continue; // backpressure on this VC
+                        }
+                        if routers[r]
+                            .fifos
+                            .iter()
+                            .any(|fifo| fifo.front().is_some_and(|head| head_wants(head, w)))
+                        {
+                            eligible |= 1 << w;
+                        }
                     }
-                    // candidates: FIFOs whose head routes some dest via nbr
+                    let Some(w) = pick_vc(eligible, routers[r].vc_cursor[o]) else {
+                        continue;
+                    };
                     let mut candidates: Vec<(usize, u64)> = Vec::new();
                     for (fi, fifo) in routers[r].fifos.iter().enumerate() {
                         if let Some(head) = fifo.front() {
-                            if head
-                                .dests
-                                .iter()
-                                .any(|&d| topo.route_next(r, topo.endpoint(d)) == nbr)
-                            {
+                            if head_wants(head, w) {
                                 candidates.push((fi, head.inject_cycle));
                             }
                         }
                     }
-                    let Some(win_pos) = cfg.arbitration.pick(&candidates, routers[r].rr_cursor[o])
-                    else {
-                        continue;
-                    };
+                    let win_pos = cfg
+                        .arbitration
+                        .pick(&candidates, routers[r].rr_cursor[o * vcs + w])
+                        .expect("an eligible VC has a candidate");
                     let (fi, _) = candidates[win_pos];
-                    routers[r].rr_cursor[o] = fi + 1;
+                    routers[r].rr_cursor[o * vcs + w] = fi + 1;
+                    routers[r].vc_cursor[o] = w + 1;
+                    if vcs > 1 {
+                        per_vc[w].forwarded += 1;
+                        for (w2, vc_stat) in per_vc.iter_mut().enumerate() {
+                            if w2 != w && eligible & (1 << w2) != 0 {
+                                vc_stat.arb_losses += 1;
+                            }
+                        }
+                    }
 
-                    // split off the dests routed via this port
+                    // split off the dests routed via this (port, VC)
                     let head = routers[r].fifos[fi]
                         .front_mut()
                         .expect("candidate fifo has a head");
@@ -285,7 +339,10 @@ impl CycleSim {
                         .dests
                         .iter()
                         .copied()
-                        .filter(|&d| topo.route_next(r, topo.endpoint(d)) == nbr)
+                        .filter(|&d| {
+                            let dr = topo.endpoint(d);
+                            topo.route_next(r, dr) == nbr && topo.hop_vc(r, dr, vcs) == w
+                        })
                         .collect();
                     let branch = if via.len() == head.dests.len() {
                         let p = routers[r].fifos[fi].pop_front().expect("head exists");
@@ -300,9 +357,10 @@ impl CycleSim {
 
                     counters.link_flits += flits as u64;
                     routers[r].busy_until[o] = now + flits as u64;
-                    routers[nbr].credits_used[down_ingress] += 1;
+                    let down_lane = lane(down_pos, w, vcs);
+                    routers[nbr].credits_used[down_lane] += 1;
                     debug_assert!(
-                        routers[nbr].credits_used[down_ingress] <= cfg.buffer_depth,
+                        routers[nbr].credits_used[down_lane] <= cfg.buffer_depth,
                         "credits must never exceed the FIFO depth"
                     );
                     seq += 1;
@@ -310,7 +368,7 @@ impl CycleSim {
                         cycle: now + hop_latency,
                         seq,
                         router: nbr,
-                        ingress: down_ingress,
+                        ingress: down_lane,
                         packet: branch,
                     }));
                 }
@@ -320,7 +378,7 @@ impl CycleSim {
         }
 
         counters.deliveries = deliveries.len() as u64;
-        Ok((deliveries, counters))
+        Ok((deliveries, counters, per_vc))
     }
 }
 

@@ -45,6 +45,28 @@ pub struct Counters {
     pub buffer_flits: u64,
 }
 
+/// Per-virtual-channel event counters, aggregated over every router.
+///
+/// Both engines count these at the same state-changing events (FIFO
+/// pushes and link forwards), so the vectors are part of the differential
+/// byte-identity contract between [`crate::sim::NocSim`] and
+/// [`crate::sim::oracle::CycleSim`] and are folded into
+/// [`NocStats::digest`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcCounters {
+    /// Packets buffered into this VC's ingress FIFOs (arrival pushes;
+    /// local injection queues are VC-less and not counted).
+    pub enqueued: u64,
+    /// Packets forwarded across links on this VC.
+    pub forwarded: u64,
+    /// Times this VC was eligible at a forwarding output port (candidate
+    /// head + free downstream credit) but lost the VC round-robin — the
+    /// VC-level contention ("stall") signal.
+    pub arb_losses: u64,
+    /// Peak occupancy reached by any single (ingress, VC) FIFO, packets.
+    pub peak_occupancy: u64,
+}
+
 /// Full statistics of one interconnect simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NocStats {
@@ -74,6 +96,12 @@ pub struct NocStats {
     pub global_energy_pj: f64,
     /// Raw event counters.
     pub counters: Counters,
+    /// Per-VC counters, one entry per virtual channel — empty (and
+    /// omitted from the serialized form, keeping single-VC digests
+    /// byte-identical to the pre-VC wire shape) when the simulation ran
+    /// with `vc_count == 1`.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub per_vc: Vec<VcCounters>,
 }
 
 impl NocStats {
@@ -125,7 +153,17 @@ impl NocStats {
             max_isi_distortion_cycles: max_isi,
             global_energy_pj,
             counters,
+            per_vc: Vec::new(),
         }
+    }
+
+    /// Attaches per-VC counters (builder style). The engines pass an
+    /// empty vector for single-VC runs so the serialized shape — and
+    /// therefore [`NocStats::digest`] — stays byte-identical to the
+    /// pre-VC engines.
+    pub fn with_per_vc(mut self, per_vc: Vec<VcCounters>) -> Self {
+        self.per_vc = per_vc;
+        self
     }
 
     /// FNV-1a digest of the canonical JSON serialization.
@@ -351,6 +389,52 @@ mod tests {
         assert_eq!(a.digest(), b.digest(), "identical stats digest equal");
         let c = NocStats::from_deliveries(&ds[..1], counters, &em, 2, 1, 1024);
         assert_ne!(a.digest(), c.digest(), "different stats digest apart");
+    }
+
+    #[test]
+    fn empty_per_vc_is_omitted_from_the_wire_shape() {
+        // the single-VC serialized form must not mention per_vc at all —
+        // this is what keeps vc_count=1 digests byte-identical to the
+        // pre-VC engines
+        let ds = vec![d(0, 1, 0, 10)];
+        let c = Counters::default();
+        let em = EnergyModel::default();
+        let s = NocStats::from_deliveries(&ds, c, &em, 2, 1, 1024);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("per_vc"), "{json}");
+        // with per-VC counters attached the field serializes and changes
+        // the digest
+        let sv = s.clone().with_per_vc(vec![VcCounters::default(); 2]);
+        let jv = serde_json::to_string(&sv).unwrap();
+        assert!(jv.contains("per_vc"), "{jv}");
+        assert_ne!(s.digest(), sv.digest());
+        // and round-trips, including the omitted form
+        let back: NocStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let back: NocStats = serde_json::from_str(&jv).unwrap();
+        assert_eq!(back, sv);
+    }
+
+    #[test]
+    fn per_vc_counters_fold_into_the_digest() {
+        let ds = vec![d(0, 1, 0, 10)];
+        let em = EnergyModel::default();
+        let base = NocStats::from_deliveries(&ds, Counters::default(), &em, 2, 1, 1024);
+        let a = base.clone().with_per_vc(vec![
+            VcCounters {
+                forwarded: 3,
+                ..VcCounters::default()
+            },
+            VcCounters::default(),
+        ]);
+        let b = base.with_per_vc(vec![
+            VcCounters {
+                forwarded: 4,
+                ..VcCounters::default()
+            },
+            VcCounters::default(),
+        ]);
+        assert_ne!(a.digest(), b.digest(), "vc traffic split must be visible");
     }
 
     #[test]

@@ -144,6 +144,20 @@ impl Torus {
         assert!(crossbars > 0, "at least one crossbar required");
         let cols = (crossbars as f64).sqrt().ceil() as usize;
         let rows = crossbars.div_ceil(cols);
+        Self::grid(cols, rows, crossbars)
+    }
+
+    /// Builds an explicit `cols × rows` torus hosting `crossbars`
+    /// crossbars at router ids `0..crossbars` (row-major) — degenerate
+    /// shapes included (a `L × 1` grid is a plain ring, the minimal
+    /// wraparound fabric the deadlock regression tests use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot host the crossbars or any dimension is 0.
+    pub fn grid(cols: usize, rows: usize, crossbars: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
+        assert!(crossbars <= cols * rows, "grid too small for crossbars");
         let n = cols * rows;
         let mut neighbors = vec![Vec::new(); n];
         for y in 0..rows {
@@ -186,6 +200,18 @@ impl Torus {
             -1
         }
     }
+
+    /// Whether the remaining route from ring position `pos` to `dpos`
+    /// (length-`len` ring, shortest way, ties up) still has the
+    /// wraparound link ahead of it — i.e. the packet has not yet crossed
+    /// the dateline of this ring and direction.
+    fn wrap_ahead(pos: usize, dpos: usize, len: usize) -> bool {
+        match Self::ring_step(pos, dpos, len) {
+            1 => dpos < pos,  // climbing: wraps iff the target is below
+            -1 => dpos > pos, // descending: wraps iff the target is above
+            _ => false,
+        }
+    }
 }
 
 impl Topology for Torus {
@@ -220,6 +246,33 @@ impl Topology for Torus {
         let sy = Self::ring_step(y, dy, self.rows);
         let ny = (y as isize + sy).rem_euclid(self.rows as isize) as usize;
         ny * self.cols + x
+    }
+
+    /// Dateline VC assignment (see [`crate::router`] for the acyclicity
+    /// argument): the VCs split into a lower and an upper half per ring;
+    /// a hop rides the lower half while the wraparound link is still
+    /// ahead in the current dimension and the upper half afterwards, with
+    /// destinations spread across the lanes of each half. The wrap link
+    /// is only ever traversed on the lower half, so ordering the channels
+    /// lower-half → wrap → upper-half breaks the ring's dependency cycle.
+    fn hop_vc(&self, r: usize, dst: usize, vc_count: usize) -> usize {
+        if vc_count <= 1 || r == dst {
+            return 0;
+        }
+        let (x, y) = self.coords(r);
+        let (dx, dy) = self.coords(dst);
+        // dimension-order: resolve x first, then y
+        let (pos, dpos, len) = if x != dx {
+            (x, dx, self.cols)
+        } else {
+            (y, dy, self.rows)
+        };
+        let half = vc_count / 2;
+        if Self::wrap_ahead(pos, dpos, len) {
+            dst % half
+        } else {
+            half + dst % (vc_count - half)
+        }
     }
 
     fn name(&self) -> String {
@@ -304,5 +357,45 @@ mod tests {
         for r in 0..9 {
             assert_eq!(t.neighbors(r).len(), 4, "router {r}");
         }
+    }
+
+    #[test]
+    fn torus_grid_builds_a_plain_ring() {
+        let ring = Torus::grid(4, 1, 4);
+        assert_eq!(ring.num_routers(), 4);
+        assert_eq!(ring.num_crossbars(), 4);
+        for r in 0..4 {
+            assert_eq!(ring.neighbors(r).len(), 2, "router {r}");
+        }
+        // wraparound: 3 -> 0 is one hop, and ties go the increasing way
+        assert_eq!(ring.route_next(3, 0), 0);
+        assert_eq!(ring.route_next(0, 2), 1);
+        assert_eq!(ring.hops(0, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn torus_overfull_grid_rejected() {
+        let _ = Torus::grid(2, 2, 5);
+    }
+
+    #[test]
+    fn torus_dateline_vc_is_stateless_and_two_valued_at_two_vcs() {
+        let t = Torus::for_crossbars(16);
+        for r in 0..16 {
+            for dst in 0..16 {
+                let vc = t.hop_vc(r, dst, 2);
+                assert!(vc < 2);
+                assert_eq!(vc, t.hop_vc(r, dst, 2), "must be pure");
+            }
+        }
+        // a hop that still has the wrap ahead rides vc 0: 1 -> 0 going
+        // left-to-wrap... 2 -> 0 on the 4-ring row goes +x through the
+        // wrap (tie up), so at router 2 toward 0 the wrap is ahead
+        let ring = Torus::grid(4, 1, 4);
+        assert_eq!(ring.route_next(2, 0), 3);
+        assert_eq!(ring.hop_vc(2, 0, 2), 0, "pre-dateline hop rides vc 0");
+        // after the wrap (router 0 toward 1) no wrap remains: upper half
+        assert_eq!(ring.hop_vc(0, 1, 2), 1);
     }
 }

@@ -45,6 +45,27 @@ pub trait Topology: Send + Sync {
     /// (a router id). Returns `r` itself when `r == dst`.
     fn route_next(&self, r: usize, dst: usize) -> usize;
 
+    /// Virtual channel the hop leaving `r` toward (router) `dst` occupies
+    /// when the interconnect runs `vc_count` VCs per ingress port, in
+    /// `0..vc_count`.
+    ///
+    /// Must be a pure function of `(r, dst)` (packets carry no VC state;
+    /// multicast branches split by `(egress port, VC)`), and must keep the
+    /// `(link, VC)` channel-dependency graph acyclic — see
+    /// [`crate::router`] for the argument. The default spreads
+    /// destinations across VCs to cut head-of-line blocking, which is
+    /// safe for every topology whose link-dependency graph is already
+    /// acyclic (mesh, tree, star, point-to-point); topologies with cyclic
+    /// link graphs ([`Torus`]) must override with a dateline scheme.
+    fn hop_vc(&self, r: usize, dst: usize, vc_count: usize) -> usize {
+        let _ = r;
+        if vc_count <= 1 {
+            0
+        } else {
+            dst % vc_count
+        }
+    }
+
     /// Hop count of the deterministic route between two routers.
     ///
     /// Default implementation walks [`Topology::route_next`]; override for
@@ -283,6 +304,77 @@ pub fn check_routes(topo: &dyn Topology) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the `(directed link, VC)` channel-dependency graph induced by
+/// the deterministic routes and [`Topology::hop_vc`] at `vc_count`
+/// virtual channels, and checks it for cycles.
+///
+/// A node is a channel `(from, to, vc)`; an edge `a → b` exists when some
+/// route holds `a` and next requests `b` (consecutive hops of a walked
+/// route). An acyclic graph is the classic sufficient condition for
+/// deadlock-free wormhole/VCT routing (Dally–Seitz); the torus dateline
+/// assignment exists exactly to make this check pass — see
+/// [`crate::router`]. Intended for tests and as a self-check for custom
+/// topologies.
+///
+/// # Errors
+///
+/// Returns a description naming one channel on a dependency cycle.
+pub fn check_vc_channel_dependencies(topo: &dyn Topology, vc_count: usize) -> Result<(), String> {
+    use std::collections::HashMap;
+    let nr = topo.num_routers();
+    let mut ids: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    let mut channels: Vec<(usize, usize, usize)> = Vec::new();
+    let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for src in 0..nr {
+        for dst in 0..nr {
+            let mut cur = src;
+            let mut prev: Option<usize> = None;
+            while cur != dst {
+                let next = topo.route_next(cur, dst);
+                let vc = topo.hop_vc(cur, dst, vc_count);
+                assert!(vc < vc_count, "hop_vc out of range at {cur}->{dst}");
+                let key = (cur, next, vc);
+                let id = *ids.entry(key).or_insert_with(|| {
+                    channels.push(key);
+                    channels.len() - 1
+                });
+                if let Some(p) = prev {
+                    edges.insert((p, id));
+                }
+                prev = Some(id);
+                cur = next;
+            }
+        }
+    }
+    // Kahn's algorithm: a cycle leaves nodes with nonzero indegree
+    let n = channels.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(a, b) in &edges {
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(a) = queue.pop() {
+        seen += 1;
+        for &b in &adj[a] {
+            indeg[b] -= 1;
+            if indeg[b] == 0 {
+                queue.push(b);
+            }
+        }
+    }
+    if seen == n {
+        Ok(())
+    } else {
+        let (f, t, v) = channels[indeg.iter().position(|&d| d > 0).expect("cycle node")];
+        Err(format!(
+            "channel-dependency cycle through link {f}->{t} on vc {v} (vc_count {vc_count})"
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +529,117 @@ mod tests {
                     (ring(xa, xb, 4) + ring(ya, yb, 4)) as u32,
                     "torus {a}->{b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_vc_stays_in_range_everywhere() {
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Mesh2D::for_crossbars(9)),
+            Box::new(Torus::for_crossbars(16)),
+            Box::new(Torus::grid(5, 1, 5)),
+            Box::new(NocTree::new(8, 2)),
+            Box::new(Star::new(6)),
+            Box::new(PointToPoint::new(4)),
+        ];
+        for t in &topos {
+            for vc_count in 1..=4usize {
+                for r in 0..t.num_routers() {
+                    for dst in 0..t.num_routers() {
+                        let vc = t.hop_vc(r, dst, vc_count);
+                        assert!(vc < vc_count, "{}: vc {vc} at {r}->{dst}", t.name());
+                        if vc_count == 1 {
+                            assert_eq!(vc, 0, "{}", t.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_channel_torus_dependencies_are_cyclic() {
+        // the PR-4 deadlock, stated structurally: with one channel per
+        // link, shortest-direction dimension-order routing on a torus
+        // with rings of length >= 4 closes a channel-dependency cycle —
+        // the hazard virtual channels exist to break
+        let t = Torus::for_crossbars(16); // 4x4
+        assert!(check_vc_channel_dependencies(&t, 1).is_err());
+        let ring = Torus::grid(4, 1, 4);
+        assert!(check_vc_channel_dependencies(&ring, 1).is_err());
+    }
+
+    #[test]
+    fn dateline_assignment_makes_torus_dependencies_acyclic() {
+        for vc_count in 2..=4usize {
+            for t in [
+                Torus::for_crossbars(16), // 4x4
+                Torus::for_crossbars(20), // 5x4
+                Torus::grid(4, 1, 4),     // minimal ring
+                Torus::grid(6, 1, 6),
+                Torus::for_crossbars(9), // 3x3
+            ] {
+                check_vc_channel_dependencies(&t, vc_count)
+                    .unwrap_or_else(|e| panic!("{} at {vc_count} VCs: {e}", t.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_link_graphs_stay_acyclic_under_vc_spreading() {
+        // the default hop_vc spreads destinations across VCs; on
+        // topologies whose link-dependency graph is already acyclic that
+        // must not create a cycle (projection argument in crate::router)
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Mesh2D::for_crossbars(16)),
+            Box::new(Mesh2D::grid(5, 2, 10)),
+            Box::new(NocTree::new(8, 2)),
+            Box::new(Star::new(6)),
+            Box::new(PointToPoint::new(4)),
+        ];
+        for t in &topos {
+            for vc_count in 1..=4usize {
+                check_vc_channel_dependencies(t.as_ref(), vc_count)
+                    .unwrap_or_else(|e| panic!("{} at {vc_count} VCs: {e}", t.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wrap_links_ride_the_lower_vc_half() {
+        // walk every route: wraparound hops must use the lower half of
+        // the VCs, and the VC phase may only step lower -> upper within a
+        // dimension (the dateline is crossed at most once)
+        let t = Torus::for_crossbars(16); // 4x4
+        let vc_count = 4usize;
+        let half = vc_count / 2;
+        let wrapping = |from: usize, to: usize| {
+            let (fx, fy) = (from % 4, from / 4);
+            let (tx, ty) = (to % 4, to / 4);
+            fx.abs_diff(tx) > 1 || fy.abs_diff(ty) > 1
+        };
+        for src in 0..16usize {
+            for dst in 0..16usize {
+                let mut cur = src;
+                let mut upper_seen_x = false;
+                while cur != dst {
+                    let next = t.route_next(cur, dst);
+                    let vc = t.hop_vc(cur, dst, vc_count);
+                    if wrapping(cur, next) {
+                        assert!(vc < half, "wrap hop {cur}->{next} on upper vc {vc}");
+                    }
+                    let same_row = cur / 4 == next / 4;
+                    if same_row {
+                        // x-dimension hops: once upper, never lower again
+                        if vc >= half {
+                            upper_seen_x = true;
+                        } else {
+                            assert!(!upper_seen_x, "{src}->{dst}: vc fell back to lower half");
+                        }
+                    }
+                    cur = next;
+                }
             }
         }
     }

@@ -51,12 +51,16 @@ for ratio in \
 done
 for ratio in \
   "engine/sparse_paper64" \
-  "engine/dense_burst16"; do
+  "engine/dense_burst16" \
+  "engine/torus64_vc2_shallow" \
+  "engine/torus64_vc4_depth4"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_noc.json \
     || { echo "BENCH_noc.json lost paired ratio: $ratio"; exit 1; }
 done
 
-echo "==> NoC differential proptests (high case count)"
+echo "==> NoC differential proptests incl. VC corpus (high case count)"
+# covers the vc_count {1,2,4} x depth 1-4 x mesh/torus grid, the golden
+# pre-VC digests, and the deterministic torus deadlock regression
 NEUROMAP_PROPTEST_CASES=256 cargo test --release --test noc_properties -q
 
 echo "==> eval/decode equivalence + determinism proptests (high case count)"

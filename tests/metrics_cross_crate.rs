@@ -122,6 +122,76 @@ fn multicast_saves_energy_over_unicast_clones() {
 }
 
 #[test]
+fn per_vc_counters_partition_the_global_counters() {
+    // ground-truth accounting across the per-VC split: every buffered
+    // and forwarded packet belongs to exactly one VC, so the per-VC
+    // counters must partition the global flit counters exactly, and no
+    // VC FIFO may ever exceed its credit-bounded depth
+    use neuromap::noc::topology::Torus;
+
+    let mut flows = Vec::new();
+    for step in 0..8u32 {
+        for src in 0..16u32 {
+            flows.push(SpikeFlow::multicast(
+                src * 13 + step,
+                src,
+                vec![(src + 2) % 16, (src + 9) % 16, (src + 14) % 16],
+                step,
+            ));
+        }
+    }
+    let cfg = NocConfig {
+        buffer_depth: 2,
+        vc_count: 4,
+        ..NocConfig::default()
+    };
+    let mut sim = NocSim::new(
+        Box::new(Torus::for_crossbars(16)),
+        cfg,
+        EnergyModel::default(),
+    );
+    let stats = sim.run(&flows).expect("dateline VCs keep the torus live");
+    assert_eq!(stats.per_vc.len(), 4);
+    let flits = u64::from(cfg.flits_per_packet);
+    assert_eq!(
+        stats.per_vc.iter().map(|v| v.forwarded).sum::<u64>() * flits,
+        stats.counters.link_flits,
+        "per-VC forwards must partition link traffic"
+    );
+    assert_eq!(
+        stats.per_vc.iter().map(|v| v.enqueued).sum::<u64>() * flits,
+        stats.counters.buffer_flits,
+        "per-VC enqueues must partition buffered traffic"
+    );
+    assert!(stats
+        .per_vc
+        .iter()
+        .all(|v| v.peak_occupancy <= cfg.buffer_depth as u64));
+    // the dateline scheme routes through both halves of the VC space
+    assert!(
+        stats.per_vc.iter().filter(|v| v.forwarded > 0).count() >= 2,
+        "{:?}",
+        stats.per_vc
+    );
+    // identical traffic on a single VC delivers exactly the same spike
+    // set — VCs change timing and multicast branch shapes, never
+    // delivery conservation
+    let single = NocConfig {
+        vc_count: 1,
+        buffer_depth: 8,
+        ..cfg
+    };
+    let mut sim = NocSim::new(
+        Box::new(Torus::for_crossbars(16)),
+        single,
+        EnergyModel::default(),
+    );
+    let sstats = sim.run(&flows).expect("drains");
+    assert!(sstats.per_vc.is_empty());
+    assert_eq!(sstats.delivered, stats.delivered);
+}
+
+#[test]
 fn snn_and_noc_isi_definitions_agree() {
     // the spike-level ISI distortion helper in neuromap-snn and the
     // delivery-level one in neuromap-noc must agree on a shared scenario

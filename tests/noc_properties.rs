@@ -16,6 +16,22 @@
 //!
 //! `NEUROMAP_PROPTEST_CASES` overrides the per-test case count (CI runs a
 //! higher-case pass over this suite; see `.github/workflows/ci.yml`).
+//!
+//! The virtual-channel campaign adds three layers on top:
+//!
+//! * **Golden digests** — deterministic scenarios whose `vc_count = 1`
+//!   stats digests are pinned to the values the pre-VC engines produced,
+//!   so the VC refactor provably changed nothing at one VC (wire shape
+//!   included: per-VC counters only serialize when `vc_count > 1`).
+//! * **Deadlock regression** — a minimal ring torus under bursty
+//!   multicast with depth-1 FIFOs provably wedges at one VC
+//!   (`CycleBudgetExhausted` with zero forward progress between two
+//!   budgets) and completes at two VCs, in both engines.
+//! * **VC differential corpus** — `vc_count ∈ {1, 2, 4}` × FIFO depths
+//!   1–4 on mesh and torus (wraparound rings of length 4, the
+//!   deadlock-capable shape), multicast and unicast, byte-identical
+//!   across engines, plus input-permutation bit-invariance under VC
+//!   contention.
 
 use neuromap::hw::energy::EnergyModel;
 use neuromap::noc::config::NocConfig;
@@ -134,6 +150,351 @@ fn shuffled(flows: &[SpikeFlow], seed: u64) -> Vec<SpikeFlow> {
         out.swap(i, j);
     }
     out
+}
+
+// ---------------- virtual-channel campaign ----------------
+
+/// Crossbar count of the VC corpus: a 4×4 torus has wraparound rings of
+/// length 4, the minimal shape whose channel-dependency graph is cyclic
+/// at one VC (rings of length 3 never take two same-direction hops).
+const VC_CROSSBARS: u32 = 16;
+
+fn vc_topology(mesh: bool) -> Box<dyn Topology> {
+    if mesh {
+        Box::new(Mesh2D::for_crossbars(VC_CROSSBARS as usize))
+    } else {
+        Box::new(Torus::for_crossbars(VC_CROSSBARS as usize))
+    }
+}
+
+fn arb_vc_flows(max_flows: usize) -> impl Strategy<Value = Vec<SpikeFlow>> {
+    proptest::collection::vec(
+        (
+            0u32..1000,
+            0u32..VC_CROSSBARS,
+            proptest::collection::vec(0u32..VC_CROSSBARS, 1..5),
+            0u32..4,
+        ),
+        0..max_flows,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(neuron, src, dsts, step)| SpikeFlow::multicast(neuron, src, dsts, step))
+            .collect()
+    })
+}
+
+/// Like [`assert_engines_agree`], but over an explicit topology builder
+/// (the VC corpus pins mesh/torus instead of indexing the shared list).
+fn assert_engines_agree_on(
+    topo: impl Fn() -> Box<dyn Topology>,
+    cfg: NocConfig,
+    flows: &[SpikeFlow],
+    duration: u32,
+) -> Result<(), String> {
+    let mut event = NocSim::new(topo(), cfg, EnergyModel::default());
+    let mut oracle = CycleSim::new(topo(), cfg, EnergyModel::default());
+    let name = format!("{} vc={}", event.topology().name(), cfg.vc_count);
+    let ev = event.run_with_duration(flows, duration);
+    let or = oracle.run_with_duration(flows, duration);
+    match (ev, or) {
+        (Ok((es, ed)), Ok((os, od))) => {
+            prop_assert_eq!(&ed, &od, "{}: delivery logs diverge", &name);
+            let ej = serde_json::to_string(&es).expect("stats serialize");
+            let oj = serde_json::to_string(&os).expect("stats serialize");
+            prop_assert_eq!(&ej, &oj, "{}: stats bytes diverge", &name);
+            prop_assert_eq!(es.digest(), os.digest(), "{}: digests diverge", &name);
+            prop_assert_eq!(
+                es.per_vc.len(),
+                if cfg.vc_count > 1 { cfg.vc_count } else { 0 },
+                "{}: per-VC counters sized wrong",
+                &name
+            );
+        }
+        (Err(ee), Err(oe)) => {
+            prop_assert_eq!(&ee, &oe, "{}: errors diverge", &name);
+        }
+        (ev, or) => {
+            return Err(format!(
+                "{name}: one engine failed, the other did not: event={ev:?} oracle={or:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The minimal deterministic wedge: every ring node multicasts past its
+/// neighbor through the wraparound, depth-1 FIFOs, bursty steps.
+fn ring_deadlock_flows() -> Vec<SpikeFlow> {
+    let mut flows = Vec::new();
+    for step in 0..2u32 {
+        for i in 0..4u32 {
+            flows.push(SpikeFlow::multicast(
+                i * 10 + step,
+                i,
+                vec![(i + 1) % 4, (i + 2) % 4],
+                step,
+            ));
+        }
+    }
+    flows
+}
+
+fn ring_deadlock_cfg(vc_count: usize, max_cycles: u64) -> NocConfig {
+    NocConfig {
+        buffer_depth: 1,
+        vc_count,
+        max_cycles,
+        ..NocConfig::default()
+    }
+}
+
+#[test]
+fn torus_deadlock_wedges_without_vcs_and_completes_with_two() {
+    let ring = || -> Box<dyn Topology> { Box::new(Torus::grid(4, 1, 4)) };
+    let flows = ring_deadlock_flows();
+
+    // one VC: both engines exhaust the cycle budget identically
+    let run = |vc: usize, budget: u64| {
+        let mut ev = NocSim::new(
+            ring(),
+            ring_deadlock_cfg(vc, budget),
+            EnergyModel::default(),
+        );
+        let mut or = CycleSim::new(
+            ring(),
+            ring_deadlock_cfg(vc, budget),
+            EnergyModel::default(),
+        );
+        (
+            ev.run_with_duration(&flows, 2),
+            or.run_with_duration(&flows, 2),
+        )
+    };
+    let (ev, or) = run(1, 20_000);
+    let ev_err = ev.expect_err("single-VC ring must wedge");
+    let or_err = or.expect_err("single-VC ring must wedge in the oracle too");
+    assert_eq!(ev_err, or_err, "engines must report the identical wedge");
+    let NocError::CycleBudgetExhausted {
+        budget: 20_000,
+        in_flight,
+    } = ev_err
+    else {
+        panic!("expected CycleBudgetExhausted, got {ev_err:?}");
+    };
+    assert!(in_flight > 0, "a wedge holds packets");
+
+    // zero forward progress: doubling the budget frees nothing — the
+    // same packets are still stuck, so this is a true deadlock, not a
+    // slow drain
+    let (ev2, _) = run(1, 40_000);
+    let NocError::CycleBudgetExhausted {
+        in_flight: in_flight2,
+        ..
+    } = ev2.expect_err("still wedged at twice the budget")
+    else {
+        panic!("expected CycleBudgetExhausted");
+    };
+    assert_eq!(
+        in_flight, in_flight2,
+        "no packet may advance in the extra budget window"
+    );
+
+    // two VCs: the dateline assignment breaks the cycle and everything
+    // drains, byte-identically across engines
+    let (ev, or) = run(2, 20_000);
+    let (es, ed) = ev.expect("two VCs must complete");
+    let (os, od) = or.expect("two VCs must complete in the oracle too");
+    assert_eq!(ed, od, "delivery logs must be identical");
+    assert_eq!(es.digest(), os.digest());
+    assert_eq!(es.delivered, 16, "2 steps x 4 sources x 2 destinations");
+    assert_eq!(es.per_vc.len(), 2);
+    assert!(
+        es.per_vc.iter().all(|v| v.forwarded > 0),
+        "the wedge-breaking traffic must actually use both VCs: {:?}",
+        es.per_vc
+    );
+}
+
+#[test]
+fn pre_vc_digests_are_stable() {
+    // golden digests recorded from the pre-VC engines (PR 4 HEAD): the
+    // vc_count=1 configuration must reproduce them byte-for-byte, wire
+    // shape included. A digest change here means single-VC behavior (or
+    // the serialized statistics shape) drifted — exactly what the VC
+    // refactor promised not to do.
+    let multicast_storm = |crossbars: u32, steps: u32| -> Vec<SpikeFlow> {
+        let mut flows = Vec::new();
+        for step in 0..steps {
+            for src in 0..crossbars {
+                flows.push(SpikeFlow::multicast(
+                    src * 31 + step,
+                    src,
+                    vec![
+                        (src + 1) % crossbars,
+                        (src + 3) % crossbars,
+                        (src + 5) % crossbars,
+                    ],
+                    step,
+                ));
+            }
+        }
+        flows
+    };
+    let hotspot = |crossbars: u32, count: u32| -> Vec<SpikeFlow> {
+        (0..count)
+            .map(|i| SpikeFlow::unicast(i, 1 + (i % (crossbars - 1)), 0, i % 3))
+            .collect()
+    };
+    type GoldenCase = (
+        &'static str,
+        Box<dyn Topology>,
+        NocConfig,
+        Vec<SpikeFlow>,
+        u32,
+        u64,
+    );
+    let cases: Vec<GoldenCase> = vec![
+        (
+            "mesh8_default_multicast",
+            Box::new(Mesh2D::for_crossbars(8)),
+            NocConfig::default(),
+            multicast_storm(8, 10),
+            10,
+            0x17fe_58cd_7cf4_7ad2,
+        ),
+        (
+            "torus16_depth2_oldest",
+            Box::new(Torus::for_crossbars(16)),
+            NocConfig {
+                buffer_depth: 2,
+                arbitration: Arbitration::OldestFirst,
+                ..NocConfig::default()
+            },
+            multicast_storm(16, 6),
+            6,
+            0x6464_aca8_5c8b_f8d7,
+        ),
+        (
+            "tree8_depth1_fixed_hotspot",
+            Box::new(NocTree::new(8, 2)),
+            NocConfig {
+                buffer_depth: 1,
+                arbitration: Arbitration::FixedPriority,
+                multicast: false,
+                ..NocConfig::default()
+            },
+            hotspot(8, 60),
+            3,
+            0x9d05_0428_6cb3_4e6e,
+        ),
+        (
+            "star8_hotspot",
+            Box::new(Star::new(8)),
+            NocConfig::default(),
+            hotspot(8, 40),
+            3,
+            0x66d4_18a2_b61d_c39e,
+        ),
+        (
+            "mesh16_flits3_delay2",
+            Box::new(Mesh2D::for_crossbars(16)),
+            NocConfig {
+                buffer_depth: 3,
+                flits_per_packet: 3,
+                router_delay: 2,
+                ..NocConfig::default()
+            },
+            multicast_storm(16, 4),
+            4,
+            0x0c14_bfd0_3288_a83c,
+        ),
+    ];
+    for (name, topo, cfg, flows, duration, golden) in cases {
+        assert_eq!(cfg.vc_count, 1, "{name}: goldens are single-VC");
+        let topo: std::sync::Arc<dyn Topology> = std::sync::Arc::from(topo);
+        let mut event = NocSim::shared(std::sync::Arc::clone(&topo), cfg, EnergyModel::default());
+        let mut oracle = CycleSim::shared(topo, cfg, EnergyModel::default());
+        let (es, _) = event.run_with_duration(&flows, duration).expect(name);
+        let (os, _) = oracle.run_with_duration(&flows, duration).expect(name);
+        assert_eq!(
+            es.digest(),
+            golden,
+            "{name}: event engine drifted from the pre-VC golden digest"
+        );
+        assert_eq!(
+            os.digest(),
+            golden,
+            "{name}: oracle drifted from the pre-VC golden digest"
+        );
+        assert!(
+            es.per_vc.is_empty(),
+            "{name}: single-VC stats must not carry per-VC counters"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(common::cases(24)))]
+
+    #[test]
+    fn engines_agree_across_vc_configs(
+        flows in arb_vc_flows(40),
+        mesh in any::<bool>(),
+        depth in 1usize..5,
+        vc_idx in 0usize..3,
+        (arb_idx, multicast) in (0usize..3, any::<bool>()),
+    ) {
+        // the full new configuration grid: vc {1,2,4} x depth 1..4 on
+        // mesh and torus. Shallow single-VC torus points can wedge —
+        // then both engines must fail with the identical budget error,
+        // which the small budget keeps cheap for the cycle-walking
+        // oracle.
+        let cfg = NocConfig {
+            buffer_depth: depth,
+            vc_count: [1usize, 2, 4][vc_idx],
+            arbitration: ARBS[arb_idx],
+            multicast,
+            max_cycles: 60_000,
+            ..NocConfig::default()
+        };
+        assert_engines_agree_on(|| vc_topology(mesh), cfg, &flows, 6)?;
+    }
+
+    #[test]
+    fn vc_input_permutation_is_bit_invariant(
+        flows in arb_vc_flows(40),
+        shuffle_seed in any::<u64>(),
+        depth in 1usize..3,
+        vc_idx in 0usize..2,
+    ) {
+        // the canonical AER sort must fully determine the schedule under
+        // VC contention too: shallow torus FIFOs with 2 or 4 VCs, flows
+        // fed in any order, bit-identical stats and delivery logs
+        let cfg = NocConfig {
+            buffer_depth: depth,
+            vc_count: [2usize, 4][vc_idx],
+            max_cycles: 60_000,
+            ..NocConfig::default()
+        };
+        let permuted = shuffled(&flows, shuffle_seed);
+        let mut a = NocSim::new(vc_topology(false), cfg, EnergyModel::default());
+        let mut b = NocSim::new(vc_topology(false), cfg, EnergyModel::default());
+        let ra = a.run_with_duration(&flows, 6);
+        let rb = b.run_with_duration(&permuted, 6);
+        match (ra, rb) {
+            (Ok((sa, da)), Ok((sb, db))) => {
+                prop_assert_eq!(da, db, "delivery logs depend on input order");
+                prop_assert_eq!(sa.digest(), sb.digest(), "stats depend on input order");
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb, "errors depend on input order"),
+            (ra, rb) => {
+                return Err(format!(
+                    "permutation changed the outcome kind: {ra:?} vs {rb:?}"
+                ))
+            }
+        }
+    }
 }
 
 proptest! {

@@ -115,6 +115,39 @@ fn all_interconnects_complete_and_account_energy() {
 }
 
 #[test]
+fn shallow_fifo_torus_flow_completes_with_vcs_on_both_engines() {
+    // the full application -> partition -> torus flow at realistic
+    // router FIFO depth 2 with 2 virtual channels: the engine choice
+    // must not change a single reported byte, and the report must carry
+    // the per-VC counters (depth-2 single-VC torus routing is the
+    // configuration class PR 4 had to paper over with depth-64 FIFOs)
+    use neuromap::core::pipeline::TrafficMode;
+    use neuromap::noc::config::NocConfig;
+    use neuromap::noc::sim::EngineKind;
+
+    let app = Synthetic {
+        steps: 300,
+        ..Synthetic::new(2, 24)
+    };
+    let graph = app.spike_graph(7).expect("app simulates");
+    let arch = Architecture::custom(9, 8, InterconnectKind::Torus).unwrap();
+    let mut cfg = PipelineConfig::for_arch(arch).with_traffic(TrafficMode::PerCrossbar);
+    cfg.noc = NocConfig {
+        buffer_depth: 2,
+        vc_count: 2,
+        ..NocConfig::default()
+    };
+    let oracle_cfg = cfg.clone().with_engine(EngineKind::CycleOracle);
+    let part = PacmanPartitioner::new();
+    let r_event = run_pipeline(&graph, &part, &cfg).unwrap();
+    let r_oracle = run_pipeline(&graph, &part, &oracle_cfg).unwrap();
+    assert_eq!(r_event, r_oracle);
+    assert_eq!(r_event.noc.digest(), r_oracle.noc.digest());
+    assert_eq!(r_event.noc.per_vc.len(), 2);
+    assert!(r_event.noc.delivered > 0, "traffic must cross the torus");
+}
+
+#[test]
 fn single_crossbar_chip_has_zero_global_traffic() {
     let app = Synthetic {
         steps: 200,

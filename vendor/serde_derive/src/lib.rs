@@ -6,7 +6,10 @@
 //! * named-field structs, tuple structs, unit structs;
 //! * enums with unit, tuple, and struct variants;
 //! * `#[serde(deny_unknown_fields)]` on containers;
-//! * `#[serde(default)]` / `#[serde(default = "path")]` on named fields.
+//! * `#[serde(default)]` / `#[serde(default = "path")]` on named fields;
+//! * `#[serde(skip_serializing_if = "path")]` on named fields (the field
+//!   is omitted from the serialized object when `path(&field)` is true —
+//!   pair it with `default` so the omission round-trips).
 //!
 //! Generics are intentionally unsupported (none of the workspace types
 //! need them); deriving on a generic type is a compile-time panic with a
@@ -48,6 +51,7 @@ enum Shape {
 struct Field {
     name: String,
     default: Option<FieldDefault>,
+    skip_serializing_if: Option<String>,
 }
 
 enum FieldDefault {
@@ -73,6 +77,7 @@ enum VariantKind {
 struct SerdeAttrs {
     deny_unknown: bool,
     default: Option<FieldDefault>,
+    skip_serializing_if: Option<String>,
 }
 
 /// Consumes leading `#[...]` attributes from `toks[*pos..]`, collecting
@@ -133,6 +138,20 @@ fn parse_attr_body(body: &[TokenTree], out: &mut SerdeAttrs) {
                     }
                     out.default = Some(FieldDefault::Trait);
                     i += 1;
+                }
+                "skip_serializing_if" => {
+                    let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(i + 1), inner.get(i + 2))
+                    else {
+                        panic!("#[serde(skip_serializing_if = ...)] expects a string literal");
+                    };
+                    assert_eq!(
+                        eq.as_char(),
+                        '=',
+                        "skip_serializing_if expects `= \"path\"`"
+                    );
+                    out.skip_serializing_if = Some(lit.to_string().trim_matches('"').to_string());
+                    i += 3;
                 }
                 other => panic!("unsupported serde attribute `{other}` (vendored stub)"),
             },
@@ -225,6 +244,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: fname,
             default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
     }
     fields
@@ -318,6 +338,27 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
+        Shape::NamedStruct(fields) if fields.iter().any(|f| f.skip_serializing_if.is_some()) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let push = format!(
+                        "fields.push((::std::string::String::from(\"{0}\"), \
+                             ::serde::Serialize::to_value(&self.{0})));",
+                        f.name
+                    );
+                    match &f.skip_serializing_if {
+                        Some(path) => format!("if !{path}(&self.{0}) {{ {push} }}", f.name),
+                        None => push,
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let mut fields = ::std::vec::Vec::new(); {} \
+                     ::serde::Value::Object(fields) }}",
+                pushes.join(" ")
+            )
+        }
         Shape::NamedStruct(fields) => {
             let pairs: Vec<String> = fields
                 .iter()
