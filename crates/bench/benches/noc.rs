@@ -10,109 +10,24 @@
 //! differentially checked: the two engines must produce byte-identical
 //! statistics (digest equality), so the numbers always compare equals.
 //!
+//! The engine-comparison workloads (including the dense-saturation
+//! points gated by `scripts/verify.sh`) live in
+//! `neuromap_bench::noc_workloads`, shared with `perf_probe noc`.
+//!
 //! Knobs: `NEUROMAP_BENCH_FAST=1` — 1-sample smoke run (CI gate).
 
 use criterion::{BenchmarkId, Criterion};
+use neuromap_bench::noc_workloads::{burst_traffic, engine_workloads, NocWorkload};
 use neuromap_hw::energy::EnergyModel;
 use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::oracle::CycleSim;
 use neuromap_noc::sim::NocSim;
-use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology, Torus};
+use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology};
 use neuromap_noc::traffic::SpikeFlow;
-
-fn burst_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec<SpikeFlow> {
-    let mut flows = Vec::new();
-    for step in 0..steps {
-        for k in 0..spikes_per_step {
-            let src = k % crossbars;
-            let dst = (k + 1 + step) % crossbars;
-            if src != dst {
-                flows.push(SpikeFlow::unicast(k, src, dst, step));
-            }
-        }
-    }
-    flows
-}
-
-/// Sparse paper-scale traffic: a TrueNorth-class 64-crossbar mesh where
-/// only a handful of neurons spike per timestep (SNN activity is sparse),
-/// each multicasting to a few destination crossbars. The cycle-driven
-/// oracle pays a full router sweep for every cycle of every drain window;
-/// the event engine only touches the routers the packets are actually in.
-fn sparse_paper_traffic(crossbars: u32, spikes_per_step: u32, steps: u32) -> Vec<SpikeFlow> {
-    let mut flows = Vec::new();
-    for step in 0..steps {
-        for k in 0..spikes_per_step {
-            let src = (step * 7 + k * 13) % crossbars;
-            let dsts = vec![
-                (src + 1 + step) % crossbars,
-                (src + 17 + k) % crossbars,
-                (src + 33) % crossbars,
-            ];
-            flows.push(SpikeFlow::multicast(src * 100 + k, src, dsts, step));
-        }
-    }
-    flows
-}
-
-struct EngineWorkload {
-    name: &'static str,
-    flows: Vec<SpikeFlow>,
-    topo: fn() -> Box<dyn Topology>,
-    cfg: NocConfig,
-}
-
-/// Engine-comparison workloads, each also a `ratios` entry in
-/// `BENCH_noc.json`. The torus points run realistic shallow router
-/// FIFOs (the configuration dimension-order routing deadlocks on
-/// without virtual channels) so the VC arbitration path is part of the
-/// tracked perf trajectory, not just the tests.
-fn engine_workloads() -> Vec<EngineWorkload> {
-    vec![
-        EngineWorkload {
-            name: "sparse_paper64",
-            flows: sparse_paper_traffic(64, 2, 800),
-            topo: || Box::new(Mesh2D::for_crossbars(64)),
-            cfg: NocConfig::default(),
-        },
-        EngineWorkload {
-            name: "moderate_paper64",
-            flows: sparse_paper_traffic(64, 8, 200),
-            topo: || Box::new(Mesh2D::for_crossbars(64)),
-            cfg: NocConfig::default(),
-        },
-        EngineWorkload {
-            name: "dense_burst16",
-            flows: burst_traffic(16, 256, 10),
-            topo: || Box::new(Mesh2D::for_crossbars(16)),
-            cfg: NocConfig::default(),
-        },
-        EngineWorkload {
-            name: "torus64_vc2_shallow",
-            flows: sparse_paper_traffic(64, 8, 200),
-            topo: || Box::new(Torus::for_crossbars(64)),
-            cfg: NocConfig {
-                buffer_depth: 2,
-                vc_count: 2,
-                ..NocConfig::default()
-            },
-        },
-        EngineWorkload {
-            name: "torus64_vc4_depth4",
-            flows: sparse_paper_traffic(64, 16, 100),
-            topo: || Box::new(Torus::for_crossbars(64)),
-            cfg: NocConfig {
-                buffer_depth: 4,
-                vc_count: 4,
-                ..NocConfig::default()
-            },
-        },
-    ]
-}
 
 /// Differential gate: both engines must digest-match on `w` before their
 /// timings are worth comparing. Returns the shared digest.
-fn assert_engines_agree(w: &EngineWorkload) -> u64 {
+fn assert_engines_agree(w: &NocWorkload) -> u64 {
     let mut event = NocSim::new((w.topo)(), w.cfg, EnergyModel::default());
     let mut oracle = CycleSim::new((w.topo)(), w.cfg, EnergyModel::default());
     let ev = event.run(&w.flows).expect("event engine drains");

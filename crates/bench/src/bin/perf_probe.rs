@@ -3,16 +3,77 @@
 //! benches, which measure the evaluation kernels in isolation).
 //!
 //! Usage: `cargo run --release -p neuromap-bench --bin perf_probe [swarm] [iters]`
+//!
+//! `perf_probe noc` instead probes the interconnect engines on the
+//! dense-saturation workloads of [`neuromap_bench::noc_workloads`]: it
+//! times the event engine against the cycle oracle and prints the event
+//! scheduler's diagnostic counters ([`SchedCounters`]) — wake cycles,
+//! per-port wakes vs the retired global scheme's counterfactual lane
+//! scans, and the wake-queue peaks — so dense-regime scheduling
+//! regressions show up as counter shifts, not just wall-clock noise.
 
 use neuromap_apps::synthetic::Synthetic;
 use neuromap_apps::App;
+use neuromap_bench::noc_workloads::dense_workloads;
 use neuromap_bench::{arch_for, SEED};
 use neuromap_core::partition::PartitionProblem;
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
+use neuromap_hw::energy::EnergyModel;
+use neuromap_noc::sim::oracle::CycleSim;
+use neuromap_noc::sim::NocSim;
 use std::time::Instant;
+
+/// Event-vs-oracle probe over the dense-saturation workloads.
+fn probe_noc() {
+    for w in dense_workloads() {
+        let duration = w.flows.iter().map(|f| f.send_step + 1).max().unwrap_or(1);
+
+        let start = Instant::now();
+        let mut event = NocSim::new((w.topo)(), w.cfg, EnergyModel::default());
+        let (ev, _, trace) = event
+            .run_traced(&w.flows, duration)
+            .expect("event engine drains");
+        let event_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut oracle = CycleSim::new((w.topo)(), w.cfg, EnergyModel::default());
+        let (or, _, _) = oracle
+            .run_traced(&w.flows, duration)
+            .expect("oracle drains");
+        let oracle_s = start.elapsed().as_secs_f64();
+
+        assert_eq!(ev.digest(), or.digest(), "{}: engines diverge", w.name);
+        let s = trace.sched;
+        println!(
+            "noc/{}: event {:.1} ms, oracle {:.1} ms ({:.1}x), digest {:#018x}",
+            w.name,
+            event_s * 1e3,
+            oracle_s * 1e3,
+            oracle_s / event_s,
+            ev.digest()
+        );
+        println!(
+            "  attended {} cycles ({} with progress); wakes: {} ports / {} router visits vs {} legacy lane scans ({:.1}x fewer)",
+            trace.attended_cycles.len(),
+            trace.progress_cycles.len(),
+            s.port_wakes,
+            s.router_visits,
+            s.legacy_sweep_lanes,
+            s.legacy_sweep_lanes as f64 / s.port_wakes.max(1) as f64
+        );
+        println!(
+            "  head updates {}, peak ready {}, peak wake heap {}",
+            s.head_updates, s.peak_ready, s.peak_wake_heap
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("noc") {
+        probe_noc();
+        return;
+    }
     let swarm: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
     let iters: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
 

@@ -26,6 +26,8 @@ use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_core::{CoreError, SpikeGraph};
 use neuromap_hw::arch::{Architecture, InterconnectKind};
 
+pub mod noc_workloads;
+
 /// Crossbar capacity of the CxQuad-class chips the experiments map onto
 /// (128 neurons per crossbar, Section II of the paper).
 pub const CROSSBAR_NEURONS: u32 = 128;

@@ -39,6 +39,16 @@ pub struct NocConfig {
     /// absent fields to 1, so pre-VC configuration files stay valid.
     #[serde(default = "default_vc_count")]
     pub vc_count: usize,
+    /// Attach the event scheduler's diagnostic counters
+    /// ([`crate::stats::SchedCounters`]) to the run's statistics. Off by
+    /// default: the counters describe the event engine's per-port wake
+    /// scheduler, which the cycle-driven oracle does not have, so
+    /// enabling them breaks stats byte-identity between the engines (the
+    /// differential corpus keeps this off). Absent in configuration
+    /// files written before the per-port scheduler, hence the serde
+    /// default.
+    #[serde(default)]
+    pub sched_stats: bool,
 }
 
 /// Serde default for [`NocConfig::vc_count`]: one virtual channel, the
@@ -62,6 +72,7 @@ impl Default for NocConfig {
             multicast: true,
             max_cycles: 500_000_000,
             vc_count: 1,
+            sched_stats: false,
         }
     }
 }
@@ -223,6 +234,7 @@ mod tests {
         }"#;
         let c = NocConfig::from_json(json).unwrap();
         assert_eq!(c.vc_count, 1);
+        assert!(!c.sched_stats, "scheduler counters default to off");
     }
 
     #[test]
@@ -232,6 +244,7 @@ mod tests {
         assert_eq!(NocConfig::from_json(&j).unwrap(), c);
         let c = NocConfig {
             vc_count: 4,
+            sched_stats: true,
             ..NocConfig::default()
         };
         assert_eq!(NocConfig::from_json(&c.to_json()).unwrap(), c);

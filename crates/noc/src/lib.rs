@@ -49,6 +49,7 @@ pub mod config;
 mod error;
 pub mod packet;
 pub mod router;
+mod sched;
 pub mod sim;
 pub mod stats;
 pub mod topology;

@@ -72,6 +72,11 @@ impl Arbitration {
         if candidates.is_empty() {
             return None;
         }
+        if candidates.len() == 1 {
+            // every policy picks the sole candidate — the common case on
+            // lightly shared ports
+            return Some(0);
+        }
         match self {
             Arbitration::RoundRobin => {
                 // first candidate whose port >= cursor, else wrap to smallest

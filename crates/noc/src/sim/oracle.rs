@@ -20,7 +20,7 @@ use crate::config::NocConfig;
 use crate::error::NocError;
 use crate::packet::Packet;
 use crate::router::pick_vc;
-use crate::stats::{Counters, Delivery, NocStats, VcCounters};
+use crate::stats::{Counters, Delivery, NocStats, SimTrace, VcCounters};
 use crate::topology::Topology;
 use crate::traffic::SpikeFlow;
 use neuromap_hw::energy::EnergyModel;
@@ -117,7 +117,7 @@ impl CycleSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
-        let (deliveries, counters, per_vc) = self.simulate(schedule)?;
+        let (deliveries, counters, per_vc) = self.simulate(schedule, None)?;
         let stats = NocStats::from_deliveries(
             &deliveries,
             counters,
@@ -130,11 +130,46 @@ impl CycleSim {
         Ok((stats, deliveries))
     }
 
-    /// The cycle-by-cycle main loop.
+    /// Like [`CycleSim::run_with_duration`], but also returning a
+    /// [`SimTrace`] with the forward-progress cycles filled in (the
+    /// attended-cycle log and scheduler counters stay empty — the oracle
+    /// attends every cycle and has no scheduler). The liveness property in
+    /// `tests/noc_properties.rs` compares this against
+    /// [`super::NocSim::run_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`super::NocSim::run`].
+    pub fn run_traced(
+        &mut self,
+        flows: &[SpikeFlow],
+        duration_steps: u32,
+    ) -> Result<(NocStats, Vec<Delivery>, SimTrace), NocError> {
+        self.config.validate()?;
+        validate_flows(self.topo.as_ref(), flows)?;
+        let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
+        let mut trace = SimTrace::default();
+        let (deliveries, counters, per_vc) =
+            self.simulate(schedule, Some(&mut trace.progress_cycles))?;
+        let stats = NocStats::from_deliveries(
+            &deliveries,
+            counters,
+            &self.energy,
+            self.config.flits_per_packet,
+            duration_steps,
+            self.config.cycles_per_step,
+        )
+        .with_per_vc(per_vc);
+        Ok((stats, deliveries, trace))
+    }
+
+    /// The cycle-by-cycle main loop. `progress`, when given, collects the
+    /// cycles at which at least one packet was forwarded.
     #[allow(clippy::type_complexity)]
     fn simulate(
         &self,
         schedule: Vec<Packet>,
+        mut progress: Option<&mut Vec<u64>>,
     ) -> Result<(Vec<Delivery>, Counters, Vec<VcCounters>), NocError> {
         let cfg = &self.config;
         let topo = self.topo.as_ref();
@@ -269,6 +304,7 @@ impl CycleSim {
             // 3. arbitration & forwarding, one winner per output port:
             // round-robin over eligible VCs, then the configured policy
             // over the candidate FIFO lanes of the winning VC
+            let mut progressed = false;
             for r in 0..nr {
                 let neighbors = topo.neighbors(r).to_vec();
                 for (o, &nbr) in neighbors.iter().enumerate() {
@@ -364,6 +400,7 @@ impl CycleSim {
                         "credits must never exceed the FIFO depth"
                     );
                     seq += 1;
+                    progressed = true;
                     in_transit.push(Reverse(Arrival {
                         cycle: now + hop_latency,
                         seq,
@@ -371,6 +408,11 @@ impl CycleSim {
                         ingress: down_lane,
                         packet: branch,
                     }));
+                }
+            }
+            if progressed {
+                if let Some(p) = progress.as_deref_mut() {
+                    p.push(now);
                 }
             }
 

@@ -4,7 +4,6 @@
 
 use neuromap_hw::energy::EnergyModel;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One completed delivery: a spike that reached a destination crossbar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +66,57 @@ pub struct VcCounters {
     pub peak_occupancy: u64,
 }
 
+/// Counters of the event engine's per-(router, output-port) wake
+/// scheduler — diagnostic observability for the dense-traffic regime.
+///
+/// The engine always accumulates these (a handful of integer adds per
+/// wake); they are attached to [`NocStats`] only when
+/// [`crate::config::NocConfig::sched_stats`] is set, and serialized only
+/// when attached, so default-configuration digests stay byte-identical.
+/// The cycle-driven oracle has no scheduler and never attaches them —
+/// enable the flag only outside differential engine comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedCounters {
+    /// Cycles the engine attended (woke up and drained its ready set).
+    pub wake_cycles: u64,
+    /// (router, output port) pairs popped from the ready set — the
+    /// per-port unit of scheduler work.
+    pub port_wakes: u64,
+    /// Distinct routers visited while draining the ready set, summed over
+    /// wake cycles (pops are pair-ordered, so same-router pops are
+    /// contiguous).
+    pub router_visits: u64,
+    /// FIFO-head route masks (re)computed — once per packet becoming a
+    /// lane head, not per port sweep.
+    pub head_updates: u64,
+    /// Counterfactual cost of the retired global scheme: `(port, VC)`
+    /// pairs a whole-active-router sweep would have examined, summed over
+    /// the engine's wake cycles (a lower bound — the global scheme also
+    /// attended cycles this engine skips).
+    pub legacy_sweep_lanes: u64,
+    /// Peak size of the ready set (deduplicated; bounded by the total
+    /// port-pair count).
+    pub peak_ready: u64,
+    /// Peak combined size of the busy-expiry heap and the next-cycle wake
+    /// list (each bounded by the total port-pair count).
+    pub peak_wake_heap: u64,
+}
+
+/// Scheduler trace of one engine run, returned by
+/// [`crate::sim::NocSim::run_traced`] (and, for the progress log only,
+/// [`crate::sim::oracle::CycleSim::run_traced`]). Feeds the liveness and
+/// wake-bound properties in `tests/noc_properties.rs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimTrace {
+    /// Cycles the event engine attended, ascending. Empty for the oracle
+    /// (it attends every cycle of every drain window by construction).
+    pub attended_cycles: Vec<u64>,
+    /// Cycles at which at least one packet was forwarded, ascending.
+    pub progress_cycles: Vec<u64>,
+    /// Scheduler counters ([`SchedCounters::default`] for the oracle).
+    pub sched: SchedCounters,
+}
+
 /// Full statistics of one interconnect simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NocStats {
@@ -102,6 +152,12 @@ pub struct NocStats {
     /// with `vc_count == 1`.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub per_vc: Vec<VcCounters>,
+    /// Event-scheduler counters — attached only when
+    /// [`crate::config::NocConfig::sched_stats`] is enabled (and omitted
+    /// from the serialized form otherwise, keeping every default-config
+    /// digest byte-identical to the pre-scheduler wire shape).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sched: Option<SchedCounters>,
 }
 
 impl NocStats {
@@ -124,13 +180,17 @@ impl NocStats {
             .map(|d| d.deliver_cycle)
             .max()
             .unwrap_or(0);
+        // one latency pass + one sort feed avg, max and both percentiles
+        // (summing before the sort — u64 addition is order-independent)
+        let mut lat: Vec<u64> = deliveries.iter().map(|d| d.latency()).collect();
         let avg_latency = if delivered == 0 {
             0.0
         } else {
-            deliveries.iter().map(|d| d.latency()).sum::<u64>() as f64 / delivered as f64
+            lat.iter().sum::<u64>() as f64 / delivered as f64
         };
-        let max_latency = deliveries.iter().map(|d| d.latency()).max().unwrap_or(0);
-        let (p50, p99) = latency_percentiles(deliveries);
+        lat.sort_unstable();
+        let max_latency = lat.last().copied().unwrap_or(0);
+        let (p50, p99) = percentiles_of_sorted(&lat);
 
         let duration_ms = duration_steps.max(1) as f64;
         let throughput = delivered as f64 / duration_ms;
@@ -154,6 +214,7 @@ impl NocStats {
             global_energy_pj,
             counters,
             per_vc: Vec::new(),
+            sched: None,
         }
     }
 
@@ -163,6 +224,15 @@ impl NocStats {
     /// pre-VC engines.
     pub fn with_per_vc(mut self, per_vc: Vec<VcCounters>) -> Self {
         self.per_vc = per_vc;
+        self
+    }
+
+    /// Attaches scheduler counters (builder style). The event engine only
+    /// calls this when [`crate::config::NocConfig::sched_stats`] is set,
+    /// so the serialized shape — and therefore [`NocStats::digest`] —
+    /// is unchanged for every pre-existing configuration.
+    pub fn with_sched(mut self, sched: SchedCounters) -> Self {
+        self.sched = Some(sched);
         self
     }
 
@@ -201,11 +271,16 @@ impl EnergyExt for EnergyModel {
 
 /// Latency percentiles `(p50, p99)` of a delivery log (nearest-rank).
 pub fn latency_percentiles(deliveries: &[Delivery]) -> (u64, u64) {
-    if deliveries.is_empty() {
-        return (0, 0);
-    }
     let mut lat: Vec<u64> = deliveries.iter().map(|d| d.latency()).collect();
     lat.sort_unstable();
+    percentiles_of_sorted(&lat)
+}
+
+/// Nearest-rank `(p50, p99)` of an already-sorted latency slice.
+fn percentiles_of_sorted(lat: &[u64]) -> (u64, u64) {
+    if lat.is_empty() {
+        return (0, 0);
+    }
     let rank = |p: f64| -> u64 {
         let idx = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
         lat[idx]
@@ -228,21 +303,34 @@ pub fn disorder_fraction(deliveries: &[Delivery]) -> f64 {
     if deliveries.is_empty() {
         return 0.0;
     }
-    let mut by_dst: HashMap<u32, Vec<&Delivery>> = HashMap::new();
-    for d in deliveries {
-        by_dst.entry(d.dst_crossbar).or_default().push(d);
-    }
-    let mut inversions = 0u64;
-    for stream in by_dst.values_mut() {
-        stream.sort_by_key(|d| (d.send_step, d.inject_cycle, d.source_neuron));
-        inversions += stream
-            .windows(2)
-            .filter(|w| {
-                let (a, b) = (w[0], w[1]);
-                a.send_step < b.send_step && a.deliver_cycle > b.deliver_cycle
-            })
-            .count() as u64;
-    }
+    // one sort groups the per-destination streams in their sorted order
+    // at once (the engines call this on every run: a HashMap of
+    // per-stream Vecs showed up in the dense-regime bench profile).
+    // Packed keys — (dst, step) and (neuron, input index) each fused
+    // into one u64 — keep the exact lexicographic order of the field
+    // tuple while most comparisons resolve on the first word; the unique
+    // index makes the unstable sort reproduce the stable order exactly.
+    let mut sorted: Vec<(u64, u64, u64)> = deliveries
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            (
+                (u64::from(d.dst_crossbar) << 32) | u64::from(d.send_step),
+                d.inject_cycle,
+                (u64::from(d.source_neuron) << 32) | i as u64,
+            )
+        })
+        .collect();
+    sorted.sort_unstable();
+    let deliver = |key: &(u64, u64, u64)| deliveries[(key.2 & 0xffff_ffff) as usize].deliver_cycle;
+    let inversions = sorted
+        .windows(2)
+        .filter(|w| {
+            let (a, b) = (w[0], w[1]);
+            // same dst, strictly later step, delivered earlier
+            a.0 >> 32 == b.0 >> 32 && a.0 < b.0 && deliver(&a) > deliver(&b)
+        })
+        .count() as u64;
     inversions as f64 / deliveries.len() as f64
 }
 
@@ -250,30 +338,43 @@ pub fn disorder_fraction(deliveries: &[Delivery]) -> f64 {
 /// max |ISI(inject) − ISI(deliver)| in cycles; returns `(mean, max)` over
 /// streams with at least two spikes.
 pub fn isi_distortion(deliveries: &[Delivery]) -> (f64, u64) {
-    let mut by_stream: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
-    for d in deliveries {
-        by_stream
-            .entry((d.source_neuron, d.dst_crossbar))
-            .or_default()
-            .push((d.inject_cycle, d.deliver_cycle));
-    }
+    // single sort instead of a HashMap of per-stream Vecs (see
+    // `disorder_fraction`): streams are the maximal runs sharing
+    // `(source_neuron, dst_crossbar)` — packed into one u64 stream key —
+    // with times sorted within each run
+    let mut sorted: Vec<(u64, u64, u64)> = deliveries
+        .iter()
+        .map(|d| {
+            (
+                (u64::from(d.source_neuron) << 32) | u64::from(d.dst_crossbar),
+                d.inject_cycle,
+                d.deliver_cycle,
+            )
+        })
+        .collect();
+    sorted.sort_unstable();
     let mut sum = 0u64;
     let mut count = 0u64;
     let mut global_max = 0u64;
-    for times in by_stream.values_mut() {
-        if times.len() < 2 {
-            continue;
-        }
-        times.sort_unstable();
+    let mut i = 0;
+    while i < sorted.len() {
+        let (stream, ..) = sorted[i];
         let mut stream_max = 0u64;
-        for w in times.windows(2) {
-            let sent_isi = w[1].0 - w[0].0;
-            let recv_isi = w[1].1.abs_diff(w[0].1);
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j].0 == stream {
+            let (_, ai, ad) = sorted[j - 1];
+            let (_, bi, bd) = sorted[j];
+            let sent_isi = bi - ai;
+            let recv_isi = bd.abs_diff(ad);
             stream_max = stream_max.max(sent_isi.abs_diff(recv_isi));
+            j += 1;
         }
-        sum += stream_max;
-        count += 1;
-        global_max = global_max.max(stream_max);
+        if j > i + 1 {
+            sum += stream_max;
+            count += 1;
+            global_max = global_max.max(stream_max);
+        }
+        i = j;
     }
     let mean = if count == 0 {
         0.0
@@ -413,6 +514,38 @@ mod tests {
         assert_eq!(back, s);
         let back: NocStats = serde_json::from_str(&jv).unwrap();
         assert_eq!(back, sv);
+    }
+
+    #[test]
+    fn absent_sched_counters_are_omitted_from_the_wire_shape() {
+        // the default-config serialized form must not mention sched at
+        // all — this keeps every pre-scheduler digest (including the
+        // golden pre-VC digests) byte-identical
+        let ds = vec![d(0, 1, 0, 10)];
+        let s = NocStats::from_deliveries(
+            &ds,
+            Counters::default(),
+            &EnergyModel::default(),
+            2,
+            1,
+            1024,
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("sched"), "{json}");
+        // attaching the counters serializes them and changes the digest
+        let ss = s.clone().with_sched(SchedCounters {
+            port_wakes: 7,
+            ..SchedCounters::default()
+        });
+        let js = serde_json::to_string(&ss).unwrap();
+        assert!(js.contains("sched"), "{js}");
+        assert!(js.contains("port_wakes"), "{js}");
+        assert_ne!(s.digest(), ss.digest());
+        // and both forms round-trip
+        let back: NocStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let back: NocStats = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, ss);
     }
 
     #[test]

@@ -64,20 +64,24 @@ impl SpikeFlow {
 /// input order leak into the injection schedule. With a total order,
 /// permuting the input flows cannot change the simulation.
 pub fn sort_canonical(flows: &mut [SpikeFlow]) {
-    flows.sort_by(|a, b| {
-        (
-            a.send_step,
-            a.src_crossbar,
-            a.source_neuron,
-            &a.dst_crossbars,
-        )
-            .cmp(&(
-                b.send_step,
-                b.src_crossbar,
-                b.source_neuron,
-                &b.dst_crossbars,
-            ))
-    });
+    flows.sort_by(canonical_cmp);
+}
+
+/// The total injection order of [`sort_canonical`], as a comparator —
+/// for sorting borrowed flow slices without cloning the flows.
+pub fn canonical_cmp(a: &SpikeFlow, b: &SpikeFlow) -> std::cmp::Ordering {
+    (
+        a.send_step,
+        a.src_crossbar,
+        a.source_neuron,
+        &a.dst_crossbars,
+    )
+        .cmp(&(
+            b.send_step,
+            b.src_crossbar,
+            b.source_neuron,
+            &b.dst_crossbars,
+        ))
 }
 
 /// Total packet count of a flow schedule under the given multicast setting.

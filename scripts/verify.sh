@@ -52,11 +52,21 @@ done
 for ratio in \
   "engine/sparse_paper64" \
   "engine/dense_burst16" \
+  "engine/dense_torus64" \
+  "engine/dense_vc4_burst16" \
   "engine/torus64_vc2_shallow" \
   "engine/torus64_vc4_depth4"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_noc.json \
     || { echo "BENCH_noc.json lost paired ratio: $ratio"; exit 1; }
 done
+
+echo "==> dense-regime speedup floor (same-run ratio, throttle-immune)"
+# the per-port wake scheduler must keep the event engine ahead of the
+# cycle oracle even on saturated traffic; both sides are timed in the
+# same bench run, so box throttling cancels out of the ratio
+dense=$(sed -n 's/.*"noc_dense_speedup": \([0-9.]*\).*/\1/p' BENCH_noc.json | head -1)
+awk -v d="$dense" 'BEGIN { exit !(d >= 1.5) }' \
+  || { echo "noc_dense_speedup regressed below 1.5x (got ${dense:-missing})"; exit 1; }
 
 echo "==> NoC differential proptests incl. VC corpus (high case count)"
 # covers the vc_count {1,2,4} x depth 1-4 x mesh/torus grid, the golden

@@ -498,6 +498,77 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(common::cases(16)))]
+
+    #[test]
+    fn event_engine_wakes_cover_oracle_progress(
+        flows in arb_vc_flows(48),
+        mesh in any::<bool>(),
+        depth in 1usize..5,
+        vc_idx in 0usize..3,
+    ) {
+        // liveness of the per-port wake scheduler under dense/backpressured
+        // traffic: the event engine must attend (and forward at) every
+        // cycle where the cycle-walking oracle makes forward progress —
+        // a missed wake shows up here as a progress cycle the event
+        // engine slept through
+        let cfg = NocConfig {
+            buffer_depth: depth,
+            vc_count: [1usize, 2, 4][vc_idx],
+            max_cycles: 60_000,
+            ..NocConfig::default()
+        };
+        let mut ev = NocSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+        let mut or = CycleSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+        let re = ev.run_traced(&flows, 6);
+        let ro = or.run_traced(&flows, 6);
+        match (re, ro) {
+            (Ok((es, ed, et)), Ok((os, od, ot))) => {
+                prop_assert_eq!(&ed, &od, "delivery logs diverge");
+                prop_assert_eq!(es.digest(), os.digest(), "digests diverge");
+                prop_assert_eq!(
+                    &et.progress_cycles, &ot.progress_cycles,
+                    "the engines must forward at identical cycles"
+                );
+                let attended: std::collections::HashSet<u64> =
+                    et.attended_cycles.iter().copied().collect();
+                for c in &ot.progress_cycles {
+                    prop_assert!(
+                        attended.contains(c),
+                        "oracle progressed at cycle {} but the event engine idled",
+                        c
+                    );
+                }
+            }
+            (Err(ee), Err(oe)) => prop_assert_eq!(ee, oe, "errors diverge"),
+            (re, ro) => return Err(format!("outcome kinds diverge: {re:?} vs {ro:?}")),
+        }
+    }
+
+    #[test]
+    fn per_port_wakes_beat_the_global_sweep_bound(
+        flows in arb_flows(60),
+        topo_idx in 0usize..6,
+    ) {
+        // on the sparse corpus the per-port scheduler must examine no
+        // more ports than the retired global scheme's whole-active-router
+        // sweeps: legacy_sweep_lanes accumulates that scheme's per-cycle
+        // (port, VC) examination count over the cycles this engine
+        // attends — itself a lower bound on the legacy total, which also
+        // attended cycles the per-port engine now skips
+        let mut ev = NocSim::new(topology(topo_idx), NocConfig::default(), EnergyModel::default());
+        if let Ok((_, _, trace)) = ev.run_traced(&flows, 8) {
+            prop_assert!(
+                trace.sched.port_wakes <= trace.sched.legacy_sweep_lanes,
+                "per-port wakes {} exceed the legacy sweep bound {}",
+                trace.sched.port_wakes,
+                trace.sched.legacy_sweep_lanes
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(common::cases(24)))]
 
     #[test]
