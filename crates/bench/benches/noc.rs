@@ -33,8 +33,8 @@ fn assert_engines_agree(w: &NocWorkload) -> u64 {
     let ev = event.run(&w.flows).expect("event engine drains");
     let or = oracle.run(&w.flows).expect("oracle drains");
     assert_eq!(
-        ev.digest(),
-        or.digest(),
+        ev.digest().unwrap(),
+        or.digest().unwrap(),
         "{}: engines diverge — benchmark numbers would be meaningless",
         w.name
     );
@@ -46,7 +46,7 @@ fn assert_engines_agree(w: &NocWorkload) -> u64 {
             ev.per_vc
         );
     }
-    ev.digest()
+    ev.digest().unwrap()
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -69,6 +69,39 @@ fn bench_engines(c: &mut Criterion) {
         });
         group.finish();
     }
+}
+
+/// Trace-overhead bench: the event engine with [`NocConfig::trace`] on
+/// vs off over the dense point. Tracing is opt-in and must be zero-cost
+/// when off (the `engine/*` groups above run untraced and their gated
+/// ratios would catch a regression); this group tracks the cost when it
+/// is *on* — `noc_trace_overhead` in `BENCH_noc.json`, ceiling-gated by
+/// `scripts/verify.sh` so the hot loops never silently pick up
+/// per-event work that makes tracing unusable on dense traffic.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let w = engine_workloads()
+        .into_iter()
+        .find(|w| w.name == "dense_burst16")
+        .expect("dense_burst16 workload exists");
+    let traced_cfg = NocConfig {
+        trace: true,
+        ..w.cfg
+    };
+    let mut group = c.benchmark_group("trace/dense_burst16");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("off"), &w, |b, w| {
+        b.iter(|| {
+            let mut sim = NocSim::new((w.topo)(), w.cfg, EnergyModel::default());
+            sim.run(&w.flows).expect("traffic drains")
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("on"), &w, |b, w| {
+        b.iter(|| {
+            let mut sim = NocSim::new((w.topo)(), traced_cfg, EnergyModel::default());
+            sim.run(&w.flows).expect("traffic drains")
+        });
+    });
+    group.finish();
 }
 
 type TopoFactory = fn() -> Box<dyn Topology>;
@@ -154,6 +187,7 @@ fn speedup(c: &Criterion, group: &str) -> Option<f64> {
 fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_engines(&mut c);
+    bench_trace_overhead(&mut c);
     bench_topologies(&mut c);
     bench_load(&mut c);
     bench_multicast(&mut c);
@@ -191,7 +225,7 @@ fn main() {
     // immune to the 1-core box's thermal throttling that pollutes
     // cross-PR absolute ns (ROADMAP caveat from PR 3). The top-level
     // `noc_*_speedup` keys are kept for backwards compatibility.
-    let ratios: Vec<String> = engine_ratios
+    let mut ratios: Vec<String> = engine_ratios
         .iter()
         .filter_map(|(group, speedup)| {
             speedup.map(|s| {
@@ -201,11 +235,35 @@ fn main() {
             })
         })
         .collect();
+    // trace overhead: same-run paired on/off medians of the event
+    // engine on the dense point — on/off, so 1.00 means tracing is free
+    // and the verify gate holds the ceiling
+    let median = |id: &str| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+    };
+    let trace_overhead = match (
+        median("trace/dense_burst16/off"),
+        median("trace/dense_burst16/on"),
+    ) {
+        (Some(off), Some(on)) if off > 0.0 => on / off,
+        _ => 0.0,
+    };
+    if trace_overhead > 0.0 {
+        println!("event engine trace overhead, trace/dense_burst16: {trace_overhead:.2}x");
+        ratios.push(format!(
+            "    {{\"id\": \"trace/dense_burst16\", \"baseline\": \"trace/dense_burst16/off\", \"candidate\": \"trace/dense_burst16/on\", \"speedup\": {:.2}}}",
+            1.0 / trace_overhead
+        ));
+    }
     let json = format!(
-        "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"ratios\": [\n{}\n  ],\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"noc_trace_overhead\": {:.2},\n  \"ratios\": [\n{}\n  ],\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
         sparse.unwrap_or(0.0),
         moderate.unwrap_or(0.0),
         dense.unwrap_or(0.0),
+        trace_overhead,
         ratios.join(",\n"),
         entries.join(",\n")
     );

@@ -19,9 +19,15 @@ use neuromap_bench::{arch_for, SEED};
 use neuromap_core::partition::PartitionProblem;
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_hw::energy::EnergyModel;
+use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::oracle::CycleSim;
 use neuromap_noc::sim::NocSim;
 use std::time::Instant;
+
+/// Congested lanes the probe's spotter prints per workload.
+const SPOTTER_TOP_LANES: usize = 4;
+/// Dominant flows the spotter names per lane.
+const SPOTTER_TOP_FLOWS: usize = 2;
 
 /// Event-vs-oracle probe over the dense-saturation workloads.
 fn probe_noc() {
@@ -42,7 +48,12 @@ fn probe_noc() {
             .expect("oracle drains");
         let oracle_s = start.elapsed().as_secs_f64();
 
-        assert_eq!(ev.digest(), or.digest(), "{}: engines diverge", w.name);
+        assert_eq!(
+            ev.digest().unwrap(),
+            or.digest().unwrap(),
+            "{}: engines diverge",
+            w.name
+        );
         let s = trace.sched;
         println!(
             "noc/{}: event {:.1} ms, oracle {:.1} ms ({:.1}x), digest {:#018x}",
@@ -50,7 +61,7 @@ fn probe_noc() {
             event_s * 1e3,
             oracle_s * 1e3,
             oracle_s / event_s,
-            ev.digest()
+            ev.digest().unwrap()
         );
         println!(
             "  attended {} cycles ({} with progress); wakes: {} ports / {} router visits vs {} legacy lane scans ({:.1}x fewer)",
@@ -65,17 +76,70 @@ fn probe_noc() {
             "  head updates {}, peak ready {}, peak wake heap {}",
             s.head_updates, s.peak_ready, s.peak_wake_heap
         );
+
+        // congestion spotter over the structured event trace — a
+        // separate run with tracing on, so the timed comparison above
+        // stays trace-free
+        let traced_cfg = NocConfig {
+            trace: true,
+            ..w.cfg
+        };
+        let mut traced = NocSim::new((w.topo)(), traced_cfg, EnergyModel::default());
+        traced
+            .run_with_duration(&w.flows, duration)
+            .expect("traced event run drains");
+        let buf = traced.take_trace().expect("tracing was on");
+        let report = buf.spot_congestion(SPOTTER_TOP_LANES, SPOTTER_TOP_FLOWS);
+        if report.lanes.is_empty() {
+            println!("  spotter: no lane ever blocked on credit");
+        } else {
+            println!("  spotter: top congested lanes —");
+            for line in report.to_string().lines() {
+                println!("    {line}");
+            }
+        }
     }
+}
+
+/// Prints usage to stderr and exits non-zero — bad arguments must not
+/// silently degrade into a default-parameter run (the probe's numbers
+/// are compared across PRs, so a typo would quietly probe the wrong
+/// configuration).
+fn usage(complaint: &str) -> ! {
+    eprintln!("perf_probe: {complaint}");
+    eprintln!("usage: perf_probe [SWARM [ITERS]] | perf_probe noc");
+    eprintln!("  SWARM  positive swarm size (default 1000 when absent)");
+    eprintln!("  ITERS  positive iteration count (default 100 when absent)");
+    eprintln!("  noc    probe the interconnect engines instead");
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("noc") {
+        if args.len() > 2 {
+            usage("`noc` takes no further arguments");
+        }
         probe_noc();
         return;
     }
-    let swarm: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
-    let iters: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    if args.len() > 3 {
+        usage("too many arguments");
+    }
+    let swarm: usize = match args.get(1) {
+        None => 1000,
+        Some(s) => match s.parse() {
+            Ok(v) if v > 0 => v,
+            _ => usage(&format!("invalid swarm size `{s}`")),
+        },
+    };
+    let iters: u32 = match args.get(2) {
+        None => 100,
+        Some(s) => match s.parse() {
+            Ok(v) if v > 0 => v,
+            _ => usage(&format!("invalid iteration count `{s}`")),
+        },
+    };
 
     let app = Synthetic::new(2, 400);
     let graph = app.spike_graph(SEED).expect("synthetic app simulates");

@@ -1,0 +1,49 @@
+//! Congestion-spotter smoke gate (run by `scripts/verify.sh` and CI):
+//! on the saturating `dense_burst16` workload the spotter must actually
+//! find congestion — depth-4 FIFOs under 256 spikes/step guarantee
+//! credit stalls, so an empty report means the trace layer or the
+//! spotter's accumulation broke, not that the network is calm.
+
+use neuromap_bench::noc_workloads::engine_workloads;
+use neuromap_hw::energy::EnergyModel;
+use neuromap_noc::config::NocConfig;
+use neuromap_noc::sim::NocSim;
+
+#[test]
+fn spotter_finds_congested_lanes_on_dense_burst16() {
+    let w = engine_workloads()
+        .into_iter()
+        .find(|w| w.name == "dense_burst16")
+        .expect("dense_burst16 workload exists");
+    let cfg = NocConfig {
+        trace: true,
+        ..w.cfg
+    };
+    let duration = w.flows.iter().map(|f| f.send_step + 1).max().unwrap_or(1);
+    let mut sim = NocSim::new((w.topo)(), cfg, EnergyModel::default());
+    sim.run_with_duration(&w.flows, duration)
+        .expect("dense burst drains");
+    let trace = sim.take_trace().expect("tracing was on");
+    let report = trace.spot_congestion(4, 2);
+
+    assert!(
+        !report.lanes.is_empty(),
+        "dense_burst16 saturates depth-4 FIFOs — the spotter must find blocked lanes"
+    );
+    let top = &report.lanes[0];
+    assert!(top.blocked_cycles > 0, "top lane must have credit stalls");
+    assert!(
+        top.peak_occupancy as usize == w.cfg.buffer_depth,
+        "a saturated lane should hit the FIFO depth ({}), got {}",
+        w.cfg.buffer_depth,
+        top.peak_occupancy
+    );
+    assert!(
+        !top.top_flows.is_empty(),
+        "the spotter must name the flows dominating the hot lane"
+    );
+    // ranking invariant: non-increasing blocked-cycles down the list
+    for pair in report.lanes.windows(2) {
+        assert!(pair[0].blocked_cycles >= pair[1].blocked_cycles);
+    }
+}

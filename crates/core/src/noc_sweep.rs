@@ -25,7 +25,13 @@ use neuromap_hw::mapping::Mapping;
 use neuromap_noc::config::NocConfig;
 use neuromap_noc::router::Arbitration;
 use neuromap_noc::stats::NocStats;
+use neuromap_noc::trace::SpotterReport;
 use serde::{Deserialize, Serialize};
+
+/// Congested lanes the spotter reports per traced sweep point.
+const SPOTTER_TOP_LANES: usize = 8;
+/// Dominant flows the spotter names per congested lane.
+const SPOTTER_TOP_FLOWS: usize = 3;
 
 /// Shared sweep driver: one pipeline, one `NocConfig` edit per point.
 fn sweep_points<T>(
@@ -56,12 +62,14 @@ fn sweep_points_with<T>(
         .map(|setting| {
             let mut noc = pipeline.config().noc;
             apply(&setting, &mut noc);
-            let report = pipeline
-                .with_noc(noc)
-                .evaluate(graph, mapping.clone(), "sweep")?;
+            let (report, trace) =
+                pipeline
+                    .with_noc(noc)
+                    .evaluate_traced(graph, mapping.clone(), "sweep")?;
             Ok(NocSweepPoint {
                 setting: label(&setting),
                 stats: report.noc,
+                hotspots: trace.map(|t| t.spot_congestion(SPOTTER_TOP_LANES, SPOTTER_TOP_FLOWS)),
             })
         })
         .collect()
@@ -142,6 +150,12 @@ pub struct NocSweepPoint {
     pub setting: String,
     /// Full interconnect statistics at this setting.
     pub stats: NocStats,
+    /// Congestion-spotter report over the point's event trace —
+    /// present only when [`NocConfig::trace`] was on for the point.
+    /// Skipped in serialized form when absent, so sweep outputs written
+    /// before the trace layer (and all untraced sweeps) are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hotspots: Option<SpotterReport>,
 }
 
 /// Sweeps the router input-buffer depth.
@@ -279,7 +293,12 @@ mod tests {
         assert_eq!(ev.len(), or.len());
         for (e, o) in ev.iter().zip(&or) {
             assert_eq!(e.setting, o.setting);
-            assert_eq!(e.stats.digest(), o.stats.digest(), "{}", e.setting);
+            assert_eq!(
+                e.stats.digest().unwrap(),
+                o.stats.digest().unwrap(),
+                "{}",
+                e.setting
+            );
         }
     }
 
@@ -430,6 +449,39 @@ mod tests {
         assert_eq!(pts.len(), 3);
         let d0 = pts[0].stats.delivered;
         assert!(pts.iter().all(|p| p.stats.delivered == d0));
+    }
+
+    #[test]
+    fn traced_sweep_points_carry_a_spotter_report() {
+        // tracing on: every point gets a spotter report; tracing off
+        // (the default): the field stays None and is skipped in JSON,
+        // keeping pre-trace sweep outputs byte-identical
+        let (graph, mapping, mut cfg) = setup();
+        let plain = buffer_depth_sweep(&graph, &mapping, &cfg, &[1]).unwrap();
+        assert!(plain[0].hotspots.is_none());
+        let json = serde_json::to_string(&plain[0]).unwrap();
+        assert!(
+            !json.contains("hotspots"),
+            "absent report must serialize away"
+        );
+        let back: NocSweepPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain[0]);
+
+        cfg.noc.trace = true;
+        let traced = buffer_depth_sweep(&graph, &mapping, &cfg, &[1]).unwrap();
+        let report = traced[0]
+            .hotspots
+            .as_ref()
+            .expect("traced point spots lanes");
+        // the bursty two-layer net saturates depth-1 FIFOs: the spotter
+        // must surface at least one lane, and tracing must not perturb
+        // the simulated statistics
+        assert!(!report.lanes.is_empty());
+        assert_eq!(
+            traced[0].stats.digest().unwrap(),
+            plain[0].stats.digest().unwrap(),
+            "tracing must not change the statistics"
+        );
     }
 
     #[test]

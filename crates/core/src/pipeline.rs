@@ -40,6 +40,7 @@ use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::{oracle::CycleSim, EngineKind, NocSim};
 use neuromap_noc::stats::{Delivery, NocStats};
 use neuromap_noc::topology::{DistanceLut, Mesh2D, NocTree, Star, Topology, Torus};
+use neuromap_noc::trace::TraceBuf;
 use neuromap_noc::traffic::SpikeFlow;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -416,6 +417,24 @@ impl MappingPipeline {
         flows: &[SpikeFlow],
         duration_steps: u32,
     ) -> Result<(NocStats, Vec<Delivery>), CoreError> {
+        let (stats, deliveries, _) = self.simulate_traced(flows, duration_steps)?;
+        Ok((stats, deliveries))
+    }
+
+    /// [`MappingPipeline::simulate`], additionally returning the
+    /// structured event trace when [`NocConfig::trace`] is on in the
+    /// pipeline's NoC configuration (`None` when tracing is off).
+    ///
+    /// [`NocConfig::trace`]: neuromap_noc::config::NocConfig::trace
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Noc`] for interconnect failures.
+    pub fn simulate_traced(
+        &self,
+        flows: &[SpikeFlow],
+        duration_steps: u32,
+    ) -> Result<(NocStats, Vec<Delivery>, Option<TraceBuf>), CoreError> {
         // per-synapse flows are single-destination by construction;
         // disable multicast handling so packet counts match Eq. 7 exactly
         let mut noc_cfg = self.config.noc;
@@ -423,13 +442,19 @@ impl MappingPipeline {
             noc_cfg.multicast = false;
         }
         let energy = *self.config.arch.energy();
-        let stats = match self.config.engine {
-            EngineKind::CycleOracle => CycleSim::shared(Arc::clone(&self.topo), noc_cfg, energy)
-                .run_with_duration(flows, duration_steps)?,
-            _ => NocSim::shared(Arc::clone(&self.topo), noc_cfg, energy)
-                .run_with_duration(flows, duration_steps)?,
+        let (stats, deliveries, trace) = match self.config.engine {
+            EngineKind::CycleOracle => {
+                let mut sim = CycleSim::shared(Arc::clone(&self.topo), noc_cfg, energy);
+                let (stats, deliveries) = sim.run_with_duration(flows, duration_steps)?;
+                (stats, deliveries, sim.take_trace())
+            }
+            _ => {
+                let mut sim = NocSim::shared(Arc::clone(&self.topo), noc_cfg, energy);
+                let (stats, deliveries) = sim.run_with_duration(flows, duration_steps)?;
+                (stats, deliveries, sim.take_trace())
+            }
         };
-        Ok(stats)
+        Ok((stats, deliveries, trace))
     }
 
     /// Hop metrics of a flow set: `(hop-weighted packets, unicast packet
@@ -519,6 +544,28 @@ impl MappingPipeline {
         self.measure(graph, mapping, partitioner_name, "identity")
     }
 
+    /// [`MappingPipeline::evaluate`], additionally returning the
+    /// structured event trace of the simulation stage when
+    /// [`NocConfig::trace`] is on in the pipeline's NoC configuration
+    /// (`None` when tracing is off). The trace feeds the congestion
+    /// spotter ([`neuromap_noc::trace::TraceBuf::spot_congestion`]) and
+    /// the Perfetto exporter.
+    ///
+    /// [`NocConfig::trace`]: neuromap_noc::config::NocConfig::trace
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MappingPipeline::evaluate`].
+    pub fn evaluate_traced(
+        &self,
+        graph: &SpikeGraph,
+        mapping: Mapping,
+        partitioner_name: &str,
+    ) -> Result<(Report, Option<TraceBuf>), CoreError> {
+        self.measure_traced(graph, mapping, partitioner_name, "identity")
+            .map(|(report, _, trace)| (report, trace))
+    }
+
     /// Shared measurement path behind `run`/`evaluate*`.
     fn measure(
         &self,
@@ -527,6 +574,18 @@ impl MappingPipeline {
         partitioner_name: &str,
         placement_id: &str,
     ) -> Result<(Report, Vec<Delivery>), CoreError> {
+        self.measure_traced(graph, mapping, partitioner_name, placement_id)
+            .map(|(report, deliveries, _)| (report, deliveries))
+    }
+
+    /// Measurement path that also surfaces the optional event trace.
+    fn measure_traced(
+        &self,
+        graph: &SpikeGraph,
+        mapping: Mapping,
+        partitioner_name: &str,
+        placement_id: &str,
+    ) -> Result<(Report, Vec<Delivery>, Option<TraceBuf>), CoreError> {
         mapping.validate(&self.config.arch)?;
         let problem = self.problem(graph)?;
         let cut_spikes = problem.cut_spikes(mapping.assignment());
@@ -534,7 +593,8 @@ impl MappingPipeline {
 
         let flows = self.packetize(graph, &mapping);
         let (hop_weighted_packets, unicast) = self.hop_metrics(&flows);
-        let (noc_stats, deliveries) = self.simulate(&flows, graph.duration_steps())?;
+        let (noc_stats, deliveries, trace) =
+            self.simulate_traced(&flows, graph.duration_steps())?;
 
         let dim = self.config.arch.neurons_per_crossbar();
         let local_energy_pj = self.config.arch.energy().local_pj_scaled(local, dim);
@@ -561,6 +621,7 @@ impl MappingPipeline {
                 mapping,
             },
             deliveries,
+            trace,
         ))
     }
 }
@@ -671,7 +732,11 @@ mod tests {
             let r_event = run_pipeline(&g, &part, &cfg).unwrap();
             let r_oracle = run_pipeline(&g, &part, &oracle_cfg).unwrap();
             assert_eq!(r_event, r_oracle, "{traffic:?}");
-            assert_eq!(r_event.noc.digest(), r_oracle.noc.digest(), "{traffic:?}");
+            assert_eq!(
+                r_event.noc.digest().unwrap(),
+                r_oracle.noc.digest().unwrap(),
+                "{traffic:?}"
+            );
         }
     }
 
@@ -860,7 +925,7 @@ mod tests {
             .evaluate(&g, m, "manual")
             .unwrap();
         assert_eq!(r_ev, r_or);
-        assert_eq!(r_ev.noc.digest(), r_or.noc.digest());
+        assert_eq!(r_ev.noc.digest().unwrap(), r_or.noc.digest().unwrap());
         assert_eq!(r_ev.noc.per_vc.len(), 2);
         assert!(r_ev.noc.delivered > 0);
     }

@@ -49,6 +49,16 @@ pub struct NocConfig {
     /// default.
     #[serde(default)]
     pub sched_stats: bool,
+    /// Record a structured event trace ([`crate::trace::TraceBuf`]) of
+    /// the run, retrievable via `take_trace` on either engine. Off by
+    /// default and zero-cost when off (no buffer is allocated, no event
+    /// is recorded, and the engines' output — including the golden
+    /// digests — is byte-identical to a build without the trace layer).
+    /// When on, both engines emit byte-identical event streams; see
+    /// [`crate::trace`] for the invariants. Absent in configuration
+    /// files written before the trace layer, hence the serde default.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 /// Serde default for [`NocConfig::vc_count`]: one virtual channel, the
@@ -73,6 +83,7 @@ impl Default for NocConfig {
             max_cycles: 500_000_000,
             vc_count: 1,
             sched_stats: false,
+            trace: false,
         }
     }
 }
@@ -235,6 +246,7 @@ mod tests {
         let c = NocConfig::from_json(json).unwrap();
         assert_eq!(c.vc_count, 1);
         assert!(!c.sched_stats, "scheduler counters default to off");
+        assert!(!c.trace, "tracing defaults to off");
     }
 
     #[test]
@@ -245,6 +257,7 @@ mod tests {
         let c = NocConfig {
             vc_count: 4,
             sched_stats: true,
+            trace: true,
             ..NocConfig::default()
         };
         assert_eq!(NocConfig::from_json(&c.to_json()).unwrap(), c);

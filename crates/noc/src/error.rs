@@ -27,6 +27,13 @@ pub enum NocError {
         /// Offending value, formatted.
         value: String,
     },
+    /// Serializing a result (statistics, trace) to JSON failed.
+    Serialization {
+        /// What was being serialized.
+        context: &'static str,
+        /// The serializer's error message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -45,6 +52,9 @@ impl fmt::Display for NocError {
             ),
             NocError::InvalidConfig { name, value } => {
                 write!(f, "invalid value `{value}` for config `{name}`")
+            }
+            NocError::Serialization { context, detail } => {
+                write!(f, "failed to serialize {context}: {detail}")
             }
         }
     }

@@ -53,9 +53,11 @@ mod sched;
 pub mod sim;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod traffic;
 
 pub use config::NocConfig;
 pub use error::NocError;
 pub use sim::{EngineKind, NocSim};
 pub use stats::NocStats;
+pub use trace::{SpotterReport, TraceBuf, TraceEvent};

@@ -79,6 +79,7 @@ use crate::router::pick_vc;
 use crate::sched::{PortSched, PRE_SWEEP};
 use crate::stats::{Counters, Delivery, NocStats, SchedCounters, SimTrace, VcCounters};
 use crate::topology::{RouteLut, Topology};
+use crate::trace::{TraceBuf, TraceEvent};
 use crate::traffic::SpikeFlow;
 use neuromap_hw::energy::EnergyModel;
 use std::collections::VecDeque;
@@ -278,6 +279,7 @@ pub(crate) fn build_schedule(
 }
 
 /// Delivers (and removes) every destination of `packet` hosted at `router`.
+/// With tracing on, each delivery also emits a [`TraceEvent::Delivered`].
 pub(crate) fn strip_local(
     hosted: &[u32],
     topo: &dyn Topology,
@@ -285,21 +287,37 @@ pub(crate) fn strip_local(
     packet: &mut Packet,
     now: u64,
     deliveries: &mut Vec<Delivery>,
+    mut events: Option<&mut TraceBuf>,
 ) {
     debug_assert!(hosted.iter().all(|&k| topo.endpoint(k) == router));
     if packet.dests.iter().all(|d| !hosted.contains(d)) {
         return;
     }
+    let (source_neuron, src_crossbar, send_step, inject_cycle, spike_id) = (
+        packet.source_neuron,
+        packet.src_crossbar,
+        packet.send_step,
+        packet.inject_cycle,
+        packet.spike_id,
+    );
     packet.dests.retain(|&d| {
         if hosted.contains(&d) {
-            deliveries.push(Delivery {
-                source_neuron: packet.source_neuron,
-                src_crossbar: packet.src_crossbar,
-                dst_crossbar: d,
-                send_step: packet.send_step,
-                inject_cycle: packet.inject_cycle,
-                deliver_cycle: now,
-            });
+            deliveries.push(Delivery::new(
+                source_neuron,
+                src_crossbar,
+                d,
+                send_step,
+                inject_cycle,
+                now,
+            ));
+            if let Some(t) = events.as_deref_mut() {
+                t.push(TraceEvent::Delivered {
+                    cycle: now,
+                    spike_id,
+                    router: router as u32,
+                    dst_crossbar: d,
+                });
+            }
             false
         } else {
             true
@@ -336,6 +354,9 @@ pub struct NocSim {
     topo: std::sync::Arc<dyn Topology>,
     config: NocConfig,
     energy: EnergyModel,
+    /// Event trace of the last successful run, present iff
+    /// [`NocConfig::trace`] was set. See [`NocSim::take_trace`].
+    trace: Option<TraceBuf>,
 }
 
 impl std::fmt::Debug for NocSim {
@@ -367,12 +388,21 @@ impl NocSim {
             topo,
             config,
             energy,
+            trace: None,
         }
     }
 
     /// The topology in use.
     pub fn topology(&self) -> &dyn Topology {
         self.topo.as_ref()
+    }
+
+    /// Takes the structured event trace of the last successful run.
+    ///
+    /// `Some` iff [`NocConfig::trace`] was set and the last run
+    /// succeeded; taking it leaves `None` until the next traced run.
+    pub fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take()
     }
 
     /// Runs the spike schedule to completion and returns aggregate
@@ -403,7 +433,11 @@ impl NocSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
-        let (deliveries, counters, per_vc, sched) = self.simulate(schedule, None)?;
+        self.trace = None;
+        let mut events = self.config.trace.then(|| TraceBuf::new(&self.config));
+        let (deliveries, counters, per_vc, sched) =
+            self.simulate(schedule, None, events.as_mut())?;
+        self.trace = events;
         let mut stats = NocStats::from_deliveries(
             &deliveries,
             counters,
@@ -436,8 +470,12 @@ impl NocSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
+        self.trace = None;
+        let mut events = self.config.trace.then(|| TraceBuf::new(&self.config));
         let mut trace = SimTrace::default();
-        let (deliveries, counters, per_vc, sched) = self.simulate(schedule, Some(&mut trace))?;
+        let (deliveries, counters, per_vc, sched) =
+            self.simulate(schedule, Some(&mut trace), events.as_mut())?;
+        self.trace = events;
         trace.sched = sched;
         let mut stats = NocStats::from_deliveries(
             &deliveries,
@@ -460,6 +498,7 @@ impl NocSim {
         &self,
         schedule: Vec<Packet>,
         mut trace: Option<&mut SimTrace>,
+        mut events: Option<&mut TraceBuf>,
     ) -> Result<(Vec<Delivery>, Counters, Vec<VcCounters>, SchedCounters), NocError> {
         let cfg = &self.config;
         let topo = self.topo.as_ref();
@@ -611,6 +650,7 @@ impl NocSim {
                     packet,
                     now,
                     &mut deliveries,
+                    events.as_deref_mut(),
                 );
                 if packet.dests.is_empty() {
                     let state = &mut routers[a.router];
@@ -618,6 +658,9 @@ impl NocSim {
                     if state.credits_used[a.ingress] == cfg.buffer_depth - 1 {
                         // full → free: wake the upstream pair if blocked
                         sched.credit_freed(a.router, a.ingress, PRE_SWEEP);
+                        if let Some(t) = events.as_deref_mut() {
+                            t.credit_freed(now, a.router as u32, a.ingress as u32);
+                        }
                     }
                 } else {
                     counters.buffer_flits += flits as u64;
@@ -632,6 +675,15 @@ impl NocSim {
                         vc.enqueued += 1;
                         vc.peak_occupancy =
                             vc.peak_occupancy.max(state.fifos[a.ingress].len() as u64);
+                    }
+                    if let Some(t) = events.as_deref_mut() {
+                        t.push(TraceEvent::Enqueued {
+                            cycle: now,
+                            spike_id: packet.spike_id,
+                            router: a.router as u32,
+                            lane: a.ingress as u32,
+                            occupancy: state.fifos[a.ingress].len() as u32,
+                        });
                     }
                     state.queued += 1;
                     if state.queued == 1 {
@@ -661,6 +713,15 @@ impl NocSim {
                 counters.router_traversals += 1;
                 let p = &mut slab[pid as usize];
                 let src_router = endpoint_of[p.src_crossbar as usize];
+                if let Some(t) = events.as_deref_mut() {
+                    t.push(TraceEvent::Injected {
+                        cycle: now,
+                        spike_id: p.spike_id,
+                        source_neuron: p.source_neuron,
+                        src_crossbar: p.src_crossbar,
+                        router: src_router as u32,
+                    });
+                }
                 strip_local(
                     &hosted[src_router],
                     topo,
@@ -668,10 +729,20 @@ impl NocSim {
                     p,
                     now,
                     &mut deliveries,
+                    events.as_deref_mut(),
                 );
                 if !p.dests.is_empty() {
                     let state = &mut routers[src_router];
                     state.fifos[0].push_back(pid);
+                    if let Some(t) = events.as_deref_mut() {
+                        t.push(TraceEvent::Enqueued {
+                            cycle: now,
+                            spike_id: p.spike_id,
+                            router: src_router as u32,
+                            lane: 0,
+                            occupancy: state.fifos[0].len() as u32,
+                        });
+                    }
                     state.queued += 1;
                     if state.queued == 1 {
                         active_lanes += lanes_of[src_router];
@@ -768,8 +839,16 @@ impl NocSim {
                     .dests
                     .iter()
                     .all(|&d| sched.route_bit(r, d) == bit);
+                // trace capture: occupancy after a pop, and whether the
+                // pop freed our own previously-full ingress lane (emitted
+                // after the branch, once the router borrow is released)
+                let mut dequeued_occ: Option<u32> = None;
+                let mut freed_own = false;
                 let branch_pid = if all {
                     state.fifos[fi].pop_front().expect("head exists");
+                    if events.is_some() {
+                        dequeued_occ = Some(state.fifos[fi].len() as u32);
+                    }
                     state.queued -= 1;
                     if state.queued == 0 {
                         active_lanes -= lanes_of[r];
@@ -781,6 +860,7 @@ impl NocSim {
                         if state.credits_used[fi] == cfg.buffer_depth - 1 {
                             // full → free on our own ingress lane
                             sched.credit_freed(r, fi, pos);
+                            freed_own = true;
                         }
                     }
                     if let Some(&next_pid) = state.fifos[fi].front() {
@@ -798,6 +878,28 @@ impl NocSim {
                     slab.push(branch);
                     (slab.len() - 1) as u32
                 };
+                if let Some(t) = events.as_deref_mut() {
+                    let bp = &slab[branch_pid as usize];
+                    t.push(TraceEvent::Forwarded {
+                        cycle: now,
+                        spike_id: bp.spike_id,
+                        router: r as u32,
+                        port: o as u32,
+                        vc: w as u32,
+                        dests: bp.dests.len() as u32,
+                    });
+                    if let Some(occupancy) = dequeued_occ {
+                        t.push(TraceEvent::Dequeued {
+                            cycle: now,
+                            router: r as u32,
+                            lane: fi as u32,
+                            occupancy,
+                        });
+                    }
+                    if freed_own {
+                        t.credit_freed(now, r as u32, fi as u32);
+                    }
+                }
 
                 counters.link_flits += flits as u64;
                 state.busy_until[o] = now + flits as u64;
@@ -808,6 +910,11 @@ impl NocSim {
                     routers[nbr].credits_used[down_lane] <= cfg.buffer_depth,
                     "credits must never exceed the FIFO depth"
                 );
+                if routers[nbr].credits_used[down_lane] == cfg.buffer_depth {
+                    if let Some(t) = events.as_deref_mut() {
+                        t.credit_full(now, nbr as u32, down_lane as u32);
+                    }
+                }
                 progress = true;
                 debug_assert!(
                     in_transit
@@ -1126,7 +1233,11 @@ mod tests {
         let (es, ed) = ev.run_with_duration(&flows, 6).unwrap();
         let (os, od) = or.run_with_duration(&flows, 6).unwrap();
         assert_eq!(ed, od, "delivery logs must be identical");
-        assert_eq!(es.digest(), os.digest(), "stats must be byte-identical");
+        assert_eq!(
+            es.digest().unwrap(),
+            os.digest().unwrap(),
+            "stats must be byte-identical"
+        );
         assert_eq!(es.per_vc.len(), 2);
         assert!(es.per_vc.iter().all(|v| v.forwarded > 0), "{:?}", es.per_vc);
         assert_eq!(
@@ -1166,7 +1277,7 @@ mod tests {
         // everything except the counter attachment is unchanged
         assert_eq!(stats.delivered, default_stats.delivered);
         assert_eq!(stats.counters, default_stats.counters);
-        assert_ne!(stats.digest(), default_stats.digest());
+        assert_ne!(stats.digest().unwrap(), default_stats.digest().unwrap());
     }
 
     #[test]
@@ -1220,7 +1331,7 @@ mod tests {
         let (es, ed, et) = ev.run_traced(&flows, 5).unwrap();
         let (os, od, ot) = or.run_traced(&flows, 5).unwrap();
         assert_eq!(ed, od);
-        assert_eq!(es.digest(), os.digest());
+        assert_eq!(es.digest().unwrap(), os.digest().unwrap());
         assert_eq!(
             et.progress_cycles, ot.progress_cycles,
             "both engines must forward at the same cycles"
@@ -1317,6 +1428,75 @@ mod tests {
         let (os, od) = or.run_with_duration(&flows, 10).unwrap();
         assert_eq!(ed, od, "delivery logs must be identical");
         assert_eq!(es, os);
-        assert_eq!(es.digest(), os.digest(), "stats must be byte-identical");
+        assert_eq!(
+            es.digest().unwrap(),
+            os.digest().unwrap(),
+            "stats must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn event_trace_off_by_default_and_byte_identical_when_on() {
+        let mut flows = Vec::new();
+        for step in 0..6u32 {
+            for src in 0..8u32 {
+                flows.push(SpikeFlow::multicast(
+                    src * 19 + step,
+                    src,
+                    vec![(src + 1) % 8, (src + 5) % 8],
+                    step,
+                ));
+            }
+        }
+        // off (the default): no trace is retained, stats digest unchanged
+        let mut plain = sim(Box::new(Mesh2D::for_crossbars(8)));
+        let plain_stats = plain.run(&flows).unwrap();
+        assert!(plain.take_trace().is_none(), "tracing is opt-in");
+
+        let cfg = NocConfig {
+            trace: true,
+            ..NocConfig::default()
+        };
+        let mut ev = NocSim::new(
+            Box::new(Mesh2D::for_crossbars(8)),
+            cfg,
+            EnergyModel::default(),
+        );
+        let mut or = CycleSim::new(
+            Box::new(Mesh2D::for_crossbars(8)),
+            cfg,
+            EnergyModel::default(),
+        );
+        let es = ev.run(&flows).unwrap();
+        let os = or.run(&flows).unwrap();
+        assert_eq!(
+            es.digest().unwrap(),
+            plain_stats.digest().unwrap(),
+            "tracing must not perturb the statistics"
+        );
+        let et = ev.take_trace().expect("traced run retains events");
+        let ot = or.take_trace().expect("traced run retains events");
+        assert!(!et.is_empty());
+        assert_eq!(
+            et.to_bytes(),
+            ot.to_bytes(),
+            "engines must emit byte-identical event streams"
+        );
+        assert_eq!(es.digest().unwrap(), os.digest().unwrap());
+        // the stream accounts for every injection and delivery
+        let injected = et
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Injected { .. }))
+            .count() as u64;
+        let delivered = et
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+            .count() as u64;
+        assert_eq!(injected, es.counters.packets_injected);
+        assert_eq!(delivered, es.delivered);
+        // a second take returns nothing until the next traced run
+        assert!(ev.take_trace().is_none());
     }
 }

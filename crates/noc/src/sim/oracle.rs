@@ -22,6 +22,7 @@ use crate::packet::Packet;
 use crate::router::pick_vc;
 use crate::stats::{Counters, Delivery, NocStats, SimTrace, VcCounters};
 use crate::topology::Topology;
+use crate::trace::{TraceBuf, TraceEvent};
 use crate::traffic::SpikeFlow;
 use neuromap_hw::energy::EnergyModel;
 use std::cmp::Reverse;
@@ -53,6 +54,9 @@ pub struct CycleSim {
     topo: std::sync::Arc<dyn Topology>,
     config: NocConfig,
     energy: EnergyModel,
+    /// Event trace of the last successful run, present iff
+    /// [`NocConfig::trace`] was set (see [`CycleSim::take_trace`]).
+    trace: Option<TraceBuf>,
 }
 
 impl std::fmt::Debug for CycleSim {
@@ -82,12 +86,21 @@ impl CycleSim {
             topo,
             config,
             energy,
+            trace: None,
         }
     }
 
     /// The topology in use.
     pub fn topology(&self) -> &dyn Topology {
         self.topo.as_ref()
+    }
+
+    /// Takes the structured event trace of the last successful run
+    /// (`Some` iff [`NocConfig::trace`] was set). The stream is
+    /// byte-identical to [`super::NocSim::take_trace`]'s for the same
+    /// workload — see [`crate::trace`].
+    pub fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take()
     }
 
     /// Runs the spike schedule to completion and returns aggregate
@@ -117,7 +130,10 @@ impl CycleSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
-        let (deliveries, counters, per_vc) = self.simulate(schedule, None)?;
+        self.trace = None;
+        let mut events = self.config.trace.then(|| TraceBuf::new(&self.config));
+        let (deliveries, counters, per_vc) = self.simulate(schedule, None, events.as_mut())?;
+        self.trace = events;
         let stats = NocStats::from_deliveries(
             &deliveries,
             counters,
@@ -148,9 +164,12 @@ impl CycleSim {
         self.config.validate()?;
         validate_flows(self.topo.as_ref(), flows)?;
         let schedule = build_schedule(self.topo.as_ref(), &self.config, flows);
+        self.trace = None;
+        let mut events = self.config.trace.then(|| TraceBuf::new(&self.config));
         let mut trace = SimTrace::default();
         let (deliveries, counters, per_vc) =
-            self.simulate(schedule, Some(&mut trace.progress_cycles))?;
+            self.simulate(schedule, Some(&mut trace.progress_cycles), events.as_mut())?;
+        self.trace = events;
         let stats = NocStats::from_deliveries(
             &deliveries,
             counters,
@@ -164,12 +183,15 @@ impl CycleSim {
     }
 
     /// The cycle-by-cycle main loop. `progress`, when given, collects the
-    /// cycles at which at least one packet was forwarded.
+    /// cycles at which at least one packet was forwarded; `events`, when
+    /// given, records the structured trace (same emission points and
+    /// order as the event engine's — see [`crate::trace`]).
     #[allow(clippy::type_complexity)]
     fn simulate(
         &self,
         schedule: Vec<Packet>,
         mut progress: Option<&mut Vec<u64>>,
+        mut events: Option<&mut TraceBuf>,
     ) -> Result<(Vec<Delivery>, Counters, Vec<VcCounters>), NocError> {
         let cfg = &self.config;
         let topo = self.topo.as_ref();
@@ -249,11 +271,20 @@ impl CycleSim {
                     &mut a.packet,
                     now,
                     &mut deliveries,
+                    events.as_deref_mut(),
                 );
                 if a.packet.dests.is_empty() {
                     routers[a.router].credits_used[a.ingress] -= 1;
+                    if let Some(t) = events.as_deref_mut() {
+                        if routers[a.router].credits_used[a.ingress] == cfg.buffer_depth - 1 {
+                            // full → free (the event engine wakes the
+                            // blocked upstream pair here)
+                            t.credit_freed(now, a.router as u32, a.ingress as u32);
+                        }
+                    }
                 } else {
                     counters.buffer_flits += flits as u64;
+                    let spike_id = a.packet.spike_id;
                     routers[a.router].fifos[a.ingress].push_back(a.packet);
                     debug_assert!(
                         routers[a.router].fifos[a.ingress].len() <= cfg.buffer_depth,
@@ -265,6 +296,15 @@ impl CycleSim {
                         vc.peak_occupancy = vc
                             .peak_occupancy
                             .max(routers[a.router].fifos[a.ingress].len() as u64);
+                    }
+                    if let Some(t) = events.as_deref_mut() {
+                        t.push(TraceEvent::Enqueued {
+                            cycle: now,
+                            spike_id,
+                            router: a.router as u32,
+                            lane: a.ingress as u32,
+                            occupancy: routers[a.router].fifos[a.ingress].len() as u32,
+                        });
                     }
                     queued_packets += 1;
                     // credit stays consumed until the packet leaves the FIFO
@@ -278,6 +318,15 @@ impl CycleSim {
                 counters.packets_injected += 1;
                 counters.router_traversals += 1;
                 let src_router = topo.endpoint(p.src_crossbar);
+                if let Some(t) = events.as_deref_mut() {
+                    t.push(TraceEvent::Injected {
+                        cycle: now,
+                        spike_id: p.spike_id,
+                        source_neuron: p.source_neuron,
+                        src_crossbar: p.src_crossbar,
+                        router: src_router as u32,
+                    });
+                }
                 strip_local(
                     &hosted[src_router],
                     topo,
@@ -285,9 +334,20 @@ impl CycleSim {
                     &mut p,
                     now,
                     &mut deliveries,
+                    events.as_deref_mut(),
                 );
                 if !p.dests.is_empty() {
+                    let spike_id = p.spike_id;
                     routers[src_router].fifos[0].push_back(p);
+                    if let Some(t) = events.as_deref_mut() {
+                        t.push(TraceEvent::Enqueued {
+                            cycle: now,
+                            spike_id,
+                            router: src_router as u32,
+                            lane: 0,
+                            occupancy: routers[src_router].fifos[0].len() as u32,
+                        });
+                    }
                     queued_packets += 1;
                 }
             }
@@ -380,16 +440,48 @@ impl CycleSim {
                             topo.route_next(r, dr) == nbr && topo.hop_vc(r, dr, vcs) == w
                         })
                         .collect();
+                    // trace capture, mirroring the event engine's order:
+                    // Forwarded, then Dequeued on a pop, then the
+                    // full→free span close on our own ingress lane
+                    let mut dequeued_occ: Option<u32> = None;
+                    let mut freed_own = false;
                     let branch = if via.len() == head.dests.len() {
                         let p = routers[r].fifos[fi].pop_front().expect("head exists");
+                        if events.is_some() {
+                            dequeued_occ = Some(routers[r].fifos[fi].len() as u32);
+                        }
                         queued_packets -= 1;
                         if fi > 0 {
                             routers[r].credits_used[fi] -= 1;
+                            if routers[r].credits_used[fi] == cfg.buffer_depth - 1 {
+                                freed_own = true;
+                            }
                         }
                         p
                     } else {
                         head.split(&via)
                     };
+                    if let Some(t) = events.as_deref_mut() {
+                        t.push(TraceEvent::Forwarded {
+                            cycle: now,
+                            spike_id: branch.spike_id,
+                            router: r as u32,
+                            port: o as u32,
+                            vc: w as u32,
+                            dests: branch.dests.len() as u32,
+                        });
+                        if let Some(occupancy) = dequeued_occ {
+                            t.push(TraceEvent::Dequeued {
+                                cycle: now,
+                                router: r as u32,
+                                lane: fi as u32,
+                                occupancy,
+                            });
+                        }
+                        if freed_own {
+                            t.credit_freed(now, r as u32, fi as u32);
+                        }
+                    }
 
                     counters.link_flits += flits as u64;
                     routers[r].busy_until[o] = now + flits as u64;
@@ -399,6 +491,11 @@ impl CycleSim {
                         routers[nbr].credits_used[down_lane] <= cfg.buffer_depth,
                         "credits must never exceed the FIFO depth"
                     );
+                    if let Some(t) = events.as_deref_mut() {
+                        if routers[nbr].credits_used[down_lane] == cfg.buffer_depth {
+                            t.credit_full(now, nbr as u32, down_lane as u32);
+                        }
+                    }
                     seq += 1;
                     progressed = true;
                     in_transit.push(Reverse(Arrival {

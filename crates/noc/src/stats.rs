@@ -5,6 +5,8 @@
 use neuromap_hw::energy::EnergyModel;
 use serde::{Deserialize, Serialize};
 
+use crate::error::NocError;
+
 /// One completed delivery: a spike that reached a destination crossbar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Delivery {
@@ -23,8 +25,45 @@ pub struct Delivery {
 }
 
 impl Delivery {
+    /// Builds a delivery record, asserting the causality invariant
+    /// `deliver_cycle >= inject_cycle`. Both engines construct their
+    /// delivery logs through here, so an engine bug that ever produced an
+    /// inverted pair fails loudly at the record instead of wrapping
+    /// silently inside [`Delivery::latency`] in release builds.
+    pub fn new(
+        source_neuron: u32,
+        src_crossbar: u32,
+        dst_crossbar: u32,
+        send_step: u32,
+        inject_cycle: u64,
+        deliver_cycle: u64,
+    ) -> Self {
+        assert!(
+            deliver_cycle >= inject_cycle,
+            "delivery precedes injection: inject_cycle {inject_cycle} > deliver_cycle {deliver_cycle} \
+             (neuron {source_neuron}, crossbar {src_crossbar} -> {dst_crossbar})"
+        );
+        Self {
+            source_neuron,
+            src_crossbar,
+            dst_crossbar,
+            send_step,
+            inject_cycle,
+            deliver_cycle,
+        }
+    }
+
     /// Network latency in cycles.
+    ///
+    /// Debug-checked against underflow; [`Delivery::new`] guarantees the
+    /// invariant for engine-produced records.
     pub fn latency(&self) -> u64 {
+        debug_assert!(
+            self.deliver_cycle >= self.inject_cycle,
+            "inverted delivery: inject_cycle {} > deliver_cycle {}",
+            self.inject_cycle,
+            self.deliver_cycle
+        );
         self.deliver_cycle - self.inject_cycle
     }
 }
@@ -236,6 +275,20 @@ impl NocStats {
         self
     }
 
+    /// Canonical (compact) JSON serialization — the byte string
+    /// [`NocStats::digest`] hashes.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::Serialization`] if the serializer fails (it cannot for
+    /// the current field set, but library code must not panic on it).
+    pub fn to_json(&self) -> Result<String, NocError> {
+        serde_json::to_string(self).map_err(|e| NocError::Serialization {
+            context: "NocStats",
+            detail: e.to_string(),
+        })
+    }
+
     /// FNV-1a digest of the canonical JSON serialization.
     ///
     /// Two statistics blocks digest equal iff their serialized bytes are
@@ -243,14 +296,18 @@ impl NocStats {
     /// The differential test suite and `BENCH_noc.json` use this to assert
     /// that the event-driven engine and the cycle-driven oracle agree
     /// byte-for-byte, not merely approximately.
-    pub fn digest(&self) -> u64 {
-        let json = serde_json::to_string(self).expect("stats serialize");
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NocError::Serialization`] from [`NocStats::to_json`].
+    pub fn digest(&self) -> Result<u64, NocError> {
+        let json = self.to_json()?;
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in json.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        h
+        Ok(h)
     }
 }
 
@@ -405,6 +462,19 @@ mod tests {
     }
 
     #[test]
+    fn constructor_accepts_causal_pairs() {
+        let del = Delivery::new(3, 0, 1, 0, 10, 10);
+        assert_eq!(del.latency(), 0);
+        assert_eq!(Delivery::new(3, 0, 1, 0, 10, 25).latency(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery precedes injection")]
+    fn constructor_rejects_inverted_pairs() {
+        let _ = Delivery::new(3, 0, 1, 0, 25, 10);
+    }
+
+    #[test]
     fn ordered_deliveries_have_zero_disorder() {
         let ds = vec![d(0, 1, 0, 5), d(1, 1, 1, 6), d(2, 1, 2, 7)];
         assert_eq!(disorder_fraction(&ds), 0.0);
@@ -487,9 +557,19 @@ mod tests {
         let em = EnergyModel::default();
         let a = NocStats::from_deliveries(&ds, counters, &em, 2, 1, 1024);
         let b = NocStats::from_deliveries(&ds, counters, &em, 2, 1, 1024);
-        assert_eq!(a.digest(), b.digest(), "identical stats digest equal");
+        assert_eq!(
+            a.digest().unwrap(),
+            b.digest().unwrap(),
+            "identical stats digest equal"
+        );
         let c = NocStats::from_deliveries(&ds[..1], counters, &em, 2, 1, 1024);
-        assert_ne!(a.digest(), c.digest(), "different stats digest apart");
+        assert_ne!(
+            a.digest().unwrap(),
+            c.digest().unwrap(),
+            "different stats digest apart"
+        );
+        // digest hashes exactly the canonical to_json bytes
+        assert!(a.to_json().unwrap().starts_with('{'));
     }
 
     #[test]
@@ -508,7 +588,7 @@ mod tests {
         let sv = s.clone().with_per_vc(vec![VcCounters::default(); 2]);
         let jv = serde_json::to_string(&sv).unwrap();
         assert!(jv.contains("per_vc"), "{jv}");
-        assert_ne!(s.digest(), sv.digest());
+        assert_ne!(s.digest().unwrap(), sv.digest().unwrap());
         // and round-trips, including the omitted form
         let back: NocStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
@@ -540,7 +620,7 @@ mod tests {
         let js = serde_json::to_string(&ss).unwrap();
         assert!(js.contains("sched"), "{js}");
         assert!(js.contains("port_wakes"), "{js}");
-        assert_ne!(s.digest(), ss.digest());
+        assert_ne!(s.digest().unwrap(), ss.digest().unwrap());
         // and both forms round-trip
         let back: NocStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
@@ -567,7 +647,11 @@ mod tests {
             },
             VcCounters::default(),
         ]);
-        assert_ne!(a.digest(), b.digest(), "vc traffic split must be visible");
+        assert_ne!(
+            a.digest().unwrap(),
+            b.digest().unwrap(),
+            "vc traffic split must be visible"
+        );
     }
 
     #[test]

@@ -55,7 +55,8 @@ for ratio in \
   "engine/dense_torus64" \
   "engine/dense_vc4_burst16" \
   "engine/torus64_vc2_shallow" \
-  "engine/torus64_vc4_depth4"; do
+  "engine/torus64_vc4_depth4" \
+  "trace/dense_burst16"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_noc.json \
     || { echo "BENCH_noc.json lost paired ratio: $ratio"; exit 1; }
 done
@@ -67,6 +68,21 @@ echo "==> dense-regime speedup floor (same-run ratio, throttle-immune)"
 dense=$(sed -n 's/.*"noc_dense_speedup": \([0-9.]*\).*/\1/p' BENCH_noc.json | head -1)
 awk -v d="$dense" 'BEGIN { exit !(d >= 1.5) }' \
   || { echo "noc_dense_speedup regressed below 1.5x (got ${dense:-missing})"; exit 1; }
+
+echo "==> trace-overhead ceiling (tracing on must stay usable on dense traffic)"
+# tracing is opt-in and zero-cost when off (the engine/* ratios above
+# run untraced); when on, the same-run on/off ratio on the dense point
+# must stay under a generous ceiling so per-event work never makes the
+# trace layer unusable exactly where congestion analysis needs it
+overhead=$(sed -n 's/.*"noc_trace_overhead": \([0-9.]*\).*/\1/p' BENCH_noc.json | head -1)
+awk -v o="$overhead" 'BEGIN { exit !(o > 0 && o <= 3.0) }' \
+  || { echo "noc_trace_overhead outside (0, 3.0] (got ${overhead:-missing})"; exit 1; }
+
+echo "==> congestion-spotter smoke (dense_burst16 must show blocked lanes)"
+cargo test --release -p neuromap-bench --test spotter_smoke -q
+
+echo "==> golden Perfetto trace (small workload, byte-for-byte)"
+cargo test --release --test noc_trace -q
 
 echo "==> NoC differential proptests incl. VC corpus (high case count)"
 # covers the vc_count {1,2,4} x depth 1-4 x mesh/torus grid, the golden

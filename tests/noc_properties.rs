@@ -127,7 +127,12 @@ fn assert_engines_agree(
             let ej = serde_json::to_string(&es).expect("stats serialize");
             let oj = serde_json::to_string(&os).expect("stats serialize");
             prop_assert_eq!(&ej, &oj, "{}: stats bytes diverge", &name);
-            prop_assert_eq!(es.digest(), os.digest(), "{}: digests diverge", &name);
+            prop_assert_eq!(
+                es.digest().unwrap(),
+                os.digest().unwrap(),
+                "{}: digests diverge",
+                &name
+            );
         }
         (Err(ee), Err(oe)) => {
             prop_assert_eq!(&ee, &oe, "{}: errors diverge", &name);
@@ -203,7 +208,12 @@ fn assert_engines_agree_on(
             let ej = serde_json::to_string(&es).expect("stats serialize");
             let oj = serde_json::to_string(&os).expect("stats serialize");
             prop_assert_eq!(&ej, &oj, "{}: stats bytes diverge", &name);
-            prop_assert_eq!(es.digest(), os.digest(), "{}: digests diverge", &name);
+            prop_assert_eq!(
+                es.digest().unwrap(),
+                os.digest().unwrap(),
+                "{}: digests diverge",
+                &name
+            );
             prop_assert_eq!(
                 es.per_vc.len(),
                 if cfg.vc_count > 1 { cfg.vc_count } else { 0 },
@@ -306,7 +316,7 @@ fn torus_deadlock_wedges_without_vcs_and_completes_with_two() {
     let (es, ed) = ev.expect("two VCs must complete");
     let (os, od) = or.expect("two VCs must complete in the oracle too");
     assert_eq!(ed, od, "delivery logs must be identical");
-    assert_eq!(es.digest(), os.digest());
+    assert_eq!(es.digest().unwrap(), os.digest().unwrap());
     assert_eq!(es.delivered, 16, "2 steps x 4 sources x 2 destinations");
     assert_eq!(es.per_vc.len(), 2);
     assert!(
@@ -418,12 +428,12 @@ fn pre_vc_digests_are_stable() {
         let (es, _) = event.run_with_duration(&flows, duration).expect(name);
         let (os, _) = oracle.run_with_duration(&flows, duration).expect(name);
         assert_eq!(
-            es.digest(),
+            es.digest().unwrap(),
             golden,
             "{name}: event engine drifted from the pre-VC golden digest"
         );
         assert_eq!(
-            os.digest(),
+            os.digest().unwrap(),
             golden,
             "{name}: oracle drifted from the pre-VC golden digest"
         );
@@ -485,7 +495,7 @@ proptest! {
         match (ra, rb) {
             (Ok((sa, da)), Ok((sb, db))) => {
                 prop_assert_eq!(da, db, "delivery logs depend on input order");
-                prop_assert_eq!(sa.digest(), sb.digest(), "stats depend on input order");
+                prop_assert_eq!(sa.digest().unwrap(), sb.digest().unwrap(), "stats depend on input order");
             }
             (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb, "errors depend on input order"),
             (ra, rb) => {
@@ -525,7 +535,7 @@ proptest! {
         match (re, ro) {
             (Ok((es, ed, et)), Ok((os, od, ot))) => {
                 prop_assert_eq!(&ed, &od, "delivery logs diverge");
-                prop_assert_eq!(es.digest(), os.digest(), "digests diverge");
+                prop_assert_eq!(es.digest().unwrap(), os.digest().unwrap(), "digests diverge");
                 prop_assert_eq!(
                     &et.progress_cycles, &ot.progress_cycles,
                     "the engines must forward at identical cycles"
@@ -644,7 +654,7 @@ proptest! {
         let (sa, da) = a.run_with_duration(&flows, 8).expect("drains");
         let (sb, db) = b.run_with_duration(&permuted, 8).expect("drains");
         prop_assert_eq!(da, db, "delivery logs depend on input order");
-        prop_assert_eq!(sa.digest(), sb.digest(), "stats depend on input order");
+        prop_assert_eq!(sa.digest().unwrap(), sb.digest().unwrap(), "stats depend on input order");
     }
 }
 
@@ -743,6 +753,58 @@ proptest! {
             prop_assert_eq!(stats.global_energy_pj, 0.0);
         } else {
             prop_assert!(stats.global_energy_pj > 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(common::cases(16)))]
+
+    /// Trace determinism (PR 7): with `NocConfig::trace` on, the
+    /// event-driven engine and the cycle-walking oracle must emit
+    /// byte-identical event streams over the VC differential corpus,
+    /// and the stream must not depend on the order flows were fed in
+    /// (the canonical injection schedule erases feed order). This is
+    /// the third byte-identity surface after stats digests and
+    /// delivery logs.
+    #[test]
+    fn trace_streams_are_byte_identical_across_engines(
+        flows in arb_vc_flows(40),
+        mesh in any::<bool>(),
+        depth in 1usize..5,
+        vc_idx in 0usize..3,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let cfg = NocConfig {
+            buffer_depth: depth,
+            vc_count: [1usize, 2, 4][vc_idx],
+            max_cycles: 60_000,
+            trace: true,
+            ..NocConfig::default()
+        };
+        let mut ev = NocSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+        let mut or = CycleSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+        let re = ev.run_with_duration(&flows, 6);
+        let ro = or.run_with_duration(&flows, 6);
+        match (re, ro) {
+            (Ok(_), Ok(_)) => {
+                let et = ev.take_trace().expect("event engine recorded a trace");
+                let ot = or.take_trace().expect("oracle recorded a trace");
+                prop_assert_eq!(
+                    et.to_bytes(), ot.to_bytes(),
+                    "trace streams diverge between engines"
+                );
+                let mut evp = NocSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+                evp.run_with_duration(&shuffled(&flows, shuffle_seed), 6)
+                    .expect("permuted run matches the original outcome");
+                let pt = evp.take_trace().expect("permuted run recorded a trace");
+                prop_assert_eq!(
+                    et.to_bytes(), pt.to_bytes(),
+                    "trace depends on flow feed order"
+                );
+            }
+            (Err(ee), Err(oe)) => prop_assert_eq!(ee, oe, "errors diverge"),
+            (re, ro) => return Err(format!("outcome kinds diverge: {re:?} vs {ro:?}")),
         }
     }
 }

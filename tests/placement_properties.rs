@@ -118,7 +118,7 @@ proptest! {
         prop_assert_eq!(staged.num_synapses, graph.num_synapses());
         prop_assert_eq!(staged.cut_spikes, cut_spikes);
         prop_assert_eq!(staged.local_events, local);
-        prop_assert_eq!(staged.noc.digest(), stats.digest(), "NoC stats must digest-equal");
+        prop_assert_eq!(staged.noc.digest().unwrap(), stats.digest().unwrap(), "NoC stats must digest-equal");
         let dim = arch.neurons_per_crossbar();
         let local_pj = arch.energy().local_pj_scaled(local, dim);
         prop_assert_eq!(staged.local_energy_pj.to_bits(), local_pj.to_bits());
