@@ -18,6 +18,7 @@ use neuromap_apps::digit_recognition::DigitRecognition;
 use neuromap_apps::synthetic::{LargeArch, Synthetic};
 use neuromap_apps::App;
 use neuromap_bench::{arch_for, SEED};
+use neuromap_core::coopt::{co_optimize, CooptConfig};
 use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmScratch};
 use neuromap_core::partition::{FitnessKind, PartitionProblem};
 use neuromap_core::pipeline::TrafficMode;
@@ -274,6 +275,80 @@ fn bench_placement(
     group.finish();
 }
 
+/// Staged partition-then-place vs the joint partition ⇄ placement loop
+/// (`core::coopt`) on the 64-crossbar scenario, same hop-priced PSO
+/// budget and placement optimizer on both sides. The paired
+/// `coopt/synth_8x8grid/CutHops` ratio in `BENCH_eval.json` records the
+/// joint loop's same-run time-overhead factor (speedup < 1 is expected:
+/// the loop re-runs the placement optimizer every `replace_every`
+/// iterations). The quality side is *asserted*, not timed — the joint
+/// result must never price worse than its own staged fallback.
+fn bench_coopt(c: &mut Criterion) {
+    let scenario = LargeArch {
+        side: 8,
+        neurons_per_crossbar: 8,
+        synapses_per_neuron: 24,
+        fill_percent: 85,
+    };
+    let graph = scenario.spike_graph(SEED).expect("scenario builds");
+    let lut = DistanceLut::new(&Mesh2D::for_crossbars(scenario.num_crossbars()));
+    let problem = PartitionProblem::new(&graph, scenario.num_crossbars(), scenario.capacity())
+        .expect("feasible")
+        .with_hops(&lut)
+        .expect("lut covers the arch");
+    let cfg = CooptConfig {
+        pso: PsoConfig {
+            swarm_size: 8,
+            iterations: 8,
+            fitness: FitnessKind::CutHops,
+            seed_baselines: false,
+            polish_passes: 1,
+            threads: 1,
+            seed: SEED,
+            ..PsoConfig::default()
+        },
+        place: PlaceConfig {
+            threads: 1,
+            restarts: 2,
+            ..PlaceConfig::default()
+        },
+        replace_every: 2,
+    };
+    let out =
+        co_optimize(&problem, &lut, TrafficMode::PerCrossbar, &cfg).expect("scenario co-optimizes");
+    assert!(
+        out.joint_cost <= out.staged_cost || !out.used_joint,
+        "REGRESSION: co_optimize returned a joint result pricing worse than \
+         its staged fallback ({} > {})",
+        out.joint_cost,
+        out.staged_cost
+    );
+    println!(
+        "coopt/{}: hop-weighted packets staged {} / joint {} (used joint: {})",
+        scenario.name(),
+        out.staged_cost,
+        out.joint_cost,
+        out.used_joint
+    );
+    let mut group = c.benchmark_group(format!("coopt/{}", scenario.name()));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("staged", "CutHops"), |b| {
+        let pso = PsoPartitioner::new(cfg.pso);
+        b.iter(|| {
+            let (m, _) = pso.partition_traced(&problem).expect("feasible");
+            let traffic = TrafficMatrix::from_mapping(&graph, &m, TrafficMode::PerCrossbar);
+            optimize_placement(&traffic, &lut, &cfg.place).expect("valid config")
+        });
+    });
+    group.bench_function(BenchmarkId::new("joint", "CutHops"), |b| {
+        b.iter(|| {
+            co_optimize(&problem, &lut, TrafficMode::PerCrossbar, &cfg)
+                .expect("scenario co-optimizes")
+        });
+    });
+    group.finish();
+}
+
 fn bench_pso_step(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
     let arch = arch_for(graph.num_neurons());
     let problem = PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
@@ -305,6 +380,9 @@ fn main() {
 
     // 16 × 16 = 256 crossbars: the multi-word envelope, gated + timed
     bench_large_arch(&mut c);
+
+    // joint partition ⇄ placement loop vs its staged fallback (64 crossbars)
+    bench_coopt(&mut c);
 
     // end-to-end paper-scale run (slow; opt-in)
     let mut paper_seconds: Option<f64> = None;
@@ -362,10 +440,16 @@ fn main() {
 }
 
 /// Builds `{id, baseline, candidate, speedup}` entries for every
-/// same-run baseline/candidate pair: `scalar` vs `batched` swarm scoring
-/// and `full` vs `incremental` move pricing.
+/// same-run baseline/candidate pair: `scalar` vs `batched` swarm scoring,
+/// `full` vs `incremental` move pricing, and `staged` vs `joint`
+/// co-optimization (the last records the joint loop's time overhead, so
+/// its speedup is expected below 1).
 fn paired_ratios(c: &Criterion) -> Vec<String> {
-    const PAIRS: [(&str, &str); 2] = [("/scalar/", "/batched/"), ("/full/", "/incremental/")];
+    const PAIRS: [(&str, &str); 3] = [
+        ("/scalar/", "/batched/"),
+        ("/full/", "/incremental/"),
+        ("/staged/", "/joint/"),
+    ];
     let median = |id: &str| {
         c.summaries()
             .iter()

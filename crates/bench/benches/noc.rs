@@ -104,6 +104,76 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-destination DOR routes vs Steiner multicast trees
+/// ([`NocConfig::multicast_trees`]) on a 64-router mesh under fan-out-6
+/// multicast — the `trees/mesh64_multicast` paired ratio in
+/// `BENCH_noc.json`. Before timing, the tree configuration is
+/// differentially gated (both engines must digest-match with trees on,
+/// mirroring the `engine/*` groups) and trees must actually shed link
+/// traffic relative to per-destination routes.
+fn bench_tree_routing(c: &mut Criterion) {
+    // clustered destinations (two corner blocks): dimension-order routes
+    // reach each cluster through parallel columns, while the Steiner
+    // attach rule rides one path into the cluster and fans out locally —
+    // spread-out destinations would degenerate to the DOR union
+    let flows: Vec<SpikeFlow> = (0..200u32)
+        .map(|i| SpikeFlow::multicast(i, i % 64, vec![48, 54, 55, 56, 62, 63], i / 40))
+        .collect();
+    let per_dest = NocConfig {
+        multicast: true,
+        ..NocConfig::default()
+    };
+    let trees = NocConfig {
+        multicast_trees: true,
+        ..per_dest
+    };
+    let mesh = || -> Box<dyn Topology> { Box::new(Mesh2D::for_crossbars(64)) };
+    let ev = {
+        let mut event = NocSim::new(mesh(), trees, EnergyModel::default());
+        let mut oracle = CycleSim::new(mesh(), trees, EnergyModel::default());
+        let ev = event.run(&flows).expect("event engine drains");
+        let or = oracle.run(&flows).expect("oracle drains");
+        assert_eq!(
+            ev.digest().unwrap(),
+            or.digest().unwrap(),
+            "trees/mesh64_multicast: engines diverge under tree routing — \
+             benchmark numbers would be meaningless"
+        );
+        ev
+    };
+    let pd = NocSim::new(mesh(), per_dest, EnergyModel::default())
+        .run(&flows)
+        .expect("traffic drains");
+    assert_eq!(
+        ev.delivered, pd.delivered,
+        "routing must not change deliveries"
+    );
+    assert!(
+        ev.counters.link_flits < pd.counters.link_flits,
+        "REGRESSION: Steiner trees must shed link traffic on fan-out-6 \
+         multicast ({} !< {})",
+        ev.counters.link_flits,
+        pd.counters.link_flits
+    );
+    println!(
+        "trees/mesh64_multicast: link flits {} -> {} ({:.1}% lower)",
+        pd.counters.link_flits,
+        ev.counters.link_flits,
+        100.0 * (1.0 - ev.counters.link_flits as f64 / pd.counters.link_flits as f64)
+    );
+    let mut group = c.benchmark_group("trees/mesh64_multicast");
+    group.sample_size(10);
+    for (name, cfg) in [("perdest", per_dest), ("trees", trees)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &flows, |b, f| {
+            b.iter(|| {
+                let mut sim = NocSim::new(mesh(), cfg, EnergyModel::default());
+                sim.run(f).expect("traffic drains")
+            });
+        });
+    }
+    group.finish();
+}
+
 type TopoFactory = fn() -> Box<dyn Topology>;
 
 fn bench_topologies(c: &mut Criterion) {
@@ -188,6 +258,7 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_engines(&mut c);
     bench_trace_overhead(&mut c);
+    bench_tree_routing(&mut c);
     bench_topologies(&mut c);
     bench_load(&mut c);
     bench_multicast(&mut c);
@@ -257,6 +328,23 @@ fn main() {
             "    {{\"id\": \"trace/dense_burst16\", \"baseline\": \"trace/dense_burst16/off\", \"candidate\": \"trace/dense_burst16/on\", \"speedup\": {:.2}}}",
             1.0 / trace_overhead
         ));
+    }
+    // tree routing: same-run paired per-dest vs Steiner-tree medians of
+    // the event engine on the fan-out-6 multicast point — trees forward
+    // fewer flits but pay for tree construction and per-hop table
+    // lookups, so a speedup below 1 is expected; the ratio tracks that
+    // overhead across PRs (the link-flit reduction is asserted above)
+    if let (Some(pd), Some(tr)) = (
+        median("trees/mesh64_multicast/perdest"),
+        median("trees/mesh64_multicast/trees"),
+    ) {
+        if tr > 0.0 {
+            let s = pd / tr;
+            println!("tree-routing speedup over per-dest routes, trees/mesh64_multicast: {s:.2}x");
+            ratios.push(format!(
+                "    {{\"id\": \"trees/mesh64_multicast\", \"baseline\": \"trees/mesh64_multicast/perdest\", \"candidate\": \"trees/mesh64_multicast/trees\", \"speedup\": {s:.2}}}"
+            ));
+        }
     }
     let json = format!(
         "{{\n  \"noc_sparse_speedup\": {:.2},\n  \"noc_moderate_speedup\": {:.2},\n  \"noc_dense_speedup\": {:.2},\n  \"noc_trace_overhead\": {:.2},\n  \"ratios\": [\n{}\n  ],\n  \"benchmarks\": [\n{}\n  ]\n}}\n",

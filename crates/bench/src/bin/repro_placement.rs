@@ -1,5 +1,6 @@
 //! Placement-stage study: identity vs hop-optimized cluster placement on
-//! 64- and 256-crossbar meshes and tori.
+//! 64- and 256-crossbar meshes and tori, plus the joint
+//! partition ⇄ placement loop and Steiner multicast trees.
 //!
 //! The source paper stops after partitioning, implicitly wiring cluster
 //! `k` to router `k`; SpiNeMap (Balaji et al.) showed a second placement
@@ -9,10 +10,22 @@
 //! reports hop-weighted packets, energy and latency for each. Cut packets
 //! are placement-invariant by construction — only the *distances* change.
 //!
+//! A second block per scenario compares three hop-priced flows:
+//!
+//! * `staged`  — CutHops PSO partition, then one placement pass
+//!   (exactly the fallback baseline `core::coopt` computes internally);
+//! * `joint`   — [`MappingPipeline::co_optimize`], where the placement
+//!   optimizer periodically re-prices the distances the swarm searches
+//!   under (never worse than `staged` by construction);
+//! * `joint+trees` — the same joint mapping re-simulated with
+//!   `NocConfig::multicast_trees` on, so shared multicast prefixes
+//!   traverse each link once instead of once per destination.
+//!
 //! Run: `cargo run --release -p neuromap-bench --bin repro_placement [--paper]`
 
 use neuromap_apps::synthetic::LargeArch;
 use neuromap_bench::{print_table, Scale, SEED};
+use neuromap_core::coopt::CooptConfig;
 use neuromap_core::partition::FitnessKind;
 use neuromap_core::pipeline::{MappingPipeline, PipelineConfig, PlacementStrategy};
 use neuromap_core::place::PlaceConfig;
@@ -99,6 +112,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format!("{delta:.1}%"),
                 ]);
             }
+
+            // Joint loop + tree routing on the same scenario. `staged`
+            // reproduces core::coopt's internal fallback baseline bit for
+            // bit (same hop-priced PSO config, same placement optimizer,
+            // deterministic seeds), so the three rows isolate (a) the
+            // joint re-pricing loop and (b) Steiner multicast trees.
+            let coopt_cfg = CooptConfig {
+                pso: PsoConfig {
+                    swarm_size: swarm,
+                    iterations: iters,
+                    fitness: FitnessKind::CutHops,
+                    seed_baselines: false,
+                    polish_passes: 1,
+                    seed: SEED,
+                    ..PsoConfig::default()
+                },
+                place: PlaceConfig::default(),
+                replace_every: (iters / 4).max(1),
+            };
+            let staged_map = pipeline.partition(&graph, &PsoPartitioner::new(coopt_cfg.pso))?;
+            let (staged_placed, _, _) = optimized.place(&graph, &staged_map)?;
+            let joint = pipeline.co_optimize(&graph, &coopt_cfg)?;
+            let mut tree_noc = pipeline.config().noc;
+            tree_noc.multicast_trees = true;
+            let trees = pipeline.with_noc(tree_noc);
+            let mut staged_hops = 0u64;
+            for (pipe, mapping, label) in [
+                (&pipeline, staged_placed, "staged"),
+                (&pipeline, joint.mapping.clone(), "joint"),
+                (&trees, joint.mapping, "joint+trees"),
+            ] {
+                let report = pipe.evaluate_as(&graph, mapping, "pso", label)?;
+                if label == "staged" {
+                    staged_hops = report.hop_weighted_packets;
+                }
+                let delta = if staged_hops == 0 {
+                    0.0
+                } else {
+                    100.0 * (1.0 - report.hop_weighted_packets as f64 / staged_hops as f64)
+                };
+                rows.push(vec![
+                    scenario.name(),
+                    fabric.to_owned(),
+                    report.placement.clone(),
+                    report.hop_weighted_packets.to_string(),
+                    format!("{:.2}", report.avg_hops),
+                    format!("{:.0}", report.global_energy_pj),
+                    format!("{:.1}", report.noc.avg_latency_cycles),
+                    format!("{:.1}", report.noc.avg_isi_distortion_cycles),
+                    format!("{delta:.1}%"),
+                ]);
+            }
         }
     }
     print_table(
@@ -116,6 +181,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
     println!("\nidentity = cluster k on router k (the paper's implicit wiring);");
-    println!("hop-optimized = core::place QAP local search + SA restarts on the same partition");
+    println!("hop-optimized = core::place QAP local search + SA restarts on the same partition;");
+    println!("staged = CutHops PSO then one placement pass (coopt's fallback baseline);");
+    println!("joint = core::coopt partition ⇄ placement loop; joint+trees = the joint");
+    println!("mapping with Steiner multicast-tree routing. hop-wt cut is vs identity for");
+    println!("the first pair of rows and vs staged for the last three.");
     Ok(())
 }

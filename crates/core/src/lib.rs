@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod coopt;
 pub mod decode;
 mod error;
 pub mod eval;

@@ -266,6 +266,30 @@ pub fn local_events(graph: &SpikeGraph, mapping: &Mapping) -> u64 {
     total
 }
 
+/// Link traversals of a multicast tree, given the per-destination paths
+/// [`Topology::multicast_route`] returns: paths are grouped by their
+/// first `(next hop, VC)` — each distinct group is one packet forward —
+/// and the recursion descends into the groups' tails. Destinations that
+/// share a path prefix pay each shared hop once, which is exactly the
+/// forward count the NoC engines perform under tree routing (a head
+/// splits per distinct route bit, never per destination).
+fn tree_forwards(paths: &[Vec<(usize, usize)>]) -> u64 {
+    // hop path tail, keyed by the (next hop, VC) the paths branch on
+    type Tails = Vec<Vec<(usize, usize)>>;
+    let mut groups: std::collections::BTreeMap<(usize, usize), Tails> =
+        std::collections::BTreeMap::new();
+    for p in paths {
+        if let Some((&first, rest)) = p.split_first() {
+            groups.entry(first).or_default().push(rest.to_vec());
+        }
+    }
+    let mut total = 0u64;
+    for tails in groups.values() {
+        total += 1 + tree_forwards(tails);
+    }
+    total
+}
+
 /// The staged mapping pipeline: partition → place → packetize → simulate
 /// → report, over a topology and hop-distance table built **once** and
 /// shared by every stage (and, through [`MappingPipeline::with_noc`],
@@ -460,16 +484,61 @@ impl MappingPipeline {
     /// Hop metrics of a flow set: `(hop-weighted packets, unicast packet
     /// count)` — every `(source, destination)` pair priced by the shared
     /// distance table.
+    ///
+    /// When the pipeline's NoC configuration routes multicast packets
+    /// along Steiner trees ([`NocConfig::multicast_trees`] with
+    /// [`NocConfig::multicast`]), the weighted component counts actual
+    /// link traversals of each flow's tree instead — shared prefix hops
+    /// are paid once per branch, exactly the forwards the engines
+    /// perform. The unicast count is unchanged (it is the packet count
+    /// a clone-per-destination NoC would inject, the paper's yardstick).
+    ///
+    /// [`NocConfig::multicast_trees`]: neuromap_noc::config::NocConfig::multicast_trees
+    /// [`NocConfig::multicast`]: neuromap_noc::config::NocConfig::multicast
     pub fn hop_metrics(&self, flows: &[SpikeFlow]) -> (u64, u64) {
+        let trees = self.config.noc.multicast && self.config.noc.multicast_trees;
         let mut weighted = 0u64;
         let mut unicast = 0u64;
         for f in flows {
-            for &dst in &f.dst_crossbars {
-                weighted += u64::from(self.dist.hops(f.src_crossbar, dst));
-                unicast += 1;
+            unicast += f.dst_crossbars.len() as u64;
+            if trees {
+                let src_router = self.topo.endpoint(f.src_crossbar);
+                let dest_routers: Vec<usize> = f
+                    .dst_crossbars
+                    .iter()
+                    .map(|&d| self.topo.endpoint(d))
+                    .collect();
+                let paths =
+                    self.topo
+                        .multicast_route(src_router, &dest_routers, self.config.noc.vc_count);
+                weighted += tree_forwards(&paths);
+            } else {
+                for &dst in &f.dst_crossbars {
+                    weighted += u64::from(self.dist.hops(f.src_crossbar, dst));
+                }
             }
         }
         (weighted, unicast)
+    }
+
+    /// **Joint partition ⇄ placement co-optimization**
+    /// ([`crate::coopt::co_optimize`]) over this pipeline's shared
+    /// topology, distance table, and traffic mode: the swarm runs on
+    /// hop-priced fitness and the placement optimizer periodically
+    /// re-prices the distances it searches under, with the staged
+    /// partition-then-place result as the never-worse fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] when the chip cannot hold the graph;
+    /// propagates configuration and optimizer errors.
+    pub fn co_optimize(
+        &self,
+        graph: &SpikeGraph,
+        cfg: &crate::coopt::CooptConfig,
+    ) -> Result<crate::coopt::CooptOutcome, CoreError> {
+        let problem = self.problem(graph)?;
+        crate::coopt::co_optimize(&problem, &self.dist, self.config.traffic, cfg)
     }
 
     /// All stages: partition, place, packetize, simulate, report.

@@ -390,17 +390,29 @@ pub fn optimize_placement(
 
     // spread restart indices over workers in contiguous chunks (same
     // discipline as the SA baseline); per-restart results depend only on
-    // (traffic, dist, cfg, k), so the chunking is invisible in the output
+    // (traffic, dist, cfg, k), so the chunking is invisible in the output.
+    // `workers` is clamped to `restarts` and the base/extra split hands
+    // every worker a non-empty chunk — the old ceil-division chunking
+    // produced empty `lo >= hi` tail ranges when `threads > restarts`,
+    // spawning workers with nothing to do
     let restarts = cfg.restarts;
     let workers = cfg.threads.min(restarts as usize).max(1);
-    let per_worker = (restarts as usize).div_ceil(workers);
+    let base = restarts as usize / workers;
+    let extra = restarts as usize % workers;
+    let mut next = 0u32;
     let chunks: Vec<Vec<u32>> = (0..workers)
         .map(|w| {
-            let lo = (w * per_worker) as u32;
-            let hi = restarts.min(lo + per_worker as u32);
-            (lo..hi).collect()
+            let count = (base + usize::from(w < extra)) as u32;
+            let lo = next;
+            next += count;
+            (lo..lo + count).collect()
         })
         .collect();
+    debug_assert_eq!(next, restarts, "chunks must partition 0..restarts");
+    debug_assert!(
+        chunks.iter().all(|ch| !ch.is_empty()),
+        "every spawned worker must own at least one restart"
+    );
 
     let mut per_restart: Vec<(u64, u32, Vec<u32>)> = Vec::with_capacity(restarts as usize);
     pool::run_phased(
@@ -563,6 +575,67 @@ mod tests {
         let outcome = optimize_placement(&traffic, &dist, &PlaceConfig::default()).unwrap();
         assert_eq!(outcome.optimized_cost, 0);
         assert_eq!(outcome.identity_cost, 0);
+    }
+
+    #[test]
+    fn relative_gain_guards_empty_traffic() {
+        // empty traffic matrix ⇒ identity_cost == 0: the gain must be a
+        // clean 0.0, not NaN poisoning serialized reports
+        let traffic = TrafficMatrix::from_raw(4, vec![0; 16]);
+        let dist = mesh_lut(4);
+        let outcome = optimize_placement(&traffic, &dist, &PlaceConfig::default()).unwrap();
+        assert_eq!(outcome.identity_cost, 0);
+        assert_eq!(outcome.relative_gain(), 0.0);
+        assert!(!outcome.relative_gain().is_nan());
+        // and the non-degenerate path still reports the true ratio
+        let traffic = ring_traffic(16, 10);
+        let dist = mesh_lut(16);
+        let outcome = optimize_placement(&traffic, &dist, &PlaceConfig::default()).unwrap();
+        assert!(outcome.identity_cost > 0);
+        let expected = 1.0 - outcome.optimized_cost as f64 / outcome.identity_cost as f64;
+        assert_eq!(outcome.relative_gain(), expected);
+        assert!(outcome.relative_gain() > 0.0 && outcome.relative_gain() <= 1.0);
+    }
+
+    #[test]
+    fn more_threads_than_restarts_is_identical_and_well_formed() {
+        // regression for the ceil-division chunking: threads > restarts
+        // used to hand tail workers empty `lo >= hi` ranges. The clamped
+        // base/extra split must keep results byte-identical and (in debug
+        // builds) asserts the partition is exact and chunk-empty-free.
+        let traffic = ring_traffic(9, 3);
+        let dist = mesh_lut(9);
+        let base = PlaceConfig {
+            restarts: 3,
+            ..PlaceConfig::default()
+        };
+        let one = optimize_placement(&traffic, &dist, &PlaceConfig { threads: 1, ..base }).unwrap();
+        for threads in [3usize, 4, 7, 16] {
+            let multi =
+                optimize_placement(&traffic, &dist, &PlaceConfig { threads, ..base }).unwrap();
+            assert_eq!(one, multi, "threads={threads} restarts=3");
+        }
+    }
+
+    #[test]
+    fn cluster_local_traffic_never_enters_the_matrix() {
+        use crate::graph::SpikeGraph;
+        // every synapse stays inside its neuron's cluster: the matrix must
+        // be all-zero under both accounting modes (local spikes never
+        // touch the interconnect), so placement cost is zero everywhere
+        let g = SpikeGraph::from_parts(
+            4,
+            vec![(0, 1), (1, 0), (2, 3), (3, 2)],
+            vec![10, 20, 30, 40],
+        )
+        .unwrap();
+        let m = Mapping::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        for mode in [TrafficMode::PerCrossbar, TrafficMode::PerSynapse] {
+            let traffic = TrafficMatrix::from_mapping(&g, &m, mode);
+            assert_eq!(traffic.total_packets(), 0, "{mode:?}");
+            let dist = mesh_lut(2);
+            assert_eq!(placement_cost(&traffic, &dist, &[0, 1]), 0);
+        }
     }
 
     #[test]

@@ -188,12 +188,6 @@ pub struct PsoTrace {
     pub converged_at: u32,
 }
 
-/// The global best broadcast to workers each round.
-struct GlobalBest {
-    fitness: u64,
-    position: Vec<u32>,
-}
-
 /// What a worker reports after stepping its particle range.
 struct ShardReport {
     /// Best personal-best fitness in the shard.
@@ -327,6 +321,260 @@ impl Shard<'_, '_> {
     }
 }
 
+/// Resumable swarm state: the structure-of-arrays buffers, per-particle
+/// RNG streams, and the global best of a PSO search in flight.
+///
+/// Created by [`SwarmState::new`], advanced in segments by [`run_rounds`],
+/// and re-valued by [`reseat_best`] when the objective changes underneath
+/// the swarm — the joint co-optimization loop ([`crate::coopt`]) permutes
+/// the hop-distance table between segments. One `run_rounds` call over the
+/// full iteration budget is exactly the search
+/// [`PsoPartitioner::partition_traced`] runs, byte for byte; segmenting it
+/// changes nothing when the problem stays the same, because every particle
+/// RNG stream is carried across segment boundaries in particle order.
+pub(crate) struct SwarmState {
+    n: usize,
+    c: usize,
+    /// Per-particle RNG seeds, drawn from the master stream in particle
+    /// order (thread-count independent).
+    seeds: Vec<u64>,
+    /// Warm-start assignments, consumed by the init round.
+    injections: Vec<(usize, Vec<u32>)>,
+    velocity: Vec<f32>,
+    position: Vec<u32>,
+    best_position: Vec<u32>,
+    best_fitness: Vec<u64>,
+    /// Per-particle RNG streams in particle order; empty until the init
+    /// round creates them (inside the shards, from `seeds`), then carried
+    /// across `run_rounds` calls so segmented runs resume the exact
+    /// streams an unsegmented run would use.
+    rngs: Vec<StdRng>,
+    /// Best fitness seen so far, under the problem of the last
+    /// `run_rounds`/`reseat_best` call.
+    pub(crate) gbest_fitness: u64,
+    /// Position of the global best (length `n`).
+    pub(crate) gbest_position: Vec<u32>,
+}
+
+impl SwarmState {
+    /// Allocates the swarm for a problem: seeds every particle from the
+    /// master stream and stages the memetic warm-start injections. No
+    /// evaluation happens until the first [`run_rounds`] call.
+    pub(crate) fn new(problem: &PartitionProblem<'_>, cfg: &PsoConfig) -> Self {
+        let n = problem.graph().num_neurons() as usize;
+        let c = problem.num_crossbars();
+        let dims = n * c;
+        let swarm = cfg.swarm_size;
+
+        let mut master = StdRng::seed_from_u64(cfg.seed);
+        let seeds: Vec<u64> = (0..swarm).map(|_| master.gen()).collect();
+
+        // memetic warm start: drop the deterministic baselines into the
+        // swarm so gbest starts no worse than any of them
+        let mut injections: Vec<(usize, Vec<u32>)> = Vec::new();
+        if cfg.seed_baselines {
+            let cap = problem.capacity();
+            let mut candidates: Vec<Vec<u32>> = Vec::new();
+            // hierarchical population packing (the actual PACMAN layout)
+            if let Ok(m) = crate::baselines::PacmanPartitioner::new().partition(problem) {
+                candidates.push(m.assignment().to_vec());
+            }
+            // round-robin interleave (NEUTRAMS)
+            candidates.push((0..n as u32).map(|i| i % c as u32).collect());
+            // dense sequential packing
+            candidates.push((0..n as u32).map(|i| i / cap).collect());
+            let mut slot = 0;
+            for cand in candidates {
+                if slot < swarm && problem.is_feasible(&cand) {
+                    injections.push((slot, cand));
+                    slot += 1;
+                }
+            }
+        }
+
+        Self {
+            n,
+            c,
+            seeds,
+            injections,
+            velocity: vec![0f32; swarm * dims],
+            position: vec![0u32; swarm * n],
+            best_position: vec![0u32; swarm * n],
+            best_fitness: vec![u64::MAX; swarm],
+            rngs: Vec::new(),
+            gbest_fitness: u64::MAX,
+            gbest_position: Vec::new(),
+        }
+    }
+}
+
+/// Advances the swarm by `rounds` PSO iterations on the worker pool,
+/// appending the global best after each round to `trace`.
+///
+/// With `init` set, an extra round 0 runs first (RNG-stream creation,
+/// random velocities, initial decode, warm-start injection, initial
+/// evaluation) and also appends its entry — exactly the
+/// `iterations + 1` phased rounds of a full [`PsoPartitioner`] run.
+/// Without it, the call continues from the state's carried RNG streams
+/// and global best, evaluating against `problem` as given — which may
+/// attach a different hop table than the previous segment's
+/// ([`reseat_best`] re-values the carried bests first in that case).
+///
+/// Deterministic for every `cfg.threads` value: shard carving, per-round
+/// reduction order, and tie-breaking are all in particle order.
+pub(crate) fn run_rounds(
+    problem: &PartitionProblem<'_>,
+    cfg: &PsoConfig,
+    state: &mut SwarmState,
+    rounds: u32,
+    init: bool,
+    trace: &mut Vec<u64>,
+) {
+    let (n, c) = (state.n, state.c);
+    let dims = n * c;
+    let swarm = state.seeds.len();
+    let evaluator = SwarmEval::new(*problem, cfg.fitness);
+    let decoder = Decoder::new(n, c, problem.capacity(), cfg.v_max);
+
+    // carve the buffers into per-worker shards (deterministic layout;
+    // the per-particle math is identical for every partitioning)
+    let workers = cfg.threads.min(swarm).max(1);
+    let SwarmState {
+        seeds,
+        injections,
+        velocity,
+        position,
+        best_position,
+        best_fitness,
+        rngs,
+        gbest_fitness,
+        gbest_position,
+        ..
+    } = state;
+    let mut shards: Vec<Shard<'_, '_>> = Vec::with_capacity(workers);
+    {
+        let mut seeds_rest = &seeds[..];
+        let mut rngs_rest = std::mem::take(rngs);
+        let (mut vel_rest, mut pos_rest, mut bpos_rest, mut bfit_rest) = (
+            &mut velocity[..],
+            &mut position[..],
+            &mut best_position[..],
+            &mut best_fitness[..],
+        );
+        let base = swarm / workers;
+        let extra = swarm % workers;
+        let mut first = 0usize;
+        for w in 0..workers {
+            let count = base + usize::from(w < extra);
+            let (s, rest) = seeds_rest.split_at(count);
+            seeds_rest = rest;
+            let shard_rngs: Vec<StdRng> = if rngs_rest.is_empty() {
+                Vec::new()
+            } else {
+                rngs_rest.drain(..count).collect()
+            };
+            let (v, rest) = vel_rest.split_at_mut(count * dims);
+            vel_rest = rest;
+            let (p, rest) = pos_rest.split_at_mut(count * n);
+            pos_rest = rest;
+            let (bp, rest) = bpos_rest.split_at_mut(count * n);
+            bpos_rest = rest;
+            let (bf, rest) = bfit_rest.split_at_mut(count);
+            bfit_rest = rest;
+            let local_inj = injections
+                .iter()
+                .filter(|(g, _)| (first..first + count).contains(g))
+                .map(|(g, a)| (g - first, a.clone()))
+                .collect();
+            shards.push(Shard {
+                evaluator: &evaluator,
+                decoder: &decoder,
+                cfg: *cfg,
+                n,
+                c,
+                seeds: s,
+                injections: local_inj,
+                velocity: v,
+                position: p,
+                best_position: bp,
+                best_fitness: bf,
+                rngs: shard_rngs,
+                costs: Vec::new(),
+                scratch: SwarmScratch::default(),
+                decode_scratch: DecodeScratch::default(),
+            });
+            first += count;
+        }
+    }
+    injections.clear();
+
+    let first_cmd = if init {
+        (u64::MAX, Arc::new(Vec::new()))
+    } else {
+        (*gbest_fitness, Arc::new(gbest_position.clone()))
+    };
+    let mut gbest_shared: Arc<Vec<u32>> = Arc::clone(&first_cmd.1);
+    let shards = pool::run_phased(
+        shards,
+        if init { rounds + 1 } else { rounds },
+        first_cmd,
+        |round, (seen_fit, seen_pos), shard| {
+            if init && round == 0 {
+                shard.init_round();
+            } else {
+                shard.step_round(seen_pos.as_slice());
+            }
+            shard.report(*seen_fit)
+        },
+        |_round, reports| {
+            // worker-index order == particle order; strict `<` keeps
+            // the first (lowest-index) particle on ties, matching a
+            // sequential scan of the whole swarm
+            let mut improved = false;
+            for report in reports {
+                if report.fitness < *gbest_fitness {
+                    *gbest_fitness = report.fitness;
+                    *gbest_position = report
+                        .position
+                        .expect("improving shard attaches its position");
+                    improved = true;
+                }
+            }
+            if improved {
+                gbest_shared = Arc::new(gbest_position.clone());
+            }
+            trace.push(*gbest_fitness);
+            Some((*gbest_fitness, Arc::clone(&gbest_shared)))
+        },
+    );
+    // carry the RNG streams out of the shards, back into particle order
+    state.rngs = shards.into_iter().flat_map(|s| s.rngs).collect();
+}
+
+/// Re-values the carried personal bests and the global best under a new
+/// problem (same graph and shape, different fitness pricing — the joint
+/// loop swaps the hop table between segments). Single-threaded and
+/// deterministic: the global best is the first lowest-fitness particle,
+/// the tie-break a sequential swarm scan uses.
+pub(crate) fn reseat_best(problem: &PartitionProblem<'_>, cfg: &PsoConfig, state: &mut SwarmState) {
+    let evaluator = SwarmEval::new(*problem, cfg.fitness);
+    let mut scratch = SwarmScratch::default();
+    let count = state.seeds.len();
+    let mut costs = vec![0u64; count];
+    evaluator.eval_swarm(&state.best_position, count, &mut scratch, &mut costs);
+    state.best_fitness.copy_from_slice(&costs);
+    let mut best = u64::MAX;
+    let mut best_p = 0;
+    for (p, &f) in costs.iter().enumerate() {
+        if f < best {
+            best = f;
+            best_p = p;
+        }
+    }
+    state.gbest_fitness = best;
+    state.gbest_position = state.best_position[best_p * state.n..(best_p + 1) * state.n].to_vec();
+}
+
 /// The paper's PSO-based partitioner.
 ///
 /// ```
@@ -378,152 +626,34 @@ impl PsoPartitioner {
         problem: &PartitionProblem<'_>,
     ) -> Result<(Mapping, PsoTrace), CoreError> {
         self.config.validate()?;
-        let n = problem.graph().num_neurons() as usize;
-        let c = problem.num_crossbars();
-        let dims = n * c;
         let cfg = self.config;
-        let swarm = cfg.swarm_size;
-        let evaluator = SwarmEval::new(*problem, cfg.fitness);
-        let decoder = Decoder::new(n, c, problem.capacity(), cfg.v_max);
-
-        // per-particle RNG seeds, drawn in particle order from the master
-        // stream (thread-count independent)
-        let mut master = StdRng::seed_from_u64(cfg.seed);
-        let seeds: Vec<u64> = (0..swarm).map(|_| master.gen()).collect();
-
-        // memetic warm start: drop the deterministic baselines into the
-        // swarm so gbest starts no worse than any of them
-        let mut injections: Vec<(usize, Vec<u32>)> = Vec::new();
-        if cfg.seed_baselines {
-            let cap = problem.capacity();
-            let mut candidates: Vec<Vec<u32>> = Vec::new();
-            // hierarchical population packing (the actual PACMAN layout)
-            if let Ok(m) = crate::baselines::PacmanPartitioner::new().partition(problem) {
-                candidates.push(m.assignment().to_vec());
-            }
-            // round-robin interleave (NEUTRAMS)
-            candidates.push((0..n as u32).map(|i| i % c as u32).collect());
-            // dense sequential packing
-            candidates.push((0..n as u32).map(|i| i / cap).collect());
-            let mut slot = 0;
-            for cand in candidates {
-                if slot < swarm && problem.is_feasible(&cand) {
-                    injections.push((slot, cand));
-                    slot += 1;
-                }
-            }
-        }
-
-        // structure-of-arrays swarm storage
-        let mut velocity = vec![0f32; swarm * dims];
-        let mut position = vec![0u32; swarm * n];
-        let mut best_position = vec![0u32; swarm * n];
-        let mut best_fitness = vec![u64::MAX; swarm];
-
-        // carve the buffers into per-worker shards (deterministic layout;
-        // the per-particle math is identical for every partitioning)
-        let workers = cfg.threads.min(swarm).max(1);
-        let mut shards: Vec<Shard<'_, '_>> = Vec::with_capacity(workers);
-        {
-            let mut seeds_rest = &seeds[..];
-            let (mut vel_rest, mut pos_rest, mut bpos_rest, mut bfit_rest) = (
-                &mut velocity[..],
-                &mut position[..],
-                &mut best_position[..],
-                &mut best_fitness[..],
-            );
-            let base = swarm / workers;
-            let extra = swarm % workers;
-            let mut first = 0usize;
-            for w in 0..workers {
-                let count = base + usize::from(w < extra);
-                let (s, rest) = seeds_rest.split_at(count);
-                seeds_rest = rest;
-                let (v, rest) = vel_rest.split_at_mut(count * dims);
-                vel_rest = rest;
-                let (p, rest) = pos_rest.split_at_mut(count * n);
-                pos_rest = rest;
-                let (bp, rest) = bpos_rest.split_at_mut(count * n);
-                bpos_rest = rest;
-                let (bf, rest) = bfit_rest.split_at_mut(count);
-                bfit_rest = rest;
-                let local_inj = injections
-                    .iter()
-                    .filter(|(g, _)| (first..first + count).contains(g))
-                    .map(|(g, a)| (g - first, a.clone()))
-                    .collect();
-                shards.push(Shard {
-                    evaluator: &evaluator,
-                    decoder: &decoder,
-                    cfg,
-                    n,
-                    c,
-                    seeds: s,
-                    injections: local_inj,
-                    velocity: v,
-                    position: p,
-                    best_position: bp,
-                    best_fitness: bf,
-                    rngs: Vec::new(),
-                    costs: Vec::new(),
-                    scratch: SwarmScratch::default(),
-                    decode_scratch: DecodeScratch::default(),
-                });
-                first += count;
-            }
-        }
 
         // round 0 = initial evaluation; rounds 1..=iterations = PSO steps
-        let mut gbest = GlobalBest {
-            fitness: u64::MAX,
-            position: Vec::new(),
-        };
-        let mut gbest_shared: Arc<Vec<u32>> = Arc::new(Vec::new());
-        let mut trace = PsoTrace {
-            best_per_iteration: Vec::new(),
-            converged_at: 0,
-        };
-        pool::run_phased(
-            shards,
-            cfg.iterations + 1,
-            (u64::MAX, Arc::clone(&gbest_shared)),
-            |round, (seen_fit, seen_pos), shard| {
-                if round == 0 {
-                    shard.init_round();
-                } else {
-                    shard.step_round(seen_pos.as_slice());
-                }
-                shard.report(*seen_fit)
-            },
-            |round, reports| {
-                // worker-index order == particle order; strict `<` keeps
-                // the first (lowest-index) particle on ties, matching a
-                // sequential scan of the whole swarm
-                let mut improved = false;
-                for report in reports {
-                    if report.fitness < gbest.fitness {
-                        gbest.fitness = report.fitness;
-                        gbest.position = report
-                            .position
-                            .expect("improving shard attaches its position");
-                        improved = true;
-                    }
-                }
-                if improved {
-                    gbest_shared = Arc::new(gbest.position.clone());
-                    if round > 0 {
-                        trace.converged_at = round;
-                    }
-                }
-                trace.best_per_iteration.push(gbest.fitness);
-                Some((gbest.fitness, Arc::clone(&gbest_shared)))
-            },
+        let mut state = SwarmState::new(problem, &cfg);
+        let mut best_per_iteration = Vec::new();
+        run_rounds(
+            problem,
+            &cfg,
+            &mut state,
+            cfg.iterations,
+            true,
+            &mut best_per_iteration,
         );
 
-        let GlobalBest {
-            fitness: mut gbest_fit,
-            position: mut gbest_pos,
-        } = gbest;
+        // converged_at = last round whose reduction improved the global
+        // best (round 0, the initial evaluation, never counts)
+        let mut converged_at = 0u32;
+        for i in 1..best_per_iteration.len() {
+            if best_per_iteration[i] < best_per_iteration[i - 1] {
+                converged_at = i as u32;
+            }
+        }
+        let mut trace = PsoTrace {
+            best_per_iteration,
+            converged_at,
+        };
+        let mut gbest_fit = state.gbest_fitness;
+        let mut gbest_pos = state.gbest_position;
 
         // greedy polish of the final best
         if cfg.polish_passes > 0 {

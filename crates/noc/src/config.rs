@@ -27,6 +27,18 @@ pub struct NocConfig {
     /// Whether one spike to many crossbars travels as a single multicast
     /// packet (Noxim++ extension) or as unicast clones.
     pub multicast: bool,
+    /// Route multicast packets along Steiner-style trees
+    /// ([`crate::topology::Topology::multicast_route`]) instead of
+    /// branch-splitting along the per-destination unicast routes. Only
+    /// meaningful when [`NocConfig::multicast`] is on (unicast clones
+    /// carry one destination each, so there is no tree to build); off by
+    /// default, which is bit-identical to the pre-tree engines. Both
+    /// engines consume the same per-spike tree table, so the differential
+    /// byte-identity invariants (digest, delivery log, trace) hold under
+    /// tree routing too. Absent in configuration files written before
+    /// tree routing, hence the serde default.
+    #[serde(default)]
+    pub multicast_trees: bool,
     /// Hard cycle budget; exceeded ⇒ [`NocError::CycleBudgetExhausted`].
     pub max_cycles: u64,
     /// Virtual channels per ingress port. Every ingress port carries
@@ -80,6 +92,7 @@ impl Default for NocConfig {
             cycles_per_step: 1024,
             arbitration: Arbitration::RoundRobin,
             multicast: true,
+            multicast_trees: false,
             max_cycles: 500_000_000,
             vc_count: 1,
             sched_stats: false,
@@ -247,6 +260,7 @@ mod tests {
         assert_eq!(c.vc_count, 1);
         assert!(!c.sched_stats, "scheduler counters default to off");
         assert!(!c.trace, "tracing defaults to off");
+        assert!(!c.multicast_trees, "tree routing defaults to off");
     }
 
     #[test]
@@ -258,6 +272,7 @@ mod tests {
             vc_count: 4,
             sched_stats: true,
             trace: true,
+            multicast_trees: true,
             ..NocConfig::default()
         };
         assert_eq!(NocConfig::from_json(&c.to_json()).unwrap(), c);

@@ -43,6 +43,62 @@ use crate::stats::SchedCounters;
 /// Sentinel pair id for "no upstream pair" (local-injection lanes).
 const NO_PAIR: u32 = u32::MAX;
 
+/// Per-spike multicast-tree routing table: for every spike and every
+/// router on one of its destinations' tree paths, the `(egress port, VC)`
+/// bit that destination's path takes out of the router
+/// ([`crate::topology::Topology::multicast_route`]).
+///
+/// Built once per run by `sim::build_tree_table` (only when multicast
+/// *and* tree routing are enabled — in that mode spike ids are dense
+/// `0..schedule.len()`, each appearing exactly once) and consumed by both
+/// engines, which is what keeps them byte-identical under tree routing.
+/// Entries are keyed `(router << 32) | dest_crossbar` and sorted per
+/// spike, so a lookup is a binary search over that spike's slice.
+#[derive(Debug, Clone)]
+pub(crate) struct TreeTable {
+    /// Per-spike slice bounds into `entries` (`offsets.len()` = spikes + 1).
+    offsets: Vec<u32>,
+    /// Sorted `((router << 32) | dest, (port, VC) bit)` entries per spike.
+    entries: Vec<(u64, u16)>,
+}
+
+impl TreeTable {
+    /// Assembles the table from per-spike entry lists; each list is
+    /// sorted and deduplicated here (duplicate destinations in a packet
+    /// produce identical entries).
+    pub(crate) fn from_spikes(per_spike: Vec<Vec<(u64, u16)>>) -> Self {
+        let mut offsets = Vec::with_capacity(per_spike.len() + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        for mut spike_entries in per_spike {
+            spike_entries.sort_unstable();
+            spike_entries.dedup();
+            entries.extend_from_slice(&spike_entries);
+            offsets.push(entries.len() as u32);
+        }
+        Self { offsets, entries }
+    }
+
+    /// The `(port, VC)` bit destination `d` of spike `spike` takes out of
+    /// router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spike's tree has no entry for `(r, d)` — a packet
+    /// only ever holds destination `d` at routers on `d`'s tree path
+    /// (splits follow the bits, which follow the paths), so a miss means
+    /// the table and the simulation disagree.
+    pub(crate) fn bit(&self, spike: u64, r: usize, d: u32) -> usize {
+        let s = spike as usize;
+        let slice = &self.entries[self.offsets[s] as usize..self.offsets[s + 1] as usize];
+        let key = (r as u64) << 32 | u64::from(d);
+        let i = slice
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .unwrap_or_else(|_| panic!("spike {spike} holds dest {d} off its tree at router {r}"));
+        slice[i].1 as usize
+    }
+}
+
 /// Wake position meaning "before the sweep started": every woken pair is
 /// still ahead, so all wakes go to the ready heap.
 pub(crate) const PRE_SWEEP: u32 = 0;
@@ -88,6 +144,10 @@ pub(crate) struct PortSched {
     /// Flattened `(router, dest crossbar) → wanted bit` routing table:
     /// one load replaces a route-LUT walk plus a VC-table walk per dest.
     dest_bit: Vec<u16>,
+    /// Per-spike tree routing table overriding `dest_bit` when multicast
+    /// tree routing is enabled (`None` otherwise — the unicast-route
+    /// bit layout stays untouched).
+    tree: Option<TreeTable>,
     /// Ready-set bitset (bit = pair id is due this cycle).
     ready: Vec<u64>,
     /// Word index the ascending ready scan has reached this cycle.
@@ -110,12 +170,14 @@ impl PortSched {
     /// router `r`'s egress ports as `(neighbor, our position on the
     /// neighbor)`; `dest_bit[r * nc + k]` is the `(egress port, VC)` bit
     /// a head at `r` wants for destination crossbar `k` (entries for
-    /// locally hosted crossbars are never read).
+    /// locally hosted crossbars are never read); `tree` overrides the
+    /// per-destination bits per spike under multicast tree routing.
     pub(crate) fn new(
         ports: &[Vec<(usize, usize)>],
         vcs: usize,
         dest_bit: Vec<u16>,
         nc: usize,
+        tree: Option<TreeTable>,
     ) -> Self {
         let nr = ports.len();
         let mut port_base = Vec::with_capacity(nr + 1);
@@ -173,6 +235,7 @@ impl PortSched {
             blocked: vec![0; (p * vcs).div_ceil(64).max(1)],
             ups_pair,
             dest_bit,
+            tree,
             ready: vec![0; p.div_ceil(64).max(1)],
             scan: 0,
             ready_len: 0,
@@ -190,10 +253,14 @@ impl PortSched {
         *self.port_base.last().expect("non-empty")
     }
 
-    /// The `(output port, VC)` bit a head at router `r` wants for
-    /// destination crossbar `d`.
-    pub(crate) fn route_bit(&self, r: usize, d: u32) -> usize {
-        self.dest_bit[r * self.nc + d as usize] as usize
+    /// The `(output port, VC)` bit a head of spike `spike` at router `r`
+    /// wants for destination crossbar `d` — from the spike's tree when
+    /// tree routing is on, from the unicast-route table otherwise.
+    pub(crate) fn route_bit(&self, spike: u64, r: usize, d: u32) -> usize {
+        match &self.tree {
+            Some(t) => t.bit(spike, r, d),
+            None => self.dest_bit[r * self.nc + d as usize] as usize,
+        }
     }
 
     /// Starts an attended cycle: rewinds the ready scan, then drains the
@@ -328,7 +395,15 @@ impl PortSched {
     /// Installs the route mask of lane `fi`'s new head (a push onto an
     /// empty lane, or a pop exposing the next packet) and wakes every
     /// output port the head wants.
-    pub(crate) fn set_head(&mut self, r: usize, fi: usize, dests: &[u32], inject: u64, pos: u32) {
+    pub(crate) fn set_head(
+        &mut self,
+        r: usize,
+        fi: usize,
+        spike: u64,
+        dests: &[u32],
+        inject: u64,
+        pos: u32,
+    ) {
         self.counters.head_updates += 1;
         let words = self.mask_words[r] as usize;
         let base = (self.mask_base[r] + fi as u32 * self.mask_words[r]) as usize;
@@ -339,7 +414,7 @@ impl PortSched {
         let want_base = self.port_base[r] as usize * self.vcs;
         self.head_inject[(self.lane_base[r] + fi as u32) as usize] = inject;
         for &d in dests {
-            let bit = self.dest_bit[r * self.nc + d as usize] as usize;
+            let bit = self.route_bit(spike, r, d);
             let (wi, wb) = (base + bit / 64, 1u64 << (bit % 64));
             if self.head_mask[wi] & wb == 0 {
                 self.head_mask[wi] |= wb;
@@ -425,7 +500,7 @@ mod tests {
         let ports = vec![vec![(1usize, 0usize)], vec![(0usize, 0usize)]];
         // dest_bit: at router 0, crossbar 1 exits via port 0 (bit 0);
         // at router 1, crossbar 0 exits via port 0 (bit 0)
-        PortSched::new(&ports, 1, vec![0, 0, 0, 0], 2)
+        PortSched::new(&ports, 1, vec![0, 0, 0, 0], 2, None)
     }
 
     #[test]
@@ -435,7 +510,7 @@ mod tests {
             vec![(0, 0)],         // router 1: pair 2
             vec![(0, 1)],         // router 2: pair 3
         ];
-        let s = PortSched::new(&ports, 2, vec![0; 9], 3);
+        let s = PortSched::new(&ports, 2, vec![0; 9], 3, None);
         assert_eq!(s.total_pairs(), 4);
         assert_eq!(s.port_base, vec![0, 2, 3, 4]);
         assert_eq!(s.router_of, vec![0, 0, 1, 2]);
@@ -458,7 +533,7 @@ mod tests {
     #[test]
     fn in_sweep_wakes_split_by_position() {
         let ports = vec![vec![(1, 0), (2, 0)], vec![(0, 0)], vec![(0, 1)]];
-        let mut s = PortSched::new(&ports, 1, vec![0; 9], 3);
+        let mut s = PortSched::new(&ports, 1, vec![0; 9], 3, None);
         // processing pair 1 (pos = 2): pair 3 is ahead → ready now;
         // pair 0 is behind → next cycle; pair 1 itself → skipped
         s.wake(3, 2);
@@ -502,7 +577,7 @@ mod tests {
     #[test]
     fn head_masks_track_want_counts() {
         let mut s = line_sched();
-        s.set_head(0, 0, &[1], 7, PRE_SWEEP);
+        s.set_head(0, 0, 0, &[1], 7, PRE_SWEEP);
         assert!(s.wanted(0, 0));
         assert!(s.head_wants(0, 0, 0));
         assert_eq!(s.head_inject(0, 0), 7);

@@ -76,7 +76,7 @@ use crate::config::NocConfig;
 use crate::error::NocError;
 use crate::packet::Packet;
 use crate::router::pick_vc;
-use crate::sched::{PortSched, PRE_SWEEP};
+use crate::sched::{PortSched, TreeTable, PRE_SWEEP};
 use crate::stats::{Counters, Delivery, NocStats, SchedCounters, SimTrace, VcCounters};
 use crate::topology::{RouteLut, Topology};
 use crate::trace::{TraceBuf, TraceEvent};
@@ -325,6 +325,58 @@ pub(crate) fn strip_local(
     });
 }
 
+/// Builds the per-spike Steiner-tree routing table for a schedule, or
+/// `None` when tree routing is off (unicast clones, or
+/// [`NocConfig::multicast_trees`] unset) — in which case both engines
+/// fall back to the destination-indexed unicast route masks, bit-identical
+/// to the pre-tree behavior.
+///
+/// In multicast mode the schedule carries exactly one packet per spike
+/// with dense `spike_id`s (`0..schedule.len()`), so the table is indexed
+/// directly by spike id. Each destination's tree path is walked from the
+/// source router; every hop records `(router, dest) → port * vc_count + vc`
+/// with the port found by position in [`Topology::neighbors`] — tree hops
+/// need not follow the unicast shortest path, so the route LUT cannot be
+/// used here. Shared by both engines so they consume the same trees.
+pub(crate) fn build_tree_table(
+    topo: &dyn Topology,
+    config: &NocConfig,
+    schedule: &[Packet],
+) -> Option<TreeTable> {
+    if !(config.multicast && config.multicast_trees) {
+        return None;
+    }
+    let vcs = config.vc_count;
+    let mut per_spike: Vec<Vec<(u64, u16)>> = vec![Vec::new(); schedule.len()];
+    for p in schedule {
+        let src_router = topo.endpoint(p.src_crossbar);
+        let dest_routers: Vec<usize> = p.dests.iter().map(|&d| topo.endpoint(d)).collect();
+        let paths = topo.multicast_route(src_router, &dest_routers, vcs);
+        let entries = &mut per_spike[p.spike_id as usize];
+        for (path, &d) in paths.iter().zip(p.dests.iter()) {
+            let mut cur = src_router;
+            for &(next, vc) in path {
+                let port = topo
+                    .neighbors(cur)
+                    .iter()
+                    .position(|&n| n == next)
+                    .expect("tree hop must traverse a link of the topology");
+                entries.push((
+                    ((cur as u64) << 32) | u64::from(d),
+                    (port * vcs + vc) as u16,
+                ));
+                cur = next;
+            }
+            debug_assert_eq!(
+                cur,
+                topo.endpoint(d),
+                "tree path must end at the dest router"
+            );
+        }
+    }
+    Some(TreeTable::from_spikes(per_spike))
+}
+
 /// Per-router runtime state.
 struct RouterState {
     /// Input FIFO lanes: lane 0 = local injection, then one lane per
@@ -548,7 +600,9 @@ impl NocSim {
                 }
             }
         }
-        let mut sched = PortSched::new(&ports, vcs, dest_bit, nc);
+        // per-spike Steiner-tree table (None ⇒ unicast-route masks above)
+        let tree = build_tree_table(topo, cfg, &schedule);
+        let mut sched = PortSched::new(&ports, vcs, dest_bit, nc, tree);
 
         let mut routers: Vec<RouterState> = (0..nr)
             .map(|r| {
@@ -696,6 +750,7 @@ impl NocSim {
                         sched.set_head(
                             a.router,
                             a.ingress,
+                            packet.spike_id,
                             &packet.dests,
                             packet.inject_cycle,
                             PRE_SWEEP,
@@ -749,7 +804,14 @@ impl NocSim {
                     }
                     queued_packets += 1;
                     if state.fifos[0].len() == 1 {
-                        sched.set_head(src_router, 0, &p.dests, p.inject_cycle, PRE_SWEEP);
+                        sched.set_head(
+                            src_router,
+                            0,
+                            p.spike_id,
+                            &p.dests,
+                            p.inject_cycle,
+                            PRE_SWEEP,
+                        );
                     }
                 }
             }
@@ -835,10 +897,11 @@ impl NocSim {
                 // non-branching multicast hop — the slab entry itself is
                 // forwarded: no packet is constructed or moved at all.
                 let head_pid = *state.fifos[fi].front().expect("candidate fifo has a head");
+                let head_spike = slab[head_pid as usize].spike_id;
                 let all = slab[head_pid as usize]
                     .dests
                     .iter()
-                    .all(|&d| sched.route_bit(r, d) == bit);
+                    .all(|&d| sched.route_bit(head_spike, r, d) == bit);
                 // trace capture: occupancy after a pop, and whether the
                 // pop freed our own previously-full ingress lane (emitted
                 // after the branch, once the router borrow is released)
@@ -867,13 +930,20 @@ impl NocSim {
                         // the pop exposed a new head: install its mask and
                         // wake the pairs it wants
                         let next_head = &slab[next_pid as usize];
-                        sched.set_head(r, fi, &next_head.dests, next_head.inject_cycle, pos);
+                        sched.set_head(
+                            r,
+                            fi,
+                            next_head.spike_id,
+                            &next_head.dests,
+                            next_head.inject_cycle,
+                            pos,
+                        );
                     }
                     head_pid
                 } else {
                     // multicast split: the head stays, minus this branch
-                    let branch =
-                        slab[head_pid as usize].take_dests_where(|d| sched.route_bit(r, d) == bit);
+                    let branch = slab[head_pid as usize]
+                        .take_dests_where(|d| sched.route_bit(head_spike, r, d) == bit);
                     sched.shrink_head(r, fi, bit);
                     slab.push(branch);
                     (slab.len() - 1) as u32

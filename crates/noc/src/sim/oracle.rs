@@ -198,6 +198,11 @@ impl CycleSim {
         let nr = topo.num_routers();
         let vcs = cfg.vc_count;
 
+        // per-spike Steiner-tree table (shared builder with the event
+        // engine); None ⇒ the per-destination unicast-route predicates
+        let tree = super::build_tree_table(topo, cfg, &schedule);
+        let tree = tree.as_ref();
+
         let mut routers: Vec<RouterState> = (0..nr)
             .map(|r| {
                 let deg = topo.neighbors(r).len();
@@ -379,11 +384,15 @@ impl CycleSim {
                         .expect("links are bidirectional");
                     // a head wants (this port, VC w) when some remaining
                     // destination routes via nbr on VC w
-                    let head_wants = |head: &Packet, w: usize| {
-                        head.dests.iter().any(|&d| {
+                    let head_wants = |head: &Packet, w: usize| match tree {
+                        Some(t) => head
+                            .dests
+                            .iter()
+                            .any(|&d| t.bit(head.spike_id, r, d) == o * vcs + w),
+                        None => head.dests.iter().any(|&d| {
                             let dr = topo.endpoint(d);
                             topo.route_next(r, dr) == nbr && topo.hop_vc(r, dr, vcs) == w
-                        })
+                        }),
                     };
                     // eligible VCs: candidate present + free downstream
                     // credit on that VC's lane
@@ -431,13 +440,17 @@ impl CycleSim {
                     let head = routers[r].fifos[fi]
                         .front_mut()
                         .expect("candidate fifo has a head");
+                    let spike = head.spike_id;
                     let via: Vec<u32> = head
                         .dests
                         .iter()
                         .copied()
-                        .filter(|&d| {
-                            let dr = topo.endpoint(d);
-                            topo.route_next(r, dr) == nbr && topo.hop_vc(r, dr, vcs) == w
+                        .filter(|&d| match tree {
+                            Some(t) => t.bit(spike, r, d) == o * vcs + w,
+                            None => {
+                                let dr = topo.endpoint(d);
+                                topo.route_next(r, dr) == nbr && topo.hop_vc(r, dr, vcs) == w
+                            }
                         })
                         .collect();
                     // trace capture, mirroring the event engine's order:

@@ -2,6 +2,103 @@
 
 use super::Topology;
 
+/// Shared Steiner-style multicast-tree builder for the grid fabrics
+/// ([`Mesh2D`] and [`Torus`]): a dimension-ordered approximation that
+/// merges shared prefix hops before branching.
+///
+/// The smallest destination router id is the *primary*; its plain
+/// dimension-order route (with the topology's unicast VC labels, supplied
+/// by `walk`) seeds the tree. Every further destination, in ascending
+/// router id order, attaches at the existing tree node `v` with
+/// `v.x <= d.x` minimizing the east-then-vertical detour
+/// `(d.x - v.x) + |d.y - v.y|` (ties to the smallest node id); the
+/// connect path runs east first, then vertically, every hop on the
+/// per-destination constant `connect_vc(d)`. A destination with no tree
+/// node at or west of it falls back to its full dimension-order route
+/// from the source. The construction is a pure function of
+/// `(src, dest_routers)` — `BTreeMap` iteration keeps the attach scan
+/// deterministic — and every returned path is simple: along a connect
+/// path the detour metric strictly decreases, so an interior connect node
+/// can never have been a cheaper attach candidate than `v`, hence never a
+/// tree node the path could revisit.
+///
+/// Deadlock-freedom: connect paths only ever step east or vertically
+/// (never west, never across a torus wraparound), so on the mesh the
+/// realized turns stay inside the west-first turn set, and on the torus
+/// (where `connect_vc` keeps connect hops on the upper, wrap-free VC
+/// half) the dateline argument of [`Torus::hop_vc`] is preserved —
+/// verified over the differential corpus by
+/// [`super::check_vc_tree_dependencies`].
+fn grid_steiner_routes(
+    cols: usize,
+    src: usize,
+    dest_routers: &[usize],
+    walk: &dyn Fn(usize) -> Vec<(usize, usize)>,
+    connect_vc: &dyn Fn(usize) -> usize,
+) -> Vec<Vec<(usize, usize)>> {
+    use std::collections::BTreeMap;
+    let coords = |r: usize| (r % cols, r / cols);
+    // tree node -> the (simple) hop path from src to it
+    let mut tree: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    tree.insert(src, Vec::new());
+    let mut uniq: Vec<usize> = dest_routers.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let seed = |tree: &mut BTreeMap<usize, Vec<(usize, usize)>>, d: usize| {
+        let mut pref = Vec::new();
+        for &(next, vc) in &walk(d) {
+            pref.push((next, vc));
+            tree.entry(next).or_insert_with(|| pref.clone());
+        }
+    };
+    if let Some(&primary) = uniq.first() {
+        seed(&mut tree, primary);
+    }
+    for &d in uniq.iter().skip(1) {
+        if tree.contains_key(&d) {
+            continue; // already on the tree: ride the existing path
+        }
+        let (dx, dy) = coords(d);
+        let mut best: Option<(usize, usize)> = None; // (detour, node)
+        for &v in tree.keys() {
+            let (vx, vy) = coords(v);
+            if vx <= dx {
+                let m = (dx - vx) + vy.abs_diff(dy);
+                if best.is_none_or(|(bm, _)| m < bm) {
+                    best = Some((m, v));
+                }
+            }
+        }
+        let Some((_, v)) = best else {
+            seed(&mut tree, d); // nothing at or west of d: full root route
+            continue;
+        };
+        let cvc = connect_vc(d);
+        let mut pref = tree[&v].clone();
+        let (mut cx, mut cy) = coords(v);
+        let mut cur = v;
+        while cx < dx {
+            cur += 1;
+            cx += 1;
+            pref.push((cur, cvc));
+            tree.entry(cur).or_insert_with(|| pref.clone());
+        }
+        while cy != dy {
+            if cy < dy {
+                cur += cols;
+                cy += 1;
+            } else {
+                cur -= cols;
+                cy -= 1;
+            }
+            pref.push((cur, cvc));
+            tree.entry(cur).or_insert_with(|| pref.clone());
+        }
+        debug_assert_eq!(cur, d, "connect path must land on the destination");
+    }
+    dest_routers.iter().map(|&d| tree[&d].clone()).collect()
+}
+
 /// A `cols × rows` mesh of routers, one crossbar per router (row-major),
 /// XY dimension-order routing (x first, then y) — deadlock-free and
 /// deterministic, the NoC-mesh of TrueNorth-class chips.
@@ -117,6 +214,31 @@ impl Topology for Mesh2D {
         let (x0, y0) = self.coords(from);
         let (x1, y1) = self.coords(to);
         (x0.abs_diff(x1) + y0.abs_diff(y1)) as u32
+    }
+
+    /// Dimension-ordered Steiner approximation ([`grid_steiner_routes`]).
+    /// Connect hops reuse the mesh's destination-spread VC label
+    /// (`d % vc_count`), and the realized turns stay inside the west-first
+    /// turn set (west hops only on dimension-order prefixes from the
+    /// source), so the `(link, vc)` dependency graph stays acyclic for
+    /// every `vc_count` — the mesh link graph already is.
+    fn multicast_route(
+        &self,
+        src: usize,
+        dest_routers: &[usize],
+        vc_count: usize,
+    ) -> Vec<Vec<(usize, usize)>> {
+        let vc_of = |d: usize| if vc_count <= 1 { 0 } else { d % vc_count };
+        let walk = |d: usize| {
+            let mut path = Vec::new();
+            let mut cur = src;
+            while cur != d {
+                cur = self.route_next(cur, d);
+                path.push((cur, vc_of(d)));
+            }
+            path
+        };
+        grid_steiner_routes(self.cols, src, dest_routers, &walk, &vc_of)
     }
 
     fn name(&self) -> String {
@@ -273,6 +395,45 @@ impl Topology for Torus {
         } else {
             half + dst % (vc_count - half)
         }
+    }
+
+    /// Dimension-ordered Steiner approximation ([`grid_steiner_routes`])
+    /// at two or more VCs; at a single VC the torus degenerates to the
+    /// per-destination unicast routes (the trait default), because tree
+    /// merging has no wrap-free VC half to put connect hops on — exactly
+    /// the regime where single-channel torus routing is deadlock-prone
+    /// already. With `vc_count >= 2` the dimension-order prefixes carry
+    /// the dateline labels of [`Torus::hop_vc`] and connect paths ride
+    /// the upper (never-wrapping) half on non-wrap links only, so wrap
+    /// channels remain reachable solely through lower-half
+    /// dimension-order chains and the dateline acyclicity argument
+    /// survives the tree edges.
+    fn multicast_route(
+        &self,
+        src: usize,
+        dest_routers: &[usize],
+        vc_count: usize,
+    ) -> Vec<Vec<(usize, usize)>> {
+        let walk = |d: usize| {
+            let mut path = Vec::new();
+            let mut cur = src;
+            while cur != d {
+                let vc = if vc_count <= 1 {
+                    0
+                } else {
+                    self.hop_vc(cur, d, vc_count)
+                };
+                cur = self.route_next(cur, d);
+                path.push((cur, vc));
+            }
+            path
+        };
+        if vc_count <= 1 {
+            return dest_routers.iter().map(|&d| walk(d)).collect();
+        }
+        let half = vc_count / 2;
+        let connect_vc = |d: usize| half + d % (vc_count - half);
+        grid_steiner_routes(self.cols, src, dest_routers, &walk, &connect_vc)
     }
 
     fn name(&self) -> String {

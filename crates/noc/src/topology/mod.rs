@@ -66,6 +66,69 @@ pub trait Topology: Send + Sync {
         }
     }
 
+    /// Deterministic Steiner-style multicast tree from router `src` to
+    /// `dest_routers`, returned as one hop path per destination (in input
+    /// order): `paths[i]` lists the `(next_router, vc)` hops from `src`
+    /// to `dest_routers[i]`. A destination equal to `src` yields an empty
+    /// path; duplicate destinations yield identical paths.
+    ///
+    /// The *tree* is the union of the returned paths: the simulators
+    /// replicate a multicast packet only where two destinations' paths
+    /// take different `(egress port, vc)` hops out of a router, so shared
+    /// path prefixes ride a single packet. Implementations must uphold
+    /// two invariants:
+    ///
+    /// * **Determinism** — a pure function of
+    ///   `(src, dest_routers, vc_count)`; both NoC engines build their
+    ///   routing tables from the same call, which is what keeps them
+    ///   byte-identical under tree routing.
+    /// * **VC-deadlock-freedom** — the `(link, vc)` channel-dependency
+    ///   graph induced by all tree paths (consecutive hops of every
+    ///   per-destination path) must stay acyclic for every `vc_count` the
+    ///   topology supports, exactly as
+    ///   [`check_vc_channel_dependencies`] demands of the unicast routes;
+    ///   [`check_vc_tree_dependencies`] verifies the union of both edge
+    ///   sets.
+    ///
+    /// The default implementation routes each destination independently
+    /// along the deterministic unicast route with the unicast
+    /// [`Topology::hop_vc`] labels — bit-identical to the non-tree
+    /// engines' branch-splitting, so a topology without an override
+    /// behaves the same whether trees are enabled or not, and a
+    /// single-destination call always degenerates to the unicast route.
+    /// [`Mesh2D`] and [`Torus`] override with dimension-ordered
+    /// approximations that merge shared prefix hops before branching.
+    fn multicast_route(
+        &self,
+        src: usize,
+        dest_routers: &[usize],
+        vc_count: usize,
+    ) -> Vec<Vec<(usize, usize)>> {
+        dest_routers
+            .iter()
+            .map(|&d| {
+                let mut path = Vec::new();
+                let mut cur = src;
+                while cur != d {
+                    let next = self.route_next(cur, d);
+                    assert_ne!(next, cur, "route stalled at router {cur} toward {d}");
+                    let vc = if vc_count <= 1 {
+                        0
+                    } else {
+                        self.hop_vc(cur, d, vc_count)
+                    };
+                    path.push((next, vc));
+                    cur = next;
+                    assert!(
+                        path.len() <= self.num_routers(),
+                        "route from {src} to {d} exceeds router count"
+                    );
+                }
+                path
+            })
+            .collect()
+    }
+
     /// Hop count of the deterministic route between two routers.
     ///
     /// Default implementation walks [`Topology::route_next`]; override for
@@ -268,6 +331,45 @@ impl DistanceLut {
     pub fn crossbar_matrix(&self) -> &[u32] {
         &self.crossbar_hops
     }
+
+    /// The crossbar-level view of this table under a cluster → physical
+    /// crossbar permutation: `permuted.hops(k1, k2)` prices the distance
+    /// between the *physical* slots `perm[k1]` and `perm[k2]`, so an
+    /// evaluator holding logical cluster ids scores exactly what the
+    /// placed mapping will pay. The joint co-optimization loop
+    /// (`core::coopt`) feeds this to the hop-weighted PSO objective after
+    /// each placement refresh. The router-level distances are the
+    /// topology's and are copied unchanged — only the crossbar view is
+    /// re-indexed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_crossbars()`.
+    pub fn permuted(&self, perm: &[u32]) -> DistanceLut {
+        let nc = self.nc;
+        assert_eq!(perm.len(), nc, "permutation must cover every crossbar");
+        let mut seen = vec![false; nc];
+        for &p in perm {
+            assert!(
+                (p as usize) < nc && !seen[p as usize],
+                "perm is not a permutation of 0..{nc}"
+            );
+            seen[p as usize] = true;
+        }
+        let mut crossbar_hops = vec![0u32; nc * nc];
+        for k1 in 0..nc {
+            let p1 = perm[k1] as usize;
+            for k2 in 0..nc {
+                crossbar_hops[k1 * nc + k2] = self.crossbar_hops[p1 * nc + perm[k2] as usize];
+            }
+        }
+        DistanceLut {
+            nr: self.nr,
+            nc,
+            router_hops: self.router_hops.clone(),
+            crossbar_hops,
+        }
+    }
 }
 
 /// Exhaustively checks that deterministic routes between all router pairs
@@ -320,58 +422,120 @@ pub fn check_routes(topo: &dyn Topology) -> Result<(), String> {
 ///
 /// Returns a description naming one channel on a dependency cycle.
 pub fn check_vc_channel_dependencies(topo: &dyn Topology, vc_count: usize) -> Result<(), String> {
-    use std::collections::HashMap;
-    let nr = topo.num_routers();
-    let mut ids: HashMap<(usize, usize, usize), usize> = HashMap::new();
-    let mut channels: Vec<(usize, usize, usize)> = Vec::new();
-    let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
-    for src in 0..nr {
-        for dst in 0..nr {
-            let mut cur = src;
+    let mut deps = ChannelDeps::default();
+    deps.add_unicast_routes(topo, vc_count);
+    deps.check(vc_count)
+}
+
+/// Like [`check_vc_channel_dependencies`], but the dependency graph is
+/// seeded with the unicast route edges **plus** every consecutive-hop
+/// edge of the multicast tree paths for the given `(source router,
+/// destination routers)` groups — the channels a tree-routed packet
+/// actually holds while requesting the next one. Passing proves the PR-5
+/// deadlock-freedom invariant survives [`Topology::multicast_route`]:
+/// tree-routed and unicast traffic can share the fabric without closing a
+/// channel-dependency cycle.
+///
+/// # Errors
+///
+/// Returns a description naming one channel on a dependency cycle.
+pub fn check_vc_tree_dependencies(
+    topo: &dyn Topology,
+    vc_count: usize,
+    groups: &[(usize, Vec<usize>)],
+) -> Result<(), String> {
+    let mut deps = ChannelDeps::default();
+    deps.add_unicast_routes(topo, vc_count);
+    for (src, dests) in groups {
+        for path in topo.multicast_route(*src, dests, vc_count) {
+            let mut cur = *src;
             let mut prev: Option<usize> = None;
-            while cur != dst {
-                let next = topo.route_next(cur, dst);
-                let vc = topo.hop_vc(cur, dst, vc_count);
-                assert!(vc < vc_count, "hop_vc out of range at {cur}->{dst}");
-                let key = (cur, next, vc);
-                let id = *ids.entry(key).or_insert_with(|| {
-                    channels.push(key);
-                    channels.len() - 1
-                });
+            for (next, vc) in path {
+                assert!(vc < vc_count, "tree vc out of range at {cur}->{next}");
+                assert!(
+                    topo.neighbors(cur).contains(&next),
+                    "tree hop {cur}->{next} is not a link"
+                );
+                let id = deps.channel(cur, next, vc);
                 if let Some(p) = prev {
-                    edges.insert((p, id));
+                    deps.edges.insert((p, id));
                 }
                 prev = Some(id);
                 cur = next;
             }
         }
     }
-    // Kahn's algorithm: a cycle leaves nodes with nonzero indegree
-    let n = channels.len();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut indeg = vec![0usize; n];
-    for &(a, b) in &edges {
-        adj[a].push(b);
-        indeg[b] += 1;
+    deps.check(vc_count)
+}
+
+/// Shared accumulator for the channel-dependency checks: interned
+/// `(from, to, vc)` channel nodes plus hold-then-request edges, checked
+/// for cycles with Kahn's algorithm.
+#[derive(Default)]
+struct ChannelDeps {
+    ids: std::collections::HashMap<(usize, usize, usize), usize>,
+    channels: Vec<(usize, usize, usize)>,
+    edges: std::collections::HashSet<(usize, usize)>,
+}
+
+impl ChannelDeps {
+    fn channel(&mut self, from: usize, to: usize, vc: usize) -> usize {
+        let key = (from, to, vc);
+        *self.ids.entry(key).or_insert_with(|| {
+            self.channels.push(key);
+            self.channels.len() - 1
+        })
     }
-    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut seen = 0;
-    while let Some(a) = queue.pop() {
-        seen += 1;
-        for &b in &adj[a] {
-            indeg[b] -= 1;
-            if indeg[b] == 0 {
-                queue.push(b);
+
+    fn add_unicast_routes(&mut self, topo: &dyn Topology, vc_count: usize) {
+        let nr = topo.num_routers();
+        for src in 0..nr {
+            for dst in 0..nr {
+                let mut cur = src;
+                let mut prev: Option<usize> = None;
+                while cur != dst {
+                    let next = topo.route_next(cur, dst);
+                    let vc = topo.hop_vc(cur, dst, vc_count);
+                    assert!(vc < vc_count, "hop_vc out of range at {cur}->{dst}");
+                    let id = self.channel(cur, next, vc);
+                    if let Some(p) = prev {
+                        self.edges.insert((p, id));
+                    }
+                    prev = Some(id);
+                    cur = next;
+                }
             }
         }
     }
-    if seen == n {
-        Ok(())
-    } else {
-        let (f, t, v) = channels[indeg.iter().position(|&d| d > 0).expect("cycle node")];
-        Err(format!(
-            "channel-dependency cycle through link {f}->{t} on vc {v} (vc_count {vc_count})"
-        ))
+
+    /// Kahn's algorithm: a cycle leaves nodes with nonzero indegree.
+    fn check(&self, vc_count: usize) -> Result<(), String> {
+        let n = self.channels.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(a) = queue.pop() {
+            seen += 1;
+            for &b in &adj[a] {
+                indeg[b] -= 1;
+                if indeg[b] == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+        if seen == n {
+            Ok(())
+        } else {
+            let (f, t, v) = self.channels[indeg.iter().position(|&d| d > 0).expect("cycle node")];
+            Err(format!(
+                "channel-dependency cycle through link {f}->{t} on vc {v} (vc_count {vc_count})"
+            ))
+        }
     }
 }
 

@@ -45,7 +45,8 @@ echo "==> paired-ratio gate (same-run baseline-vs-candidate entries present)"
 for ratio in \
   "swarm_eval/synth_16x16grid/CutPackets" \
   "swarm_eval/synth_16x16grid/CutHops" \
-  "move/synth_2x400/CutSpikes"; do
+  "move/synth_2x400/CutSpikes" \
+  "coopt/synth_8x8grid/CutHops"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_eval.json \
     || { echo "BENCH_eval.json lost paired ratio: $ratio"; exit 1; }
 done
@@ -56,7 +57,8 @@ for ratio in \
   "engine/dense_vc4_burst16" \
   "engine/torus64_vc2_shallow" \
   "engine/torus64_vc4_depth4" \
-  "trace/dense_burst16"; do
+  "trace/dense_burst16" \
+  "trees/mesh64_multicast"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_noc.json \
     || { echo "BENCH_noc.json lost paired ratio: $ratio"; exit 1; }
 done
@@ -93,7 +95,17 @@ echo "==> eval/decode equivalence + determinism proptests (high case count)"
 NEUROMAP_PROPTEST_CASES=256 cargo test --release \
   --test eval_properties --test determinism --test partition_properties -q
 
-echo "==> placement/identity-golden proptests (high case count)"
-NEUROMAP_PROPTEST_CASES=256 cargo test --release --test placement_properties -q
+echo "==> placement/identity-golden + joint-loop proptests (high case count)"
+NEUROMAP_PROPTEST_CASES=256 cargo test --release \
+  --test placement_properties --test coopt_properties -q
+
+echo "==> repro_placement smoke (staged vs joint vs joint+trees rows present)"
+# quick scale; the joint+trees rows exercise Steiner multicast routing
+# through the full pipeline on both fabrics
+repro=$(cargo run --release -q -p neuromap-bench --bin repro_placement)
+for label in "| identity " "| staged " "| joint " "| joint+trees "; do
+  grep -qF "$label" <<<"$repro" \
+    || { echo "repro_placement lost row: $label"; exit 1; }
+done
 
 echo "verify: OK"

@@ -39,7 +39,9 @@ use neuromap::noc::router::Arbitration;
 use neuromap::noc::sim::oracle::CycleSim;
 use neuromap::noc::sim::NocSim;
 use neuromap::noc::stats::{Delivery, NocStats};
-use neuromap::noc::topology::{Mesh2D, NocTree, PointToPoint, Star, Topology, Torus};
+use neuromap::noc::topology::{
+    check_vc_tree_dependencies, Mesh2D, NocTree, PointToPoint, Star, Topology, Torus,
+};
 use neuromap::noc::traffic::SpikeFlow;
 use neuromap::noc::NocError;
 use proptest::prelude::*;
@@ -805,6 +807,195 @@ proptest! {
             }
             (Err(ee), Err(oe)) => prop_assert_eq!(ee, oe, "errors diverge"),
             (re, ro) => return Err(format!("outcome kinds diverge: {re:?} vs {ro:?}")),
+        }
+    }
+}
+
+// ---------------- Steiner multicast-tree campaign (PR 8) ----------------
+
+/// Every topology the tree campaign exercises, including the 4×4
+/// deadlock-capable shapes the VC corpus pins.
+fn tree_topologies() -> Vec<Box<dyn Topology>> {
+    let mut all = topologies();
+    all.push(vc_topology(true));
+    all.push(vc_topology(false));
+    all
+}
+
+/// A single-destination multicast group must ride exactly the unicast
+/// route: same next-hop sequence, same per-hop VC labels. This pins the
+/// degeneracy contract in [`Topology::multicast_route`]'s docs — the
+/// Steiner overrides on mesh and torus may only diverge from unicast
+/// routing when a group genuinely shares hops between destinations.
+#[test]
+fn single_dest_trees_degenerate_to_the_unicast_route() {
+    for topo in tree_topologies() {
+        for vcs in [1usize, 2, 4] {
+            let nr = topo.num_routers();
+            for src in 0..nr {
+                for dst in 0..nr {
+                    let mut cur = src;
+                    let mut expect = Vec::new();
+                    while cur != dst {
+                        let vc = if vcs <= 1 {
+                            0
+                        } else {
+                            topo.hop_vc(cur, dst, vcs)
+                        };
+                        let next = topo.route_next(cur, dst);
+                        expect.push((next, vc));
+                        cur = next;
+                    }
+                    let paths = topo.multicast_route(src, &[dst], vcs);
+                    assert_eq!(paths.len(), 1);
+                    assert_eq!(
+                        paths[0],
+                        expect,
+                        "{}: single-dest tree {src}→{dst} at {vcs} VCs leaves the unicast route",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(common::cases(24)))]
+
+    /// Structural invariants of every tree path, over random multicast
+    /// groups on the deadlock-capable 4×4 mesh and torus: paths end at
+    /// their destination, never revisit a router (simple paths), only
+    /// traverse real links, and label every hop with an in-range VC.
+    #[test]
+    fn tree_paths_are_simple_link_walks(
+        mesh in any::<bool>(),
+        vc_idx in 0usize..3,
+        src in 0usize..16,
+        dests in proptest::collection::vec(0usize..16, 1..8),
+    ) {
+        let topo = vc_topology(mesh);
+        let vcs = [1usize, 2, 4][vc_idx];
+        let paths = topo.multicast_route(src, &dests, vcs);
+        prop_assert_eq!(paths.len(), dests.len());
+        for (path, &d) in paths.iter().zip(dests.iter()) {
+            let mut cur = src;
+            let mut seen = vec![src];
+            for &(next, vc) in path {
+                prop_assert!(
+                    topo.neighbors(cur).contains(&next),
+                    "{}: tree hop {cur}→{next} is not a link", topo.name()
+                );
+                prop_assert!(vc < vcs, "{}: VC {vc} out of range", topo.name());
+                prop_assert!(
+                    !seen.contains(&next),
+                    "{}: tree path to {d} revisits router {next}", topo.name()
+                );
+                seen.push(next);
+                cur = next;
+            }
+            prop_assert_eq!(cur, d, "{}: tree path ends off its destination", topo.name());
+        }
+    }
+
+    /// The PR-5 deadlock-freedom invariant survives tree routing: the
+    /// channel-dependency graph seeded with every unicast route *plus*
+    /// every tree edge of random multicast groups stays acyclic on the
+    /// wraparound-capable shapes (torus needs ≥ 2 VCs for its dateline
+    /// scheme, exactly as for unicast routing).
+    #[test]
+    fn tree_routes_keep_channel_dependencies_acyclic(
+        mesh in any::<bool>(),
+        vc_idx in 0usize..2,
+        groups in proptest::collection::vec(
+            (0usize..16, proptest::collection::vec(0usize..16, 1..8)),
+            1..12,
+        ),
+    ) {
+        let topo = vc_topology(mesh);
+        // torus at 1 VC is cyclic even for unicast; check the same VC
+        // counts the unicast invariant holds at
+        let vcs = if mesh { [1usize, 2][vc_idx] } else { [2usize, 4][vc_idx] };
+        check_vc_tree_dependencies(topo.as_ref(), vcs, &groups)
+            .map_err(|e| format!("{}: {e}", topo.name()))?;
+    }
+
+    /// The full differential surface under tree routing: stats bytes,
+    /// digests, delivery logs, and structured traces all byte-identical
+    /// between the event engine and the cycle oracle across the VC
+    /// corpus with `multicast_trees` on.
+    #[test]
+    fn tree_routed_engines_are_byte_identical(
+        flows in arb_vc_flows(40),
+        mesh in any::<bool>(),
+        depth in 1usize..5,
+        vc_idx in 0usize..3,
+    ) {
+        let cfg = NocConfig {
+            buffer_depth: depth,
+            vc_count: [1usize, 2, 4][vc_idx],
+            multicast: true,
+            multicast_trees: true,
+            trace: true,
+            max_cycles: 60_000,
+            ..NocConfig::default()
+        };
+        let mut ev = NocSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+        let mut or = CycleSim::new(vc_topology(mesh), cfg, EnergyModel::default());
+        let re = ev.run_with_duration(&flows, 6);
+        let ro = or.run_with_duration(&flows, 6);
+        match (re, ro) {
+            (Ok((es, ed)), Ok((os, od))) => {
+                prop_assert_eq!(&ed, &od, "tree routing: delivery logs diverge");
+                let ej = serde_json::to_string(&es).expect("stats serialize");
+                let oj = serde_json::to_string(&os).expect("stats serialize");
+                prop_assert_eq!(&ej, &oj, "tree routing: stats bytes diverge");
+                prop_assert_eq!(
+                    es.digest().unwrap(), os.digest().unwrap(),
+                    "tree routing: digests diverge"
+                );
+                let et = ev.take_trace().expect("event engine recorded a trace");
+                let ot = or.take_trace().expect("oracle recorded a trace");
+                prop_assert_eq!(
+                    et.to_bytes(), ot.to_bytes(),
+                    "tree routing: trace streams diverge"
+                );
+            }
+            (Err(ee), Err(oe)) => prop_assert_eq!(ee, oe, "tree routing: errors diverge"),
+            (re, ro) => return Err(format!(
+                "tree routing: outcome kinds diverge: {re:?} vs {ro:?}"
+            )),
+        }
+    }
+
+    /// Tree routing conserves traffic: every destination of every flow is
+    /// still delivered exactly once, and a tree-routed run never delivers
+    /// a different multiset of (flow, destination) pairs than the
+    /// branch-split unicast-route run of the same workload.
+    #[test]
+    fn tree_routing_conserves_deliveries(
+        flows in arb_vc_flows(30),
+        mesh in any::<bool>(),
+        vc_idx in 0usize..3,
+    ) {
+        let base = NocConfig {
+            vc_count: [1usize, 2, 4][vc_idx],
+            multicast: true,
+            max_cycles: 60_000,
+            ..NocConfig::default()
+        };
+        let tree_cfg = NocConfig { multicast_trees: true, ..base };
+        let mut a = NocSim::new(vc_topology(mesh), base, EnergyModel::default());
+        let mut b = NocSim::new(vc_topology(mesh), tree_cfg, EnergyModel::default());
+        let ra = a.run_with_duration(&flows, 6);
+        let rb = b.run_with_duration(&flows, 6);
+        if let (Ok((_, da)), Ok((_, db))) = (ra, rb) {
+            let key = |d: &Delivery| (d.source_neuron, d.src_crossbar, d.dst_crossbar, d.send_step);
+            let mut ka: Vec<_> = da.iter().map(key).collect();
+            let mut kb: Vec<_> = db.iter().map(key).collect();
+            ka.sort_unstable();
+            kb.sort_unstable();
+            prop_assert_eq!(ka, kb, "tree routing changes the delivered multiset");
         }
     }
 }

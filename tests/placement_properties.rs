@@ -276,6 +276,40 @@ proptest! {
             prop_assert_eq!(&one, &multi, "threads={}", threads);
         }
     }
+
+    /// The restart chunking must be invisible in the output for *every*
+    /// thread count, explicitly including `threads > restarts` — the
+    /// regime where the old ceil-division chunking spawned workers with
+    /// empty `lo >= hi` ranges.
+    #[test]
+    fn place_chunking_is_thread_invariant_beyond_restart_count(
+        crossbars in 2usize..16,
+        topo_idx in 0u8..8,
+        restarts in 1u32..6,
+        seed in 0u64..500,
+    ) {
+        let topo = topology_for(topo_idx, crossbars);
+        let lut = DistanceLut::new(topo.as_ref());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let packets: Vec<u64> = (0..crossbars * crossbars)
+            .enumerate()
+            .map(|(i, _)| if i % (crossbars + 1) == 0 { 0 } else { rng.gen_range(0..40u64) })
+            .collect();
+        let traffic = TrafficMatrix::from_raw(crossbars, packets);
+        let cfg = PlaceConfig {
+            restarts,
+            sa_moves: 150,
+            greedy_passes: 3,
+            threads: 1,
+            ..PlaceConfig::default()
+        };
+        let one = optimize_placement(&traffic, &lut, &cfg).unwrap();
+        let r = restarts as usize;
+        for threads in [2usize, r.max(1), r + 1, 2 * r + 3, 16] {
+            let multi = optimize_placement(&traffic, &lut, &PlaceConfig { threads, ..cfg }).unwrap();
+            prop_assert_eq!(&one, &multi, "threads={} restarts={}", threads, restarts);
+        }
+    }
 }
 
 // ---- acceptance: identity vs optimized placement, end to end ---------
