@@ -137,6 +137,21 @@ impl LargeArch {
         }
     }
 
+    /// The 32 × 32 = 1024-crossbar scenario behind the `multilevel/*`
+    /// ratios in `BENCH_eval.json`: ~7k neurons × 1024 crossbars puts
+    /// flat PSO past the batched-evaluator tile limit *and* a ~29 MB
+    /// velocity buffer per particle — infeasible to solve flat within
+    /// the bench budget, which is exactly what the multilevel V-cycle
+    /// is for.
+    pub fn grid32() -> Self {
+        Self {
+            side: 32,
+            neurons_per_crossbar: 8,
+            synapses_per_neuron: 24,
+            fill_percent: 85,
+        }
+    }
+
     /// Scenario label (`synth_16x16grid` for the default).
     pub fn name(&self) -> String {
         format!("synth_{0}x{0}grid", self.side)
@@ -306,6 +321,22 @@ mod tests {
         assert!(u64::from(s.num_neurons()) <= 256 * u64::from(s.capacity()));
         // enough slack for partitioners to move neurons around
         assert!(u64::from(s.num_neurons()) <= 256 * u64::from(s.capacity()) * 9 / 10);
+    }
+
+    #[test]
+    fn grid32_is_a_1024_crossbar_scenario() {
+        let s = LargeArch::grid32();
+        assert_eq!(s.name(), "synth_32x32grid");
+        assert_eq!(s.num_crossbars(), 1024);
+        assert_eq!(s.capacity(), 8);
+        // ~7k neurons with real slack for partitioners to move things
+        assert!(s.num_neurons() > 6_000);
+        assert!(u64::from(s.num_neurons()) <= 1024 * u64::from(s.capacity()) * 9 / 10);
+        // the generated instance must be feasible
+        let g = s.spike_graph(7).unwrap();
+        let p =
+            neuromap_core::partition::PartitionProblem::new(&g, s.num_crossbars(), s.capacity());
+        assert!(p.is_ok());
     }
 
     #[test]

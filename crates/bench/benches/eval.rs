@@ -20,6 +20,7 @@ use neuromap_apps::App;
 use neuromap_bench::{arch_for, SEED};
 use neuromap_core::coopt::{co_optimize, CooptConfig};
 use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmScratch};
+use neuromap_core::multilevel::{vcycle, MultilevelConfig};
 use neuromap_core::partition::{FitnessKind, PartitionProblem};
 use neuromap_core::pipeline::TrafficMode;
 use neuromap_core::place::{optimize_placement, PlaceConfig, TrafficMatrix};
@@ -313,6 +314,7 @@ fn bench_coopt(c: &mut Criterion) {
             ..PlaceConfig::default()
         },
         replace_every: 2,
+        multilevel: None,
     };
     let out =
         co_optimize(&problem, &lut, TrafficMode::PerCrossbar, &cfg).expect("scenario co-optimizes");
@@ -345,6 +347,79 @@ fn bench_coopt(c: &mut Criterion) {
             co_optimize(&problem, &lut, TrafficMode::PerCrossbar, &cfg)
                 .expect("scenario co-optimizes")
         });
+    });
+    group.finish();
+}
+
+/// Flat PSO vs the multilevel V-cycle on the 1024-crossbar
+/// `synth_32x32grid` scenario — the `multilevel/*` paired ratio in
+/// `BENCH_eval.json`, floor-gated by `scripts/verify.sh`.
+///
+/// At 1024 crossbars the batched evaluator's byte-tile envelope is
+/// exceeded, so flat PSO pays the scalar per-candidate path *and* a
+/// dense `n × c` velocity field per particle (~28 MB each) — the regime
+/// the multilevel coarsen–partition–refine path exists for. Both sides
+/// get the same seed and objective; the quality side is *asserted*, not
+/// timed: the V-cycle's final cut must never price worse than the flat
+/// swarm's, so the timed ratio is a genuine equal-or-better-quality
+/// speedup rather than a quality trade.
+fn bench_multilevel(c: &mut Criterion) {
+    let scenario = LargeArch::grid32();
+    let graph = scenario.spike_graph(SEED).expect("scenario builds");
+    let problem = PartitionProblem::new(&graph, scenario.num_crossbars(), scenario.capacity())
+        .expect("feasible");
+    // both sides search with the *identical* swarm configuration — the
+    // V-cycle simply runs it on the ~8x-smaller coarsest graph and
+    // spends the savings on O(deg) boundary refinement; even this small
+    // budget (8 particles x 8 iterations) costs flat PSO seconds per run
+    // at 1024 crossbars, so a paper-scale flat budget would take hours
+    let swarm_cfg = PsoConfig {
+        swarm_size: 8,
+        iterations: 8,
+        fitness: FitnessKind::CutSpikes,
+        seed_baselines: false,
+        polish_passes: 0,
+        threads: 1,
+        seed: SEED,
+        ..PsoConfig::default()
+    };
+    let flat_cfg = swarm_cfg;
+    let ml_cfg = MultilevelConfig {
+        pso: swarm_cfg,
+        threads: 1,
+        ..MultilevelConfig::default()
+    };
+
+    // ---- quality gate (fail loudly, do not time a quality trade) ----
+    let (flat_map, _) = PsoPartitioner::new(flat_cfg)
+        .partition_traced(&problem)
+        .expect("feasible");
+    let flat_cut = problem.cut_spikes(flat_map.assignment());
+    let out = vcycle(&problem, &ml_cfg).expect("vcycle runs");
+    assert!(
+        out.cost <= flat_cut,
+        "REGRESSION: the V-cycle must match or beat flat PSO's cut at this \
+         budget ({} !<= {})",
+        out.cost,
+        flat_cut
+    );
+    println!(
+        "multilevel/{}: cut-spikes flat {} / vcycle {} ({} levels, projection won: {})",
+        scenario.name(),
+        flat_cut,
+        out.cost,
+        out.levels.len(),
+        out.used_projection
+    );
+
+    let mut group = c.benchmark_group(format!("multilevel/{}", scenario.name()));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("flat", "CutSpikes"), |b| {
+        let pso = PsoPartitioner::new(flat_cfg);
+        b.iter(|| pso.partition_traced(&problem).expect("feasible"));
+    });
+    group.bench_function(BenchmarkId::new("vcycle", "CutSpikes"), |b| {
+        b.iter(|| vcycle(&problem, &ml_cfg).expect("vcycle runs"));
     });
     group.finish();
 }
@@ -383,6 +458,9 @@ fn main() {
 
     // joint partition ⇄ placement loop vs its staged fallback (64 crossbars)
     bench_coopt(&mut c);
+
+    // 32 × 32 = 1024 crossbars: flat PSO vs the multilevel V-cycle
+    bench_multilevel(&mut c);
 
     // end-to-end paper-scale run (slow; opt-in)
     let mut paper_seconds: Option<f64> = None;
@@ -439,16 +517,20 @@ fn main() {
     println!("wrote BENCH_eval.json ({} entries)", c.summaries().len());
 }
 
-/// Builds `{id, baseline, candidate, speedup}` entries for every
-/// same-run baseline/candidate pair: `scalar` vs `batched` swarm scoring,
-/// `full` vs `incremental` move pricing, and `staged` vs `joint`
-/// co-optimization (the last records the joint loop's time overhead, so
-/// its speedup is expected below 1).
+/// Builds `{id, baseline, candidate, speedup, higher_is_better}`
+/// entries for every same-run baseline/candidate pair: `scalar` vs
+/// `batched` swarm scoring, `full` vs `incremental` move pricing, `flat`
+/// vs `vcycle` multilevel partitioning, and `staged` vs `joint`
+/// co-optimization. `higher_is_better` tells readers (and the verify
+/// gate) which direction is good: the coopt pair deliberately records
+/// the joint loop's *time overhead*, so its speedup sits below 1 by
+/// design and a naive "bigger is better" read would misfire.
 fn paired_ratios(c: &Criterion) -> Vec<String> {
-    const PAIRS: [(&str, &str); 3] = [
-        ("/scalar/", "/batched/"),
-        ("/full/", "/incremental/"),
-        ("/staged/", "/joint/"),
+    const PAIRS: [(&str, &str, bool); 4] = [
+        ("/scalar/", "/batched/", true),
+        ("/full/", "/incremental/", true),
+        ("/flat/", "/vcycle/", true),
+        ("/staged/", "/joint/", false),
     ];
     let median = |id: &str| {
         c.summaries()
@@ -458,7 +540,7 @@ fn paired_ratios(c: &Criterion) -> Vec<String> {
     };
     let mut out = Vec::new();
     for s in c.summaries() {
-        for (base_marker, cand_marker) in PAIRS {
+        for (base_marker, cand_marker, higher_is_better) in PAIRS {
             if !s.id.contains(base_marker) {
                 continue;
             }
@@ -470,11 +552,12 @@ fn paired_ratios(c: &Criterion) -> Vec<String> {
                 continue;
             }
             out.push(format!(
-                "    {{\"id\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \"speedup\": {:.2}}}",
+                "    {{\"id\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \"speedup\": {:.2}, \"higher_is_better\": {}}}",
                 s.id.replace(base_marker, "/"),
                 s.id,
                 cand_id,
-                s.median_ns / cand
+                s.median_ns / cand,
+                higher_is_better
             ));
         }
     }

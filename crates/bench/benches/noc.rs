@@ -296,12 +296,15 @@ fn main() {
     // immune to the 1-core box's thermal throttling that pollutes
     // cross-PR absolute ns (ROADMAP caveat from PR 3). The top-level
     // `noc_*_speedup` keys are kept for backwards compatibility.
+    // `higher_is_better` marks the good direction per entry: the engine
+    // ratios are genuine speedups, while the trace and tree entries
+    // record known-cost overheads that sit below 1 by design.
     let mut ratios: Vec<String> = engine_ratios
         .iter()
         .filter_map(|(group, speedup)| {
             speedup.map(|s| {
                 format!(
-                    "    {{\"id\": \"{group}\", \"baseline\": \"{group}/oracle\", \"candidate\": \"{group}/event\", \"speedup\": {s:.2}}}"
+                    "    {{\"id\": \"{group}\", \"baseline\": \"{group}/oracle\", \"candidate\": \"{group}/event\", \"speedup\": {s:.2}, \"higher_is_better\": true}}"
                 )
             })
         })
@@ -325,7 +328,7 @@ fn main() {
     if trace_overhead > 0.0 {
         println!("event engine trace overhead, trace/dense_burst16: {trace_overhead:.2}x");
         ratios.push(format!(
-            "    {{\"id\": \"trace/dense_burst16\", \"baseline\": \"trace/dense_burst16/off\", \"candidate\": \"trace/dense_burst16/on\", \"speedup\": {:.2}}}",
+            "    {{\"id\": \"trace/dense_burst16\", \"baseline\": \"trace/dense_burst16/off\", \"candidate\": \"trace/dense_burst16/on\", \"speedup\": {:.2}, \"higher_is_better\": false}}",
             1.0 / trace_overhead
         ));
     }
@@ -342,7 +345,7 @@ fn main() {
             let s = pd / tr;
             println!("tree-routing speedup over per-dest routes, trees/mesh64_multicast: {s:.2}x");
             ratios.push(format!(
-                "    {{\"id\": \"trees/mesh64_multicast\", \"baseline\": \"trees/mesh64_multicast/perdest\", \"candidate\": \"trees/mesh64_multicast/trees\", \"speedup\": {s:.2}}}"
+                "    {{\"id\": \"trees/mesh64_multicast\", \"baseline\": \"trees/mesh64_multicast/perdest\", \"candidate\": \"trees/mesh64_multicast/trees\", \"speedup\": {s:.2}, \"higher_is_better\": false}}"
             ));
         }
     }

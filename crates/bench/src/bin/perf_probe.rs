@@ -4,6 +4,11 @@
 //!
 //! Usage: `cargo run --release -p neuromap-bench --bin perf_probe [swarm] [iters]`
 //!
+//! `perf_probe multilevel` probes the multilevel V-cycle
+//! ([`neuromap_core::multilevel`]) on the `synth_32x32grid` scenario:
+//! per-level sizes, matching rates, refinement moves/accepts, and
+//! per-level wall time.
+//!
 //! `perf_probe noc` instead probes the interconnect engines on the
 //! dense-saturation workloads of [`neuromap_bench::noc_workloads`]: it
 //! times the event engine against the cycle oracle and prints the event
@@ -12,10 +17,11 @@
 //! scans, and the wake-queue peaks — so dense-regime scheduling
 //! regressions show up as counter shifts, not just wall-clock noise.
 
-use neuromap_apps::synthetic::Synthetic;
+use neuromap_apps::synthetic::{LargeArch, Synthetic};
 use neuromap_apps::App;
 use neuromap_bench::noc_workloads::dense_workloads;
 use neuromap_bench::{arch_for, SEED};
+use neuromap_core::multilevel::{vcycle, MultilevelConfig};
 use neuromap_core::partition::PartitionProblem;
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_hw::energy::EnergyModel;
@@ -101,16 +107,68 @@ fn probe_noc() {
     }
 }
 
+/// Multilevel V-cycle probe on the 32 × 32-grid scenario: per-level
+/// sizes, matching rates, refinement moves/accepts, and per-level wall
+/// time — the decomposition trajectory behind the `multilevel/*` bench
+/// ratios, printed level by level (coarsest last).
+fn probe_multilevel() {
+    let scenario = LargeArch::grid32();
+    let graph = scenario.spike_graph(SEED).expect("scenario generates");
+    let problem = PartitionProblem::new(&graph, scenario.num_crossbars(), scenario.capacity())
+        .expect("feasible");
+    println!(
+        "graph: {} neurons, {} synapses; arch: {} crossbars x {}",
+        graph.num_neurons(),
+        graph.num_synapses(),
+        scenario.num_crossbars(),
+        scenario.capacity()
+    );
+    let cfg = MultilevelConfig {
+        pso: PsoConfig {
+            swarm_size: 8,
+            iterations: 8,
+            ..PsoConfig::default()
+        },
+        ..MultilevelConfig::default()
+    };
+    let start = Instant::now();
+    let out = vcycle(&problem, &cfg).expect("vcycle runs");
+    let total = start.elapsed().as_secs_f64();
+    for (l, s) in out.levels.iter().enumerate() {
+        println!(
+            "  level {l}: {} nodes, {} synapses, cap {}, matched {:.0}%, refine {}/{} accepted, {:.1} ms",
+            s.num_neurons,
+            s.num_synapses,
+            s.capacity,
+            s.matching_rate * 100.0,
+            s.refine_accepted,
+            s.refine_proposed,
+            s.wall_s * 1e3
+        );
+    }
+    println!(
+        "vcycle: {total:.3} s total, cut-spikes {}, projected coarse cut {}{}",
+        out.cost,
+        out.projected_cost,
+        if out.used_projection {
+            " (projection won)"
+        } else {
+            ""
+        }
+    );
+}
+
 /// Prints usage to stderr and exits non-zero — bad arguments must not
 /// silently degrade into a default-parameter run (the probe's numbers
 /// are compared across PRs, so a typo would quietly probe the wrong
 /// configuration).
 fn usage(complaint: &str) -> ! {
     eprintln!("perf_probe: {complaint}");
-    eprintln!("usage: perf_probe [SWARM [ITERS]] | perf_probe noc");
-    eprintln!("  SWARM  positive swarm size (default 1000 when absent)");
-    eprintln!("  ITERS  positive iteration count (default 100 when absent)");
-    eprintln!("  noc    probe the interconnect engines instead");
+    eprintln!("usage: perf_probe [SWARM [ITERS]] | perf_probe noc | perf_probe multilevel");
+    eprintln!("  SWARM       positive swarm size (default 1000 when absent)");
+    eprintln!("  ITERS       positive iteration count (default 100 when absent)");
+    eprintln!("  noc         probe the interconnect engines instead");
+    eprintln!("  multilevel  probe the multilevel V-cycle on the 32x32-grid scenario");
     std::process::exit(2);
 }
 
@@ -121,6 +179,13 @@ fn main() {
             usage("`noc` takes no further arguments");
         }
         probe_noc();
+        return;
+    }
+    if args.get(1).map(String::as_str) == Some("multilevel") {
+        if args.len() > 2 {
+            usage("`multilevel` takes no further arguments");
+        }
+        probe_multilevel();
         return;
     }
     if args.len() > 3 {

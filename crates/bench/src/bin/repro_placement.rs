@@ -130,6 +130,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 },
                 place: PlaceConfig::default(),
                 replace_every: (iters / 4).max(1),
+                multilevel: None,
             };
             let staged_map = pipeline.partition(&graph, &PsoPartitioner::new(coopt_cfg.pso))?;
             let (staged_placed, _, _) = optimized.place(&graph, &staged_map)?;

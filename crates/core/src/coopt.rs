@@ -30,6 +30,7 @@
 //! return identical outcomes, traces included.
 
 use crate::error::CoreError;
+use crate::multilevel::{self, MultilevelConfig};
 use crate::partition::{FitnessKind, PartitionProblem};
 use crate::pipeline::TrafficMode;
 use crate::place::{optimize_placement, PlaceConfig, TrafficMatrix};
@@ -52,6 +53,14 @@ pub struct CooptConfig {
     /// Placement refresh period: the placement optimizer re-runs (and the
     /// swarm's hop table is re-priced) every this many PSO iterations.
     pub replace_every: u32,
+    /// When set, the staged baseline's partition comes from the
+    /// multilevel V-cycle ([`crate::multilevel::vcycle`]) instead of flat
+    /// PSO, and the V-cycle's result additionally warm-starts the joint
+    /// swarm. The embedded fitness must be [`FitnessKind::CutHops`] to
+    /// match the loop's objective. `None` preserves the flat staged
+    /// baseline byte-for-byte.
+    #[serde(default)]
+    pub multilevel: Option<MultilevelConfig>,
 }
 
 impl Default for CooptConfig {
@@ -63,6 +72,7 @@ impl Default for CooptConfig {
             },
             place: PlaceConfig::default(),
             replace_every: 20,
+            multilevel: None,
         }
     }
 }
@@ -92,6 +102,18 @@ impl CooptConfig {
                     self.pso.fitness
                 ),
             });
+        }
+        if let Some(ml) = &self.multilevel {
+            ml.validate()?;
+            if ml.pso.fitness != FitnessKind::CutHops {
+                return Err(CoreError::InvalidParameter {
+                    name: "multilevel.fitness",
+                    value: format!(
+                        "{:?} (the staged baseline is priced in hops; use CutHops)",
+                        ml.pso.fitness
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -148,7 +170,10 @@ pub fn co_optimize(
     let graph = problem.graph();
 
     // ---- staged baseline: partition to convergence, then place ----
-    let (staged_map, _) = PsoPartitioner::new(cfg.pso).partition_traced(problem)?;
+    let staged_map = match &cfg.multilevel {
+        None => PsoPartitioner::new(cfg.pso).partition_traced(problem)?.0,
+        Some(ml) => multilevel::vcycle(problem, ml)?.mapping,
+    };
     let staged_traffic = TrafficMatrix::from_mapping(graph, &staged_map, mode);
     let staged_place = optimize_placement(&staged_traffic, dist, &cfg.place)?;
     let staged_cost = staged_place.optimized_cost;
@@ -156,6 +181,14 @@ pub fn co_optimize(
     // ---- joint loop: segments of `replace_every` rounds, re-placing
     // and re-pricing between them ----
     let mut state = SwarmState::new(problem, &cfg.pso);
+    if cfg.multilevel.is_some() {
+        // warm-start the joint swarm with the V-cycle's partition (last
+        // slot, so the memetic baseline injections stay untouched)
+        state.inject(
+            cfg.pso.swarm_size.saturating_sub(1),
+            staged_map.assignment().to_vec(),
+        );
+    }
     let mut trace = Vec::new();
     let total = cfg.pso.iterations;
     let k = cfg.replace_every;
@@ -245,6 +278,7 @@ mod tests {
                 ..PlaceConfig::default()
             },
             replace_every: 8,
+            multilevel: None,
         }
     }
 
@@ -355,6 +389,56 @@ mod tests {
         // first cut_hops evaluation
         let bare = PartitionProblem::new(&g, 4, 4).unwrap();
         assert!(co_optimize(&bare, &dist, TrafficMode::PerCrossbar, &small_cfg()).is_err());
+    }
+
+    #[test]
+    fn multilevel_staged_baseline_composes() {
+        use crate::multilevel::MultilevelConfig;
+        let ml = MultilevelConfig {
+            pso: PsoConfig {
+                swarm_size: 8,
+                iterations: 8,
+                fitness: FitnessKind::CutHops,
+                ..PsoConfig::default()
+            },
+            min_coarse_neurons: 4,
+            max_levels: 2,
+            ..MultilevelConfig::default()
+        };
+        let cfg = CooptConfig {
+            multilevel: Some(ml),
+            ..small_cfg()
+        };
+        let out = run_on_mesh(&cfg);
+        // the final yardstick contract is unchanged: the winner is the
+        // cheaper of staged (now multilevel) and joint
+        assert_eq!(out.used_joint, out.joint_cost < out.staged_cost);
+        // and the composition stays deterministic across thread counts
+        let run = |threads: usize| {
+            let cfg = CooptConfig {
+                pso: PsoConfig { threads, ..cfg.pso },
+                multilevel: Some(MultilevelConfig {
+                    threads,
+                    pso: PsoConfig { threads, ..ml.pso },
+                    ..ml
+                }),
+                ..cfg
+            };
+            run_on_mesh(&cfg)
+        };
+        assert_eq!(run(1), run(4));
+        // a non-CutHops embedded fitness is rejected up front
+        let bad = CooptConfig {
+            multilevel: Some(MultilevelConfig {
+                pso: PsoConfig {
+                    fitness: FitnessKind::CutSpikes,
+                    ..ml.pso
+                },
+                ..ml
+            }),
+            ..small_cfg()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

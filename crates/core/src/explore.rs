@@ -49,6 +49,7 @@ pub fn architecture_sweep(
             traffic: base.traffic,
             engine: base.engine,
             placement: base.placement.clone(),
+            partition: base.partition.clone(),
         };
         // each sweep point is a different chip, so each gets its own
         // staged pipeline (topology + distance table derived once per

@@ -67,6 +67,7 @@ mod error;
 pub mod eval;
 pub mod explore;
 pub mod graph;
+pub mod multilevel;
 pub mod noc_sweep;
 pub mod partition;
 pub mod pipeline;

@@ -32,8 +32,11 @@
 
 use crate::error::CoreError;
 use crate::graph::SpikeGraph;
+use crate::multilevel::{self, MultilevelConfig};
 use crate::partition::{PartitionProblem, Partitioner};
-use crate::place::{optimize_placement, PlaceConfig, TrafficMatrix};
+use crate::place::{
+    optimize_placement, optimize_placement_trees, MulticastTraffic, PlaceConfig, TrafficMatrix,
+};
 use neuromap_hw::arch::{Architecture, InterconnectKind};
 use neuromap_hw::mapping::{Mapping, Placement};
 use neuromap_noc::config::NocConfig;
@@ -75,6 +78,21 @@ pub enum PlacementStrategy {
     HopOptimized(PlaceConfig),
 }
 
+/// How the partition stage solves the clustering problem.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PartitionStrategy {
+    /// Run the [`Partitioner`] handed to [`MappingPipeline::partition`]
+    /// directly on the full problem — the paper's single-level flow.
+    #[default]
+    Direct,
+    /// Solve through the multilevel V-cycle
+    /// ([`crate::multilevel::vcycle`]): coarsen, swarm-optimize only the
+    /// coarsest level, project + refine back up. The partitioner argument
+    /// is ignored (the V-cycle embeds its own PSO); reports label the
+    /// stage `"multilevel"`.
+    Multilevel(MultilevelConfig),
+}
+
 /// Pipeline parameters: the target chip and the interconnect configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -90,6 +108,8 @@ pub struct PipelineConfig {
     pub engine: EngineKind,
     /// How the place stage assigns clusters to physical crossbars.
     pub placement: PlacementStrategy,
+    /// How the partition stage solves the clustering problem.
+    pub partition: PartitionStrategy,
 }
 
 impl PipelineConfig {
@@ -106,6 +126,7 @@ impl PipelineConfig {
             traffic: TrafficMode::default(),
             engine: EngineKind::default(),
             placement: PlacementStrategy::default(),
+            partition: PartitionStrategy::default(),
         }
     }
 
@@ -132,6 +153,12 @@ impl PipelineConfig {
     /// Selects the placement strategy (builder style).
     pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Selects the partition strategy (builder style).
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -273,7 +300,7 @@ pub fn local_events(graph: &SpikeGraph, mapping: &Mapping) -> u64 {
 /// share a path prefix pay each shared hop once, which is exactly the
 /// forward count the NoC engines perform under tree routing (a head
 /// splits per distinct route bit, never per destination).
-fn tree_forwards(paths: &[Vec<(usize, usize)>]) -> u64 {
+pub(crate) fn tree_forwards(paths: &[Vec<(usize, usize)>]) -> u64 {
     // hop path tail, keyed by the (next hop, VC) the paths branch on
     type Tails = Vec<Vec<(usize, usize)>>;
     let mut groups: std::collections::BTreeMap<(usize, usize), Tails> =
@@ -381,7 +408,10 @@ impl MappingPipeline {
         .with_hops(&self.dist)
     }
 
-    /// **Stage 1 — partition**: neurons → logical clusters.
+    /// **Stage 1 — partition**: neurons → logical clusters, per the
+    /// configured [`PartitionStrategy`]. With
+    /// [`PartitionStrategy::Multilevel`] the `partitioner` argument is
+    /// ignored — the V-cycle embeds its own coarsest-level PSO.
     ///
     /// # Errors
     ///
@@ -392,7 +422,20 @@ impl MappingPipeline {
         partitioner: &dyn Partitioner,
     ) -> Result<Mapping, CoreError> {
         let problem = self.problem(graph)?;
-        partitioner.partition(&problem)
+        match &self.config.partition {
+            PartitionStrategy::Direct => partitioner.partition(&problem),
+            PartitionStrategy::Multilevel(cfg) => Ok(multilevel::vcycle(&problem, cfg)?.mapping),
+        }
+    }
+
+    /// The label the report's `partitioner` field gets for a run with
+    /// `partitioner`: the partitioner's own name under
+    /// [`PartitionStrategy::Direct`], `"multilevel"` otherwise.
+    fn partition_label(&self, partitioner: &dyn Partitioner) -> &'static str {
+        match &self.config.partition {
+            PartitionStrategy::Direct => partitioner.name(),
+            PartitionStrategy::Multilevel(_) => "multilevel",
+        }
     }
 
     /// **Stage 2 — place**: logical clusters → physical crossbars, per
@@ -416,9 +459,33 @@ impl MappingPipeline {
             )),
             PlacementStrategy::HopOptimized(cfg) => {
                 let traffic = TrafficMatrix::from_mapping(graph, mapping, self.config.traffic);
-                let outcome = optimize_placement(&traffic, &self.dist, cfg)?;
+                // tree pricing only when the NoC actually routes trees
+                // (and the accounting is per-crossbar, matching the
+                // multicast groups); otherwise the pairwise path is
+                // byte-identical to a config without the flag
+                let trees = cfg.tree_aware
+                    && self.config.noc.multicast
+                    && self.config.noc.multicast_trees
+                    && self.config.traffic == TrafficMode::PerCrossbar;
+                let (outcome, label) = if trees {
+                    let multicast = MulticastTraffic::from_mapping(graph, mapping);
+                    let outcome = optimize_placement_trees(
+                        &traffic,
+                        &multicast,
+                        &*self.topo,
+                        self.config.noc.vc_count,
+                        &self.dist,
+                        cfg,
+                    )?;
+                    (outcome, "tree-optimized")
+                } else {
+                    (
+                        optimize_placement(&traffic, &self.dist, cfg)?,
+                        "hop-optimized",
+                    )
+                };
                 let placed = mapping.place(&outcome.placement)?;
-                Ok((placed, outcome.placement, "hop-optimized".to_owned()))
+                Ok((placed, outcome.placement, label.to_owned()))
             }
         }
     }
@@ -555,8 +622,13 @@ impl MappingPipeline {
     ) -> Result<Report, CoreError> {
         let mapping = self.partition(graph, partitioner)?;
         let (placed, _, placement_id) = self.place(graph, &mapping)?;
-        self.measure(graph, placed, partitioner.name(), &placement_id)
-            .map(|(report, _)| report)
+        self.measure(
+            graph,
+            placed,
+            self.partition_label(partitioner),
+            &placement_id,
+        )
+        .map(|(report, _)| report)
     }
 
     /// **Stage 5 — report**: evaluates an existing mapping — the

@@ -406,6 +406,16 @@ impl SwarmState {
             gbest_position: Vec::new(),
         }
     }
+
+    /// Stages one more warm-start assignment for the init round, placed
+    /// at particle `slot` (clamped to the swarm). Injections are applied
+    /// in staging order, so a later injection at an occupied slot wins.
+    /// Consumed by the next `init` round; a no-op afterwards.
+    pub(crate) fn inject(&mut self, slot: usize, assignment: Vec<u32>) {
+        debug_assert_eq!(assignment.len(), self.n);
+        let slot = slot.min(self.seeds.len().saturating_sub(1));
+        self.injections.push((slot, assignment));
+    }
 }
 
 /// Advances the swarm by `rounds` PSO iterations on the worker pool,

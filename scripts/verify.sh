@@ -34,7 +34,9 @@ for key in \
   "swarm_eval/synth_16x16grid/batched/CutHops" \
   "placement/synth_16x16grid/optimize" \
   "pso_step/synth_16x16grid/swarm40_iters4/CutPackets" \
-  "pso_step/synth_16x16grid/swarm40_iters4/CutSpikes"; do
+  "pso_step/synth_16x16grid/swarm40_iters4/CutSpikes" \
+  "multilevel/synth_32x32grid/flat/CutSpikes" \
+  "multilevel/synth_32x32grid/vcycle/CutSpikes"; do
   grep -qF "\"id\": \"$key\"" BENCH_eval.json \
     || { echo "BENCH_eval.json lost key: $key"; exit 1; }
 done
@@ -46,7 +48,8 @@ for ratio in \
   "swarm_eval/synth_16x16grid/CutPackets" \
   "swarm_eval/synth_16x16grid/CutHops" \
   "move/synth_2x400/CutSpikes" \
-  "coopt/synth_8x8grid/CutHops"; do
+  "coopt/synth_8x8grid/CutHops" \
+  "multilevel/synth_32x32grid/CutSpikes"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_eval.json \
     || { echo "BENCH_eval.json lost paired ratio: $ratio"; exit 1; }
 done
@@ -71,6 +74,31 @@ dense=$(sed -n 's/.*"noc_dense_speedup": \([0-9.]*\).*/\1/p' BENCH_noc.json | he
 awk -v d="$dense" 'BEGIN { exit !(d >= 1.5) }' \
   || { echo "noc_dense_speedup regressed below 1.5x (got ${dense:-missing})"; exit 1; }
 
+echo "==> multilevel speedup floor (V-cycle vs flat PSO at 1024 crossbars)"
+# the coarsen-partition-refine path must keep its wall-time edge over
+# flat PSO on the 32x32-grid scenario; the bench itself asserts the
+# quality side (V-cycle cut <= flat cut), so this ratio is a genuine
+# equal-or-better-quality speedup, same-run and throttle-immune
+ml=$(sed -n 's/.*"id": "multilevel\/synth_32x32grid\/CutSpikes".*"speedup": \([0-9.]*\).*/\1/p' BENCH_eval.json | head -1)
+awk -v m="$ml" 'BEGIN { exit !(m >= 3.0) }' \
+  || { echo "multilevel speedup regressed below 3.0x (got ${ml:-missing})"; exit 1; }
+
+echo "==> ratio-direction gate (every paired ratio carries higher_is_better)"
+# a bare "speedup" number is ambiguous: the coopt, trace and trees
+# entries deliberately record overhead factors below 1. Every ratio line
+# must carry the flag, and every true-flagged entry must actually sit at
+# or above 1.0 — a 'speedup' that silently dropped below parity is a
+# regression even if the entry itself is still present
+awk '/"speedup": / {
+  if (!/"higher_is_better": (true|false)/) {
+    print "ratio missing higher_is_better in " FILENAME ": " $0; bad = 1
+  } else if (/"higher_is_better": true/ && match($0, /"speedup": [0-9.]+/)) {
+    s = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    if (s < 1.0) { print "true-flagged ratio below 1.0 in " FILENAME ": " $0; bad = 1 }
+  }
+} END { exit bad }' BENCH_eval.json BENCH_noc.json \
+  || { echo "ratio-direction gate failed"; exit 1; }
+
 echo "==> trace-overhead ceiling (tracing on must stay usable on dense traffic)"
 # tracing is opt-in and zero-cost when off (the engine/* ratios above
 # run untraced); when on, the same-run on/off ratio on the dense point
@@ -94,6 +122,11 @@ NEUROMAP_PROPTEST_CASES=256 cargo test --release --test noc_properties -q
 echo "==> eval/decode equivalence + determinism proptests (high case count)"
 NEUROMAP_PROPTEST_CASES=256 cargo test --release \
   --test eval_properties --test determinism --test partition_properties -q
+
+echo "==> multilevel coarsen/project/refine proptests (high case count)"
+# projection feasibility, the never-worse guard, thread byte-identity,
+# and the clustered matches-or-beats-flat-PSO corpus
+NEUROMAP_PROPTEST_CASES=256 cargo test --release --test multilevel_properties -q
 
 echo "==> placement/identity-golden + joint-loop proptests (high case count)"
 NEUROMAP_PROPTEST_CASES=256 cargo test --release \

@@ -64,6 +64,7 @@ fn small_cfg(seed: u64, threads: usize) -> CooptConfig {
             ..PlaceConfig::default()
         },
         replace_every: 5,
+        multilevel: None,
     }
 }
 
