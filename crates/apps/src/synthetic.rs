@@ -240,6 +240,157 @@ impl LargeArch {
     }
 }
 
+/// A multi-chip scale-out scenario: a `chip_cols × chip_rows` grid of
+/// chips, each chip internally the [`LargeArch`] crossbar grid, joined
+/// by slower/narrower boundary links — the SpiNeMap-class regime the
+/// hierarchical fabric (`neuromap_noc::topology::HierTopology` behind
+/// [`InterconnectKind::Hier`]) models.
+///
+/// Crossbar ids are **chip-major** (chip `q` owns ids `q·side²
+/// ..(q+1)·side²`, row-major within the chip), matching the hierarchical
+/// topology's layout, and the generated spike graph's locality bias
+/// works in the *composed* global grid: most synapses stay within a
+/// tile's global neighbourhood, so a good mapping keeps almost all
+/// traffic on-chip and optimizers have a real inter-chip gradient to
+/// descend.
+///
+/// [`InterconnectKind::Hier`]: neuromap_hw::arch::InterconnectKind::Hier
+#[derive(Debug, Clone, Copy)]
+pub struct MultiChip {
+    /// Chip-grid columns.
+    pub chip_cols: u32,
+    /// Chip-grid rows.
+    pub chip_rows: u32,
+    /// The per-chip crossbar grid.
+    pub chip: LargeArch,
+    /// Cycles per chip-boundary link hop.
+    pub link_latency: u32,
+    /// On-chip over boundary link-width ratio.
+    pub link_width: u32,
+}
+
+impl MultiChip {
+    /// The 4-chip benchmark scenario behind the `hier/*` ratios in
+    /// `BENCH_eval.json`: 2 × 2 chips of the 16 × 16 grid — 1024
+    /// crossbars, past the byte-tile batched-evaluator envelope and
+    /// inside the u16 word-tile one.
+    pub fn four_chip16() -> Self {
+        Self {
+            chip_cols: 2,
+            chip_rows: 2,
+            chip: LargeArch::grid16(),
+            link_latency: 4,
+            link_width: 2,
+        }
+    }
+
+    /// Scenario label (`synth_4chip16x16` for the default).
+    pub fn name(&self) -> String {
+        format!(
+            "synth_{}chip{1}x{1}",
+            self.chip_cols * self.chip_rows,
+            self.chip.side
+        )
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> usize {
+        (self.chip_cols * self.chip_rows) as usize
+    }
+
+    /// Total crossbars across all chips.
+    pub fn num_crossbars(&self) -> usize {
+        self.num_chips() * self.chip.num_crossbars()
+    }
+
+    /// Crossbar capacity.
+    pub fn capacity(&self) -> u32 {
+        self.chip.capacity()
+    }
+
+    /// Neurons in the generated graph (`fill_percent` of capacity,
+    /// applied per chip).
+    pub fn num_neurons(&self) -> u32 {
+        self.num_chips() as u32 * self.chip.num_neurons()
+    }
+
+    /// The matching [`Architecture`](neuromap_hw::arch::Architecture)
+    /// with the hierarchical interconnect descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`neuromap_hw::HwError::InvalidParameter`] for
+    /// degenerate chip grids or boundary-link parameters (unreachable
+    /// for [`MultiChip::four_chip16`]).
+    pub fn arch(&self) -> Result<neuromap_hw::arch::Architecture, neuromap_hw::HwError> {
+        neuromap_hw::arch::Architecture::custom(
+            self.num_crossbars(),
+            self.capacity(),
+            neuromap_hw::arch::InterconnectKind::Hier {
+                chip_cols: self.chip_cols,
+                chip_rows: self.chip_rows,
+                link_latency: self.link_latency,
+                link_width: self.link_width,
+            },
+        )
+    }
+
+    /// Builds the spike graph: neuron `i`'s home tile is `i / capacity`
+    /// (chip-major), 85 % of its synapses land in the home tile or a
+    /// tile adjacent in the **composed global grid** (so locality spans
+    /// chip seams exactly where chips abut), the rest are uniform over
+    /// the whole graph. Spike counts are uniform in `0..20`.
+    /// Deterministic for a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InvalidGraph`] from graph construction
+    /// (unreachable for the parameter ranges above).
+    pub fn spike_graph(&self, seed: u64) -> Result<neuromap_core::SpikeGraph, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.num_neurons();
+        let side = self.chip.side as i64;
+        let cap = self.chip.neurons_per_crossbar.max(1);
+        let per_chip = side * side;
+        let chip_cols = self.chip_cols as i64;
+        let (gw, gh) = (chip_cols * side, self.chip_rows as i64 * side);
+        let tiles = self.num_crossbars() as u32;
+        // chip-major tile id ↔ composed-grid coordinates
+        let coords = |tile: i64| {
+            let (chip, local) = (tile / per_chip, tile % per_chip);
+            let (cx, cy) = (chip % chip_cols, chip / chip_cols);
+            (cx * side + local % side, cy * side + local / side)
+        };
+        let tile_at = |gx: i64, gy: i64| {
+            (gy / side * chip_cols + gx / side) * per_chip + gy % side * side + gx % side
+        };
+        let mut synapses = Vec::with_capacity((n * self.chip.synapses_per_neuron) as usize);
+        for i in 0..n {
+            let home = (i / cap).min(tiles - 1) as i64;
+            let (hx, hy) = coords(home);
+            for _ in 0..self.chip.synapses_per_neuron {
+                let j = if rng.gen_bool(0.85) {
+                    let (dx, dy) = if rng.gen_bool(0.5) {
+                        (0, 0)
+                    } else {
+                        (rng.gen_range(-1i64..=1), rng.gen_range(-1i64..=1))
+                    };
+                    let (tx, ty) = ((hx + dx).clamp(0, gw - 1), (hy + dy).clamp(0, gh - 1));
+                    let tile = tile_at(tx, ty) as u32;
+                    let lo = tile * cap;
+                    let span = cap.min(n.saturating_sub(lo)).max(1);
+                    (lo + rng.gen_range(0..span)).min(n - 1)
+                } else {
+                    rng.gen_range(0..n)
+                };
+                synapses.push((i, j));
+            }
+        }
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+        neuromap_core::SpikeGraph::from_parts(n, synapses, counts)
+    }
+}
+
 /// The eight synthetic topologies evaluated in the paper's Fig. 5
 /// (four of which are plotted), in label order.
 pub fn fig5_topologies() -> Vec<Synthetic> {
@@ -358,6 +509,59 @@ mod tests {
         let packed: Vec<u32> = (0..s.num_neurons()).map(|i| i / s.capacity()).collect();
         let scattered: Vec<u32> = (0..s.num_neurons()).map(|i| i % 256).collect();
         assert!(p.cut_packets(&packed) * 3 < p.cut_packets(&scattered) * 2);
+    }
+
+    #[test]
+    fn four_chip16_is_a_1024_crossbar_scenario() {
+        let s = MultiChip::four_chip16();
+        assert_eq!(s.name(), "synth_4chip16x16");
+        assert_eq!(s.num_chips(), 4);
+        assert_eq!(s.num_crossbars(), 1024);
+        // past the byte-tile envelope, inside the u16 word-tile one
+        assert!(s.num_crossbars() > neuromap_core::eval::TILE_MAX_CROSSBARS);
+        assert!(s.num_crossbars() <= neuromap_core::eval::TILE16_MAX_CROSSBARS);
+        assert_eq!(
+            neuromap_core::eval::SwarmKernel::for_crossbars(s.num_crossbars()),
+            neuromap_core::eval::SwarmKernel::WordTile
+        );
+        let arch = s.arch().unwrap();
+        assert_eq!(arch.num_crossbars(), 1024);
+        // the generated instance must be feasible with real slack
+        assert!(u64::from(s.num_neurons()) <= 1024 * u64::from(s.capacity()) * 9 / 10);
+        let g = s.spike_graph(7).unwrap();
+        let p =
+            neuromap_core::partition::PartitionProblem::new(&g, s.num_crossbars(), s.capacity());
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn multi_chip_graph_is_reproducible_and_chip_local() {
+        let s = MultiChip {
+            chip: LargeArch {
+                side: 4,
+                ..LargeArch::grid16()
+            },
+            ..MultiChip::four_chip16()
+        };
+        let a = s.spike_graph(3).unwrap();
+        assert_eq!(a, s.spike_graph(3).unwrap());
+        assert_eq!(a.num_neurons(), s.num_neurons());
+        // chip-major home packing keeps most synapses on their home chip:
+        // the locality bias must beat a chip-scattering round-robin
+        let mut on_chip = 0u64;
+        let mut total = 0u64;
+        for i in 0..a.num_neurons() {
+            let ci = i / s.capacity() / s.chip.num_crossbars() as u32;
+            for &j in a.targets(i) {
+                let cj = j / s.capacity() / s.chip.num_crossbars() as u32;
+                total += 1;
+                on_chip += u64::from(ci == cj);
+            }
+        }
+        assert!(
+            on_chip * 10 > total * 7,
+            "expected ≥70% on-chip synapses, got {on_chip}/{total}"
+        );
     }
 
     #[test]

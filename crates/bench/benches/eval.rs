@@ -15,18 +15,18 @@
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use neuromap_apps::digit_recognition::DigitRecognition;
-use neuromap_apps::synthetic::{LargeArch, Synthetic};
+use neuromap_apps::synthetic::{LargeArch, MultiChip, Synthetic};
 use neuromap_apps::App;
 use neuromap_bench::{arch_for, SEED};
 use neuromap_core::coopt::{co_optimize, CooptConfig};
-use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmScratch};
+use neuromap_core::eval::{EvalEngine, SwarmEval, SwarmKernel, SwarmScratch};
 use neuromap_core::multilevel::{vcycle, MultilevelConfig};
 use neuromap_core::partition::{FitnessKind, PartitionProblem};
 use neuromap_core::pipeline::TrafficMode;
 use neuromap_core::place::{optimize_placement, PlaceConfig, TrafficMatrix};
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
 use neuromap_core::SpikeGraph;
-use neuromap_noc::topology::{DistanceLut, Mesh2D};
+use neuromap_noc::topology::{DistanceLut, HierTopology, Mesh2D};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -164,11 +164,13 @@ fn bench_large_arch(c: &mut Criterion) {
         (FitnessKind::CutHops, &problem_hops),
     ] {
         let evaluator = SwarmEval::new(*p, kind);
-        assert!(
-            evaluator.batched(),
-            "REGRESSION: SwarmEval fell back to the scalar path for {kind:?} \
-             at {} crossbars — the batched envelope must cover 256",
-            scenario.num_crossbars()
+        assert_eq!(
+            evaluator.kernel(),
+            SwarmKernel::ByteTile,
+            "REGRESSION: SwarmEval must run the byte-tile kernel for {kind:?} \
+             at {} crossbars, not {}",
+            scenario.num_crossbars(),
+            evaluator.kernel()
         );
     }
     assert_eq!(
@@ -424,6 +426,101 @@ fn bench_multilevel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 1024-crossbar multi-chip scenario (`synth_4chip16x16`): u16
+/// word-tile envelope gate + batched-vs-scalar timings behind the
+/// `hier/*` paired ratios in `BENCH_eval.json` (floor-gated ≥ 2× by
+/// `scripts/verify.sh`).
+///
+/// Before timing anything the bench *asserts which kernel actually
+/// runs* — [`SwarmEval::kernel`] must report the u16 word-tile for all
+/// three objectives at 1024 crossbars — and spot-checks the batched
+/// costs bit-identical against the scalar reference on the real
+/// scenario, so a silent fallback or a kernel divergence fails CI
+/// loudly instead of being timed as if nothing happened.
+fn bench_hier(c: &mut Criterion) {
+    let scenario = MultiChip::four_chip16();
+    let graph = scenario.spike_graph(SEED).expect("scenario builds");
+    let problem = PartitionProblem::new(&graph, scenario.num_crossbars(), scenario.capacity())
+        .expect("feasible");
+    let name = scenario.name();
+
+    // hop-aware objective under the fabric's *weighted* distances:
+    // chip-boundary hops priced latency × width
+    let topo = HierTopology::for_crossbars(
+        scenario.num_crossbars(),
+        scenario.chip_cols as usize,
+        scenario.chip_rows as usize,
+        scenario.link_latency,
+        scenario.link_width,
+    )
+    .expect("scenario parameters are valid");
+    let lut = topo.distance_lut();
+    let problem_hops = problem.with_hops(&lut).expect("lut covers the arch");
+    let objectives = [
+        (FitnessKind::CutSpikes, &problem),
+        (FitnessKind::CutPackets, &problem),
+        (FitnessKind::CutHops, &problem_hops),
+    ];
+
+    // ---- kernel gate (fail loudly, do not time a fallback) ----
+    for (kind, p) in objectives {
+        let evaluator = SwarmEval::new(*p, kind);
+        assert_eq!(
+            evaluator.kernel(),
+            SwarmKernel::WordTile,
+            "REGRESSION: SwarmEval must run the u16 word-tile kernel for \
+             {kind:?} at {} crossbars, not {}",
+            scenario.num_crossbars(),
+            evaluator.kernel()
+        );
+    }
+
+    // ---- bit-identity spot check on the actual scenario ----
+    let lanes = 64;
+    let n = graph.num_neurons() as usize;
+    let positions = random_swarm(n, problem.num_crossbars(), lanes, 7);
+    for (kind, p) in objectives {
+        let evaluator = SwarmEval::new(*p, kind);
+        let mut scratch = SwarmScratch::default();
+        let mut out = vec![0u64; lanes];
+        evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+        for lane in 0..lanes {
+            assert_eq!(
+                out[lane],
+                p.cost(kind, &positions[lane * n..(lane + 1) * n]),
+                "word-tile diverges from the scalar reference for {kind:?} lane {lane}"
+            );
+        }
+    }
+
+    // scalar vs batched timings; `paired_ratios` pairs the ids into the
+    // `hier/synth_4chip16x16/<kind>` ratios
+    let mut group = c.benchmark_group(format!("hier/{name}"));
+    group.sample_size(10);
+    for (kind, p) in objectives {
+        let tag = format!("{kind:?}");
+        group.bench_with_input(BenchmarkId::new("scalar", &tag), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for lane in 0..lanes {
+                    acc ^= p.cost(kind, &positions[lane * n..(lane + 1) * n]);
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", &tag), &kind, |b, &kind| {
+            let evaluator = SwarmEval::new(*p, kind);
+            let mut scratch = SwarmScratch::default();
+            let mut out = vec![0u64; lanes];
+            b.iter(|| {
+                evaluator.eval_swarm(&positions, lanes, &mut scratch, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_pso_step(c: &mut Criterion, name: &str, graph: &SpikeGraph) {
     let arch = arch_for(graph.num_neurons());
     let problem = PartitionProblem::new(graph, arch.num_crossbars(), arch.neurons_per_crossbar())
@@ -461,6 +558,10 @@ fn main() {
 
     // 32 × 32 = 1024 crossbars: flat PSO vs the multilevel V-cycle
     bench_multilevel(&mut c);
+
+    // 2 × 2 chips × (16 × 16) = 1024 crossbars: the u16 word-tile
+    // envelope on the multi-chip scenario, gated + timed
+    bench_hier(&mut c);
 
     // end-to-end paper-scale run (slow; opt-in)
     let mut paper_seconds: Option<f64> = None;

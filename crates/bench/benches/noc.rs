@@ -22,7 +22,7 @@ use neuromap_hw::energy::EnergyModel;
 use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::oracle::CycleSim;
 use neuromap_noc::sim::NocSim;
-use neuromap_noc::topology::{Mesh2D, NocTree, Star, Topology};
+use neuromap_noc::topology::{HierTopology, Mesh2D, NocTree, Star, Topology};
 use neuromap_noc::traffic::SpikeFlow;
 
 /// Differential gate: both engines must digest-match on `w` before their
@@ -69,6 +69,44 @@ fn bench_engines(c: &mut Criterion) {
         });
         group.finish();
     }
+}
+
+/// Event-vs-oracle on the multi-chip hierarchical fabric (2 × 2 chips of
+/// a 4 × 4 mesh joined by latency-4 × width-2 boundary links, 2 VCs) —
+/// the `hier_engine/multichip64` group and paired ratio in
+/// `BENCH_noc.json`. Digest-gated like the flat `engine/*` groups, so
+/// the engines must byte-agree across chip-boundary links before their
+/// timings are compared.
+fn bench_hier_engines(c: &mut Criterion) {
+    let w = NocWorkload {
+        name: "multichip64",
+        flows: burst_traffic(64, 128, 10),
+        topo: || Box::new(HierTopology::for_crossbars(64, 2, 2, 4, 2).expect("valid fabric")),
+        cfg: NocConfig {
+            vc_count: 2,
+            ..NocConfig::default()
+        },
+    };
+    let digest = assert_engines_agree(&w);
+    println!(
+        "hier_engine/{}: differential digest {digest:#018x} OK",
+        w.name
+    );
+    let mut group = c.benchmark_group(format!("hier_engine/{}", w.name));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("event"), &w, |b, w| {
+        b.iter(|| {
+            let mut sim = NocSim::new((w.topo)(), w.cfg, EnergyModel::default());
+            sim.run(&w.flows).expect("traffic drains")
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("oracle"), &w, |b, w| {
+        b.iter(|| {
+            let mut sim = CycleSim::new((w.topo)(), w.cfg, EnergyModel::default());
+            sim.run(&w.flows).expect("traffic drains")
+        });
+    });
+    group.finish();
 }
 
 /// Trace-overhead bench: the event engine with [`NocConfig::trace`] on
@@ -257,6 +295,7 @@ fn speedup(c: &Criterion, group: &str) -> Option<f64> {
 fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_engines(&mut c);
+    bench_hier_engines(&mut c);
     bench_trace_overhead(&mut c);
     bench_tree_routing(&mut c);
     bench_topologies(&mut c);
@@ -309,6 +348,14 @@ fn main() {
             })
         })
         .collect();
+    // multi-chip hierarchical fabric: same-run oracle-vs-event pair,
+    // same shape as the flat engine ratios
+    if let Some(s) = speedup(&c, "hier_engine/multichip64") {
+        println!("event engine speedup over oracle, hier_engine/multichip64: {s:.1}x");
+        ratios.push(format!(
+            "    {{\"id\": \"hier_engine/multichip64\", \"baseline\": \"hier_engine/multichip64/oracle\", \"candidate\": \"hier_engine/multichip64/event\", \"speedup\": {s:.2}, \"higher_is_better\": true}}"
+        ));
+    }
     // trace overhead: same-run paired on/off medians of the event
     // engine on the dense point — on/off, so 1.00 means tracing is free
     // and the verify gate holds the ceiling

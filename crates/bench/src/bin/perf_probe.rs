@@ -21,6 +21,7 @@ use neuromap_apps::synthetic::{LargeArch, Synthetic};
 use neuromap_apps::App;
 use neuromap_bench::noc_workloads::dense_workloads;
 use neuromap_bench::{arch_for, SEED};
+use neuromap_core::eval::SwarmKernel;
 use neuromap_core::multilevel::{vcycle, MultilevelConfig};
 use neuromap_core::partition::PartitionProblem;
 use neuromap_core::pso::{PsoConfig, PsoPartitioner};
@@ -29,6 +30,22 @@ use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::oracle::CycleSim;
 use neuromap_noc::sim::NocSim;
 use std::time::Instant;
+
+/// One-line swarm-evaluator kernel report for a crossbar count: which
+/// kernel `SwarmEval` will actually run, with a loud marker on the
+/// scalar fallback — the perf cliff past the batched envelopes used to
+/// be invisible in probe output.
+fn kernel_line(num_crossbars: usize) -> String {
+    let kernel = SwarmKernel::for_crossbars(num_crossbars);
+    format!(
+        "swarm-eval kernel: {kernel}{}",
+        if kernel == SwarmKernel::Scalar {
+            "  ** SCALAR FALLBACK: past the batched envelopes **"
+        } else {
+            ""
+        }
+    )
+}
 
 /// Congested lanes the probe's spotter prints per workload.
 const SPOTTER_TOP_LANES: usize = 4;
@@ -123,6 +140,7 @@ fn probe_multilevel() {
         scenario.num_crossbars(),
         scenario.capacity()
     );
+    println!("{}", kernel_line(scenario.num_crossbars()));
     let cfg = MultilevelConfig {
         pso: PsoConfig {
             swarm_size: 8,
@@ -218,6 +236,7 @@ fn main() {
         arch.num_crossbars(),
         arch.neurons_per_crossbar()
     );
+    println!("{}", kernel_line(arch.num_crossbars()));
 
     let cfg = PsoConfig {
         swarm_size: swarm,

@@ -1,5 +1,6 @@
 //! Placement-stage study: identity vs hop-optimized cluster placement on
-//! 64- and 256-crossbar meshes and tori, plus the joint
+//! 64- and 256-crossbar meshes, tori, and 2 × 2-chip hierarchical
+//! fabrics (weighted chip-boundary links), plus the joint
 //! partition ⇄ placement loop and Steiner multicast trees.
 //!
 //! The source paper stops after partitioning, implicitly wiring cluster
@@ -50,6 +51,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fabrics = [
         ("mesh", InterconnectKind::Mesh),
         ("torus", InterconnectKind::Torus),
+        // multi-chip scale-out: the crossbars split over a 2 × 2 chip
+        // grid (each chip a near-square mesh) with latency-4 × width-2
+        // boundary links, so the placement stage must also keep chatty
+        // clusters off the expensive chip seams
+        (
+            "hier",
+            InterconnectKind::Hier {
+                chip_cols: 2,
+                chip_rows: 2,
+                link_latency: 4,
+                link_width: 2,
+            },
+        ),
     ];
 
     let mut rows = Vec::new();

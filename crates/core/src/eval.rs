@@ -48,17 +48,28 @@
 //! ## Batched envelope (large architectures)
 //!
 //! The whole-swarm evaluator ([`SwarmEval`]) tiles candidates into
-//! neuron-major byte blocks and covers **every architecture up to
-//! [`TILE_MAX_CROSSBARS`] (256) crossbars for both objectives**:
-//! `CutPackets` keeps each lane's remote-crossbar set as a strided
-//! multi-word bitmask (`⌈C/64⌉` `u64`s per lane) instead of the single
-//! word that used to cap the batched path at 64 crossbars. On the
-//! 256-crossbar `synth_16x16grid` scenario (1740 neurons, 41.8 k
-//! synapses; `BENCH_eval.json`) the multi-word tile scores a 64-lane
-//! swarm ~5.5× faster than the per-candidate scalar scan it previously
-//! fell back to; beyond 256 crossbars `eval_swarm` still degrades
-//! gracefully to the exact scalar path, now as a documented, measured
-//! boundary rather than a silent one.
+//! neuron-major blocks and picks its kernel by crossbar count — a pure
+//! function of the problem, exposed as [`SwarmEval::kernel`] /
+//! [`SwarmKernel`]:
+//!
+//! * **Byte tiles** up to [`TILE_MAX_CROSSBARS`] (256) crossbars: one
+//!   byte per assignment, `CutPackets`/`CutHops` remote sets as strided
+//!   multi-word bitmasks (`⌈C/64⌉` `u64`s per lane). On the
+//!   256-crossbar `synth_16x16grid` scenario (1740 neurons, 41.8 k
+//!   synapses; `BENCH_eval.json`) this scores a 64-lane swarm ~5.5×
+//!   faster than the per-candidate scalar scan.
+//! * **u16 word tiles** up to [`TILE16_MAX_CROSSBARS`] (1024) crossbars
+//!   — the multi-chip regime of `noc::topology::HierTopology`: two
+//!   bytes per assignment, a fixed 16-word mask stride, identical
+//!   integer arithmetic. CI gates the `hier/*` batched-over-scalar
+//!   ratio ≥ 2× on the 1024-crossbar `synth_4chip16x16` scenario.
+//! * **Scalar** beyond 1024 crossbars: the exact per-candidate
+//!   reference every tiled kernel is verified against.
+//!
+//! The active kernel is surfaced in `perf_probe` output and the
+//! pipeline `Report`, and the benches assert which kernel actually ran,
+//! so a fallback to scalar is a visible, measured boundary rather than
+//! a silent perf cliff.
 
 use crate::partition::{FitnessKind, PartitionProblem};
 
@@ -509,9 +520,66 @@ const LANES: usize = 64;
 /// stored one byte per neuron per lane, so crossbar ids must fit `u8`.
 pub const TILE_MAX_CROSSBARS: usize = 256;
 
+/// Crossbar-count ceiling of the u16 word-tile envelope: assignments are
+/// stored two bytes per neuron per lane, lifting the batched evaluator
+/// to the multi-chip regime (e.g. 4 chips of 16×16 crossbars). Beyond
+/// this the evaluator runs the exact scalar reference per candidate.
+pub const TILE16_MAX_CROSSBARS: usize = 1024;
+
 /// Mask words per lane at the byte-tile ceiling (the fixed stride of the
 /// wide `CutPackets` kernel).
 const MASK_WORDS_MAX: usize = TILE_MAX_CROSSBARS / 64;
+
+/// Mask words per lane at the word-tile ceiling (the fixed stride of the
+/// u16 kernels).
+const MASK16_WORDS_MAX: usize = TILE16_MAX_CROSSBARS / 64;
+
+/// Which evaluation kernel [`SwarmEval::eval_swarm`] runs for a given
+/// problem — a pure function of the crossbar count
+/// ([`SwarmKernel::for_crossbars`]), surfaced in `perf_probe` and the
+/// pipeline `Report` and asserted by the benches so the scalar fallback
+/// is never a silent perf cliff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwarmKernel {
+    /// Neuron-major byte tile (crossbar ids fit `u8`):
+    /// ≤ [`TILE_MAX_CROSSBARS`] crossbars.
+    ByteTile,
+    /// Neuron-major u16 tile with a fixed 16-word mask stride:
+    /// ≤ [`TILE16_MAX_CROSSBARS`] crossbars.
+    WordTile,
+    /// Exact per-candidate scalar scan — the reference path, and the
+    /// fallback beyond the word-tile envelope.
+    Scalar,
+}
+
+impl SwarmKernel {
+    /// The kernel the batched evaluator selects for `num_crossbars`.
+    pub fn for_crossbars(num_crossbars: usize) -> Self {
+        if num_crossbars <= TILE_MAX_CROSSBARS {
+            SwarmKernel::ByteTile
+        } else if num_crossbars <= TILE16_MAX_CROSSBARS {
+            SwarmKernel::WordTile
+        } else {
+            SwarmKernel::Scalar
+        }
+    }
+
+    /// Stable lowercase name (`"byte-tile"`, `"word-tile"`, `"scalar"`)
+    /// for reports and probe output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwarmKernel::ByteTile => "byte-tile",
+            SwarmKernel::WordTile => "word-tile",
+            SwarmKernel::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for SwarmKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Batched whole-swarm evaluation: the complement of the per-candidate
 /// incremental path for optimizers whose candidates churn too much to
@@ -529,18 +597,28 @@ const MASK_WORDS_MAX: usize = TILE_MAX_CROSSBARS / 64;
 /// (verified per batch by a debug assertion and by unit tests).
 ///
 /// Requirements: `num_crossbars ≤ 256` ([`TILE_MAX_CROSSBARS`], one byte
-/// per assignment) for both objectives. `CutPackets` keeps each lane's
-/// remote-crossbar set as a **multi-word bitmask** — a strided run of
-/// `mask_words = ⌈num_crossbars / 64⌉` `u64`s per lane (one word when
-/// `num_crossbars ≤ 64`, the historical fast path; up to four words at
-/// the 256-crossbar ceiling), so SpiNeMap-scale architectures with
-/// hundreds of crossbars stay on the tiled path instead of silently
-/// degrading to a per-candidate scan. Beyond the byte-tile envelope
-/// [`SwarmEval::eval_swarm`] transparently evaluates per candidate.
+/// per assignment) for the byte-tile path. `CutPackets` keeps each
+/// lane's remote-crossbar set as a **multi-word bitmask** — a strided
+/// run of `mask_words = ⌈num_crossbars / 64⌉` `u64`s per lane (one word
+/// when `num_crossbars ≤ 64`, the historical fast path; up to four words
+/// at the 256-crossbar ceiling). Past the byte tile, **u16 word tiles**
+/// (two bytes per assignment, fixed 16-word mask stride) carry the
+/// batched path to [`TILE16_MAX_CROSSBARS`] (1024) crossbars — the
+/// multi-chip regime — so SpiNeMap-scale architectures stay tiled
+/// instead of silently degrading to a per-candidate scan. Beyond the
+/// word-tile envelope [`SwarmEval::eval_swarm`] evaluates per candidate;
+/// [`SwarmEval::kernel`] reports which path runs.
 #[derive(Debug, Clone)]
 pub struct SwarmEval<'g> {
     problem: PartitionProblem<'g>,
     kind: FitnessKind,
+    /// Narrow (u16) shadow of the hop table for the tiled `CutHops`
+    /// kernels — same values, half the gather footprint of the u32
+    /// `DistanceLut` the reduction walks per set mask bit. Empty when
+    /// the objective is not `CutHops`, the problem is past the tiled
+    /// envelope, or any distance overflows u16 (the kernels then read
+    /// the u32 table directly).
+    hops16: Vec<u16>,
 }
 
 /// Reusable buffers for [`SwarmEval::eval_swarm`].
@@ -548,6 +626,9 @@ pub struct SwarmEval<'g> {
 pub struct SwarmScratch {
     /// Neuron-major tile: `n × LANES` bytes.
     tile: Vec<u8>,
+    /// Neuron-major u16 tile for the word-tile kernels (crossbar ids
+    /// past 255): `n × LANES` entries.
+    tile16: Vec<u16>,
     /// Per-lane remote-edge counters for the current neuron.
     remote: Vec<u32>,
     /// Per-lane byte-wide partial counters (flushed every ≤255 edges so
@@ -555,8 +636,9 @@ pub struct SwarmScratch {
     remote8: Vec<u8>,
     /// Per-lane remote-crossbar bitmasks (`CutPackets`): one `u64` per
     /// lane on the ≤ 64-crossbar fast path, otherwise [`MASK_WORDS_MAX`]
-    /// consecutive `u64`s per lane (lane-major, fixed stride regardless
-    /// of the actual word count so every tile byte indexes in bounds).
+    /// (byte tile) or [`MASK16_WORDS_MAX`] (word tile) consecutive
+    /// `u64`s per lane (lane-major, fixed stride regardless of the
+    /// actual word count so every tile entry indexes in bounds).
     masks: Vec<u64>,
 }
 
@@ -572,13 +654,41 @@ impl<'g> SwarmEval<'g> {
             kind != FitnessKind::CutHops || problem.hops().is_some(),
             "CutHops requires a hop table; attach one with `with_hops`"
         );
-        Self { problem, kind }
+        let mut hops16 = Vec::new();
+        if kind == FitnessKind::CutHops
+            && SwarmKernel::for_crossbars(problem.num_crossbars()) != SwarmKernel::Scalar
+        {
+            let lut = problem.hops().expect("asserted above");
+            let c = problem.num_crossbars() as u32;
+            hops16.reserve(c as usize * c as usize);
+            'build: for k1 in 0..c {
+                for k2 in 0..c {
+                    let Ok(h) = u16::try_from(lut.hops(k1, k2)) else {
+                        hops16 = Vec::new();
+                        break 'build;
+                    };
+                    hops16.push(h);
+                }
+            }
+        }
+        Self {
+            problem,
+            kind,
+            hops16,
+        }
     }
 
-    /// Whether the vectorizable tile path applies to this problem: both
-    /// objectives are tiled up to [`TILE_MAX_CROSSBARS`] crossbars.
+    /// Whether a vectorizable tile path applies to this problem: both
+    /// objectives are tiled up to [`TILE16_MAX_CROSSBARS`] crossbars
+    /// (byte tiles to 256, u16 word tiles beyond).
     pub fn batched(&self) -> bool {
-        self.problem.num_crossbars() <= TILE_MAX_CROSSBARS
+        self.kernel() != SwarmKernel::Scalar
+    }
+
+    /// The kernel [`SwarmEval::eval_swarm`] runs for this problem — a
+    /// pure function of the crossbar count.
+    pub fn kernel(&self) -> SwarmKernel {
+        SwarmKernel::for_crossbars(self.problem.num_crossbars())
     }
 
     /// `u64` words per lane in the `CutPackets` remote-crossbar bitmask
@@ -605,14 +715,29 @@ impl<'g> SwarmEval<'g> {
         let n = self.problem.graph().num_neurons() as usize;
         assert_eq!(positions.len(), lanes * n, "candidate buffer size");
         assert_eq!(out.len(), lanes, "output size");
-        if !self.batched() {
-            for lane in 0..lanes {
-                out[lane] = self
-                    .problem
-                    .cost(self.kind, &positions[lane * n..(lane + 1) * n]);
+        match self.kernel() {
+            SwarmKernel::Scalar => {
+                for lane in 0..lanes {
+                    out[lane] = self
+                        .problem
+                        .cost(self.kind, &positions[lane * n..(lane + 1) * n]);
+                }
             }
-            return;
+            SwarmKernel::ByteTile => self.eval_swarm_bytes(positions, lanes, scratch, out),
+            SwarmKernel::WordTile => self.eval_swarm_words(positions, lanes, scratch, out),
         }
+    }
+
+    /// The byte-tile driver: transposes 64-candidate blocks into the u8
+    /// tile and dispatches the byte kernels.
+    fn eval_swarm_bytes(
+        &self,
+        positions: &[u32],
+        lanes: usize,
+        scratch: &mut SwarmScratch,
+        out: &mut [u64],
+    ) {
+        let n = self.problem.graph().num_neurons() as usize;
         scratch.tile.resize(n * LANES, 0);
         scratch.remote.resize(LANES, 0);
         scratch.remote8.resize(LANES, 0);
@@ -666,6 +791,50 @@ impl<'g> SwarmEval<'g> {
                         self.tile_cut_hops_wide(width, scratch, out);
                     }
                 }
+            }
+            debug_assert_eq!(
+                out[lane0],
+                self.problem
+                    .cost(self.kind, &positions[lane0 * n..(lane0 + 1) * n]),
+                "batched cost must equal the scalar evaluation"
+            );
+            lane0 += width;
+        }
+    }
+
+    /// The word-tile driver for 256 < crossbars ≤ 1024: the byte driver
+    /// with a u16 tile (crossbar ids past 255 no longer fit a byte) and
+    /// the fixed [`MASK16_WORDS_MAX`] mask stride. Same transpose
+    /// blocking, same per-block scalar verification.
+    fn eval_swarm_words(
+        &self,
+        positions: &[u32],
+        lanes: usize,
+        scratch: &mut SwarmScratch,
+        out: &mut [u64],
+    ) {
+        let n = self.problem.graph().num_neurons() as usize;
+        scratch.tile16.resize(n * LANES, 0);
+        scratch.remote.resize(LANES, 0);
+        scratch.remote8.resize(LANES, 0);
+        scratch.masks.resize(LANES * MASK16_WORDS_MAX, 0);
+        let mut lane0 = 0;
+        while lane0 < lanes {
+            let width = LANES.min(lanes - lane0);
+            for iblock in (0..n).step_by(LANES) {
+                let iend = (iblock + LANES).min(n);
+                for lane in 0..width {
+                    let row = &positions[(lane0 + lane) * n..(lane0 + lane + 1) * n];
+                    for (i, &k) in row[iblock..iend].iter().enumerate() {
+                        scratch.tile16[(iblock + i) * LANES + lane] = k as u16;
+                    }
+                }
+            }
+            let block = &mut out[lane0..lane0 + width];
+            match self.kind {
+                FitnessKind::CutSpikes => self.tile16_cut_spikes(width, scratch, block),
+                FitnessKind::CutPackets => self.tile16_cut_packets(width, scratch, block),
+                FitnessKind::CutHops => self.tile16_cut_hops(width, scratch, block),
             }
             debug_assert_eq!(
                 out[lane0],
@@ -820,6 +989,7 @@ impl<'g> SwarmEval<'g> {
         let g = self.problem.graph();
         let n = g.num_neurons() as usize;
         let hops = self.problem.hops().expect("checked in SwarmEval::new");
+        let c = self.problem.num_crossbars();
         let tile = &scratch.tile;
         let masks = &mut scratch.masks;
         out.fill(0);
@@ -844,10 +1014,18 @@ impl<'g> SwarmEval<'g> {
                 let h = u32::from(home[lane]);
                 let mut m = masks[lane];
                 let mut weighted = 0u64;
-                while m != 0 {
-                    let k = m.trailing_zeros();
-                    weighted += u64::from(hops.hops(h, k));
-                    m &= m - 1;
+                if let Some(row) = self.hops16_row(h, c) {
+                    while m != 0 {
+                        let k = m.trailing_zeros() as usize;
+                        weighted += u64::from(row[k]);
+                        m &= m - 1;
+                    }
+                } else {
+                    while m != 0 {
+                        let k = m.trailing_zeros();
+                        weighted += u64::from(hops.hops(h, k));
+                        m &= m - 1;
+                    }
                 }
                 out[lane] += ci * weighted;
             }
@@ -863,6 +1041,7 @@ impl<'g> SwarmEval<'g> {
         let g = self.problem.graph();
         let n = g.num_neurons() as usize;
         let hops = self.problem.hops().expect("checked in SwarmEval::new");
+        let c = self.problem.num_crossbars();
         let tile = &scratch.tile;
         let masks: &mut [u64; LANES * MASK_WORDS] = (&mut scratch.masks[..LANES * MASK_WORDS])
             .try_into()
@@ -892,17 +1071,189 @@ impl<'g> SwarmEval<'g> {
                 let h = u32::from(home[lane]);
                 let words = &masks[lane * MASK_WORDS..lane * MASK_WORDS + MASK_WORDS];
                 let mut weighted = 0u64;
+                let row = self.hops16_row(h, c);
                 for (w, &word) in words.iter().enumerate() {
-                    let base = (w as u32) << 6;
+                    let base = w << 6;
                     let mut m = word;
-                    while m != 0 {
-                        let k = base + m.trailing_zeros();
-                        weighted += u64::from(hops.hops(h, k));
-                        m &= m - 1;
+                    if let Some(row) = row {
+                        while m != 0 {
+                            let k = base + m.trailing_zeros() as usize;
+                            weighted += u64::from(row[k]);
+                            m &= m - 1;
+                        }
+                    } else {
+                        while m != 0 {
+                            let k = (base + m.trailing_zeros() as usize) as u32;
+                            weighted += u64::from(hops.hops(h, k));
+                            m &= m - 1;
+                        }
                     }
                 }
                 out[lane] += ci * weighted;
             }
+        }
+    }
+
+    /// Eq. 8 over one u16 tile — [`SwarmEval::tile_cut_spikes`] with
+    /// 16-bit lane compares; the byte partial counters and their
+    /// ≤255-edge flush cadence are unchanged.
+    fn tile16_cut_spikes(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let tile = &scratch.tile16;
+        let remote = &mut scratch.remote;
+        let remote8 = &mut scratch.remote8;
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            remote[..width].fill(0);
+            let home: &[u16; LANES] = tile[i * LANES..i * LANES + LANES]
+                .try_into()
+                .expect("tile row is LANES wide");
+            for tchunk in targets.chunks(255) {
+                remote8.fill(0);
+                let racc: &mut [u8; LANES] = (&mut remote8[..LANES])
+                    .try_into()
+                    .expect("scratch is LANES wide");
+                for &j in tchunk {
+                    let tgt: &[u16; LANES] = tile[j as usize * LANES..j as usize * LANES + LANES]
+                        .try_into()
+                        .expect("tile row is LANES wide");
+                    for lane in 0..LANES {
+                        racc[lane] += u8::from(home[lane] != tgt[lane]);
+                    }
+                }
+                for lane in 0..width {
+                    remote[lane] += u32::from(racc[lane]);
+                }
+            }
+            for lane in 0..width {
+                out[lane] += ci * u64::from(remote[lane]);
+            }
+        }
+    }
+
+    /// `CutPackets` over one u16 tile: the strided mask accumulation of
+    /// [`SwarmEval::tile_cut_packets_wide`] at the fixed
+    /// [`MASK16_WORDS_MAX`] stride. The word index is masked to the
+    /// stride (`(k >> 6) & 15` — exact for every id < 1024, and keeps
+    /// the per-edge loop provably in bounds for the full
+    /// [`LANES`]-wide trip count even on stale lanes).
+    fn tile16_cut_packets(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        const MASK_WORDS: usize = MASK16_WORDS_MAX;
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let tile = &scratch.tile16;
+        let masks: &mut [u64] = &mut scratch.masks[..LANES * MASK_WORDS];
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            masks.fill(0);
+            let home = &tile[i * LANES..i * LANES + LANES];
+            for &j in targets {
+                let tgt: &[u16; LANES] = tile[j as usize * LANES..j as usize * LANES + LANES]
+                    .try_into()
+                    .expect("tile row is LANES wide");
+                for lane in 0..LANES {
+                    let k = tgt[lane] as usize;
+                    masks[lane * MASK_WORDS + ((k >> 6) & (MASK_WORDS - 1))] |= 1u64 << (k & 63);
+                }
+            }
+            for lane in 0..width {
+                let h = home[lane] as usize;
+                let words = &masks[lane * MASK_WORDS..lane * MASK_WORDS + MASK_WORDS];
+                let mut distinct = 0u32;
+                for (w, &word) in words.iter().enumerate() {
+                    let drop_home = if w == h >> 6 { 1u64 << (h & 63) } else { 0 };
+                    distinct += (word & !drop_home).count_ones();
+                }
+                out[lane] += ci * u64::from(distinct);
+            }
+        }
+    }
+
+    /// Hop-weighted packets over one u16 tile:
+    /// [`SwarmEval::tile16_cut_packets`]'s mask accumulation with the
+    /// weighted bit-walk reduction of [`SwarmEval::tile_cut_hops`].
+    fn tile16_cut_hops(&self, width: usize, scratch: &mut SwarmScratch, out: &mut [u64]) {
+        const MASK_WORDS: usize = MASK16_WORDS_MAX;
+        let g = self.problem.graph();
+        let n = g.num_neurons() as usize;
+        let hops = self.problem.hops().expect("checked in SwarmEval::new");
+        let c = self.problem.num_crossbars();
+        let tile = &scratch.tile16;
+        let masks: &mut [u64] = &mut scratch.masks[..LANES * MASK_WORDS];
+        out.fill(0);
+        for i in 0..n {
+            let ci = g.count(i as u32) as u64;
+            if ci == 0 {
+                continue;
+            }
+            let targets = g.targets(i as u32);
+            if targets.is_empty() {
+                continue;
+            }
+            masks.fill(0);
+            let home = &tile[i * LANES..i * LANES + LANES];
+            for &j in targets {
+                let tgt: &[u16; LANES] = tile[j as usize * LANES..j as usize * LANES + LANES]
+                    .try_into()
+                    .expect("tile row is LANES wide");
+                for lane in 0..LANES {
+                    let k = tgt[lane] as usize;
+                    masks[lane * MASK_WORDS + ((k >> 6) & (MASK_WORDS - 1))] |= 1u64 << (k & 63);
+                }
+            }
+            for lane in 0..width {
+                let h = u32::from(home[lane]);
+                let words = &masks[lane * MASK_WORDS..lane * MASK_WORDS + MASK_WORDS];
+                let mut weighted = 0u64;
+                let row = self.hops16_row(h, c);
+                for (w, &word) in words.iter().enumerate() {
+                    let base = w << 6;
+                    let mut m = word;
+                    if let Some(row) = row {
+                        while m != 0 {
+                            let k = base + m.trailing_zeros() as usize;
+                            weighted += u64::from(row[k]);
+                            m &= m - 1;
+                        }
+                    } else {
+                        while m != 0 {
+                            let k = (base + m.trailing_zeros() as usize) as u32;
+                            weighted += u64::from(hops.hops(h, k));
+                            m &= m - 1;
+                        }
+                    }
+                }
+                out[lane] += ci * weighted;
+            }
+        }
+    }
+
+    /// The `h`-th row of the narrow hop shadow, when it exists — the
+    /// tiled `CutHops` reductions gather from this 2-byte row instead of
+    /// the 4-byte `DistanceLut` whenever every distance fits u16.
+    #[inline]
+    fn hops16_row(&self, h: u32, c: usize) -> Option<&[u16]> {
+        if self.hops16.is_empty() {
+            None
+        } else {
+            Some(&self.hops16[h as usize * c..(h as usize + 1) * c])
         }
     }
 }
@@ -1171,21 +1522,52 @@ mod tests {
     }
 
     #[test]
-    fn swarm_eval_hops_falls_back_beyond_tile_envelope() {
+    fn swarm_eval_hops_falls_back_beyond_word_tile_envelope() {
         let g = random_graph(40, 100, 4);
-        let lut = mesh_lut(300);
-        let p = PartitionProblem::new(&g, 300, 4)
+        let lut = mesh_lut(1100);
+        let p = PartitionProblem::new(&g, 1100, 4)
             .unwrap()
             .with_hops(&lut)
             .unwrap();
         let evaluator = SwarmEval::new(p, FitnessKind::CutHops);
         assert!(!evaluator.batched());
+        assert_eq!(evaluator.kernel(), SwarmKernel::Scalar);
         let mut rng = StdRng::seed_from_u64(6);
-        let positions: Vec<u32> = (0..2 * 40).map(|_| rng.gen_range(0..300u32)).collect();
+        let positions: Vec<u32> = (0..2 * 40).map(|_| rng.gen_range(0..1100u32)).collect();
         let mut out = vec![0u64; 2];
         evaluator.eval_swarm(&positions, 2, &mut SwarmScratch::default(), &mut out);
         assert_eq!(out[0], p.cut_hops(&positions[0..40]));
         assert_eq!(out[1], p.cut_hops(&positions[40..80]));
+    }
+
+    #[test]
+    fn swarm_eval_word_tile_hops_matches_scalar() {
+        // the u16 kernels own 256 < c ≤ 1024 — both sides of the byte
+        // ceiling's first word boundary and the word-tile ceiling itself
+        let g = random_graph(60, 350, 23);
+        let mut rng = StdRng::seed_from_u64(19);
+        for c in [257usize, 320, 512, 1024] {
+            let lut = mesh_lut(c);
+            let p = PartitionProblem::new(&g, c, 60)
+                .unwrap()
+                .with_hops(&lut)
+                .unwrap();
+            let evaluator = SwarmEval::new(p, FitnessKind::CutHops);
+            assert_eq!(evaluator.kernel(), SwarmKernel::WordTile, "c={c}");
+            let lanes = 70; // full tile + remainder
+            let positions: Vec<u32> = (0..lanes * 60)
+                .map(|_| rng.gen_range(0..c as u32))
+                .collect();
+            let mut out = vec![0u64; lanes];
+            evaluator.eval_swarm(&positions, lanes, &mut SwarmScratch::default(), &mut out);
+            for lane in 0..lanes {
+                assert_eq!(
+                    out[lane],
+                    p.cut_hops(&positions[lane * 60..(lane + 1) * 60]),
+                    "c={c} lane={lane}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1271,21 +1653,68 @@ mod tests {
     }
 
     #[test]
-    fn swarm_eval_falls_back_beyond_tile_envelope() {
-        // 300 crossbars: ids no longer fit the byte tile; results must
+    fn swarm_eval_word_tile_matches_scalar() {
+        // 256 < c ≤ 1024 rides the u16 word tile; results must match the
+        // scalar reference exactly across lanes and word boundaries
+        let g = random_graph(90, 400, 8);
+        let mut rng = StdRng::seed_from_u64(14);
+        for c in [257usize, 300, 512, 1023, 1024] {
+            let p = PartitionProblem::new(&g, c, 4).unwrap();
+            for kind in kinds() {
+                let evaluator = SwarmEval::new(p, kind);
+                assert!(evaluator.batched(), "{c} crossbars must stay tiled");
+                assert_eq!(evaluator.kernel(), SwarmKernel::WordTile, "c={c}");
+                let lanes = 67; // full tile + remainder
+                let positions: Vec<u32> = (0..lanes * 90)
+                    .map(|_| rng.gen_range(0..c as u32))
+                    .collect();
+                let mut out = vec![0u64; lanes];
+                evaluator.eval_swarm(&positions, lanes, &mut SwarmScratch::default(), &mut out);
+                for lane in 0..lanes {
+                    assert_eq!(
+                        out[lane],
+                        p.cost(kind, &positions[lane * 90..(lane + 1) * 90]),
+                        "{kind:?} c={c} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swarm_eval_falls_back_beyond_word_tile_envelope() {
+        // 1100 crossbars: past even the u16 word tile; results must
         // still be exact through the per-candidate fallback
         let g = random_graph(80, 200, 8);
-        let p = PartitionProblem::new(&g, 300, 4).unwrap();
+        let p = PartitionProblem::new(&g, 1100, 4).unwrap();
         for kind in kinds() {
             let evaluator = SwarmEval::new(p, kind);
             assert!(!evaluator.batched());
+            assert_eq!(evaluator.kernel(), SwarmKernel::Scalar);
             let mut rng = StdRng::seed_from_u64(6);
-            let positions: Vec<u32> = (0..2 * 80).map(|_| rng.gen_range(0..300u32)).collect();
+            let positions: Vec<u32> = (0..2 * 80).map(|_| rng.gen_range(0..1100u32)).collect();
             let mut out = vec![0u64; 2];
             evaluator.eval_swarm(&positions, 2, &mut SwarmScratch::default(), &mut out);
             assert_eq!(out[0], p.cost(kind, &positions[0..80]), "{kind:?}");
             assert_eq!(out[1], p.cost(kind, &positions[80..160]), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn swarm_kernel_selection_is_total() {
+        for (c, expected) in [
+            (1usize, SwarmKernel::ByteTile),
+            (256, SwarmKernel::ByteTile),
+            (257, SwarmKernel::WordTile),
+            (1024, SwarmKernel::WordTile),
+            (1025, SwarmKernel::Scalar),
+            (1 << 20, SwarmKernel::Scalar),
+        ] {
+            assert_eq!(SwarmKernel::for_crossbars(c), expected, "c={c}");
+        }
+        assert_eq!(SwarmKernel::ByteTile.name(), "byte-tile");
+        assert_eq!(SwarmKernel::WordTile.to_string(), "word-tile");
+        assert_eq!(SwarmKernel::Scalar.name(), "scalar");
     }
 
     #[test]

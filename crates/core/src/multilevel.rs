@@ -87,6 +87,23 @@ pub struct MultilevelConfig {
     /// Worker threads for the refinement propose phase. Purely an
     /// execution knob: results are byte-identical for every value.
     pub threads: usize,
+    /// Chips in the target fabric (1 = single chip, the classic
+    /// V-cycle). With more than one chip the coarsest level runs PSO
+    /// over *chips* instead of crossbars — assigning clusters to chips
+    /// so inter-chip traffic is minimized first — then expands each
+    /// chip's nodes deterministically into that chip's crossbar range
+    /// before the usual boundary refinement and projection descent.
+    /// Must divide the problem's crossbar count; crossbars `q·(C/chips)
+    /// .. (q+1)·(C/chips)` belong to chip `q`, matching
+    /// `noc::topology::HierTopology`'s chip-major crossbar layout.
+    #[serde(default = "default_chips")]
+    pub chips: usize,
+}
+
+/// Serde default for [`MultilevelConfig::chips`]: configs recorded
+/// before the multi-chip outer level existed mean a single chip.
+fn default_chips() -> usize {
+    1
 }
 
 impl Default for MultilevelConfig {
@@ -98,6 +115,7 @@ impl Default for MultilevelConfig {
             min_shrink: 0.95,
             refine_rounds: 8,
             threads: pso::default_threads(),
+            chips: 1,
         }
     }
 }
@@ -126,6 +144,12 @@ impl MultilevelConfig {
             return Err(CoreError::InvalidParameter {
                 name: "threads",
                 value: self.threads.to_string(),
+            });
+        }
+        if self.chips == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "chips",
+                value: self.chips.to_string(),
             });
         }
         Ok(())
@@ -563,10 +587,10 @@ pub struct MultilevelOutcome {
 ///
 /// # Errors
 ///
-/// [`CoreError::InvalidParameter`] when `cfg` is out of domain or
+/// [`CoreError::InvalidParameter`] when `cfg` is out of domain,
 /// `cfg.pso.fitness` is [`FitnessKind::CutHops`] and `problem` carries no
-/// hop table; [`CoreError::Infeasible`] propagated from mapping
-/// construction.
+/// hop table, or `cfg.chips` does not evenly divide the crossbar count;
+/// [`CoreError::Infeasible`] propagated from mapping construction.
 pub fn vcycle(
     problem: &PartitionProblem<'_>,
     cfg: &MultilevelConfig,
@@ -607,7 +631,9 @@ pub fn vcycle(
     }
 
     // PSO at the coarsest level (the original problem when no coarse
-    // level exists), polished by boundary refinement.
+    // level exists), polished by boundary refinement. With a multi-chip
+    // fabric the coarsest swarm assigns clusters to *chips* first, then
+    // expands deterministically into each chip's crossbar range.
     let coarse_problem = if num_coarse_levels == 0 {
         *problem
     } else {
@@ -615,16 +641,20 @@ pub fn vcycle(
     };
     let t = Instant::now();
     let mut coarse_trace: Vec<u64> = Vec::new();
-    let mut state = SwarmState::new(&coarse_problem, &cfg.pso);
-    pso::run_rounds(
-        &coarse_problem,
-        &cfg.pso,
-        &mut state,
-        cfg.pso.iterations,
-        true,
-        &mut coarse_trace,
-    );
-    let mut current = state.gbest_position;
+    let mut current = if cfg.chips > 1 {
+        chip_level_assign(problem, &coarse_problem, cfg, &mut coarse_trace)?
+    } else {
+        let mut state = SwarmState::new(&coarse_problem, &cfg.pso);
+        pso::run_rounds(
+            &coarse_problem,
+            &cfg.pso,
+            &mut state,
+            cfg.pso.iterations,
+            true,
+            &mut coarse_trace,
+        );
+        state.gbest_position
+    };
     let (_, p, a) = refine_boundary(
         &coarse_problem,
         kind,
@@ -682,6 +712,83 @@ pub fn vcycle(
         levels: stats,
         coarse_trace,
     })
+}
+
+/// The cluster → chip outer level: PSO over a chip-level problem (same
+/// coarse graph, one "crossbar" per chip with the pooled capacity of the
+/// chip's crossbar range), then a deterministic expansion packing each
+/// chip's nodes — ascending id — into that chip's crossbar range at the
+/// coarse per-crossbar capacity.
+///
+/// The chip objective is the configured fitness, except [`CutHops`]
+/// drops to [`CutPackets`]: there is no chip-level hop table, and the
+/// chip decision is exactly "minimize inter-chip traffic", which packets
+/// price directly. The hop-aware pricing still governs every later
+/// stage (boundary refinement and the fine-level never-worse guard run
+/// on the true problem).
+///
+/// Feasibility: a chip holds at most `per_chip · cap` nodes, so packing
+/// to `cap` per crossbar never leaves a chip's range — projecting the
+/// result stays feasible by the stack's capacity-halving invariant.
+///
+/// [`CutHops`]: FitnessKind::CutHops
+/// [`CutPackets`]: FitnessKind::CutPackets
+fn chip_level_assign(
+    problem: &PartitionProblem<'_>,
+    coarse_problem: &PartitionProblem<'_>,
+    cfg: &MultilevelConfig,
+    trace: &mut Vec<u64>,
+) -> Result<Vec<u32>, CoreError> {
+    let c = problem.num_crossbars();
+    let chips = cfg.chips;
+    if !c.is_multiple_of(chips) {
+        return Err(CoreError::InvalidParameter {
+            name: "chips",
+            value: format!("{chips} chips do not evenly divide {c} crossbars"),
+        });
+    }
+    let per_chip = c / chips;
+    let cap = coarse_problem.capacity();
+    let chip_cap = u64::from(cap)
+        .checked_mul(per_chip as u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or(CoreError::InvalidParameter {
+            name: "chips",
+            value: format!("chip capacity {per_chip} x {cap} overflows u32"),
+        })?;
+    let mut chip_pso = cfg.pso;
+    if chip_pso.fitness == FitnessKind::CutHops {
+        chip_pso.fitness = FitnessKind::CutPackets;
+    }
+    let chip_problem = PartitionProblem::new(coarse_problem.graph(), chips, chip_cap)?;
+    let mut state = SwarmState::new(&chip_problem, &chip_pso);
+    pso::run_rounds(
+        &chip_problem,
+        &chip_pso,
+        &mut state,
+        chip_pso.iterations,
+        true,
+        trace,
+    );
+    let chip_of: Vec<u32> = state.gbest_position;
+
+    // Deterministic expansion: per chip, nodes in ascending id fill the
+    // chip's crossbars in order, `cap` nodes per crossbar.
+    let mut fill = vec![0u32; c];
+    let mut cursor: Vec<usize> = (0..chips).map(|q| q * per_chip).collect();
+    let mut assignment = vec![0u32; chip_of.len()];
+    for (i, &q) in chip_of.iter().enumerate() {
+        let q = q as usize;
+        let mut k = cursor[q];
+        while fill[k] >= cap {
+            k += 1;
+        }
+        debug_assert!(k < (q + 1) * per_chip, "chip {q} overflows its range");
+        fill[k] += 1;
+        cursor[q] = k;
+        assignment[i] = k as u32;
+    }
+    Ok(assignment)
 }
 
 /// [`Partitioner`] adapter over [`vcycle`].
@@ -876,6 +983,83 @@ mod tests {
             "multilevel {} vs flat {flat_cost}",
             ml.cost
         );
+    }
+
+    #[test]
+    fn chip_outer_level_yields_feasible_mappings() {
+        let g = clustered_graph(8, 8);
+        let problem = PartitionProblem::new(&g, 8, 16).unwrap();
+        for chips in [2usize, 4, 8] {
+            let mut cfg = small_cfg();
+            cfg.chips = chips;
+            let out = vcycle(&problem, &cfg).unwrap();
+            assert!(
+                problem.is_feasible(out.mapping.assignment()),
+                "{chips} chips"
+            );
+            assert!(out.cost <= out.projected_cost, "{chips} chips");
+            assert_eq!(
+                out.cost,
+                problem.cost(FitnessKind::CutSpikes, out.mapping.assignment()),
+                "{chips} chips"
+            );
+        }
+    }
+
+    #[test]
+    fn chip_outer_level_is_deterministic_across_thread_counts() {
+        let g = clustered_graph(8, 8);
+        let problem = PartitionProblem::new(&g, 8, 16).unwrap();
+        let mut base: Option<(Vec<u32>, u64)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut cfg = small_cfg();
+            cfg.chips = 4;
+            cfg.threads = threads;
+            cfg.pso.threads = threads;
+            let out = vcycle(&problem, &cfg).unwrap();
+            let key = (out.mapping.assignment().to_vec(), out.cost);
+            match &base {
+                None => base = Some(key),
+                Some(b) => assert_eq!(*b, key, "threads={threads} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn chip_outer_level_works_under_cut_hops() {
+        // CutHops at the chip level silently prices as CutPackets (no
+        // chip hop table), but refinement and the guard stay hop-aware
+        let g = clustered_graph(8, 8);
+        let lut = neuromap_noc::topology::DistanceLut::new(
+            &neuromap_noc::topology::Mesh2D::for_crossbars(8),
+        );
+        let problem = PartitionProblem::new(&g, 8, 16)
+            .unwrap()
+            .with_hops(&lut)
+            .unwrap();
+        let mut cfg = small_cfg();
+        cfg.chips = 2;
+        cfg.pso.fitness = FitnessKind::CutHops;
+        let out = vcycle(&problem, &cfg).unwrap();
+        assert!(problem.is_feasible(out.mapping.assignment()));
+        assert_eq!(
+            out.cost,
+            problem.cost(FitnessKind::CutHops, out.mapping.assignment())
+        );
+    }
+
+    #[test]
+    fn chips_must_evenly_divide_crossbars() {
+        let g = clustered_graph(8, 8);
+        let problem = PartitionProblem::new(&g, 8, 16).unwrap();
+        let mut cfg = small_cfg();
+        cfg.chips = 3; // does not divide 8
+        match vcycle(&problem, &cfg) {
+            Err(CoreError::InvalidParameter { name, .. }) => assert_eq!(name, "chips"),
+            other => panic!("expected chips rejection, got {other:?}"),
+        }
+        cfg.chips = 0;
+        assert!(vcycle(&problem, &cfg).is_err());
     }
 
     #[test]

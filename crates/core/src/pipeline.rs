@@ -42,7 +42,7 @@ use neuromap_hw::mapping::{Mapping, Placement};
 use neuromap_noc::config::NocConfig;
 use neuromap_noc::sim::{oracle::CycleSim, EngineKind, NocSim};
 use neuromap_noc::stats::{Delivery, NocStats};
-use neuromap_noc::topology::{DistanceLut, Mesh2D, NocTree, Star, Topology, Torus};
+use neuromap_noc::topology::{DistanceLut, HierTopology, Mesh2D, NocTree, Star, Topology, Torus};
 use neuromap_noc::trace::TraceBuf;
 use neuromap_noc::traffic::SpikeFlow;
 use serde::{Deserialize, Serialize};
@@ -194,6 +194,13 @@ pub struct Report {
     /// Which placement stage produced the evaluated mapping
     /// (`"identity"` or `"hop-optimized"`).
     pub placement: String,
+    /// Which swarm-evaluator kernel batch-scores candidate partitions at
+    /// this crossbar count ([`crate::eval::SwarmKernel::name`]:
+    /// `"byte-tile"`, `"word-tile"`, or `"scalar"`) — surfaces the
+    /// scalar fallback past the batched envelopes, which used to be a
+    /// silent perf cliff. Empty when deserialized from an older report.
+    #[serde(default)]
+    pub eval_kernel: String,
     /// Full interconnect statistics (latency, throughput, disorder, ISI).
     pub noc: NocStats,
     /// The neuron → (physical) crossbar mapping that produced these
@@ -210,10 +217,34 @@ pub fn build_topology(arch: &Architecture) -> Box<dyn Topology> {
         InterconnectKind::Tree { arity } => Box::new(NocTree::new(c, arity)),
         InterconnectKind::Torus => Box::new(Torus::for_crossbars(c)),
         InterconnectKind::Star => Box::new(Star::new(c)),
+        InterconnectKind::Hier { .. } => Box::new(build_hier(arch)),
         // `InterconnectKind` is non-exhaustive; route future variants to the
         // most common neuromorphic fabric
         _ => Box::new(Mesh2D::for_crossbars(c)),
     }
+}
+
+/// The concrete multi-chip fabric for a [`InterconnectKind::Hier`]
+/// descriptor. [`Architecture::custom`] mirror-validates the descriptor,
+/// so construction cannot fail for architectures built through it.
+fn build_hier(arch: &Architecture) -> HierTopology {
+    let InterconnectKind::Hier {
+        chip_cols,
+        chip_rows,
+        link_latency,
+        link_width,
+    } = arch.interconnect()
+    else {
+        unreachable!("build_hier called on a non-Hier interconnect");
+    };
+    HierTopology::for_crossbars(
+        arch.num_crossbars(),
+        chip_cols as usize,
+        chip_rows as usize,
+        link_latency,
+        link_width,
+    )
+    .expect("interconnect descriptor validated at Architecture construction")
 }
 
 /// Expands a partitioned spike graph into the interconnect's injection
@@ -345,9 +376,26 @@ impl MappingPipeline {
     /// Builds the pipeline for a configuration: derives the router graph
     /// from the architecture's interconnect descriptor and precomputes
     /// its [`DistanceLut`], both shared by every subsequent stage call.
+    ///
+    /// For [`InterconnectKind::Hier`] the table is the fabric's
+    /// **weighted** one ([`HierTopology::distance_lut`]): chip-boundary
+    /// hops are priced `link_latency × link_width` so `CutHops`
+    /// partitioning, placement, and co-optimization all prefer keeping
+    /// chatty clusters on one chip — no API change upstream.
     pub fn new(config: PipelineConfig) -> Self {
-        let topo: Arc<dyn Topology> = Arc::from(build_topology(&config.arch));
-        let dist = Arc::new(DistanceLut::new(topo.as_ref()));
+        let (topo, dist): (Arc<dyn Topology>, DistanceLut) = match config.arch.interconnect() {
+            InterconnectKind::Hier { .. } => {
+                let hier = build_hier(&config.arch);
+                let dist = hier.distance_lut();
+                (Arc::new(hier), dist)
+            }
+            _ => {
+                let topo: Arc<dyn Topology> = Arc::from(build_topology(&config.arch));
+                let dist = DistanceLut::new(topo.as_ref());
+                (topo, dist)
+            }
+        };
+        let dist = Arc::new(dist);
         Self { config, topo, dist }
     }
 
@@ -758,6 +806,11 @@ impl MappingPipeline {
                 },
                 hop_weighted_packets,
                 placement: placement_id.to_owned(),
+                eval_kernel: crate::eval::SwarmKernel::for_crossbars(
+                    self.config.arch.num_crossbars(),
+                )
+                .name()
+                .to_owned(),
                 noc: noc_stats,
                 mapping,
             },
@@ -938,6 +991,15 @@ mod tests {
             (InterconnectKind::Tree { arity: 4 }, "tree"),
             (InterconnectKind::Torus, "torus"),
             (InterconnectKind::Star, "star"),
+            (
+                InterconnectKind::Hier {
+                    chip_cols: 2,
+                    chip_rows: 1,
+                    link_latency: 4,
+                    link_width: 2,
+                },
+                "hier",
+            ),
         ] {
             let arch = Architecture::custom(4, 8, kind).unwrap();
             let topo = build_topology(&arch);
@@ -948,6 +1010,39 @@ mod tests {
             );
             assert_eq!(topo.num_crossbars(), 4);
         }
+    }
+
+    #[test]
+    fn hier_pipeline_prices_chip_boundaries() {
+        let g = layered_graph();
+        let arch = Architecture::custom(
+            8,
+            8,
+            InterconnectKind::Hier {
+                chip_cols: 2,
+                chip_rows: 1,
+                link_latency: 4,
+                link_width: 2,
+            },
+        )
+        .unwrap();
+        let pipeline = MappingPipeline::new(PipelineConfig::for_arch(arch));
+        assert!(
+            pipeline.topology().name().starts_with("hier 2x1"),
+            "{}",
+            pipeline.topology().name()
+        );
+        // chip-major layout: crossbars 0..4 on chip 0 (a 2x2 mesh),
+        // 4..8 on chip 1; the distance table is the fabric's weighted one
+        assert_eq!(pipeline.distances().hops(0, 3), 2); // on-chip diagonal
+        assert_eq!(pipeline.distances().hops(0, 4), 2 - 1 + 4 * 2); // seam priced 4×2
+        let assign: Vec<u32> = (0..16).map(|i| if i < 8 { 0 } else { 4 }).collect();
+        let m = Mapping::from_assignment(assign, 8).unwrap();
+        let r = pipeline.evaluate(&g, m, "manual").unwrap();
+        assert_eq!(r.hop_weighted_packets, 9 * r.cut_spikes);
+        assert!((r.avg_hops - 9.0).abs() < 1e-12);
+        // the report names the swarm-eval kernel for this crossbar count
+        assert_eq!(r.eval_kernel, "byte-tile");
     }
 
     #[test]

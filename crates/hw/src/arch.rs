@@ -33,6 +33,22 @@ pub enum InterconnectKind {
     Torus,
     /// All crossbars share one central switch (single-hop star).
     Star,
+    /// Multi-chip hierarchy (SpiNeMap-class scale-out): crossbars are
+    /// spread chip-major over a `chip_cols × chip_rows` grid of chips,
+    /// each chip internally a near-square 2-D mesh, with chips joined by
+    /// slower, narrower boundary links. Built as
+    /// `neuromap_noc::topology::HierTopology` by the mapping pipeline.
+    Hier {
+        /// Chip-grid columns (≥ 1).
+        chip_cols: u32,
+        /// Chip-grid rows (≥ 1).
+        chip_rows: u32,
+        /// Cycles per chip-boundary link hop (≥ 1).
+        link_latency: u32,
+        /// On-chip over boundary link-width ratio (≥ 1) — multiplies the
+        /// serialization cost of every boundary hop.
+        link_width: u32,
+    },
 }
 
 impl InterconnectKind {
@@ -40,6 +56,64 @@ impl InterconnectKind {
     pub fn cxquad_tree() -> Self {
         InterconnectKind::Tree { arity: 4 }
     }
+}
+
+/// Domain checks for [`InterconnectKind::Hier`], mirroring the
+/// construction-time validation of `neuromap_noc::topology::HierTopology`
+/// (same derived near-square per-chip mesh, same weighted-diameter bound)
+/// so the pipeline's topology builder is infallible for a validated
+/// [`Architecture`].
+fn validate_hier(
+    num_crossbars: usize,
+    chip_cols: u32,
+    chip_rows: u32,
+    link_latency: u32,
+    link_width: u32,
+) -> Result<(), HwError> {
+    if chip_cols == 0 || chip_rows == 0 {
+        return Err(HwError::InvalidParameter {
+            name: "chip_grid",
+            value: format!("{chip_cols}x{chip_rows}"),
+        });
+    }
+    if link_latency == 0 {
+        return Err(HwError::InvalidParameter {
+            name: "link_latency",
+            value: "0".into(),
+        });
+    }
+    if link_width == 0 {
+        return Err(HwError::InvalidParameter {
+            name: "link_width",
+            value: "0".into(),
+        });
+    }
+    // the same per-chip mesh shape `HierTopology::for_crossbars` derives
+    let chips = chip_cols as u128 * chip_rows as u128;
+    let per_chip = (num_crossbars as u128).div_ceil(chips).max(1);
+    let intra_cols = (per_chip as f64).sqrt().ceil() as u128;
+    let intra_rows = per_chip.div_ceil(intra_cols);
+    if chips * intra_cols * intra_rows > usize::MAX as u128 {
+        return Err(HwError::InvalidParameter {
+            name: "chip_grid",
+            value: format!("{chip_cols}x{chip_rows} chips of {intra_cols}x{intra_rows}"),
+        });
+    }
+    // weighted diameter must fit the u32 distance table (hop-latency
+    // overflow on deep hierarchies)
+    let seam = u128::from(link_latency) * u128::from(link_width);
+    let seams = chip_cols as u128 - 1 + chip_rows as u128 - 1;
+    let intra_span = (intra_cols - 1) * chip_cols as u128 + (intra_rows - 1) * chip_rows as u128;
+    if intra_span + seams * seam > u128::from(u32::MAX) {
+        return Err(HwError::InvalidParameter {
+            name: "link_latency",
+            value: format!(
+                "weighted diameter {} overflows u32",
+                intra_span + seams * seam
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// A complete neuromorphic chip description.
@@ -100,7 +174,10 @@ impl Architecture {
     /// # Errors
     ///
     /// [`HwError::InvalidParameter`] if `num_crossbars` or
-    /// `neurons_per_crossbar` is zero, or a tree arity is < 2.
+    /// `neurons_per_crossbar` is zero, a tree arity is < 2, or a
+    /// hierarchical interconnect has a degenerate chip grid /
+    /// zero-latency / zero-width boundary link or a weighted diameter
+    /// overflowing the `u32` distance table.
     pub fn custom(
         num_crossbars: usize,
         neurons_per_crossbar: u32,
@@ -119,6 +196,21 @@ impl Architecture {
                     value: arity.to_string(),
                 });
             }
+        }
+        if let InterconnectKind::Hier {
+            chip_cols,
+            chip_rows,
+            link_latency,
+            link_width,
+        } = interconnect
+        {
+            validate_hier(
+                num_crossbars,
+                chip_cols,
+                chip_rows,
+                link_latency,
+                link_width,
+            )?;
         }
         Ok(Self {
             num_crossbars,
@@ -162,7 +254,10 @@ impl Architecture {
         self
     }
 
-    /// Replaces the interconnect (builder style).
+    /// Replaces the interconnect (builder style). Unlike
+    /// [`Architecture::custom`] this performs no domain validation —
+    /// prefer `custom` for [`InterconnectKind::Hier`] descriptors so the
+    /// boundary-link parameters are checked up front.
     pub fn with_interconnect(mut self, interconnect: InterconnectKind) -> Self {
         self.interconnect = interconnect;
         self
@@ -233,6 +328,35 @@ mod tests {
     }
 
     #[test]
+    fn hier_validation_mirrors_topology_construction() {
+        let hier = |chip_cols, chip_rows, link_latency, link_width| {
+            Architecture::custom(
+                1024,
+                64,
+                InterconnectKind::Hier {
+                    chip_cols,
+                    chip_rows,
+                    link_latency,
+                    link_width,
+                },
+            )
+        };
+        let blamed = |r: Result<Architecture, HwError>, field: &str| match r {
+            Err(HwError::InvalidParameter { name, .. }) => {
+                assert_eq!(name, field, "wrong field blamed")
+            }
+            other => panic!("expected InvalidParameter for {field}, got {other:?}"),
+        };
+        assert!(hier(2, 2, 4, 2).is_ok());
+        blamed(hier(0, 2, 4, 2), "chip_grid");
+        blamed(hier(2, 0, 4, 2), "chip_grid");
+        blamed(hier(2, 2, 0, 2), "link_latency");
+        blamed(hier(2, 2, 4, 0), "link_width");
+        // deep hierarchy whose weighted diameter cannot fit u32
+        blamed(hier(1000, 1000, u32::MAX, 2), "link_latency");
+    }
+
+    #[test]
     fn crossbar_size_sweep_preserves_capacity() {
         let base = Architecture::cxquad();
         for npc in [90u32, 180, 360, 720, 1440] {
@@ -262,6 +386,24 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let a = Architecture::cxquad();
+        let j = serde_json::to_string(&a).unwrap();
+        let b: Architecture = serde_json::from_str(&j).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip_hier() {
+        let a = Architecture::custom(
+            1024,
+            64,
+            InterconnectKind::Hier {
+                chip_cols: 2,
+                chip_rows: 2,
+                link_latency: 4,
+                link_width: 2,
+            },
+        )
+        .unwrap();
         let j = serde_json::to_string(&a).unwrap();
         let b: Architecture = serde_json::from_str(&j).unwrap();
         assert_eq!(a, b);

@@ -10,11 +10,14 @@
 //! | [`Torus`] | research meshes with wraparound | shortest-direction dimension-order |
 //! | [`Star`] | small shared-bus chips | via the hub |
 //! | [`PointToPoint`] | idealized upper bound | direct |
+//! | [`HierTopology`] | multi-chip fabrics (SpiNeMap-style scale-out) | intra-chip delegation / global XY across chips |
 
+mod hier;
 mod mesh;
 mod star;
 mod tree;
 
+pub use hier::HierTopology;
 pub use mesh::{Mesh2D, Torus};
 pub use star::{PointToPoint, Star};
 pub use tree::NocTree;

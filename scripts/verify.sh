@@ -36,7 +36,11 @@ for key in \
   "pso_step/synth_16x16grid/swarm40_iters4/CutPackets" \
   "pso_step/synth_16x16grid/swarm40_iters4/CutSpikes" \
   "multilevel/synth_32x32grid/flat/CutSpikes" \
-  "multilevel/synth_32x32grid/vcycle/CutSpikes"; do
+  "multilevel/synth_32x32grid/vcycle/CutSpikes" \
+  "hier/synth_4chip16x16/scalar/CutSpikes" \
+  "hier/synth_4chip16x16/batched/CutSpikes" \
+  "hier/synth_4chip16x16/batched/CutPackets" \
+  "hier/synth_4chip16x16/batched/CutHops"; do
   grep -qF "\"id\": \"$key\"" BENCH_eval.json \
     || { echo "BENCH_eval.json lost key: $key"; exit 1; }
 done
@@ -49,7 +53,9 @@ for ratio in \
   "swarm_eval/synth_16x16grid/CutHops" \
   "move/synth_2x400/CutSpikes" \
   "coopt/synth_8x8grid/CutHops" \
-  "multilevel/synth_32x32grid/CutSpikes"; do
+  "multilevel/synth_32x32grid/CutSpikes" \
+  "hier/synth_4chip16x16/CutSpikes" \
+  "hier/synth_4chip16x16/CutHops"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_eval.json \
     || { echo "BENCH_eval.json lost paired ratio: $ratio"; exit 1; }
 done
@@ -61,7 +67,8 @@ for ratio in \
   "engine/torus64_vc2_shallow" \
   "engine/torus64_vc4_depth4" \
   "trace/dense_burst16" \
-  "trees/mesh64_multicast"; do
+  "trees/mesh64_multicast" \
+  "hier_engine/multichip64"; do
   grep -qF "\"id\": \"$ratio\", \"baseline\"" BENCH_noc.json \
     || { echo "BENCH_noc.json lost paired ratio: $ratio"; exit 1; }
 done
@@ -82,6 +89,14 @@ echo "==> multilevel speedup floor (V-cycle vs flat PSO at 1024 crossbars)"
 ml=$(sed -n 's/.*"id": "multilevel\/synth_32x32grid\/CutSpikes".*"speedup": \([0-9.]*\).*/\1/p' BENCH_eval.json | head -1)
 awk -v m="$ml" 'BEGIN { exit !(m >= 3.0) }' \
   || { echo "multilevel speedup regressed below 3.0x (got ${ml:-missing})"; exit 1; }
+
+echo "==> hier word-tile speedup floor (1024-crossbar batched vs scalar)"
+# past the 256-crossbar byte-tile envelope, the u16 word-tile kernel must
+# keep a real batched edge over the scalar fallback on the 4-chip
+# scenario; the bench asserts bit-identity with scalar before timing
+hr=$(sed -n 's/.*"id": "hier\/synth_4chip16x16\/CutSpikes".*"speedup": \([0-9.]*\).*/\1/p' BENCH_eval.json | head -1)
+awk -v h="$hr" 'BEGIN { exit !(h >= 2.0) }' \
+  || { echo "hier word-tile speedup regressed below 2.0x (got ${hr:-missing})"; exit 1; }
 
 echo "==> ratio-direction gate (every paired ratio carries higher_is_better)"
 # a bare "speedup" number is ambiguous: the coopt, trace and trees
@@ -119,6 +134,9 @@ echo "==> NoC differential proptests incl. VC corpus (high case count)"
 # pre-VC digests, and the deterministic torus deadlock regression
 NEUROMAP_PROPTEST_CASES=256 cargo test --release --test noc_properties -q
 
+echo "==> hierarchical-fabric proptests (1-chip byte identity + multi-chip VC safety)"
+NEUROMAP_PROPTEST_CASES=256 cargo test --release --test hier_properties -q
+
 echo "==> eval/decode equivalence + determinism proptests (high case count)"
 NEUROMAP_PROPTEST_CASES=256 cargo test --release \
   --test eval_properties --test determinism --test partition_properties -q
@@ -134,9 +152,9 @@ NEUROMAP_PROPTEST_CASES=256 cargo test --release \
 
 echo "==> repro_placement smoke (staged vs joint vs joint+trees rows present)"
 # quick scale; the joint+trees rows exercise Steiner multicast routing
-# through the full pipeline on both fabrics
+# through the full pipeline on all three fabrics (mesh, torus, hier)
 repro=$(cargo run --release -q -p neuromap-bench --bin repro_placement)
-for label in "| identity " "| staged " "| joint " "| joint+trees "; do
+for label in "| identity " "| staged " "| joint " "| joint+trees " "| hier "; do
   grep -qF "$label" <<<"$repro" \
     || { echo "repro_placement lost row: $label"; exit 1; }
 done

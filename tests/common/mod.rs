@@ -5,9 +5,18 @@
 /// tests. `scripts/verify.sh` and the workflow run 256-case passes over
 /// the differential suites; a plain `cargo test` uses each suite's
 /// (cheaper) default.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a `u32` — a typo'd CI value
+/// must fail the run loudly, not silently fall back to the small default
+/// case count.
 pub fn cases(default: u32) -> u32 {
-    std::env::var("NEUROMAP_PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var("NEUROMAP_PROPTEST_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("NEUROMAP_PROPTEST_CASES must be a u32, got {v:?}: {e}")),
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("NEUROMAP_PROPTEST_CASES is not valid unicode: {e}"),
+    }
 }

@@ -106,8 +106,8 @@ proptest! {
 
     // ---- large_arch: the lifted multi-word envelope -------------------
     //
-    // 65–300 crossbars straddles every mask stride (2–4 words) plus the
-    // per-candidate fallback beyond the 256-crossbar byte-tile ceiling;
+    // 65–300 crossbars straddles every byte-tile mask stride (2–4 words)
+    // plus the word-tile kernel past the 256-crossbar byte-tile ceiling;
     // the batched evaluator must equal the scalar `full_cost` everywhere,
     // for both objectives, including lane counts that leave a partial
     // final tile.
@@ -131,9 +131,13 @@ proptest! {
             let evaluator = SwarmEval::new(problem, kind);
             let engine = EvalEngine::new(problem, kind);
             prop_assert_eq!(
-                evaluator.batched(),
-                crossbars <= 256,
-                "envelope must cover the whole byte tile ({:?}, {} crossbars)",
+                evaluator.kernel(),
+                if crossbars <= 256 {
+                    neuromap::core::eval::SwarmKernel::ByteTile
+                } else {
+                    neuromap::core::eval::SwarmKernel::WordTile
+                },
+                "kernel map regressed ({:?}, {} crossbars)",
                 kind, crossbars
             );
             let mut out = vec![0u64; lanes];

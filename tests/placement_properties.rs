@@ -191,7 +191,9 @@ proptest! {
             .with_hops(&lut)
             .unwrap();
         let evaluator = SwarmEval::new(problem, FitnessKind::CutHops);
-        prop_assert_eq!(evaluator.batched(), crossbars <= 256);
+        // ≤ 256 rides the byte tile, 257..=1024 the word tile — batched
+        // either way across this whole corpus
+        prop_assert!(evaluator.batched(), "c={} fell back to scalar", crossbars);
         let mut rng = StdRng::seed_from_u64(seed);
         let positions: Vec<u32> = (0..lanes * n as usize)
             .map(|_| rng.gen_range(0..crossbars as u32))
